@@ -1,0 +1,82 @@
+// Ablation: communication compression (paper Section V-E).
+//
+// Sweeps the zfp-style codec's fixed rate on a broadcast/all_gather
+// workload, reporting the communication-time saving against the
+// reconstruction error each rate costs — the trade-off a user tunes.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+namespace {
+
+struct Outcome {
+  double time_us;
+  double max_error;
+};
+
+Outcome run(int bits_or_zero) {
+  CompressionConfig ccfg;
+  ccfg.enabled = bits_or_zero > 0;
+  if (ccfg.enabled) ccfg.codec.bits_per_value = bits_or_zero;
+  ccfg.min_bytes = 0;
+  McrDlOptions opts;
+  opts.compression = ccfg;
+  ClusterContext cluster(net::SystemConfig::lassen(4));  // 16 GPUs
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl"});
+  Outcome out{0.0, 0.0};
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    // A real (materialised) payload so reconstruction error is measurable.
+    Rng rng(7);
+    Tensor reference = Tensor::random_uniform({16384}, DType::F32, dev, rng, -1.0, 1.0);
+    Tensor payload = rank == 0 ? reference.clone() : Tensor::zeros({16384}, DType::F32, dev);
+    for (int i = 0; i < 4; ++i) {
+      api.broadcast("nccl", payload, 0);
+      // Plus a phantom bandwidth-bound all_gather to expose the wire saving.
+      Tensor in = Tensor::phantom({1 << 20}, DType::F32, dev);
+      Tensor gathered = Tensor::phantom({16 << 20}, DType::F32, dev);
+      api.all_gather("nccl", gathered, in);
+      api.synchronize();
+    }
+    if (rank == 1) {
+      double worst = 0.0;
+      for (int i = 0; i < 16384; ++i) {
+        worst = std::max(worst, std::abs(payload.get(i) - reference.get(i)));
+      }
+      out.max_error = worst;
+    }
+    if (rank == 0) out.time_us = cluster.scheduler().now();
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Ablation: zfp-style communication compression — rate vs time vs error "
+      "(broadcast + all_gather workload, 16 GPUs Lassen)");
+  TextTable t({"Rate (bits/value)", "Total time", "Speedup", "Max reconstruction error"});
+  const Outcome base = run(0);
+  t.add_row({"off (f32)", format_time_us(base.time_us), "1.00x", "0"});
+  bench::register_result("ablation_compression/off", base.time_us);
+  for (int bits : {6, 8, 12, 16, 20}) {
+    const Outcome o = run(bits);
+    char speed[32], err[32];
+    std::snprintf(speed, sizeof(speed), "%.2fx", base.time_us / o.time_us);
+    std::snprintf(err, sizeof(err), "%.2e", o.max_error);
+    t.add_row({std::to_string(bits), format_time_us(o.time_us), speed, err});
+    bench::register_result("ablation_compression/bits_" + std::to_string(bits), o.time_us);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nHigher rates keep more precision at less wire saving; the codec's\n"
+      "fixed-rate contract keeps compressed buffer sizes known up front.\n");
+  return bench::run_registered(argc, argv);
+}

@@ -1,0 +1,114 @@
+// Ablation: Tensor Fusion parameters (paper Section V-E).
+//
+// A DDP-like workload of many small gradient allreduces, swept over the
+// fusion buffer size B and flush timeout T, plus the cross-backend overlap
+// optimisation MCR-DL adds on timeout flushes.
+#include "bench/bench_util.h"
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+namespace {
+
+struct FusionOutcome {
+  double time_us;
+  int flushes;
+  int overlap_flushes;
+};
+
+// `tensors` small gradient allreduces per rank. `two_backends` alternates
+// NCCL and MVAPICH2-GDR (for the cross-backend overlap study); otherwise
+// everything goes to NCCL, whose per-op launch overhead serialises on the
+// communication streams — the cost fusion amortises.
+FusionOutcome run(FusionConfig cfg, int tensors, std::size_t tensor_bytes,
+                  bool two_backends = false) {
+  ClusterContext cluster(net::SystemConfig::lassen(4));  // 16 GPUs
+  McrDlOptions opts;
+  opts.fusion = cfg;
+  McrDl mcr(&cluster, opts);
+  mcr.init(two_backends ? std::vector<std::string>{"nccl", "mv2-gdr"}
+                        : std::vector<std::string>{"nccl"});
+  double total = 0.0;
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    for (int i = 0; i < tensors; ++i) {
+      Tensor g = Tensor::phantom({static_cast<std::int64_t>(tensor_bytes / 4)}, DType::F32, dev);
+      api.all_reduce(two_backends && i % 2 == 1 ? "mv2-gdr" : "nccl", g, ReduceOp::Sum,
+                     /*async_op=*/true);
+      dev->compute(2.0, "grad-producer");
+    }
+    api.synchronize();
+    if (rank == 0) total = cluster.scheduler().now();
+  });
+  return {total, mcr.fusion().flush_count(), mcr.fusion().overlap_flush_count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kTensors = 64;
+  constexpr std::size_t kBytes = 16 << 10;  // 16 KiB gradients
+
+  bench::print_header("Ablation: fusion buffer size B (timeout fixed at 100 us)");
+  {
+    TextTable t({"Config", "Total time", "Collectives issued (16 ranks)", "vs no fusion"});
+    FusionConfig off;  // disabled
+    const FusionOutcome base = run(off, kTensors, kBytes);
+    t.add_row({"fusion off", format_time_us(base.time_us), std::to_string(kTensors * 16),
+               "1.00x"});
+    bench::register_result("ablation_fusion/off", base.time_us);
+    for (std::size_t B : {64u << 10, 256u << 10, 1u << 20, 4u << 20}) {
+      FusionConfig cfg;
+      cfg.enabled = true;
+      cfg.buffer_bytes = B;
+      cfg.flush_timeout_us = 100.0;
+      cfg.max_tensor_bytes = 64 << 10;
+      const FusionOutcome o = run(cfg, kTensors, kBytes);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", base.time_us / o.time_us);
+      t.add_row({"B = " + format_bytes(B), format_time_us(o.time_us), std::to_string(o.flushes),
+                 buf});
+      bench::register_result("ablation_fusion/B_" + format_bytes(B), o.time_us);
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  bench::print_header("Ablation: flush timeout T (B fixed at 1 MiB)");
+  {
+    TextTable t({"T", "Total time", "Flushes", "Cross-backend overlap flushes"});
+    for (double T : {10.0, 50.0, 200.0, 1000.0}) {
+      FusionConfig cfg;
+      cfg.enabled = true;
+      cfg.buffer_bytes = 1 << 20;
+      cfg.flush_timeout_us = T;
+      cfg.max_tensor_bytes = 64 << 10;
+      const FusionOutcome o = run(cfg, kTensors, kBytes);
+      t.add_row({format_time_us(T), format_time_us(o.time_us), std::to_string(o.flushes),
+                 std::to_string(o.overlap_flushes)});
+      bench::register_result("ablation_fusion/T_" + std::to_string(static_cast<int>(T)),
+                             o.time_us);
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  bench::print_header("Ablation: cross-backend overlap flush (paper's fusion twist)");
+  {
+    TextTable t({"Cross-backend overlap", "Total time", "Overlap flushes"});
+    for (bool overlap : {false, true}) {
+      FusionConfig cfg;
+      cfg.enabled = true;
+      cfg.buffer_bytes = 1 << 20;
+      cfg.flush_timeout_us = 50.0;
+      cfg.max_tensor_bytes = 64 << 10;
+      cfg.cross_backend_overlap = overlap;
+      const FusionOutcome o = run(cfg, kTensors, kBytes, /*two_backends=*/true);
+      t.add_row({overlap ? "on" : "off", format_time_us(o.time_us),
+                 std::to_string(o.overlap_flushes)});
+      bench::register_result(std::string("ablation_fusion/overlap_") + (overlap ? "on" : "off"),
+                             o.time_us);
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+  return bench::run_registered(argc, argv);
+}

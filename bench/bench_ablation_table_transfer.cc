@@ -1,0 +1,60 @@
+// Ablation: tuning-table transferability across systems (paper Section
+// V-F): "tuning tables are not transferable across HPC systems. However,
+// general trends tend to hold across systems with a coarsely similar
+// architecture (e.g. MVAPICH2-GDR consistently performs the best for small
+// messages)." We generate the same table on Lassen and ThetaGPU and diff.
+#include "bench/bench_util.h"
+#include "src/core/tuning.h"
+
+using namespace mcrdl;
+
+namespace {
+
+TuningTable tune(const net::SystemConfig& base, int world,
+                 const std::vector<std::size_t>& sizes) {
+  TuningSuite suite(base);
+  TuningConfig cfg;
+  cfg.backends = {"mv2-gdr", "nccl", "sccl"};
+  cfg.ops = {OpType::AllReduce, OpType::AllGather, OpType::AllToAllSingle};
+  cfg.sizes = sizes;
+  cfg.world_sizes = {world};
+  cfg.iterations = 1;
+  return suite.generate(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sizes = {1u << 10, 16u << 10, 256u << 10, 4u << 20};
+  const int world = 32;
+  TuningTable lassen = tune(net::SystemConfig::lassen(8), world, sizes);
+  TuningTable theta = tune(net::SystemConfig::theta_gpu(4), world, sizes);
+
+  bench::print_header(
+      "Ablation: tuning-table transfer, 32 GPUs — Lassen (V100/EDR) vs ThetaGPU (A100/HDR)");
+  TextTable t({"Operation", "Message size", "Lassen winner", "ThetaGPU winner", "Same?"});
+  int same = 0, total = 0;
+  int mv2_small_wins = 0, small_points = 0;
+  for (OpType op : {OpType::AllReduce, OpType::AllGather, OpType::AllToAllSingle}) {
+    for (std::size_t bytes : sizes) {
+      const std::string& a = lassen.lookup(op, world, bytes);
+      const std::string& b = theta.lookup(op, world, bytes);
+      same += (a == b);
+      ++total;
+      if (bytes <= (16u << 10)) {
+        ++small_points;
+        mv2_small_wins += (a == "mv2-gdr") + (b == "mv2-gdr");
+      }
+      t.add_row({op_name(op), format_bytes(bytes), a, b, a == b ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\n%d/%d grid points agree across systems — the general trends hold, the exact\n"
+      "thresholds do not, which is why each system runs its own tuning sweep.\n"
+      "MVAPICH2-GDR wins %d/%d of the small-message points on both systems, the\n"
+      "consistent trend the paper calls out.\n",
+      same, total, mv2_small_wins, 2 * small_points);
+  bench::register_result("ablation_transfer/agreeing_points", static_cast<double>(same));
+  return bench::run_registered(argc, argv);
+}

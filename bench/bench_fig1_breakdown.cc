@@ -1,0 +1,82 @@
+// Figure 1 reproduction: (a) computation vs communication split and (b) the
+// per-operation communication breakdown for ResNet-50 (64 V100, Lassen),
+// DS-MoE (64 V100, Lassen) and DLRM (32 A100, ThetaGPU), each under a
+// monolithic single-backend (NCCL) framework as in the paper's profile.
+#include "bench/bench_util.h"
+#include "src/models/dlrm.h"
+#include "src/models/moe.h"
+#include "src/models/resnet.h"
+
+using namespace mcrdl;
+using namespace mcrdl::models;
+
+namespace {
+
+struct Row {
+  std::string model;
+  int world;
+  RunResult result;
+};
+
+Row run_model(const std::string& which) {
+  HarnessOptions opts;
+  opts.warmup_steps = 1;
+  opts.measured_steps = 3;
+  if (which == "resnet") {
+    net::SystemConfig sys = net::SystemConfig::lassen(16);  // 64 GPUs
+    ResNet50Model model(ResNet50Config{}, sys);
+    return {"ResNet-50", 64,
+            TrainingHarness(sys).run(model, CommPlan::pure("nccl"), FrameworkModel::raw(), opts)};
+  }
+  if (which == "moe") {
+    net::SystemConfig sys = net::SystemConfig::lassen(16);
+    DSMoEModel model(DSMoEConfig{}, sys);
+    return {"DS-MoE", 64,
+            TrainingHarness(sys).run(model, CommPlan::pure("nccl"), FrameworkModel::raw(), opts)};
+  }
+  net::SystemConfig sys = net::SystemConfig::theta_gpu(4);  // 32 GPUs
+  DLRMModel model(DLRMConfig{}, sys);
+  return {"DLRM", 32,
+          TrainingHarness(sys).run(model, CommPlan::pure("nccl"), FrameworkModel::raw(), opts)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Row> rows;
+  for (const char* which : {"resnet", "moe", "dlrm"}) rows.push_back(run_model(which));
+
+  bench::print_header(
+      "Figure 1(a): computation vs communication (ResNet-50 & DS-MoE on 64 "
+      "V100/Lassen, DLRM on 32 A100/ThetaGPU)");
+  {
+    TextTable t({"Model", "GPUs", "Compute %", "Communication %", "Step time"});
+    for (const auto& row : rows) {
+      const double comm = row.result.comm_fraction();
+      t.add_row({row.model, std::to_string(row.world), format_percent(1.0 - comm),
+                 format_percent(comm), format_time_us(row.result.step_time_us)});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  bench::print_header("Figure 1(b): communication-operation breakdown (share of comm time)");
+  {
+    TextTable t({"Model", "Operation", "Share", "Per-step time"});
+    for (const auto& row : rows) {
+      double total = 0.0;
+      for (const auto& [op, us] : row.result.comm_by_op_us) total += us;
+      for (const auto& [op, us] : row.result.comm_by_op_us) {
+        if (us / total < 0.001) continue;
+        t.add_row({row.model, op, format_percent(us / total), format_time_us(us)});
+      }
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  for (const auto& row : rows) {
+    bench::register_result("fig1/" + row.model + "/step_time", row.result.step_time_us,
+                           row.result.throughput);
+    bench::register_result("fig1/" + row.model + "/comm_time", row.result.comm_time_us);
+  }
+  return bench::run_registered(argc, argv);
+}

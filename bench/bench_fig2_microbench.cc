@@ -1,0 +1,50 @@
+// Figure 2 reproduction: collective micro-benchmark comparison of the four
+// communication backends on 64 GPUs (16 Lassen nodes x 4 ppn) —
+// (a) non-blocking Allreduce and (b) Alltoall latency across message sizes.
+#include "bench/bench_util.h"
+#include "src/core/tuning.h"
+#include "src/net/cost.h"
+
+using namespace mcrdl;
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sizes = {1u << 10, 4u << 10, 16u << 10, 64u << 10,
+                                          256u << 10, 1u << 20, 4u << 20, 16u << 20,
+                                          64u << 20};
+  const std::vector<std::string> backends = {"mv2-gdr", "ompi", "nccl", "sccl"};
+
+  TuningSuite suite(net::SystemConfig::lassen(16));  // 64 GPUs
+  TuningConfig cfg;
+  cfg.backends = backends;
+  cfg.ops = {OpType::AllReduce, OpType::AllToAllSingle};
+  cfg.sizes = sizes;
+  cfg.world_sizes = {64};
+  cfg.iterations = 2;
+  cfg.warmup = 1;
+  (void)suite.generate(cfg);
+
+  auto print_sweep = [&](OpType op, const std::string& title) {
+    bench::print_header(title);
+    std::vector<std::string> headers = {"Message size"};
+    for (const auto& b : backends) headers.push_back(b);
+    TextTable t(headers);
+    for (std::size_t bytes : sizes) {
+      std::vector<std::string> row = {format_bytes(bytes)};
+      for (const auto& b : backends) {
+        const double us = suite.measured(b, op, 64, bytes);
+        row.push_back(format_time_us(us));
+        bench::register_result(std::string("fig2/") + op_name(op) + "/" + b + "/" +
+                                   format_bytes(bytes),
+                               us);
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s", t.to_string().c_str());
+  };
+
+  print_sweep(OpType::AllReduce,
+              "Figure 2(a): iAllreduce latency, 64 GPUs (16 nodes x 4 ppn, Lassen)");
+  print_sweep(OpType::AllToAllSingle,
+              "Figure 2(b): Alltoall latency, 64 GPUs (16 nodes x 4 ppn, Lassen)");
+  return bench::run_registered(argc, argv);
+}

@@ -1,0 +1,64 @@
+// Figure 7 reproduction: framework overhead over the raw OSU-style
+// micro-benchmark (OMB) for a fixed backend (MVAPICH2-GDR Alltoall on 32
+// A100 GPUs, ThetaGPU). The paper measures ~5% small-message / ~1%
+// large-message overhead for MCR-DL versus 18% / 4% for PyTorch-distributed.
+#include "bench/bench_util.h"
+#include "src/models/comm_plan.h"
+
+using namespace mcrdl;
+using namespace mcrdl::models;
+
+namespace {
+
+// Mean per-op Alltoall latency through one framework layer.
+double measure(const FrameworkModel& fw, std::size_t bytes, int iters = 4) {
+  ClusterContext cluster(net::SystemConfig::theta_gpu(4));  // 32 GPUs
+  McrDl mcr(&cluster);
+  CommPlan plan = CommPlan::pure("mv2-gdr");
+  mcr.init(plan.backends_needed(available_backend_names()));
+  double result = 0.0;
+  const std::int64_t numel =
+      ((static_cast<std::int64_t>(bytes) / 4 + 31) / 32) * 32;  // divisible by world
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    CommIssuer comm(api, plan, fw);
+    sim::Device* dev = cluster.device(rank);
+    auto one = [&] {
+      Tensor in = Tensor::phantom({numel}, DType::F32, dev);
+      Tensor out = Tensor::phantom({numel}, DType::F32, dev);
+      comm.all_to_all_single(std::move(out), std::move(in), /*async_op=*/false);
+      api.synchronize();
+    };
+    one();  // warmup
+    const SimTime start = cluster.scheduler().now();
+    for (int i = 0; i < iters; ++i) one();
+    if (rank == 0) result = (cluster.scheduler().now() - start) / iters;
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sizes = {512,        1u << 10, 4u << 10,  16u << 10,
+                                          64u << 10,  256u << 10, 1u << 20, 4u << 20,
+                                          16u << 20};
+  bench::print_header(
+      "Figure 7: % overhead over OMB, MPI Alltoall with a fixed backend "
+      "(MVAPICH2-GDR), 32 A100 GPUs (ThetaGPU)");
+  TextTable t({"Message size", "OMB latency", "MCR-DL", "MCR-DL overhead", "PyTorch-dist",
+               "PyTorch-dist overhead"});
+  for (std::size_t bytes : sizes) {
+    const double raw = measure(FrameworkModel::raw(), bytes);
+    const double mcr = measure(FrameworkModel::mcr_dl(), bytes);
+    const double pytd = measure(FrameworkModel::pytorch_distributed("mv2-gdr"), bytes);
+    t.add_row({format_bytes(bytes), format_time_us(raw), format_time_us(mcr),
+               format_percent(mcr / raw - 1.0), format_time_us(pytd),
+               format_percent(pytd / raw - 1.0)});
+    bench::register_result("fig7/omb/" + format_bytes(bytes), raw);
+    bench::register_result("fig7/mcr_dl/" + format_bytes(bytes), mcr);
+    bench::register_result("fig7/pytorch_dist/" + format_bytes(bytes), pytd);
+  }
+  std::printf("%s", t.to_string().c_str());
+  return bench::run_registered(argc, argv);
+}

@@ -1,0 +1,46 @@
+// Table II reproduction: the static tuning table the MCR-DL tuning suite
+// generates for the all_gather collective at a single world size (64 GPUs,
+// Lassen). The paper's pattern: MVAPICH2-GDR for small messages, NCCL for
+// the 4-8 KiB band, SCCL for 16 KiB and above.
+#include "bench/bench_util.h"
+#include "src/core/tuning.h"
+#include "src/net/cost.h"
+
+using namespace mcrdl;
+
+int main(int argc, char** argv) {
+  TuningSuite suite(net::SystemConfig::lassen(16));  // 64 GPUs
+  TuningConfig cfg;
+  cfg.ops = {OpType::AllGather};
+  cfg.sizes = {256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
+  cfg.world_sizes = {64};
+  cfg.iterations = 2;
+  cfg.warmup = 1;
+  TuningTable table = suite.generate(cfg);
+
+  bench::print_header(
+      "Table II: tuning table for all_gather at one world size (64 GPUs, Lassen)");
+  TextTable t({"Message Size", "Backend", "Measured latency"});
+  for (const auto& entry : table.entries(OpType::AllGather, 64)) {
+    std::string display = entry.backend;
+    for (const auto& profile : net::all_backend_profiles()) {
+      if (profile.name == entry.backend) display = profile.display_name;
+    }
+    const double us = suite.measured(entry.backend, OpType::AllGather, 64, entry.max_bytes);
+    t.add_row({std::to_string(entry.max_bytes), display, format_time_us(us)});
+    bench::register_result("table2/all_gather/" + std::to_string(entry.max_bytes) + "/" +
+                               entry.backend,
+                           us);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("total tuning-table entries: %zu (= collectives x scales x sizes)\n",
+              table.num_entries());
+
+  // Demonstrate the serialisation round trip the runtime consumes.
+  const std::string path = "/tmp/mcrdl_table2_tuning.txt";
+  table.save(path);
+  TuningTable reloaded = TuningTable::load(path);
+  std::printf("serialised to %s and reloaded: %zu entries, lookup(4096) -> %s\n", path.c_str(),
+              reloaded.num_entries(), reloaded.lookup(OpType::AllGather, 64, 4096).c_str());
+  return bench::run_registered(argc, argv);
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary runs its experiment once in virtual time, registers the
+// resulting timings as manual-time google-benchmark entries (so `--help`,
+// filters and reporters all work), and prints the corresponding paper
+// table/series to stdout.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/format.h"
+
+namespace mcrdl::bench {
+
+// Registers a pre-computed virtual-time result (µs) as a manual-time
+// benchmark entry named `name`.
+inline void register_result(const std::string& name, double virtual_us,
+                            double items_per_second = 0.0) {
+  ::benchmark::RegisterBenchmark(name.c_str(),
+                                 [virtual_us, items_per_second](::benchmark::State& state) {
+                                   for (auto _ : state) {
+                                     state.SetIterationTime(virtual_us * 1e-6);
+                                   }
+                                   if (items_per_second > 0.0) {
+                                     state.counters["items/s"] = items_per_second;
+                                   }
+                                 })
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+// Standard tail for every binary: run google-benchmark over the registered
+// entries, then return success.
+inline int run_registered(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace mcrdl::bench

@@ -1,0 +1,44 @@
+// DLRM training: non-blocking Alltoall overlapping the top-MLP compute.
+//
+// Reproduces the paper's DLRM setting (8k global batch, bottom MLP
+// 512-512-64, top MLP 1024-1024-1024-1) on 32 simulated ThetaGPU A100s and
+// shows the throughput effect of backend choice on a model whose
+// communication is Alltoall-dominated.
+//
+//   ./examples/dlrm_training
+#include <cstdio>
+
+#include "src/models/dlrm.h"
+
+using namespace mcrdl;
+using namespace mcrdl::models;
+
+int main() {
+  net::SystemConfig sys = net::SystemConfig::theta_gpu(4);  // 32 GPUs
+  TrainingHarness harness(sys);
+  DLRMConfig cfg;
+  DLRMModel model(cfg, sys);
+
+  HarnessOptions opts;
+  opts.warmup_steps = 2;
+  opts.measured_steps = 8;
+
+  std::printf("DLRM, global batch %d on %d simulated A100s\n", cfg.global_batch,
+              sys.world_size());
+  std::printf("embedding alltoall payload: %zu bytes/rank, dense gradients: %zu bytes\n\n",
+              model.alltoall_bytes(sys.world_size()), model.dense_grad_bytes());
+
+  for (const CommPlan& plan : {CommPlan::pure("nccl"), CommPlan::pure("mv2-gdr"),
+                               CommPlan::mcr_dl_mixed()}) {
+    RunResult r = harness.run(model, plan, FrameworkModel::mcr_dl(), opts);
+    std::printf("%-18s step %8.1f us  throughput %6.2fM samples/s  comm share %4.1f%%\n",
+                plan.name.c_str(), r.step_time_us, r.throughput / 1e6,
+                r.comm_fraction() * 100.0);
+  }
+
+  std::printf(
+      "\nDLRM overlaps each batch's forward Alltoall with the previous batch's\n"
+      "top-MLP compute, which is why non-blocking Alltoall support matters\n"
+      "(paper Section III-E); the mixed plan again wins (paper Figure 9).\n");
+  return 0;
+}

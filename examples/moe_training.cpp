@@ -1,0 +1,42 @@
+// DS-MoE training with mixed backends — the paper's flagship scenario.
+//
+// Trains the 4B-parameter DS-MoE workload on 64 simulated Lassen V100s
+// under three communication plans and prints the resulting throughput and
+// communication breakdown, showing where the mixed plan wins.
+//
+//   ./examples/moe_training
+#include <cstdio>
+
+#include "src/models/moe.h"
+
+using namespace mcrdl;
+using namespace mcrdl::models;
+
+int main() {
+  net::SystemConfig sys = net::SystemConfig::lassen(16);  // 64 GPUs
+  TrainingHarness harness(sys);
+  DSMoEModel model(DSMoEConfig{}, sys);
+
+  HarnessOptions opts;
+  opts.warmup_steps = 1;
+  opts.measured_steps = 3;
+
+  std::printf("DS-MoE (350M+PR-MoE, 4B params) on %d simulated V100s\n", sys.world_size());
+  std::printf("alltoall payload per dispatch: %zu bytes, %d MoE layers\n\n",
+              model.alltoall_bytes(), model.moe_layers());
+
+  for (const CommPlan& plan : {CommPlan::pure("nccl"), CommPlan::pure("mv2-gdr"),
+                               CommPlan::mcr_dl_mixed()}) {
+    RunResult r = harness.run(model, plan, FrameworkModel::mcr_dl(), opts);
+    std::printf("%-18s step %8.1f ms  throughput %7.1f samples/s  comm share %4.1f%%\n",
+                plan.name.c_str(), r.step_time_us / 1e3, r.throughput,
+                r.comm_fraction() * 100.0);
+    for (const auto& [op, us] : r.comm_by_op_us) {
+      if (us > 100.0) std::printf("    %-20s %8.1f ms/step\n", op.c_str(), us / 1e3);
+    }
+  }
+  std::printf(
+      "\nThe mixed plan routes Alltoall to MVAPICH2-GDR and Allreduce to NCCL,\n"
+      "beating both monolithic configurations (paper Figure 8).\n");
+  return 0;
+}

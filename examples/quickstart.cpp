@@ -1,0 +1,65 @@
+// Quickstart: the MCR-DL "hello world".
+//
+// Builds a small simulated cluster (2 Lassen nodes = 8 GPUs), initialises
+// two communication backends, and runs the paper's Listing-4 program: one
+// allreduce on NCCL and one on MVAPICH2-GDR, both in flight at once, plus a
+// vector collective that NCCL lacks natively (MCR-DL emulates it
+// transparently).
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+int main() {
+  // 1. A simulated machine: 2 nodes x 4 V100s.
+  ClusterContext cluster(net::SystemConfig::lassen(2));
+
+  // 2. The MCR-DL runtime with two backends (Listing 1: init(list<str>)).
+  McrDl mcr(&cluster);
+  mcr.init({"nccl", "mv2-gdr"});
+  std::printf("initialised backends:");
+  for (const auto& b : mcr.get_backends()) std::printf(" %s", b.c_str());
+  std::printf("\n");
+
+  // 3. One actor per rank, SPMD style.
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    const int world = api.get_size("nccl");
+
+    // Two async allreduces on two different backends, overlapped (the
+    // paper's Listing 4). MCR-DL's post-then-wait handles make the mix
+    // deadlock-free.
+    Tensor x = Tensor::full({1024}, DType::F32, 1.0, dev);
+    Tensor y = Tensor::full({1024}, DType::F32, 2.0, dev);
+    Work h1 = api.all_reduce("nccl", x, ReduceOp::Sum, /*async_op=*/true);
+    Work h2 = api.all_reduce("mv2-gdr", y, ReduceOp::Sum, /*async_op=*/true);
+    h1->synchronize();
+    h2->synchronize();
+
+    // A vector collective NCCL has no native support for: MCR-DL emulates
+    // it from native primitives (Section V-B).
+    Tensor mine = Tensor::full({rank + 1}, DType::F32, rank * 1.0, dev);
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < world; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    Tensor gathered = Tensor::zeros({total}, DType::F32, dev);
+    api.all_gatherv("nccl", gathered, mine, counts, displs);
+    api.synchronize();
+
+    if (rank == 0) {
+      std::printf("rank 0: x[0]=%.0f (expect %d), y[0]=%.0f (expect %d)\n", x.get(0), world,
+                  y.get(0), 2 * world);
+      std::printf("rank 0: all_gatherv tail=%.0f (expect %d), virtual time %.1f us\n",
+                  gathered.get(total - 1), world - 1, cluster.scheduler().now());
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Classic data-parallel training (ResNet-50) — the workload the paper uses
+// to show that monolithic single-backend frameworks already serve pure
+// data-parallelism well (Section I-C): the only significant communication
+// is Allreduce, so the choice reduces to "fastest Allreduce", and MCR-DL's
+// benefit is marginal (but never negative).
+//
+//   ./examples/resnet_data_parallel
+#include <cstdio>
+
+#include "src/models/resnet.h"
+
+using namespace mcrdl;
+using namespace mcrdl::models;
+
+int main() {
+  net::SystemConfig sys = net::SystemConfig::lassen(16);  // 64 GPUs
+  TrainingHarness harness(sys);
+  ResNet50Model model(ResNet50Config{}, sys);
+
+  HarnessOptions opts;
+  opts.warmup_steps = 1;
+  opts.measured_steps = 3;
+
+  std::printf("ResNet-50, batch 32/GPU on %d simulated V100s\n\n", sys.world_size());
+  double best_pure = 0.0, mixed_thr = 0.0;
+  for (const CommPlan& plan : {CommPlan::pure("nccl"), CommPlan::pure("mv2-gdr"),
+                               CommPlan::pure("sccl"), CommPlan::mcr_dl_mixed()}) {
+    RunResult r = harness.run(model, plan, FrameworkModel::mcr_dl(), opts);
+    std::printf("%-18s %8.1f images/s   comm share %4.1f%%\n", plan.name.c_str(), r.throughput,
+                r.comm_fraction() * 100.0);
+    if (plan.name == "MCR-DL") {
+      mixed_thr = r.throughput;
+    } else {
+      best_pure = std::max(best_pure, r.throughput);
+    }
+  }
+  std::printf(
+      "\nMCR-DL vs best single backend: %+.1f%% — data-parallel models gain little\n"
+      "from mixing because Allreduce dominates (paper Section I-C), unlike the\n"
+      "MoE/DLRM workloads where the gains are 25-35%%.\n",
+      (mixed_thr / best_pure - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The tuning-suite workflow behind the "auto" backend (paper Section V-F).
+//
+// 1. Run the micro-benchmark sweep over backends x operations x sizes.
+// 2. Inspect/save the generated static tuning table.
+// 3. Train with backend "auto": every operation picks its backend by
+//    message size and scale at runtime.
+//
+//   ./examples/tuning_workflow
+#include <cstdio>
+
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+int main() {
+  net::SystemConfig sys = net::SystemConfig::lassen(4);  // 16 GPUs
+
+  // --- 1. tuning sweep ------------------------------------------------------
+  TuningSuite suite(sys);
+  TuningConfig cfg;
+  cfg.backends = {"nccl", "mv2-gdr", "sccl"};
+  cfg.ops = {OpType::AllReduce, OpType::AllGather, OpType::AllToAllSingle};
+  cfg.sizes = {1u << 10, 16u << 10, 256u << 10, 4u << 20};
+  cfg.world_sizes = {16};
+  cfg.iterations = 2;
+  TuningTable table = suite.generate(cfg);
+  std::printf("tuning sweep done: %zu table entries (%zu raw measurements)\n",
+              table.num_entries(), suite.measurements().size());
+
+  // --- 2. inspect and persist -----------------------------------------------
+  for (OpType op : cfg.ops) {
+    std::printf("  %s:", op_name(op));
+    for (const auto& e : table.entries(op, 16)) {
+      std::printf("  <=%zuB -> %s", e.max_bytes, e.backend.c_str());
+    }
+    std::printf("\n");
+  }
+  const std::string path = "/tmp/mcrdl_example_tuning.txt";
+  table.save(path);
+  std::printf("saved to %s\n\n", path.c_str());
+
+  // --- 3. train with "auto" ---------------------------------------------------
+  ClusterContext cluster(sys);
+  McrDl mcr(&cluster);
+  mcr.init(cfg.backends);
+  mcr.set_tuning_table(TuningTable::load(path));
+  mcr.logger().set_enabled(true);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    // A small latency-bound op and a large bandwidth-bound one: "auto"
+    // routes them to different backends.
+    Tensor small = Tensor::full({64}, DType::F32, 1.0, dev);
+    Work ws = api.all_reduce("auto", small, ReduceOp::Sum, true);
+    Tensor large = Tensor::full({1 << 20}, DType::F32, 1.0, dev);
+    Work wl = api.all_reduce("auto", large, ReduceOp::Sum, true);
+    ws->synchronize();
+    wl->synchronize();
+    if (rank == 0) {
+      std::printf("auto routed the 256 B allreduce to %s and the 4 MiB allreduce to %s\n",
+                  ws->backend_name.c_str(), wl->backend_name.c_str());
+    }
+    api.synchronize();
+  });
+  return 0;
+}

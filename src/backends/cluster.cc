@@ -1,0 +1,31 @@
+#include "src/backends/cluster.h"
+
+namespace mcrdl {
+
+ClusterContext::ClusterContext(net::SystemConfig config) : topo_(std::move(config)) {
+  const int world = topo_.world_size();
+  devices_.reserve(world);
+  for (int rank = 0; rank < world; ++rank) {
+    devices_.push_back(
+        std::make_unique<sim::Device>(&sched_, rank, topo_.node_of(rank), topo_.local_of(rank)));
+  }
+}
+
+sim::Device* ClusterContext::device(int rank) {
+  MCRDL_REQUIRE(rank >= 0 && rank < world_size(), "device rank out of range");
+  return devices_[static_cast<std::size_t>(rank)].get();
+}
+
+void ClusterContext::run_spmd(const std::function<void(int)>& fn) {
+  run_spmd(world_size(), fn);
+}
+
+void ClusterContext::run_spmd(int ranks, const std::function<void(int)>& fn) {
+  MCRDL_REQUIRE(ranks >= 1 && ranks <= world_size(), "SPMD rank count out of range");
+  for (int rank = 0; rank < ranks; ++rank) {
+    sched_.spawn("rank" + std::to_string(rank), [fn, rank] { fn(rank); });
+  }
+  sched_.run();
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,38 @@
+// ClusterContext: one simulated HPC machine — the scheduler, the topology,
+// and one Device per rank — plus the SPMD launcher that runs a per-rank
+// program as one actor per rank.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/sim/device.h"
+#include "src/sim/scheduler.h"
+
+namespace mcrdl {
+
+class ClusterContext {
+ public:
+  explicit ClusterContext(net::SystemConfig config);
+
+  sim::Scheduler& scheduler() { return sched_; }
+  const net::Topology& topology() const { return topo_; }
+  int world_size() const { return topo_.world_size(); }
+  sim::Device* device(int rank);
+
+  // Runs fn(rank) as one actor per rank and blocks until all complete.
+  // Rethrows the first actor error (including DeadlockError).
+  void run_spmd(const std::function<void(int)>& fn);
+  // As above but only for the first `ranks` ranks.
+  void run_spmd(int ranks, const std::function<void(int)>& fn);
+
+ private:
+  sim::Scheduler sched_;
+  net::Topology topo_;
+  std::vector<std::unique_ptr<sim::Device>> devices_;
+};
+
+}  // namespace mcrdl

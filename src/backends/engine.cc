@@ -1,0 +1,443 @@
+#include "src/backends/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcrdl::backends_detail {
+
+// ---------------------------------------------------------------------------
+// Data application
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool usable(const Tensor& t) { return t.defined() && t.materialized(); }
+
+// Element count of rank r's block when a buffer of n elements is split
+// evenly across `size` ranks.
+std::int64_t block_count(std::int64_t n, int size) { return n / size; }
+
+void apply_all_reduce(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
+  // Accumulate into a scratch clone, then distribute (in-place semantics:
+  // every rank's `input` doubles as its output, like torch.all_reduce).
+  const int size = static_cast<int>(slots.size());
+  Tensor acc;
+  for (auto& s : slots) {
+    if (!usable(s.input)) continue;
+    if (!acc.defined()) {
+      acc = s.input.clone();
+    } else {
+      acc.reduce_inplace(s.input, desc.rop);
+    }
+  }
+  if (!acc.defined()) return;
+  if (desc.rop == ReduceOp::Avg) acc.scale(1.0 / size);
+  for (auto& s : slots) {
+    if (usable(s.input)) s.input.copy_from(acc);
+  }
+}
+
+void apply_reduce(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  Tensor acc;
+  for (auto& s : slots) {
+    if (!usable(s.input)) continue;
+    if (!acc.defined()) {
+      acc = s.input.clone();
+    } else {
+      acc.reduce_inplace(s.input, desc.rop);
+    }
+  }
+  if (!acc.defined()) return;
+  if (desc.rop == ReduceOp::Avg) acc.scale(1.0 / size);
+  ArrivalSlot& root = slots[static_cast<std::size_t>(desc.root)];
+  Tensor& dst = root.output.defined() ? root.output : root.input;
+  if (usable(dst)) dst.copy_from(acc);
+}
+
+void apply_broadcast(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
+  const Tensor& src = slots[static_cast<std::size_t>(desc.root)].input;
+  if (!usable(src)) return;
+  for (std::size_t r = 0; r < slots.size(); ++r) {
+    if (static_cast<int>(r) == desc.root) continue;
+    if (usable(slots[r].input)) slots[r].input.copy_from(src);
+  }
+}
+
+void apply_all_gather(std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  for (auto& dst : slots) {
+    if (!usable(dst.output)) continue;
+    const std::int64_t block = block_count(dst.output.numel(), size);
+    for (int r = 0; r < size; ++r) {
+      const Tensor& src = slots[static_cast<std::size_t>(r)].input;
+      if (!usable(src)) continue;
+      dst.output.view(r * block, std::min<std::int64_t>(block, src.numel()))
+          .copy_from(src.view(0, std::min<std::int64_t>(block, src.numel())));
+    }
+  }
+}
+
+void apply_all_gatherv(std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  for (auto& dst : slots) {
+    if (!usable(dst.output)) continue;
+    for (int r = 0; r < size; ++r) {
+      const ArrivalSlot& src_slot = slots[static_cast<std::size_t>(r)];
+      if (!usable(src_slot.input)) continue;
+      const int count = dst.recv_counts[static_cast<std::size_t>(r)];
+      const int displ = dst.recv_displs[static_cast<std::size_t>(r)];
+      dst.output.view(displ, count).copy_from(src_slot.input.view(0, count));
+    }
+  }
+}
+
+void apply_gather(const OpDesc& desc, std::vector<ArrivalSlot>& slots, bool vector_counts) {
+  ArrivalSlot& root = slots[static_cast<std::size_t>(desc.root)];
+  if (!usable(root.output)) return;
+  const int size = static_cast<int>(slots.size());
+  std::int64_t offset = 0;
+  const std::int64_t block = block_count(root.output.numel(), size);
+  for (int r = 0; r < size; ++r) {
+    const Tensor& src = slots[static_cast<std::size_t>(r)].input;
+    std::int64_t count = vector_counts ? root.recv_counts[static_cast<std::size_t>(r)] : block;
+    std::int64_t displ = vector_counts ? root.recv_displs[static_cast<std::size_t>(r)] : offset;
+    if (usable(src)) root.output.view(displ, count).copy_from(src.view(0, count));
+    offset += count;
+  }
+}
+
+void apply_scatter(const OpDesc& desc, std::vector<ArrivalSlot>& slots, bool vector_counts) {
+  const ArrivalSlot& root = slots[static_cast<std::size_t>(desc.root)];
+  if (!usable(root.input)) return;
+  const int size = static_cast<int>(slots.size());
+  std::int64_t offset = 0;
+  const std::int64_t block = block_count(root.input.numel(), size);
+  for (int r = 0; r < size; ++r) {
+    Tensor& dst = slots[static_cast<std::size_t>(r)].output;
+    std::int64_t count = vector_counts ? root.send_counts[static_cast<std::size_t>(r)] : block;
+    std::int64_t displ = vector_counts ? root.send_displs[static_cast<std::size_t>(r)] : offset;
+    if (usable(dst)) dst.view(0, count).copy_from(root.input.view(displ, count));
+    offset += count;
+  }
+}
+
+void apply_reduce_scatter(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  Tensor acc;
+  for (auto& s : slots) {
+    if (!usable(s.input)) continue;
+    if (!acc.defined()) {
+      acc = s.input.clone();
+    } else {
+      acc.reduce_inplace(s.input, desc.rop);
+    }
+  }
+  if (!acc.defined()) return;
+  if (desc.rop == ReduceOp::Avg) acc.scale(1.0 / size);
+  const std::int64_t block = block_count(acc.numel(), size);
+  for (int r = 0; r < size; ++r) {
+    Tensor& dst = slots[static_cast<std::size_t>(r)].output;
+    if (usable(dst)) dst.view(0, block).copy_from(acc.view(r * block, block));
+  }
+}
+
+void apply_all_to_all_single(std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  for (int dst = 0; dst < size; ++dst) {
+    Tensor& out = slots[static_cast<std::size_t>(dst)].output;
+    if (!usable(out)) continue;
+    const std::int64_t block = block_count(out.numel(), size);
+    for (int src = 0; src < size; ++src) {
+      const Tensor& in = slots[static_cast<std::size_t>(src)].input;
+      if (!usable(in)) continue;
+      const std::int64_t src_block = block_count(in.numel(), size);
+      out.view(src * block, block).copy_from(in.view(dst * src_block, block));
+    }
+  }
+}
+
+void apply_all_to_all_list(std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  for (int dst = 0; dst < size; ++dst) {
+    auto& outs = slots[static_cast<std::size_t>(dst)].outputs;
+    if (outs.empty()) continue;
+    for (int src = 0; src < size; ++src) {
+      const auto& ins = slots[static_cast<std::size_t>(src)].inputs;
+      if (ins.empty()) continue;
+      Tensor& out = outs[static_cast<std::size_t>(src)];
+      const Tensor& in = ins[static_cast<std::size_t>(dst)];
+      if (usable(out) && usable(in)) out.copy_from(in);
+    }
+  }
+}
+
+void apply_all_to_allv(std::vector<ArrivalSlot>& slots) {
+  const int size = static_cast<int>(slots.size());
+  for (int dst = 0; dst < size; ++dst) {
+    ArrivalSlot& d = slots[static_cast<std::size_t>(dst)];
+    if (!usable(d.output)) continue;
+    for (int src = 0; src < size; ++src) {
+      const ArrivalSlot& s = slots[static_cast<std::size_t>(src)];
+      if (!usable(s.input)) continue;
+      // src sends its send_counts[dst] elements at send_displs[dst] into
+      // dst's recv_displs[src].
+      const int count = s.send_counts[static_cast<std::size_t>(dst)];
+      MCRDL_CHECK(count == d.recv_counts[static_cast<std::size_t>(src)])
+          << "all_to_allv count mismatch between rank " << src << " and rank " << dst;
+      d.output.view(d.recv_displs[static_cast<std::size_t>(src)], count)
+          .copy_from(s.input.view(s.send_displs[static_cast<std::size_t>(dst)], count));
+    }
+  }
+}
+
+}  // namespace
+
+void apply_collective(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
+  switch (desc.op) {
+    case OpType::AllReduce: apply_all_reduce(desc, slots); return;
+    case OpType::Reduce: apply_reduce(desc, slots); return;
+    case OpType::Broadcast: apply_broadcast(desc, slots); return;
+    case OpType::AllGather: apply_all_gather(slots); return;
+    case OpType::AllGatherV: apply_all_gatherv(slots); return;
+    case OpType::Gather: apply_gather(desc, slots, /*vector_counts=*/false); return;
+    case OpType::GatherV: apply_gather(desc, slots, /*vector_counts=*/true); return;
+    case OpType::Scatter: apply_scatter(desc, slots, /*vector_counts=*/false); return;
+    case OpType::ScatterV: apply_scatter(desc, slots, /*vector_counts=*/true); return;
+    case OpType::ReduceScatter: apply_reduce_scatter(desc, slots); return;
+    case OpType::AllToAllSingle: apply_all_to_all_single(slots); return;
+    case OpType::AllToAll: apply_all_to_all_list(slots); return;
+    case OpType::AllToAllV: apply_all_to_allv(slots); return;
+    case OpType::Barrier: return;
+    case OpType::Send:
+    case OpType::Recv:
+      MCRDL_CHECK(false) << "p2p ops do not go through apply_collective";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous
+// ---------------------------------------------------------------------------
+
+Rendezvous::Rendezvous(sim::Scheduler* sched, int expected, OpDesc desc,
+                       std::function<SimTime()> duration_fn, ChannelFn channel_fn)
+    : sched_(sched),
+      desc_(desc),
+      expected_(expected),
+      duration_fn_(std::move(duration_fn)),
+      channel_fn_(std::move(channel_fn)),
+      slots_(static_cast<std::size_t>(expected)),
+      slot_posted_(static_cast<std::size_t>(expected), false),
+      slot_ready_(static_cast<std::size_t>(expected), false),
+      gates_(static_cast<std::size_t>(expected)),
+      done_cond_(sched) {
+  MCRDL_CHECK(expected >= 1);
+}
+
+void Rendezvous::post(int idx, ArrivalSlot slot) {
+  MCRDL_CHECK(idx >= 0 && idx < expected_);
+  MCRDL_CHECK(!slot_posted_[static_cast<std::size_t>(idx)])
+      << "rank " << idx << " posted twice to one " << op_name(desc_.op) << " rendezvous";
+  slots_[static_cast<std::size_t>(idx)] = std::move(slot);
+  slot_posted_[static_cast<std::size_t>(idx)] = true;
+  ++posted_;
+}
+
+const std::shared_ptr<sim::StreamGate>& Rendezvous::gate(int idx) {
+  MCRDL_CHECK(idx >= 0 && idx < expected_);
+  auto& g = gates_[static_cast<std::size_t>(idx)];
+  if (!g) g = std::make_shared<sim::StreamGate>(sched_);
+  return g;
+}
+
+void Rendezvous::mark_ready(int idx) {
+  MCRDL_CHECK(idx >= 0 && idx < expected_);
+  MCRDL_CHECK(slot_posted_[static_cast<std::size_t>(idx)]) << "ready before post";
+  MCRDL_CHECK(!slot_ready_[static_cast<std::size_t>(idx)]) << "double ready";
+  slot_ready_[static_cast<std::size_t>(idx)] = true;
+  ready_time_ = std::max(ready_time_, sched_->now());
+  if (++ready_ < expected_) return;
+  const SimTime duration = duration_fn_();
+  wire_start_ = channel_fn_ ? channel_fn_(ready_time_, duration, desc_.bytes) : ready_time_;
+  complete_time_ = wire_start_ + duration;
+  // Keep the rendezvous alive through finish() even if every Work handle
+  // and the engine's pending-table entry are dropped first.
+  sched_->schedule_at(complete_time_, [self = shared_from_this()] { self->finish(); });
+}
+
+void Rendezvous::finish() {
+  apply_collective(desc_, slots_);
+  done_ = true;
+  // Callbacks first: they set Work metadata (exec_start) that downstream
+  // completion hooks — fired transitively by gate opening — read.
+  auto callbacks = std::move(completion_callbacks_);
+  completion_callbacks_.clear();
+  for (auto& fn : callbacks) fn();
+  for (auto& g : gates_) {
+    if (g) g->open();
+  }
+  done_cond_.notify_all();
+}
+
+void Rendezvous::wait_done() {
+  done_cond_.wait([&] { return done_; });
+}
+
+void Rendezvous::on_complete(std::function<void()> fn) {
+  if (done_) {
+    fn();
+    return;
+  }
+  completion_callbacks_.push_back(std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// CollectiveEngine
+// ---------------------------------------------------------------------------
+
+CollectiveEngine::CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model,
+                                   net::CommShape shape, int size)
+    : sched_(sched),
+      cost_model_(std::move(cost_model)),
+      shape_(shape),
+      size_(size),
+      next_seq_(static_cast<std::size_t>(size), 0) {}
+
+std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
+                                                   ArrivalSlot slot) {
+  MCRDL_REQUIRE(idx >= 0 && idx < size_, "communicator rank index out of range");
+  const std::uint64_t seq = next_seq_[static_cast<std::size_t>(idx)]++;
+  auto it = pending_.find(seq);
+  std::shared_ptr<Rendezvous> rv;
+  if (it == pending_.end()) {
+    OpDesc d = desc;
+    rv = std::make_shared<Rendezvous>(
+        sched_, size_, d,
+        [this, d] {
+          const SimTime base = cost_model_.collective_cost(d.op, d.bytes, shape_);
+          return std::max(base - d.launch_discount_us, base * 0.1);
+        },
+        [this](SimTime ready, SimTime duration, std::size_t bytes) {
+          if (bytes <= kWireSerializeThreshold) return ready;
+          const SimTime start = std::max(ready, channel_busy_until_);
+          channel_busy_until_ = start + duration;
+          return start;
+        });
+    pending_[seq] = rv;
+    // Reclaim the table entry once everyone has moved past this op.
+    rv->on_complete([this, seq] { pending_.erase(seq); });
+  } else {
+    rv = it->second;
+    const OpDesc& expect = rv->desc();
+    if (expect.op != desc.op || expect.root != desc.root) {
+      std::ostringstream msg;
+      msg << "collective mismatch at sequence " << seq << ": rank " << idx << " issued "
+          << op_name(desc.op) << " (root " << desc.root << ") but the communicator expects "
+          << op_name(expect.op) << " (root " << expect.root << ")";
+      throw CollectiveMismatch(msg.str());
+    }
+  }
+  rv->post(idx, std::move(slot));
+  return rv;
+}
+
+// ---------------------------------------------------------------------------
+// P2P
+// ---------------------------------------------------------------------------
+
+P2pOp::P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn)
+    : sched_(sched),
+      duration_fn_(std::move(duration_fn)),
+      send_gate_(std::make_shared<sim::StreamGate>(sched)),
+      recv_gate_(std::make_shared<sim::StreamGate>(sched)),
+      done_cond_(sched) {}
+
+void P2pOp::set_send(Tensor t) {
+  MCRDL_CHECK(!have_send_) << "send side already set";
+  send_tensor_ = std::move(t);
+  have_send_ = true;
+}
+
+void P2pOp::set_recv(Tensor t) {
+  MCRDL_CHECK(!have_recv_) << "recv side already set";
+  recv_tensor_ = std::move(t);
+  have_recv_ = true;
+}
+
+void P2pOp::mark_send_ready() {
+  send_ready_ = true;
+  maybe_finish();
+}
+
+void P2pOp::mark_recv_ready() {
+  recv_ready_ = true;
+  maybe_finish();
+}
+
+void P2pOp::maybe_finish() {
+  if (!send_ready_ || !recv_ready_ || done_) return;
+  const SimTime duration = duration_fn_();
+  exec_start_ = sched_->now();
+  complete_time_ = sched_->now() + duration;
+  sched_->schedule_at(complete_time_, [this, self = shared_from_this()] {
+    if (recv_tensor_.defined() && recv_tensor_.materialized() && send_tensor_.defined() &&
+        send_tensor_.materialized()) {
+      recv_tensor_.copy_from(send_tensor_);
+    }
+    done_ = true;
+    send_gate_->open();
+    recv_gate_->open();
+    auto callbacks = std::move(completion_callbacks_);
+    completion_callbacks_.clear();
+    for (auto& fn : callbacks) fn();
+    done_cond_.notify_all();
+  });
+}
+
+void P2pOp::wait_done() {
+  done_cond_.wait([&] { return done_; });
+}
+
+void P2pOp::on_complete(std::function<void()> fn) {
+  if (done_) {
+    fn();
+    return;
+  }
+  completion_callbacks_.push_back(std::move(fn));
+}
+
+P2pEngine::P2pEngine(sim::Scheduler* sched, net::CostModel cost_model,
+                     std::vector<int> global_ranks)
+    : sched_(sched), cost_model_(std::move(cost_model)), global_ranks_(std::move(global_ranks)) {}
+
+std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::size_t bytes) {
+  const int size = static_cast<int>(global_ranks_.size());
+  MCRDL_REQUIRE(src >= 0 && src < size && dst >= 0 && dst < size, "p2p peer out of range");
+  const std::int64_t key = static_cast<std::int64_t>(src) * size + dst;
+  auto& counterpart = is_send ? pending_recvs_[key] : pending_sends_[key];
+  if (!counterpart.empty()) {
+    auto op = counterpart.front();
+    counterpart.erase(counterpart.begin());
+    return op;
+  }
+  const int g_src = global_ranks_[static_cast<std::size_t>(src)];
+  const int g_dst = global_ranks_[static_cast<std::size_t>(dst)];
+  auto op = std::make_shared<P2pOp>(
+      sched_, [this, bytes, g_src, g_dst] { return cost_model_.p2p_cost(bytes, g_src, g_dst); });
+  (is_send ? pending_sends_[key] : pending_recvs_[key]).push_back(op);
+  return op;
+}
+
+std::shared_ptr<P2pOp> P2pEngine::post_send(int src, int dst, const Tensor& t) {
+  auto op = match(src, dst, /*is_send=*/true, t.bytes());
+  op->set_send(t);
+  return op;
+}
+
+std::shared_ptr<P2pOp> P2pEngine::post_recv(int dst, int src, Tensor t) {
+  auto op = match(src, dst, /*is_send=*/false, t.bytes());
+  op->set_recv(std::move(t));
+  return op;
+}
+
+}  // namespace mcrdl::backends_detail

@@ -1,0 +1,199 @@
+// Rendezvous machinery shared by every simulated backend.
+//
+// A collective is an all-ranks rendezvous: each rank posts its payload
+// (ArrivalSlot) at the communicator's next sequence number, then signals
+// readiness when its input data is actually available (when its stream
+// reaches the operation for stream-aware backends, or when the producing
+// default-stream work finishes for host-synchronised MPI). Once every rank
+// is ready, the operation's duration comes from the backend's CostModel, and
+// at the completion time the engine applies the real data effect (reduction
+// math / block shuffles) to all materialised tensors, opens the stream gates
+// and notifies host waiters.
+//
+// Sequence numbers also give NCCL-accurate misuse detection: ranks issuing
+// different operations at the same position on one communicator raise
+// CollectiveMismatch instead of silently hanging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/cost.h"
+#include "src/sim/device.h"
+#include "src/sim/scheduler.h"
+#include "src/tensor/tensor.h"
+
+namespace mcrdl::backends_detail {
+
+// One rank's payload for one collective.
+struct ArrivalSlot {
+  Tensor input;
+  Tensor output;
+  TensorList inputs;   // all_to_all list form
+  TensorList outputs;  // all_to_all list form
+  std::vector<int> send_counts, send_displs;  // element counts (v-collectives)
+  std::vector<int> recv_counts, recv_displs;
+};
+
+// What all ranks must agree on at one sequence position.
+struct OpDesc {
+  OpType op = OpType::Barrier;
+  std::size_t bytes = 0;  // cost-model payload (per-rank, PyTorch convention)
+  int root = 0;           // group-rank of the root for rooted ops
+  ReduceOp rop = ReduceOp::Sum;
+  // Launch-overhead discount for persistent collectives (µs subtracted from
+  // the cost model's fixed per-op term, floored at 10% of the base cost).
+  double launch_discount_us = 0.0;
+};
+
+// Applies the data semantics of `op` across all ranks' slots. Slots with
+// phantom/undefined tensors are skipped (timing-only workloads). Exposed for
+// direct unit testing.
+void apply_collective(const OpDesc& desc, std::vector<ArrivalSlot>& slots);
+
+// Payloads at or below this size are latency-bound and may overlap on the
+// wire; larger collectives serialise on their communicator's channel
+// (matching MPI progress and NCCL per-stream semantics — and the paper's
+// observation that concurrent large messages are bandwidth-bound and gain
+// nothing from extra streams).
+inline constexpr std::size_t kWireSerializeThreshold = 64 * 1024;
+
+// Given (ready time, duration, payload) returns the wire start time,
+// accounting for channel contention.
+using ChannelFn = std::function<SimTime(SimTime, SimTime, std::size_t)>;
+
+class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
+ public:
+  Rendezvous(sim::Scheduler* sched, int expected, OpDesc desc,
+             std::function<SimTime()> duration_fn, ChannelFn channel_fn = {});
+
+  const OpDesc& desc() const { return desc_; }
+
+  // Registers rank `idx`'s payload. Each rank posts exactly once.
+  void post(int idx, ArrivalSlot slot);
+
+  // Declares rank `idx`'s input ready at the current virtual time. The last
+  // ready rank triggers cost evaluation and schedules completion.
+  void mark_ready(int idx);
+
+  // Stream-aware backends park their communication stream behind this gate;
+  // it opens at the completion time.
+  const std::shared_ptr<sim::StreamGate>& gate(int idx);
+
+  bool done() const { return done_; }
+  SimTime complete_time() const { return complete_time_; }
+  // When the wire time actually began (all ranks ready + channel free).
+  SimTime exec_start_time() const { return wire_start_; }
+  // Host-side block until completion (MPI discipline).
+  void wait_done();
+
+  // Invoked (under the baton) at completion, after data application.
+  void on_complete(std::function<void()> fn);
+
+ private:
+  void finish();
+
+  sim::Scheduler* sched_;
+  OpDesc desc_;
+  int expected_;
+  int posted_ = 0;
+  int ready_ = 0;
+  bool done_ = false;
+  SimTime ready_time_ = 0.0;
+  SimTime wire_start_ = 0.0;
+  SimTime complete_time_ = 0.0;
+  std::function<SimTime()> duration_fn_;
+  ChannelFn channel_fn_;
+  std::vector<ArrivalSlot> slots_;
+  std::vector<bool> slot_posted_;
+  std::vector<bool> slot_ready_;
+  std::vector<std::shared_ptr<sim::StreamGate>> gates_;
+  std::vector<std::function<void()>> completion_callbacks_;
+  sim::SimCondition done_cond_;
+};
+
+// Per-communicator collective sequencing: each rank's n-th call joins the
+// n-th rendezvous; descriptors must match across ranks.
+class CollectiveEngine {
+ public:
+  CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model, net::CommShape shape,
+                   int size);
+
+  // Joins rank idx's next collective; creates the rendezvous on first
+  // arrival and validates the descriptor on subsequent ones.
+  std::shared_ptr<Rendezvous> join(int idx, const OpDesc& desc, ArrivalSlot slot);
+
+  const net::CostModel& cost_model() const { return cost_model_; }
+  const net::CommShape& shape() const { return shape_; }
+  int size() const { return size_; }
+
+ private:
+  sim::Scheduler* sched_;
+  net::CostModel cost_model_;
+  net::CommShape shape_;
+  int size_;
+  std::vector<std::uint64_t> next_seq_;
+  std::map<std::uint64_t, std::shared_ptr<Rendezvous>> pending_;
+  SimTime channel_busy_until_ = 0.0;
+};
+
+// A matched send/recv pair (two-party rendezvous).
+class P2pOp : public std::enable_shared_from_this<P2pOp> {
+ public:
+  P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn);
+
+  void set_send(Tensor t);
+  void set_recv(Tensor t);
+  void mark_send_ready();
+  void mark_recv_ready();
+
+  const std::shared_ptr<sim::StreamGate>& send_gate() { return send_gate_; }
+  const std::shared_ptr<sim::StreamGate>& recv_gate() { return recv_gate_; }
+
+  bool done() const { return done_; }
+  SimTime complete_time() const { return complete_time_; }
+  SimTime exec_start_time() const { return exec_start_; }
+  void wait_done();
+  void on_complete(std::function<void()> fn);
+
+ private:
+  void maybe_finish();
+
+  sim::Scheduler* sched_;
+  std::function<SimTime()> duration_fn_;
+  Tensor send_tensor_, recv_tensor_;
+  bool have_send_ = false, have_recv_ = false;
+  bool send_ready_ = false, recv_ready_ = false;
+  bool done_ = false;
+  SimTime complete_time_ = 0.0;
+  SimTime exec_start_ = 0.0;
+  std::shared_ptr<sim::StreamGate> send_gate_, recv_gate_;
+  std::vector<std::function<void()>> completion_callbacks_;
+  sim::SimCondition done_cond_;
+};
+
+// FIFO tag-matching of sends and recvs per (src, dst) pair.
+class P2pEngine {
+ public:
+  P2pEngine(sim::Scheduler* sched, net::CostModel cost_model, std::vector<int> global_ranks);
+
+  // src/dst are group-rank indices. Returns the matched (or newly created)
+  // pairwise operation; caller wires readiness signals and tensors.
+  std::shared_ptr<P2pOp> post_send(int src, int dst, const Tensor& t);
+  std::shared_ptr<P2pOp> post_recv(int dst, int src, Tensor t);
+
+ private:
+  std::shared_ptr<P2pOp> match(int src, int dst, bool is_send, std::size_t bytes);
+
+  sim::Scheduler* sched_;
+  net::CostModel cost_model_;
+  std::vector<int> global_ranks_;
+  // Key: src * size + dst. Queues of operations where only one side arrived.
+  std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_sends_;
+  std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_recvs_;
+};
+
+}  // namespace mcrdl::backends_detail

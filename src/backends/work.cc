@@ -1,0 +1,48 @@
+#include "src/backends/work.h"
+
+#include "src/backends/engine.h"
+#include "src/sim/device.h"
+
+namespace mcrdl {
+
+StreamWork::StreamWork(std::shared_ptr<sim::Event> done_event, sim::Stream* default_stream)
+    : done_event_(std::move(done_event)), default_stream_(default_stream) {}
+
+bool StreamWork::test() const { return done_event_->complete(); }
+
+void StreamWork::wait() { default_stream_->wait_event(done_event_); }
+
+void StreamWork::synchronize() { done_event_->synchronize(); }
+
+SimTime StreamWork::complete_time() const { return done_event_->completion_time(); }
+
+HostWork::HostWork(std::shared_ptr<backends_detail::Rendezvous> rendezvous)
+    : rendezvous_(std::move(rendezvous)) {}
+
+HostWork::HostWork(std::shared_ptr<backends_detail::P2pOp> p2p) : p2p_(std::move(p2p)) {}
+
+bool HostWork::test() const { return rendezvous_ ? rendezvous_->done() : p2p_->done(); }
+
+void HostWork::wait() {
+  if (rendezvous_) {
+    rendezvous_->wait_done();
+  } else {
+    p2p_->wait_done();
+  }
+}
+
+SimTime HostWork::complete_time() const {
+  return rendezvous_ ? rendezvous_->complete_time() : p2p_->complete_time();
+}
+
+void StreamWork::on_complete(std::function<void()> fn) { done_event_->on_complete(std::move(fn)); }
+
+void HostWork::on_complete(std::function<void()> fn) {
+  if (rendezvous_) {
+    rendezvous_->on_complete(std::move(fn));
+  } else {
+    p2p_->on_complete(std::move(fn));
+  }
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,124 @@
+#include "src/common/flags.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mcrdl {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  MCRDL_REQUIRE(specs_.count(name) == 0, "flag defined twice: " + name);
+  order_.push_back(name);
+  specs_[name] = Spec{default_value, help};
+  values_[name] = default_value;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", help(argv[0]).c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      if (i + 1 >= argc) throw InvalidArgument("flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    if (specs_.count(name) == 0) throw InvalidArgument("unknown flag: --" + name);
+    values_[name] = value;
+  }
+  return true;
+}
+
+const std::string& Flags::get(const std::string& name) const {
+  auto it = values_.find(name);
+  MCRDL_REQUIRE(it != values_.end(), "flag not defined: " + name);
+  return it->second;
+}
+
+int Flags::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t pos = 0;
+    const int out = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " is not an integer: " + v);
+  }
+}
+
+double Flags::get_double(const std::string& name) const {
+  try {
+    return std::stod(get(name));
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " is not a number: " + get(name));
+  }
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  std::string v = get(name);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw InvalidArgument("flag --" + name + " is not a boolean: " + get(name));
+}
+
+std::vector<std::string> Flags::get_list(const std::string& name) const {
+  std::vector<std::string> out;
+  std::istringstream in(get(name));
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Flags::get_size_list(const std::string& name) const {
+  std::vector<std::size_t> out;
+  for (const auto& item : get_list(name)) out.push_back(parse_size(item));
+  return out;
+}
+
+std::string Flags::help(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [--flag=value ...]\n\nflags:\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    out << "  --" << name;
+    if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";
+    out << "\n      " << spec.help << "\n";
+  }
+  return out.str();
+}
+
+std::size_t parse_size(const std::string& text) {
+  MCRDL_REQUIRE(!text.empty(), "empty size");
+  std::size_t multiplier = 1;
+  std::string digits = text;
+  const char suffix = static_cast<char>(std::tolower(static_cast<unsigned char>(text.back())));
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? (std::size_t{1} << 10)
+                               : suffix == 'm' ? (std::size_t{1} << 20) : (std::size_t{1} << 30);
+    digits = text.substr(0, text.size() - 1);
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(digits)) * multiplier;
+  } catch (const std::exception&) {
+    throw InvalidArgument("malformed size: " + text);
+  }
+}
+
+}  // namespace mcrdl

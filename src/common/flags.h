@@ -1,0 +1,48 @@
+// A small command-line flag parser for the CLI tools (tools/). Flags are
+// `--name=value` or `--name value`; `--help` support and typed accessors
+// with defaults. Unknown flags are errors so typos fail loudly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mcrdl {
+
+class Flags {
+ public:
+  // Declares a flag before parsing; declaration order is help order.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  // Parses argv; throws InvalidArgument on unknown/malformed flags.
+  // Returns false if --help was requested (help text already printed).
+  bool parse(int argc, char** argv);
+
+  const std::string& get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  // Comma-separated list accessors.
+  std::vector<std::string> get_list(const std::string& name) const;
+  std::vector<std::size_t> get_size_list(const std::string& name) const;
+
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::vector<std::string> order_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+// Parses "4k", "16m", "1g" size suffixes (binary units) or plain bytes.
+std::size_t parse_size(const std::string& text);
+
+}  // namespace mcrdl

@@ -1,0 +1,71 @@
+#include "src/common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mcrdl {
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= (std::size_t{1} << 30) && bytes % (std::size_t{1} << 30) == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu GiB", bytes >> 30);
+  } else if (bytes >= (std::size_t{1} << 20) && bytes % (std::size_t{1} << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu MiB", bytes >> 20);
+  } else if (bytes >= (std::size_t{1} << 10) && bytes % (std::size_t{1} << 10) == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu KiB", bytes >> 10);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+std::string format_time_us(double us) {
+  char buf[64];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", us);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) out << std::string(widths[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,34 @@
+// Human-readable formatting helpers plus a fixed-width text table printer
+// used by the benchmark binaries to reproduce the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcrdl {
+
+// "4 KiB", "1 MiB", "256 B" — message-size labels matching the paper's axes.
+std::string format_bytes(std::size_t bytes);
+
+// "12.3 us", "4.56 ms", "1.23 s" from a microsecond count.
+std::string format_time_us(double us);
+
+// "12.3%", one decimal.
+std::string format_percent(double fraction);
+
+// Fixed-width monospace table, rendered with a header rule. Benchmarks use
+// this to print rows in the same layout as the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcrdl

@@ -1,0 +1,73 @@
+#include "src/common/logging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace mcrdl {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("MCRDL_LOG_LEVEL");
+    if (env != nullptr) return static_cast<int>(parse_log_level(env));
+    return static_cast<int>(LogLevel::Warn);
+  }();
+  return level;
+}
+
+std::mutex& output_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : enabled_(level >= log_level()) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[mcrdl " << level_name(level) << " " << (base != nullptr ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(output_mutex());
+  std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace detail
+}  // namespace mcrdl

@@ -1,0 +1,50 @@
+// Minimal leveled logger for the library.
+//
+// Logging is off by default (level = Warn) so tests and benchmarks stay
+// quiet; set MCRDL_LOG_LEVEL=debug|info|warn|error in the environment or
+// call set_log_level() to change it.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mcrdl {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mcrdl
+
+#define MCRDL_LOG(level) ::mcrdl::detail::LogLine(::mcrdl::LogLevel::level, __FILE__, __LINE__)
+#define MCRDL_LOG_DEBUG MCRDL_LOG(Debug)
+#define MCRDL_LOG_INFO MCRDL_LOG(Info)
+#define MCRDL_LOG_WARN MCRDL_LOG(Warn)
+#define MCRDL_LOG_ERROR MCRDL_LOG(Error)

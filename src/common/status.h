@@ -1,0 +1,110 @@
+// Error handling primitives shared by every MCR-DL module.
+//
+// The library follows a simple contract: programmer errors (API misuse,
+// violated invariants) throw `mcrdl::Error`; simulated-system conditions
+// that a caller may legitimately want to observe (e.g. deadlock detected by
+// the virtual-time scheduler) throw dedicated subclasses so tests and
+// applications can catch them specifically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcrdl {
+
+// Base class for all errors raised by the MCR-DL library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when a public API is called with invalid arguments.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Raised when the virtual-time scheduler proves that every live actor is
+// blocked with no pending timed event — a genuine distributed deadlock.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+// Raised when an operation is attempted on a backend that was not
+// initialised, or after finalize().
+class BackendStateError : public Error {
+ public:
+  explicit BackendStateError(const std::string& what) : Error(what) {}
+};
+
+// Raised when a communication library is asked for an operation it does not
+// implement natively (e.g. NCCL gatherv). MCR-DL's emulation layer catches
+// this and synthesises the operation from native primitives.
+class UnsupportedOperation : public Error {
+ public:
+  explicit UnsupportedOperation(const std::string& what) : Error(what) {}
+};
+
+// Raised when ranks disagree about the collective being issued at the same
+// sequence position on one communicator (the misuse that silently hangs
+// real NCCL programs).
+class CollectiveMismatch : public Error {
+ public:
+  explicit CollectiveMismatch(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+// Stream-style message builder used by the CHECK macros below.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Binds below operator<< so the whole streamed message is built before the
+// throw fires: `CheckThrower{...} & (builder << a << b)`.
+struct CheckThrower {
+  const char* expr;
+  const char* file;
+  int line;
+
+  [[noreturn]] void operator&(const MessageBuilder& mb) const {
+    std::ostringstream out;
+    out << "MCRDL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+    const std::string msg = mb.str();
+    if (!msg.empty()) out << " — " << msg;
+    throw Error(out.str());
+  }
+};
+
+}  // namespace detail
+
+}  // namespace mcrdl
+
+// Always-on invariant check. Usage:
+//   MCRDL_CHECK(rank < world_size) << "rank out of range: " << rank;
+#define MCRDL_CHECK(expr)                                                     \
+  if (expr) {                                                                 \
+  } else                                                                      \
+    ::mcrdl::detail::CheckThrower{#expr, __FILE__, __LINE__} &                \
+        ::mcrdl::detail::MessageBuilder()
+
+// Argument validation for public entry points; throws InvalidArgument.
+#define MCRDL_REQUIRE(expr, msg)                                                       \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      std::ostringstream out_;                                                         \
+      out_ << "invalid argument: " << msg << " [" << #expr << "]";                     \
+      throw ::mcrdl::InvalidArgument(out_.str());                                      \
+    }                                                                                  \
+  } while (0)

@@ -1,0 +1,33 @@
+// Unit conventions used throughout the simulator and cost models.
+//
+// * Virtual time is a `double` measured in MICROSECONDS.
+// * Sizes are `std::size_t` BYTES.
+// * Bandwidths are GB/s (1e9 bytes per second); `gbps_to_bytes_per_us`
+//   converts to the internal bytes-per-microsecond representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcrdl {
+
+using SimTime = double;  // microseconds of virtual time
+
+inline constexpr SimTime kMicrosecond = 1.0;
+inline constexpr SimTime kMillisecond = 1e3;
+inline constexpr SimTime kSecond = 1e6;
+
+inline constexpr std::size_t kKiB = std::size_t{1} << 10;
+inline constexpr std::size_t kMiB = std::size_t{1} << 20;
+inline constexpr std::size_t kGiB = std::size_t{1} << 30;
+
+// Converts a link bandwidth in GB/s into bytes per microsecond of virtual
+// time, the unit the cost models compute with.
+constexpr double gbps_to_bytes_per_us(double gb_per_s) { return gb_per_s * 1e3; }
+
+// Transfer time in µs for `bytes` over a `gb_per_s` link (pure β term).
+constexpr SimTime transfer_time_us(std::size_t bytes, double gb_per_s) {
+  return static_cast<double>(bytes) / gbps_to_bytes_per_us(gb_per_s);
+}
+
+}  // namespace mcrdl

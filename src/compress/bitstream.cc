@@ -1,0 +1,44 @@
+#include "src/compress/bitstream.h"
+
+namespace mcrdl::compress {
+
+void BitWriter::write(std::uint64_t value, int bits) {
+  MCRDL_REQUIRE(bits >= 0 && bits <= 57, "BitWriter supports 0..57 bits per write");
+  if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+  acc_ |= value << acc_bits_;
+  acc_bits_ += bits;
+  total_bits_ += static_cast<std::size_t>(bits);
+  while (acc_bits_ >= 8) {
+    bytes_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+    acc_ >>= 8;
+    acc_bits_ -= 8;
+  }
+}
+
+std::vector<std::byte> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    bytes_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::read(int bits) {
+  MCRDL_REQUIRE(bits >= 0 && bits <= 57, "BitReader supports 0..57 bits per read");
+  std::uint64_t value = 0;
+  for (int got = 0; got < bits;) {
+    const std::size_t byte_index = bit_pos_ >> 3;
+    MCRDL_REQUIRE(byte_index < size_, "BitReader: read past end of stream");
+    const int bit_in_byte = static_cast<int>(bit_pos_ & 7);
+    const int take = std::min(8 - bit_in_byte, bits - got);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(data_[byte_index]) >> bit_in_byte) & ((1u << take) - 1);
+    value |= chunk << got;
+    got += take;
+    bit_pos_ += static_cast<std::size_t>(take);
+  }
+  return value;
+}
+
+}  // namespace mcrdl::compress

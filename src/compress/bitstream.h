@@ -1,0 +1,42 @@
+// Bit-granular writer/reader used by the fixed-rate codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mcrdl::compress {
+
+class BitWriter {
+ public:
+  // Appends the low `bits` bits of value (LSB first).
+  void write(std::uint64_t value, int bits);
+  // Pads to a byte boundary and returns the buffer.
+  std::vector<std::byte> finish();
+  std::size_t bits_written() const { return total_bits_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::size_t total_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<std::byte>& buf) : BitReader(buf.data(), buf.size()) {}
+
+  // Reads `bits` bits (LSB first). Reading past the end throws.
+  std::uint64_t read(int bits);
+  std::size_t bits_consumed() const { return bit_pos_; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace mcrdl::compress

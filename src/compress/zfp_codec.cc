@@ -1,0 +1,169 @@
+#include "src/compress/zfp_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/compress/bitstream.h"
+
+namespace mcrdl::compress {
+
+namespace {
+
+constexpr int kBlock = 4;
+constexpr int kHeaderBits = 12;       // biased block exponent (0 = all-zero block)
+constexpr int kExponentBias = 2048;
+
+// Quantisation precision: integers carry bits_per_value + 6 significant
+// bits before the transform, so truncation error dominates quantisation.
+int quant_precision(int bits_per_value) { return std::min(bits_per_value + 6, 29); }
+
+// Per-coefficient bit budgets: low-frequency coefficients get more bits.
+// Sums to 4 * bits_per_value.
+void coefficient_bits(int bits_per_value, int out[kBlock]) {
+  out[0] = bits_per_value + 1;
+  out[1] = bits_per_value + 1;
+  out[2] = bits_per_value - 1;
+  out[3] = bits_per_value - 1;
+  for (int k = 0; k < kBlock; ++k) out[k] = std::clamp(out[k], 2, 40);
+}
+
+// Reversible two-level S-transform on 4 integers (Haar-style lifting with
+// arithmetic shifts, the decorrelation idea of zfp's block transform).
+void forward_transform(std::int64_t v[kBlock]) {
+  std::int64_t s01 = (v[0] + v[1]) >> 1, d01 = v[0] - v[1];
+  std::int64_t s23 = (v[2] + v[3]) >> 1, d23 = v[2] - v[3];
+  std::int64_t s = (s01 + s23) >> 1, d = s01 - s23;
+  v[0] = s;
+  v[1] = d;
+  v[2] = d01;
+  v[3] = d23;
+}
+
+void inverse_transform(std::int64_t v[kBlock]) {
+  const std::int64_t s = v[0], d = v[1], d01 = v[2], d23 = v[3];
+  const std::int64_t s01 = s + ((d + 1) >> 1);
+  const std::int64_t s23 = s01 - d;
+  std::int64_t out[kBlock];
+  out[0] = s01 + ((d01 + 1) >> 1);
+  out[1] = out[0] - d01;
+  out[2] = s23 + ((d23 + 1) >> 1);
+  out[3] = out[2] - d23;
+  std::copy(out, out + kBlock, v);
+}
+
+// Encodes a signed value in `bits` bits after dropping `shift` low bits
+// (round to nearest), saturating at the representable range.
+std::uint64_t encode_coeff(std::int64_t c, int bits, int shift) {
+  std::int64_t scaled = shift > 0 ? ((c >= 0 ? c + (std::int64_t{1} << (shift - 1))
+                                             : c - (std::int64_t{1} << (shift - 1))) >>
+                                     shift)
+                                  : c;
+  const std::int64_t lim = (std::int64_t{1} << (bits - 1)) - 1;
+  scaled = std::clamp(scaled, -lim - 1, lim);
+  return static_cast<std::uint64_t>(scaled + lim + 1);  // bias to unsigned
+}
+
+std::int64_t decode_coeff(std::uint64_t raw, int bits, int shift) {
+  const std::int64_t lim = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t val = static_cast<std::int64_t>(raw) - lim - 1;
+  return val << shift;
+}
+
+}  // namespace
+
+ZfpCodec::ZfpCodec(ZfpConfig config) : config_(config) {
+  MCRDL_REQUIRE(config_.bits_per_value >= 4 && config_.bits_per_value <= 28,
+                "zfp bits_per_value must be in [4, 28]");
+}
+
+std::size_t ZfpCodec::compressed_bytes(std::int64_t numel) const {
+  MCRDL_REQUIRE(numel >= 0, "negative element count");
+  const std::int64_t blocks = (numel + kBlock - 1) / kBlock;
+  const std::size_t bits =
+      static_cast<std::size_t>(blocks) *
+      (kHeaderBits + static_cast<std::size_t>(kBlock * config_.bits_per_value));
+  return (bits + 7) / 8;
+}
+
+double ZfpCodec::ratio(DType dtype) const {
+  const double raw_bits = 8.0 * static_cast<double>(dtype_size(dtype));
+  const double comp_bits =
+      config_.bits_per_value + static_cast<double>(kHeaderBits) / kBlock;
+  return raw_bits / comp_bits;
+}
+
+double ZfpCodec::error_bound(double block_max) const {
+  // The difference coefficients carry bits_per_value-1 bits after a shift of
+  // prec+3-bits, giving a truncation step of ~2^(5-bits) relative to the
+  // block maximum; the inverse transform can spread one more bit of it.
+  return std::abs(block_max) * std::ldexp(1.0, -(config_.bits_per_value - 6));
+}
+
+std::vector<std::byte> ZfpCodec::compress(const Tensor& t) const {
+  MCRDL_REQUIRE(t.defined() && t.materialized(), "compress needs a materialized tensor");
+  MCRDL_REQUIRE(is_floating(t.dtype()), "zfp codec compresses floating tensors only");
+  const int prec = quant_precision(config_.bits_per_value);
+  int bits[kBlock];
+  coefficient_bits(config_.bits_per_value, bits);
+
+  BitWriter out;
+  const std::int64_t n = t.numel();
+  for (std::int64_t base = 0; base < n; base += kBlock) {
+    double vals[kBlock] = {0, 0, 0, 0};
+    double block_max = 0.0;
+    for (int k = 0; k < kBlock && base + k < n; ++k) {
+      vals[k] = t.get(base + k);
+      block_max = std::max(block_max, std::abs(vals[k]));
+    }
+    if (block_max == 0.0) {
+      out.write(0, kHeaderBits);  // all-zero block, no payload
+      continue;
+    }
+    int e = 0;
+    (void)std::frexp(block_max, &e);  // block_max = m * 2^e, m in [0.5, 1)
+    out.write(static_cast<std::uint64_t>(e + kExponentBias), kHeaderBits);
+
+    // Quantise to prec-bit integers against the block exponent.
+    const double scale = std::ldexp(1.0, prec - 1 - e);
+    std::int64_t q[kBlock];
+    for (int k = 0; k < kBlock; ++k) q[k] = std::llround(vals[k] * scale);
+    forward_transform(q);
+    for (int k = 0; k < kBlock; ++k) {
+      const int shift = std::max(0, prec + 2 - bits[k]);
+      out.write(encode_coeff(q[k], bits[k], shift), bits[k]);
+    }
+  }
+  return out.finish();
+}
+
+void ZfpCodec::decompress(const std::vector<std::byte>& buf, Tensor& out) const {
+  MCRDL_REQUIRE(out.defined() && out.materialized(), "decompress needs a materialized output");
+  MCRDL_REQUIRE(is_floating(out.dtype()), "zfp codec decompresses floating tensors only");
+  const int prec = quant_precision(config_.bits_per_value);
+  int bits[kBlock];
+  coefficient_bits(config_.bits_per_value, bits);
+
+  BitReader in(buf);
+  const std::int64_t n = out.numel();
+  for (std::int64_t base = 0; base < n; base += kBlock) {
+    const std::uint64_t header = in.read(kHeaderBits);
+    if (header == 0) {
+      for (int k = 0; k < kBlock && base + k < n; ++k) out.set(base + k, 0.0);
+      continue;
+    }
+    const int e = static_cast<int>(header) - kExponentBias;
+    std::int64_t q[kBlock];
+    for (int k = 0; k < kBlock; ++k) {
+      const int shift = std::max(0, prec + 2 - bits[k]);
+      q[k] = decode_coeff(in.read(bits[k]), bits[k], shift);
+    }
+    inverse_transform(q);
+    const double inv_scale = std::ldexp(1.0, e - (prec - 1));
+    for (int k = 0; k < kBlock && base + k < n; ++k) {
+      out.set(base + k, static_cast<double>(q[k]) * inv_scale);
+    }
+  }
+}
+
+}  // namespace mcrdl::compress

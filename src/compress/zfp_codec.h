@@ -1,0 +1,51 @@
+// Fixed-rate lossy floating-point codec in the spirit of zfp
+// (Lindstrom 2014), the library the paper's compression extension uses.
+//
+// Values are processed in blocks of 4: block-floating-point normalisation
+// against the block's maximum exponent, zfp's reversible 4-point
+// decorrelating lifting transform on the quantised integers, then truncation
+// of each coefficient to a fixed bit budget (more bits for low-frequency
+// coefficients). The rate is exactly `bits_per_value` amortised bits per
+// value plus a small per-block exponent header — so the compressed size of a
+// message is known up front, which is what a communication runtime needs to
+// pre-size buffers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mcrdl::compress {
+
+struct ZfpConfig {
+  // Amortised payload bits per value, 4..28. 8 gives ~4x over f32.
+  int bits_per_value = 8;
+};
+
+class ZfpCodec {
+ public:
+  explicit ZfpCodec(ZfpConfig config = {});
+
+  // Compressed size in bytes for `numel` values (exact, rate is fixed).
+  std::size_t compressed_bytes(std::int64_t numel) const;
+  // Compression ratio versus the tensor's own dtype width.
+  double ratio(DType dtype) const;
+
+  // Compresses a floating tensor (F16/BF16/F32/F64 via double conversion).
+  std::vector<std::byte> compress(const Tensor& t) const;
+  // Decompresses into `out` (must have the same numel the data was
+  // compressed from).
+  void decompress(const std::vector<std::byte>& buf, Tensor& out) const;
+
+  // Maximum absolute reconstruction error for values within a block whose
+  // largest magnitude is `block_max`.
+  double error_bound(double block_max) const;
+
+  const ZfpConfig& config() const { return config_; }
+
+ private:
+  ZfpConfig config_;
+};
+
+}  // namespace mcrdl::compress

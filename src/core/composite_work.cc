@@ -1,0 +1,57 @@
+#include "src/core/composite_work.h"
+
+namespace mcrdl {
+
+CompositeWork::CompositeWork(sim::Scheduler* sched, std::vector<Work> parts,
+                             std::function<void()> finalize)
+    : sched_(sched),
+      parts_(std::move(parts)),
+      finalize_(std::move(finalize)),
+      remaining_(static_cast<int>(parts_.size())),
+      done_cond_(sched) {}
+
+void CompositeWork::arm() {
+  if (parts_.empty()) {
+    part_done();  // degenerate composite: finalize immediately
+    return;
+  }
+  // Each callback holds shared ownership so the composite survives even if
+  // the caller drops its handle before completion.
+  auto self = shared_from_this();
+  for (auto& p : parts_) {
+    p->on_complete([self] { self->part_done(); });
+  }
+}
+
+void CompositeWork::part_done() {
+  if (remaining_ > 0 && --remaining_ > 0) return;
+  if (done_) return;
+  if (finalize_) finalize_();
+  done_ = true;
+  complete_time_ = sched_->now();
+  auto callbacks = std::move(callbacks_);
+  callbacks_.clear();
+  for (auto& fn : callbacks) fn();
+  done_cond_.notify_all();
+}
+
+void CompositeWork::wait() {
+  done_cond_.wait([&] { return done_; });
+}
+
+void CompositeWork::on_complete(std::function<void()> fn) {
+  if (done_) {
+    fn();
+    return;
+  }
+  callbacks_.push_back(std::move(fn));
+}
+
+Work make_composite(sim::Scheduler* sched, std::vector<Work> parts,
+                    std::function<void()> finalize) {
+  auto w = std::make_shared<CompositeWork>(sched, std::move(parts), std::move(finalize));
+  w->arm();
+  return w;
+}
+
+}  // namespace mcrdl

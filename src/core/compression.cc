@@ -1,0 +1,135 @@
+#include "src/core/compression.h"
+
+#include <cstring>
+
+#include "src/core/composite_work.h"
+
+namespace mcrdl {
+
+CompressionLayer::CompressionLayer(ClusterContext* cluster, CompressionConfig config)
+    : cluster_(cluster), config_(config), codec_(config.codec) {}
+
+bool CompressionLayer::eligible(OpType op, const Tensor& payload) const {
+  if (!config_.enabled || !payload.defined()) return false;
+  if (!is_floating(payload.dtype()) || payload.bytes() < config_.min_bytes) return false;
+  switch (op) {
+    case OpType::Broadcast:
+    case OpType::AllGather:
+    case OpType::AllToAllSingle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Tensor CompressionLayer::compress_to_tensor(const Tensor& t, std::size_t bytes,
+                                            sim::Device* dev) const {
+  if (!t.materialized()) {
+    return Tensor::phantom({static_cast<std::int64_t>(bytes)}, DType::U8, dev);
+  }
+  Tensor out = Tensor::zeros({static_cast<std::int64_t>(bytes)}, DType::U8, dev);
+  const std::vector<std::byte> buf = codec_.compress(t);
+  MCRDL_CHECK(buf.size() <= bytes) << "codec produced more bytes than the fixed rate allows";
+  std::memcpy(out.raw_data(), buf.data(), buf.size());
+  return out;
+}
+
+void CompressionLayer::decompress_from_tensor(const Tensor& compressed, Tensor out) const {
+  if (!compressed.materialized() || !out.materialized()) return;
+  std::vector<std::byte> buf(compressed.bytes());
+  std::memcpy(buf.data(), compressed.raw_data(), buf.size());
+  codec_.decompress(buf, out);
+}
+
+void CompressionLayer::charge_codec_time(sim::Device* dev, std::size_t bytes) const {
+  const double us = static_cast<double>(bytes) / gbps_to_bytes_per_us(config_.throughput_gbps);
+  dev->compute(us, "zfp-codec");
+}
+
+Work CompressionLayer::broadcast(Comm& comm, int rank, Tensor tensor, int root, bool async_op) {
+  ++compressed_op_count_;
+  sim::Device* dev = cluster_->device(rank);
+  const int idx = comm.group_rank(rank);
+  const std::size_t comp_bytes = codec_.compressed_bytes(tensor.numel());
+  charge_codec_time(dev, tensor.bytes());
+  // Only the root has meaningful payload; everyone provides a buffer.
+  Tensor wire = idx == root
+                    ? compress_to_tensor(tensor, comp_bytes, dev)
+                    : (tensor.materialized()
+                           ? Tensor::zeros({static_cast<std::int64_t>(comp_bytes)}, DType::U8, dev)
+                           : Tensor::phantom({static_cast<std::int64_t>(comp_bytes)}, DType::U8,
+                                             dev));
+  Work inner = comm.broadcast(rank, wire, root, /*async_op=*/true);
+  auto finalize = [this, wire, tensor]() mutable {
+    // Every rank (root included) adopts the lossy values so replicas agree.
+    decompress_from_tensor(wire, tensor);
+  };
+  Work w = make_composite(&cluster_->scheduler(), {inner}, std::move(finalize));
+  if (!async_op) w->wait();
+  return w;
+}
+
+Work CompressionLayer::all_gather(Comm& comm, int rank, Tensor output, Tensor input,
+                                  bool async_op) {
+  ++compressed_op_count_;
+  sim::Device* dev = cluster_->device(rank);
+  const int size = comm.size();
+  const std::int64_t block = input.numel();
+  const std::size_t comp_bytes = codec_.compressed_bytes(block);
+  charge_codec_time(dev, input.bytes());
+  Tensor wire_in = compress_to_tensor(input, comp_bytes, dev);
+  Tensor wire_out =
+      wire_in.materialized()
+          ? Tensor::zeros({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev)
+          : Tensor::phantom({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev);
+  Work inner = comm.all_gather(rank, wire_out, wire_in, /*async_op=*/true);
+  auto finalize = [this, wire_out, output, comp_bytes, block, size]() mutable {
+    if (!wire_out.materialized() || !output.materialized()) return;
+    for (int r = 0; r < size; ++r) {
+      decompress_from_tensor(
+          wire_out.view(static_cast<std::int64_t>(r) * comp_bytes, comp_bytes),
+          output.view(static_cast<std::int64_t>(r) * block, block));
+    }
+  };
+  Work w = make_composite(&cluster_->scheduler(), {inner}, std::move(finalize));
+  if (!async_op) w->wait();
+  return w;
+}
+
+Work CompressionLayer::all_to_all_single(Comm& comm, int rank, Tensor output, Tensor input,
+                                         bool async_op) {
+  ++compressed_op_count_;
+  sim::Device* dev = cluster_->device(rank);
+  const int size = comm.size();
+  const std::int64_t block = input.numel() / size;
+  const std::size_t comp_bytes = codec_.compressed_bytes(block);
+  charge_codec_time(dev, input.bytes());
+  // Compress each destination block independently so they stay addressable
+  // after the shuffle.
+  Tensor wire_in, wire_out;
+  if (input.materialized()) {
+    wire_in = Tensor::zeros({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev);
+    for (int d = 0; d < size; ++d) {
+      Tensor packed = compress_to_tensor(input.view(d * block, block), comp_bytes, dev);
+      wire_in.view(static_cast<std::int64_t>(d) * comp_bytes, comp_bytes).copy_from(packed);
+    }
+    wire_out = Tensor::zeros({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev);
+  } else {
+    wire_in = Tensor::phantom({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev);
+    wire_out = Tensor::phantom({static_cast<std::int64_t>(comp_bytes) * size}, DType::U8, dev);
+  }
+  Work inner = comm.all_to_all_single(rank, wire_out, wire_in, /*async_op=*/true);
+  auto finalize = [this, wire_out, output, comp_bytes, block, size]() mutable {
+    if (!wire_out.materialized() || !output.materialized()) return;
+    for (int s = 0; s < size; ++s) {
+      decompress_from_tensor(
+          wire_out.view(static_cast<std::int64_t>(s) * comp_bytes, comp_bytes),
+          output.view(static_cast<std::int64_t>(s) * block, block));
+    }
+  };
+  Work w = make_composite(&cluster_->scheduler(), {inner}, std::move(finalize));
+  if (!async_op) w->wait();
+  return w;
+}
+
+}  // namespace mcrdl

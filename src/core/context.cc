@@ -1,0 +1,346 @@
+#include "src/core/context.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/emulation.h"
+
+namespace mcrdl {
+
+// ---------------------------------------------------------------------------
+// McrDl
+// ---------------------------------------------------------------------------
+
+McrDl::McrDl(ClusterContext* cluster, McrDlOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  MCRDL_REQUIRE(cluster_ != nullptr, "McrDl needs a cluster context");
+  fusion_ = std::make_unique<FusionManager>(cluster_, options_.fusion);
+  compression_ = std::make_unique<CompressionLayer>(cluster_, options_.compression);
+  logger_.set_enabled(options_.logging_enabled);
+}
+
+McrDl::~McrDl() = default;
+
+void McrDl::init(const std::vector<std::string>& backend_names) {
+  MCRDL_REQUIRE(!backend_names.empty(), "init needs at least one backend");
+  MCRDL_CHECK(!initialized_) << "McrDl::init called twice";
+  for (const auto& name : backend_names) {
+    if (backends_.count(name) > 0) {
+      throw InvalidArgument("backend '" + name + "' listed twice in init()");
+    }
+    auto b = make_backend(name, cluster_);
+    b->init();
+    backend_order_.push_back(name);
+    backends_[name] = std::move(b);
+  }
+  initialized_ = true;
+}
+
+void McrDl::finalize() {
+  MCRDL_CHECK(initialized_) << "McrDl::finalize before init";
+  for (auto& [name, b] : backends_) b->finalize();
+  backends_.clear();
+  backend_order_.clear();
+  initialized_ = false;
+}
+
+std::vector<std::string> McrDl::get_backends() const { return backend_order_; }
+
+bool McrDl::has_backend(const std::string& name) const { return backends_.count(name) > 0; }
+
+Backend* McrDl::backend(const std::string& name) const {
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    throw InvalidArgument("backend '" + name + "' was not passed to McrDl::init");
+  }
+  return it->second.get();
+}
+
+Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, int world) const {
+  MCRDL_CHECK(initialized_) << "MCR-DL is not initialised";
+  if (name != "auto") return backend(name);
+  if (!tuning_table_.has_value()) {
+    throw InvalidArgument(
+        "backend 'auto' requires a tuning table — run TuningSuite::generate and "
+        "set_tuning_table first");
+  }
+  const std::string& best = tuning_table_->lookup(op, world, bytes);
+  if (auto it = backends_.find(best); it != backends_.end()) return it->second.get();
+  // The tuned winner is not among the initialised backends; fall back to the
+  // first initialised one rather than failing mid-training.
+  MCRDL_LOG_WARN << "tuning table prefers '" << best << "' for " << op_name(op)
+                 << " but it is not initialised; using '" << backend_order_.front() << "'";
+  return backend(backend_order_.front());
+}
+
+Api McrDl::on(int rank) { return Api(this, rank); }
+
+// ---------------------------------------------------------------------------
+// Api
+// ---------------------------------------------------------------------------
+
+Api::Api(McrDl* ctx, int rank, std::vector<int> group)
+    : ctx_(ctx), rank_(rank), group_(std::move(group)) {
+  MCRDL_REQUIRE(ctx_ != nullptr, "Api needs a context");
+  MCRDL_REQUIRE(rank_ >= 0 && rank_ < ctx_->cluster()->world_size(), "Api rank out of range");
+}
+
+Api Api::group(std::vector<int> ranks) const {
+  MCRDL_REQUIRE(!ranks.empty(), "group needs at least one rank");
+  return Api(ctx_, rank_, std::move(ranks));
+}
+
+Comm* Api::comm_for(Backend* b) const {
+  return group_.empty() ? b->world() : b->group(group_);
+}
+
+int Api::get_rank(const std::string& backend) const {
+  return comm_for(ctx_->backend(backend))->group_rank(rank_);
+}
+
+int Api::get_size(const std::string& backend) const {
+  return comm_for(ctx_->backend(backend))->size();
+}
+
+Backend* Api::resolve(const std::string& name, OpType op, std::size_t bytes) const {
+  const int world =
+      group_.empty() ? ctx_->cluster()->world_size() : static_cast<int>(group_.size());
+  return ctx_->resolve(name, op, bytes, world);
+}
+
+void Api::pre_call() const {
+  if (ctx_->options().per_call_overhead_us > 0.0) {
+    ctx_->cluster()->scheduler().sleep_for(ctx_->options().per_call_overhead_us);
+  }
+}
+
+Work Api::finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
+                    bool compressed) {
+  if (ctx_->logger().enabled()) {
+    CommLogger* logger = &ctx_->logger();
+    CommRecord rec;
+    rec.rank = rank_;
+    rec.op = op;
+    rec.backend = backend;
+    rec.bytes = bytes;
+    rec.start = w->posted_at;
+    rec.fused = fused;
+    rec.compressed = compressed;
+    // Capturing the shared handle keeps it alive until completion; the
+    // callback list is cleared when it fires, breaking the cycle.
+    w->on_complete([logger, rec, w]() mutable {
+      rec.end = w->complete_time();
+      // Bill only the execution window when the backend reported one, so
+      // compute-overlapped queueing time does not count as communication.
+      if (w->exec_start >= 0.0) rec.start = w->exec_start;
+      logger->record(std::move(rec));
+    });
+  }
+  return w;
+}
+
+void Api::synchronize() {
+  ctx_->fusion().flush_all(rank_);
+  for (const auto& name : ctx_->get_backends()) ctx_->backend(name)->synchronize(rank_);
+}
+
+void Api::synchronize(const std::string& backend) {
+  ctx_->fusion().flush_all(rank_);
+  ctx_->backend(backend)->synchronize(rank_);
+}
+
+Work Api::all_reduce(const std::string& backend, Tensor tensor, ReduceOp op, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::AllReduce, tensor.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = tensor.bytes();
+  if (ctx_->fusion().eligible(tensor)) {
+    Work w = ctx_->fusion().all_reduce(comm, rank_, std::move(tensor), op);
+    if (!async_op) w->wait();
+    return finish_op(std::move(w), OpType::AllReduce, bytes, b->name(), /*fused=*/true, false);
+  }
+  Work w = comm->all_reduce(rank_, std::move(tensor), op, async_op);
+  return finish_op(std::move(w), OpType::AllReduce, bytes, b->name(), false, false);
+}
+
+Work Api::broadcast(const std::string& backend, Tensor tensor, int root, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::Broadcast, tensor.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = tensor.bytes();
+  if (ctx_->compression().eligible(OpType::Broadcast, tensor)) {
+    Work w = ctx_->compression().broadcast(*comm, rank_, std::move(tensor), root, async_op);
+    return finish_op(std::move(w), OpType::Broadcast, bytes, b->name(), false, /*compressed=*/true);
+  }
+  Work w = comm->broadcast(rank_, std::move(tensor), root, async_op);
+  return finish_op(std::move(w), OpType::Broadcast, bytes, b->name(), false, false);
+}
+
+Work Api::reduce(const std::string& backend, Tensor tensor, int root, ReduceOp op,
+                 bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::Reduce, tensor.bytes());
+  const std::size_t bytes = tensor.bytes();
+  Work w = comm_for(b)->reduce(rank_, std::move(tensor), root, op, async_op);
+  return finish_op(std::move(w), OpType::Reduce, bytes, b->name(), false, false);
+}
+
+Work Api::all_gather(const std::string& backend, Tensor output, Tensor input, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::AllGather, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  if (ctx_->compression().eligible(OpType::AllGather, input)) {
+    Work w = ctx_->compression().all_gather(*comm, rank_, std::move(output), std::move(input),
+                                            async_op);
+    return finish_op(std::move(w), OpType::AllGather, bytes, b->name(), false, true);
+  }
+  Work w = comm->all_gather(rank_, std::move(output), std::move(input), async_op);
+  return finish_op(std::move(w), OpType::AllGather, bytes, b->name(), false, false);
+}
+
+Work Api::all_gatherv(const std::string& backend, Tensor output, Tensor input,
+                      std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::AllGatherV, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  Work w;
+  if (b->profile().is_native(OpType::AllGatherV)) {
+    w = comm->all_gatherv(rank_, std::move(output), std::move(input), std::move(recv_counts),
+                          std::move(recv_displs), async_op);
+  } else {
+    w = emulation::all_gatherv(*comm, rank_, std::move(output), std::move(input),
+                               std::move(recv_counts), std::move(recv_displs), async_op);
+  }
+  return finish_op(std::move(w), OpType::AllGatherV, bytes, b->name(), false, false);
+}
+
+Work Api::gather(const std::string& backend, Tensor output, Tensor input, int root,
+                 bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::Gather, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  Work w = b->profile().is_native(OpType::Gather)
+               ? comm->gather(rank_, std::move(output), std::move(input), root, async_op)
+               : emulation::gather(*comm, rank_, std::move(output), std::move(input), root,
+                                   async_op);
+  return finish_op(std::move(w), OpType::Gather, bytes, b->name(), false, false);
+}
+
+Work Api::gatherv(const std::string& backend, Tensor output, Tensor input, int root,
+                  std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::GatherV, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  Work w = b->profile().is_native(OpType::GatherV)
+               ? comm->gatherv(rank_, std::move(output), std::move(input), root,
+                               std::move(recv_counts), std::move(recv_displs), async_op)
+               : emulation::gatherv(*comm, rank_, std::move(output), std::move(input), root,
+                                    std::move(recv_counts), std::move(recv_displs), async_op);
+  return finish_op(std::move(w), OpType::GatherV, bytes, b->name(), false, false);
+}
+
+Work Api::scatter(const std::string& backend, Tensor output, Tensor input, int root,
+                  bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::Scatter, output.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = output.bytes();
+  Work w = b->profile().is_native(OpType::Scatter)
+               ? comm->scatter(rank_, std::move(output), std::move(input), root, async_op)
+               : emulation::scatter(*comm, rank_, std::move(output), std::move(input), root,
+                                    async_op);
+  return finish_op(std::move(w), OpType::Scatter, bytes, b->name(), false, false);
+}
+
+Work Api::scatterv(const std::string& backend, Tensor output, Tensor input, int root,
+                   std::vector<int> send_counts, std::vector<int> send_displs, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::ScatterV, output.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = output.bytes();
+  Work w = b->profile().is_native(OpType::ScatterV)
+               ? comm->scatterv(rank_, std::move(output), std::move(input), root,
+                                std::move(send_counts), std::move(send_displs), async_op)
+               : emulation::scatterv(*comm, rank_, std::move(output), std::move(input), root,
+                                     std::move(send_counts), std::move(send_displs), async_op);
+  return finish_op(std::move(w), OpType::ScatterV, bytes, b->name(), false, false);
+}
+
+Work Api::reduce_scatter(const std::string& backend, Tensor output, Tensor input, ReduceOp op,
+                         bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::ReduceScatter, input.bytes());
+  const std::size_t bytes = input.bytes();
+  Work w = comm_for(b)->reduce_scatter(rank_, std::move(output), std::move(input), op, async_op);
+  return finish_op(std::move(w), OpType::ReduceScatter, bytes, b->name(), false, false);
+}
+
+Work Api::all_to_all_single(const std::string& backend, Tensor output, Tensor input,
+                            bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::AllToAllSingle, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  if (ctx_->compression().eligible(OpType::AllToAllSingle, input)) {
+    Work w = ctx_->compression().all_to_all_single(*comm, rank_, std::move(output),
+                                                   std::move(input), async_op);
+    return finish_op(std::move(w), OpType::AllToAllSingle, bytes, b->name(), false, true);
+  }
+  Work w = comm->all_to_all_single(rank_, std::move(output), std::move(input), async_op);
+  return finish_op(std::move(w), OpType::AllToAllSingle, bytes, b->name(), false, false);
+}
+
+Work Api::all_to_all(const std::string& backend, TensorList outputs, TensorList inputs,
+                     bool async_op) {
+  pre_call();
+  const std::size_t bytes = total_bytes(inputs);
+  Backend* b = resolve(backend, OpType::AllToAll, bytes);
+  Work w = comm_for(b)->all_to_all(rank_, std::move(outputs), std::move(inputs), async_op);
+  return finish_op(std::move(w), OpType::AllToAll, bytes, b->name(), false, false);
+}
+
+Work Api::all_to_allv(const std::string& backend, Tensor output, Tensor input,
+                      std::vector<int> send_counts, std::vector<int> send_displs,
+                      std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::AllToAllV, input.bytes());
+  Comm* comm = comm_for(b);
+  const std::size_t bytes = input.bytes();
+  Work w = b->profile().is_native(OpType::AllToAllV)
+               ? comm->all_to_allv(rank_, std::move(output), std::move(input),
+                                   std::move(send_counts), std::move(send_displs),
+                                   std::move(recv_counts), std::move(recv_displs), async_op)
+               : emulation::all_to_allv(*comm, rank_, std::move(output), std::move(input),
+                                        std::move(send_counts), std::move(send_displs),
+                                        std::move(recv_counts), std::move(recv_displs), async_op);
+  return finish_op(std::move(w), OpType::AllToAllV, bytes, b->name(), false, false);
+}
+
+Work Api::barrier(const std::string& backend, bool async_op) {
+  pre_call();
+  Backend* b = resolve(backend, OpType::Barrier, 0);
+  Work w = comm_for(b)->barrier(rank_, async_op);
+  return finish_op(std::move(w), OpType::Barrier, 0, b->name(), false, false);
+}
+
+Work Api::send(const std::string& backend, Tensor tensor, int dst, bool async_op) {
+  pre_call();
+  Backend* b = ctx_->backend(backend);  // "auto" is collective-only
+  const std::size_t bytes = tensor.bytes();
+  Work w = comm_for(b)->send(rank_, std::move(tensor), dst, async_op);
+  return finish_op(std::move(w), OpType::Send, bytes, b->name(), false, false);
+}
+
+Work Api::recv(const std::string& backend, Tensor tensor, int src, bool async_op) {
+  pre_call();
+  Backend* b = ctx_->backend(backend);
+  const std::size_t bytes = tensor.bytes();
+  Work w = comm_for(b)->recv(rank_, std::move(tensor), src, async_op);
+  return finish_op(std::move(w), OpType::Recv, bytes, b->name(), false, false);
+}
+
+}  // namespace mcrdl

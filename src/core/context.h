@@ -1,0 +1,165 @@
+// MCR-DL's public interface — the C++ equivalent of the paper's Listing 1.
+//
+// McrDl is the cluster-wide runtime: it owns the initialised backends, the
+// static tuning table behind the "auto" backend string, and the optimisation
+// layers (tensor fusion, compression, logging). Api is the thin per-rank
+// facade the SPMD program calls; every operation takes the target backend's
+// name first, exactly like the paper's API:
+//
+//   mcr.init({"nccl", "mv2-gdr"});
+//   cluster.run_spmd([&](int rank) {
+//     Api api = mcr.on(rank);
+//     Work h = api.all_reduce("nccl", x, ReduceOp::Sum, /*async_op=*/true);
+//     Work g = api.all_to_all_single("mv2-gdr", out, in, /*async_op=*/true);
+//     h->wait(); g->wait();
+//     api.synchronize();
+//   });
+//
+// Passing "auto" routes the operation through the loaded tuning table
+// (Section V-F). Operations a backend lacks natively are emulated
+// transparently (Section V-B). Sub-communicators come from Api::group().
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/backends/backend.h"
+#include "src/core/compression.h"
+#include "src/core/fusion.h"
+#include "src/core/logger.h"
+#include "src/core/tuning.h"
+
+namespace mcrdl {
+
+struct McrDlOptions {
+  FusionConfig fusion;
+  CompressionConfig compression;
+  bool logging_enabled = false;
+  // Host-side cost added to every MCR-DL call; models the thin Python layer
+  // over the C++ backbone (paper C3 / Figure 7).
+  SimTime per_call_overhead_us = 0.0;
+};
+
+class Api;
+
+class McrDl {
+ public:
+  explicit McrDl(ClusterContext* cluster, McrDlOptions options = {});
+  ~McrDl();
+  McrDl(const McrDl&) = delete;
+  McrDl& operator=(const McrDl&) = delete;
+
+  // --- lifecycle (Listing 1: init / finalize / get_backends) ---------------
+  void init(const std::vector<std::string>& backend_names);
+  void finalize();
+  bool initialized() const { return initialized_; }
+  std::vector<std::string> get_backends() const;
+  Backend* backend(const std::string& name) const;
+  bool has_backend(const std::string& name) const;
+
+  // --- tuning ("auto" backend) ----------------------------------------------
+  void set_tuning_table(TuningTable table) { tuning_table_ = std::move(table); }
+  const std::optional<TuningTable>& tuning_table() const { return tuning_table_; }
+  // Resolves a backend string, dispatching "auto" through the tuning table.
+  Backend* resolve(const std::string& name, OpType op, std::size_t bytes, int world) const;
+
+  // --- optimisation layers ----------------------------------------------------
+  CommLogger& logger() { return logger_; }
+  FusionManager& fusion() { return *fusion_; }
+  CompressionLayer& compression() { return *compression_; }
+  McrDlOptions& options() { return options_; }
+
+  ClusterContext* cluster() const { return cluster_; }
+
+  // Per-rank facade over the world communicator.
+  Api on(int rank);
+
+ private:
+  friend class Api;
+
+  ClusterContext* cluster_;
+  McrDlOptions options_;
+  bool initialized_ = false;
+  std::vector<std::string> backend_order_;
+  std::map<std::string, std::unique_ptr<Backend>> backends_;
+  std::optional<TuningTable> tuning_table_;
+  CommLogger logger_;
+  std::unique_ptr<FusionManager> fusion_;
+  std::unique_ptr<CompressionLayer> compression_;
+};
+
+// The per-rank API handle (cheap to copy). All peers/roots are expressed in
+// the handle's communicator group-rank space; group() rebinds the handle to
+// a sub-communicator.
+class Api {
+ public:
+  Api(McrDl* ctx, int rank, std::vector<int> group = {});
+
+  int rank() const { return rank_; }
+  McrDl* context() const { return ctx_; }
+  // Size of this handle's communicator (the whole cluster unless group()ed).
+  int world_size() const {
+    return group_.empty() ? ctx_->cluster()->world_size() : static_cast<int>(group_.size());
+  }
+  // Listing 1: get_rank/get_size take the backend name (all backends share
+  // the communicator layout here, as in PyTorch process groups).
+  int get_rank(const std::string& backend) const;
+  int get_size(const std::string& backend) const;
+
+  // Rebinds to a sub-communicator over the given global ranks.
+  Api group(std::vector<int> ranks) const;
+
+  // Completes all outstanding work this rank posted (flushes fusion first).
+  void synchronize();
+  void synchronize(const std::string& backend);
+
+  // --- Listing 1 operations ---------------------------------------------------
+  Work all_reduce(const std::string& backend, Tensor tensor, ReduceOp op = ReduceOp::Sum,
+                  bool async_op = false);
+  Work broadcast(const std::string& backend, Tensor tensor, int root, bool async_op = false);
+  Work reduce(const std::string& backend, Tensor tensor, int root, ReduceOp op = ReduceOp::Sum,
+              bool async_op = false);
+  Work all_gather(const std::string& backend, Tensor output, Tensor input, bool async_op = false);
+  Work all_gatherv(const std::string& backend, Tensor output, Tensor input,
+                   std::vector<int> recv_counts, std::vector<int> recv_displs,
+                   bool async_op = false);
+  Work gather(const std::string& backend, Tensor output, Tensor input, int root,
+              bool async_op = false);
+  Work gatherv(const std::string& backend, Tensor output, Tensor input, int root,
+               std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op = false);
+  Work scatter(const std::string& backend, Tensor output, Tensor input, int root,
+               bool async_op = false);
+  Work scatterv(const std::string& backend, Tensor output, Tensor input, int root,
+                std::vector<int> send_counts, std::vector<int> send_displs,
+                bool async_op = false);
+  Work reduce_scatter(const std::string& backend, Tensor output, Tensor input,
+                      ReduceOp op = ReduceOp::Sum, bool async_op = false);
+  Work all_to_all_single(const std::string& backend, Tensor output, Tensor input,
+                         bool async_op = false);
+  Work all_to_all(const std::string& backend, TensorList outputs, TensorList inputs,
+                  bool async_op = false);
+  Work all_to_allv(const std::string& backend, Tensor output, Tensor input,
+                   std::vector<int> send_counts, std::vector<int> send_displs,
+                   std::vector<int> recv_counts, std::vector<int> recv_displs,
+                   bool async_op = false);
+  Work barrier(const std::string& backend, bool async_op = false);
+  Work send(const std::string& backend, Tensor tensor, int dst, bool async_op = false);
+  Work recv(const std::string& backend, Tensor tensor, int src, bool async_op = false);
+
+ private:
+  Comm* comm_for(Backend* b) const;
+  Backend* resolve(const std::string& name, OpType op, std::size_t bytes) const;
+  // Applies per-call overhead and wraps the work with logging.
+  Work finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
+                 bool compressed);
+  void pre_call() const;
+
+  McrDl* ctx_;
+  int rank_;
+  std::vector<int> group_;  // empty = world
+};
+
+}  // namespace mcrdl

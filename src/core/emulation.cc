@@ -1,0 +1,171 @@
+#include "src/core/emulation.h"
+
+#include <algorithm>
+
+#include "src/core/composite_work.h"
+
+namespace mcrdl::emulation {
+
+namespace {
+
+sim::Scheduler* sched_of(Comm& comm) { return &comm.backend()->cluster()->scheduler(); }
+
+sim::Device* device_of(Comm& comm, int rank) { return comm.backend()->cluster()->device(rank); }
+
+// Scratch tensor matching the storage mode of `like`.
+Tensor scratch_like(const Tensor& like, std::int64_t numel, sim::Device* dev) {
+  if (like.defined() && !like.materialized()) return Tensor::phantom({numel}, like.dtype(), dev);
+  return Tensor::zeros({numel}, like.dtype(), dev);
+}
+
+Work finish(Comm& comm, std::vector<Work> parts, std::function<void()> finalize, bool async_op) {
+  Work w = make_composite(sched_of(comm), std::move(parts), std::move(finalize));
+  if (!async_op) w->wait();
+  return w;
+}
+
+}  // namespace
+
+Work gather(Comm& comm, int rank, Tensor output, Tensor input, int root, bool async_op) {
+  // all_gather into a scratch buffer on every rank; the root keeps it. This
+  // moves size()x the necessary data — the documented emulation tax.
+  const int size = comm.size();
+  const int idx = comm.group_rank(rank);
+  Tensor scratch = scratch_like(input, input.numel() * size, device_of(comm, rank));
+  Work inner = comm.all_gather(rank, scratch, input, /*async_op=*/true);
+  auto finalize = [idx, root, output, scratch]() mutable {
+    if (idx == root && output.defined() && output.materialized() && scratch.materialized()) {
+      output.copy_from(scratch);
+    }
+  };
+  return finish(comm, {inner}, std::move(finalize), async_op);
+}
+
+Work scatter(Comm& comm, int rank, Tensor output, Tensor input, int root, bool async_op) {
+  // Broadcast the root's whole buffer, then every rank slices its block.
+  const int size = comm.size();
+  const int idx = comm.group_rank(rank);
+  const std::int64_t block = output.numel();
+  Tensor staging = idx == root ? input : scratch_like(output, block * size, device_of(comm, rank));
+  Work inner = comm.broadcast(rank, staging, root, /*async_op=*/true);
+  auto finalize = [idx, block, output, staging]() mutable {
+    if (output.defined() && output.materialized() && staging.materialized()) {
+      output.copy_from(staging.view(idx * block, block));
+    }
+  };
+  return finish(comm, {inner}, std::move(finalize), async_op);
+}
+
+Work gatherv(Comm& comm, int rank, Tensor output, Tensor input, int root,
+             std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
+  const int size = comm.size();
+  const int idx = comm.group_rank(rank);
+  if (idx != root) {
+    // Leaf ranks just send their payload to the root.
+    return comm.send(rank, input, root, async_op);
+  }
+  std::vector<Work> parts;
+  for (int r = 0; r < size; ++r) {
+    if (r == root) continue;
+    parts.push_back(comm.recv(rank, output.view(recv_displs[static_cast<std::size_t>(r)],
+                                                recv_counts[static_cast<std::size_t>(r)]),
+                              r, /*async_op=*/true));
+  }
+  const int own_count = recv_counts[static_cast<std::size_t>(root)];
+  const int own_displ = recv_displs[static_cast<std::size_t>(root)];
+  auto finalize = [output, input, own_count, own_displ]() mutable {
+    if (output.materialized() && input.materialized()) {
+      output.view(own_displ, own_count).copy_from(input.view(0, own_count));
+    }
+  };
+  return finish(comm, std::move(parts), std::move(finalize), async_op);
+}
+
+Work scatterv(Comm& comm, int rank, Tensor output, Tensor input, int root,
+              std::vector<int> send_counts, std::vector<int> send_displs, bool async_op) {
+  const int size = comm.size();
+  const int idx = comm.group_rank(rank);
+  if (idx != root) {
+    return comm.recv(rank, output, root, async_op);
+  }
+  std::vector<Work> parts;
+  for (int r = 0; r < size; ++r) {
+    if (r == root) continue;
+    parts.push_back(comm.send(rank, input.view(send_displs[static_cast<std::size_t>(r)],
+                                               send_counts[static_cast<std::size_t>(r)]),
+                              r, /*async_op=*/true));
+  }
+  const int own_count = send_counts[static_cast<std::size_t>(root)];
+  const int own_displ = send_displs[static_cast<std::size_t>(root)];
+  auto finalize = [output, input, own_count, own_displ]() mutable {
+    if (output.defined() && output.materialized() && input.materialized()) {
+      output.view(0, own_count).copy_from(input.view(own_displ, own_count));
+    }
+  };
+  return finish(comm, std::move(parts), std::move(finalize), async_op);
+}
+
+Work all_gatherv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<int> recv_counts,
+                 std::vector<int> recv_displs, bool async_op) {
+  const int size = comm.size();
+  const int idx = comm.group_rank(rank);
+  const int max_count = *std::max_element(recv_counts.begin(), recv_counts.end());
+  // Pad every contribution to the maximum count and run a plain all_gather.
+  sim::Device* dev = device_of(comm, rank);
+  Tensor padded_in = scratch_like(input, max_count, dev);
+  const int own_count = recv_counts[static_cast<std::size_t>(idx)];
+  if (padded_in.materialized() && input.materialized()) {
+    padded_in.view(0, own_count).copy_from(input.view(0, own_count));
+  }
+  Tensor padded_out = scratch_like(input, static_cast<std::int64_t>(max_count) * size, dev);
+  Work inner = comm.all_gather(rank, padded_out, padded_in, /*async_op=*/true);
+  auto finalize = [size, max_count, output, padded_out, recv_counts = std::move(recv_counts),
+                   recv_displs = std::move(recv_displs)]() mutable {
+    if (!output.defined() || !output.materialized() || !padded_out.materialized()) return;
+    for (int r = 0; r < size; ++r) {
+      output.view(recv_displs[static_cast<std::size_t>(r)], recv_counts[static_cast<std::size_t>(r)])
+          .copy_from(padded_out.view(static_cast<std::int64_t>(r) * max_count,
+                                     recv_counts[static_cast<std::size_t>(r)]));
+    }
+  };
+  return finish(comm, {inner}, std::move(finalize), async_op);
+}
+
+Work all_to_allv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<int> send_counts,
+                 std::vector<int> send_displs, std::vector<int> recv_counts,
+                 std::vector<int> recv_displs, bool async_op) {
+  const int size = comm.size();
+  sim::Device* dev = device_of(comm, rank);
+  // Phase 1 (blocking): agree on the global maximum block so the padded
+  // exchange is layout-consistent on every rank. Real implementations do the
+  // same count exchange before a padded alltoall.
+  const int local_max = std::max(*std::max_element(send_counts.begin(), send_counts.end()),
+                                 *std::max_element(recv_counts.begin(), recv_counts.end()));
+  Tensor max_t = Tensor::full({1}, DType::I64, local_max, dev);
+  comm.all_reduce(rank, max_t, ReduceOp::Max, /*async_op=*/true)->synchronize();
+  const auto max_count = static_cast<std::int64_t>(max_t.get(0));
+
+  // Phase 2: padded all_to_all_single.
+  Tensor padded_in = scratch_like(input, max_count * size, dev);
+  if (padded_in.materialized() && input.materialized()) {
+    for (int d = 0; d < size; ++d) {
+      padded_in.view(d * max_count, send_counts[static_cast<std::size_t>(d)])
+          .copy_from(input.view(send_displs[static_cast<std::size_t>(d)],
+                                send_counts[static_cast<std::size_t>(d)]));
+    }
+  }
+  Tensor padded_out = scratch_like(input, max_count * size, dev);
+  Work inner = comm.all_to_all_single(rank, padded_out, padded_in, /*async_op=*/true);
+  auto finalize = [size, max_count, output, padded_out, recv_counts = std::move(recv_counts),
+                   recv_displs = std::move(recv_displs)]() mutable {
+    if (!output.defined() || !output.materialized() || !padded_out.materialized()) return;
+    for (int s = 0; s < size; ++s) {
+      output.view(recv_displs[static_cast<std::size_t>(s)], recv_counts[static_cast<std::size_t>(s)])
+          .copy_from(padded_out.view(static_cast<std::int64_t>(s) * max_count,
+                                     recv_counts[static_cast<std::size_t>(s)]));
+    }
+  };
+  return finish(comm, {inner}, std::move(finalize), async_op);
+}
+
+}  // namespace mcrdl::emulation

@@ -1,0 +1,37 @@
+// The operation-emulation layer (paper Section V-B, Table I).
+//
+// Stream libraries like NCCL/SCCL lack rooted and vector collectives; MCR-DL
+// synthesises them from the primitives each backend does provide, so every
+// operation in the Listing-1 API works on every backend. The synthesis costs
+// extra data movement — exactly the "Option 1 sacrifices performance" the
+// paper describes — and that cost shows up honestly in the virtual clock.
+//
+// Recipes:
+//   gather       -> all_gather into a scratch buffer; root keeps it
+//   scatter      -> broadcast the root's full buffer; ranks slice their block
+//   gatherv      -> point-to-point sends into the root
+//   scatterv     -> point-to-point sends from the root
+//   all_gatherv  -> padded all_gather (max count) + repack
+//   all_to_allv  -> blocking max-count exchange, padded all_to_all_single,
+//                   then repack
+#pragma once
+
+#include <vector>
+
+#include "src/backends/backend.h"
+
+namespace mcrdl::emulation {
+
+Work gather(Comm& comm, int rank, Tensor output, Tensor input, int root, bool async_op);
+Work scatter(Comm& comm, int rank, Tensor output, Tensor input, int root, bool async_op);
+Work gatherv(Comm& comm, int rank, Tensor output, Tensor input, int root,
+             std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op);
+Work scatterv(Comm& comm, int rank, Tensor output, Tensor input, int root,
+              std::vector<int> send_counts, std::vector<int> send_displs, bool async_op);
+Work all_gatherv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<int> recv_counts,
+                 std::vector<int> recv_displs, bool async_op);
+Work all_to_allv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<int> send_counts,
+                 std::vector<int> send_displs, std::vector<int> recv_counts,
+                 std::vector<int> recv_displs, bool async_op);
+
+}  // namespace mcrdl::emulation

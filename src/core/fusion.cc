@@ -1,0 +1,183 @@
+#include "src/core/fusion.h"
+
+#include <algorithm>
+
+namespace mcrdl {
+
+// Shared state between a batch and the Works handed out for its tensors.
+struct FusionManager::PendingFusion {
+  bool flushed = false;
+  Work inner;  // the fused all_reduce, set at flush time
+  std::vector<std::function<void()>> deferred_callbacks;
+  FusionManager* mgr = nullptr;
+  Key key;
+};
+
+class FusionManager::FusionWork : public WorkHandle {
+ public:
+  explicit FusionWork(std::shared_ptr<PendingFusion> pending) : pending_(std::move(pending)) {}
+
+  bool test() const override { return pending_->flushed && pending_->inner->test(); }
+
+  void wait() override {
+    force_flush();
+    pending_->inner->wait();
+  }
+
+  void synchronize() override {
+    force_flush();
+    pending_->inner->synchronize();
+  }
+
+  SimTime complete_time() const override {
+    return pending_->flushed ? pending_->inner->complete_time() : 0.0;
+  }
+
+  void on_complete(std::function<void()> fn) override {
+    if (pending_->flushed) {
+      pending_->inner->on_complete(std::move(fn));
+    } else {
+      pending_->deferred_callbacks.push_back(std::move(fn));
+    }
+  }
+
+ private:
+  // Waiting on a not-yet-flushed fusion forces the flush (the data
+  // dependency outranks the timeout).
+  void force_flush() {
+    if (!pending_->flushed) pending_->mgr->flush_if_pending(pending_->key);
+    MCRDL_CHECK(pending_->flushed);
+  }
+
+  std::shared_ptr<PendingFusion> pending_;
+};
+
+FusionManager::FusionManager(ClusterContext* cluster, FusionConfig config)
+    : cluster_(cluster), config_(config) {}
+
+bool FusionManager::eligible(const Tensor& t) const {
+  return config_.enabled && t.defined() && t.bytes() <= config_.max_tensor_bytes;
+}
+
+Work FusionManager::all_reduce(Comm* comm, int rank, Tensor t, ReduceOp op) {
+  MCRDL_REQUIRE(comm != nullptr, "fusion needs a communicator");
+  MCRDL_REQUIRE(eligible(t), "tensor is not eligible for fusion");
+  const Key key{rank, comm, static_cast<int>(op), static_cast<int>(t.dtype())};
+  Batch& batch = batches_[key];
+  if (batch.pending == nullptr) {
+    batch.comm = comm;
+    batch.rank = rank;
+    batch.rop = op;
+    batch.dtype = t.dtype();
+    batch.pending = std::make_shared<PendingFusion>();
+    batch.pending->mgr = this;
+    batch.pending->key = key;
+    // Arm the T timeout from the first tensor's arrival.
+    batch.timer_armed = true;
+    const std::uint64_t gen = batch.generation;
+    cluster_->scheduler().schedule_after(config_.flush_timeout_us,
+                                         [this, key, gen] { on_timeout(key, gen); });
+  }
+  batch.tensors.push_back(t);
+  batch.total_numel += t.numel();
+  batch.bytes += t.bytes();
+  batch.any_phantom = batch.any_phantom || !t.materialized();
+  ++fused_tensor_count_;
+  Work w = std::make_shared<FusionWork>(batch.pending);
+  w->op = OpType::AllReduce;
+  w->backend_name = comm->backend()->name();
+  w->posted_at = cluster_->scheduler().now();
+  if (batch.bytes >= config_.buffer_bytes) flush_locked(key, batch);
+  return w;
+}
+
+void FusionManager::flush_if_pending(const Key& key) {
+  auto it = batches_.find(key);
+  if (it == batches_.end() || it->second.pending == nullptr) return;
+  flush_locked(key, it->second);
+}
+
+void FusionManager::on_timeout(const Key& key, std::uint64_t generation) {
+  auto it = batches_.find(key);
+  if (it == batches_.end() || it->second.pending == nullptr ||
+      it->second.generation != generation) {
+    return;  // stale timer: the batch already flushed
+  }
+  ++timeout_flush_count_;
+  const int rank = it->second.rank;
+  flush_locked(key, it->second);
+  if (!config_.cross_backend_overlap) return;
+  // The buffer timed out before filling — bandwidth is unsaturated, so
+  // flush other backends' pending buffers for this rank to overlap them.
+  std::vector<Key> to_flush;
+  for (auto& [other_key, other] : batches_) {
+    if (other.pending != nullptr && other.rank == rank) to_flush.push_back(other_key);
+  }
+  for (const auto& k : to_flush) {
+    auto oit = batches_.find(k);
+    if (oit != batches_.end() && oit->second.pending != nullptr) {
+      ++overlap_flush_count_;
+      flush_locked(k, oit->second);
+    }
+  }
+}
+
+void FusionManager::flush_locked(const Key& key, Batch& batch) {
+  (void)key;  // retained for symmetry with the other per-key entry points
+  MCRDL_CHECK(batch.pending != nullptr);
+  auto pending = batch.pending;
+  std::vector<Tensor> tensors;
+  tensors.swap(batch.tensors);
+  const std::int64_t total = batch.total_numel;
+  const bool phantom = batch.any_phantom;
+  Comm* comm = batch.comm;
+  const int rank = batch.rank;
+  const ReduceOp rop = batch.rop;
+  const DType dtype = batch.dtype;
+
+  // Reset the slot so new all_reduce calls start a fresh batch.
+  ++batch.generation;
+  batch.pending = nullptr;
+  batch.total_numel = 0;
+  batch.bytes = 0;
+  batch.any_phantom = false;
+  batch.timer_armed = false;
+  ++flush_count_;
+
+  // Pack.
+  sim::Device* dev = cluster_->device(rank);
+  Tensor fused = phantom ? Tensor::phantom({total}, dtype, dev)
+                         : Tensor::zeros({total}, dtype, dev);
+  if (!phantom) {
+    std::int64_t offset = 0;
+    for (const Tensor& t : tensors) {
+      fused.view(offset, t.numel()).copy_from(t);
+      offset += t.numel();
+    }
+  }
+
+  Work inner = comm->all_reduce(rank, fused, rop, /*async_op=*/true);
+  // Slice back at completion, before any waiter resumes.
+  inner->on_complete([tensors, fused]() mutable {
+    if (!fused.materialized()) return;
+    std::int64_t offset = 0;
+    for (Tensor& t : tensors) {
+      if (t.materialized()) t.copy_from(fused.view(offset, t.numel()));
+      offset += t.numel();
+    }
+  });
+  pending->flushed = true;
+  pending->inner = inner;
+  for (auto& fn : pending->deferred_callbacks) inner->on_complete(std::move(fn));
+  pending->deferred_callbacks.clear();
+}
+
+void FusionManager::flush_all(int rank) {
+  std::vector<Key> keys;
+  for (auto& [key, batch] : batches_) {
+    if (batch.pending != nullptr && batch.rank == rank) keys.push_back(key);
+  }
+  for (const auto& key : keys) flush_if_pending(key);
+}
+
+}  // namespace mcrdl

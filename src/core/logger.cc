@@ -1,0 +1,70 @@
+#include "src/core/logger.h"
+
+#include <algorithm>
+
+namespace mcrdl {
+
+void CommLogger::record(CommRecord record) {
+  if (!enabled_) return;
+  records_.push_back(std::move(record));
+}
+
+SimTime CommLogger::interval_union(std::vector<std::pair<SimTime, SimTime>> intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  SimTime total = 0.0;
+  SimTime cur_start = intervals.front().first;
+  SimTime cur_end = intervals.front().second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const auto& [s, e] = intervals[i];
+    if (s > cur_end) {
+      total += cur_end - cur_start;
+      cur_start = s;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+SimTime CommLogger::comm_time(int rank) const {
+  std::vector<std::pair<SimTime, SimTime>> intervals;
+  for (const auto& r : records_) {
+    if (r.rank == rank) intervals.emplace_back(r.start, r.end);
+  }
+  return interval_union(std::move(intervals));
+}
+
+std::map<std::string, SimTime> CommLogger::time_by_op(int rank) const {
+  std::map<std::string, SimTime> out;
+  for (const auto& r : records_) {
+    if (r.rank == rank) out[op_name(r.op)] += r.end - r.start;
+  }
+  return out;
+}
+
+std::map<std::string, SimTime> CommLogger::time_by_backend(int rank) const {
+  std::map<std::string, SimTime> out;
+  for (const auto& r : records_) {
+    if (r.rank == rank) out[r.backend] += r.end - r.start;
+  }
+  return out;
+}
+
+std::size_t CommLogger::bytes_moved(int rank) const {
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.rank == rank) total += r.bytes;
+  }
+  return total;
+}
+
+int CommLogger::op_count(int rank) const {
+  int count = 0;
+  for (const auto& r : records_) count += (r.rank == rank);
+  return count;
+}
+
+}  // namespace mcrdl

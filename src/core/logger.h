@@ -1,0 +1,56 @@
+// Communication logging (paper Section V-E): every operation routed through
+// MCR-DL can be recorded with its backend, payload and time span. The
+// aggregations below generate the paper's Figure 1 (compute-vs-comm split
+// and per-operation breakdown) and Figure 12 (communication-overhead
+// reduction).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/comm_types.h"
+
+namespace mcrdl {
+
+struct CommRecord {
+  int rank = 0;
+  OpType op = OpType::Barrier;
+  std::string backend;
+  std::size_t bytes = 0;
+  SimTime start = 0.0;  // when the operation was posted
+  SimTime end = 0.0;    // when it completed
+  bool fused = false;
+  bool compressed = false;
+};
+
+class CommLogger {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(CommRecord record);
+  void clear() { records_.clear(); }
+  const std::vector<CommRecord>& records() const { return records_; }
+
+  // Wall-clock (virtual) communication time on a rank: the union of all
+  // operation intervals, so overlapping operations are not double-counted.
+  SimTime comm_time(int rank) const;
+  // Sum of per-operation durations, grouped by operation name — the
+  // "communication breakdown" of Fig 1(b).
+  std::map<std::string, SimTime> time_by_op(int rank) const;
+  std::map<std::string, SimTime> time_by_backend(int rank) const;
+  std::size_t bytes_moved(int rank) const;
+  int op_count(int rank) const;
+
+  // Length of the union of a set of [start, end) intervals.
+  static SimTime interval_union(std::vector<std::pair<SimTime, SimTime>> intervals);
+
+ private:
+  bool enabled_ = false;
+  std::vector<CommRecord> records_;
+};
+
+}  // namespace mcrdl

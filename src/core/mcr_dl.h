@@ -1,0 +1,30 @@
+// Umbrella header: everything a downstream MCR-DL user needs.
+//
+//   #include "src/core/mcr_dl.h"
+//
+//   mcrdl::ClusterContext cluster(mcrdl::net::SystemConfig::lassen(16));
+//   mcrdl::McrDl mcr(&cluster);
+//   mcr.init({"nccl", "mv2-gdr"});
+//   cluster.run_spmd([&](int rank) {
+//     auto api = mcr.on(rank);
+//     ...
+//   });
+#pragma once
+
+#include "src/backends/backend.h"
+#include "src/backends/cluster.h"
+#include "src/backends/work.h"
+#include "src/core/composite_work.h"
+#include "src/core/compression.h"
+#include "src/core/context.h"
+#include "src/core/emulation.h"
+#include "src/core/fusion.h"
+#include "src/core/logger.h"
+#include "src/core/persistent.h"
+#include "src/core/process_groups.h"
+#include "src/core/trace.h"
+#include "src/core/tuning.h"
+#include "src/net/comm_types.h"
+#include "src/net/cost.h"
+#include "src/net/topology.h"
+#include "src/tensor/tensor.h"

@@ -1,0 +1,19 @@
+#include "src/core/persistent.h"
+
+namespace mcrdl {
+
+PersistentAllReduce::PersistentAllReduce(Comm* comm, int rank, Tensor tensor, ReduceOp op)
+    : comm_(comm), rank_(rank), tensor_(std::move(tensor)), op_(op) {
+  MCRDL_REQUIRE(comm_ != nullptr, "persistent collective needs a communicator");
+  MCRDL_REQUIRE(tensor_.defined(), "persistent collective needs a bound tensor");
+  (void)comm_->group_rank(rank_);  // validates membership at plan time
+}
+
+Work PersistentAllReduce::launch(bool async_op) {
+  ++launches_;
+  const double discount =
+      comm_->backend()->profile().launch_overhead_us * (1.0 - kPersistentLaunchFraction);
+  return comm_->all_reduce(rank_, tensor_, op_, async_op, discount);
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,46 @@
+// Persistent collectives — the future-work optimisation the paper names in
+// Section V-E ("future optimizations (e.g. persistent collectives) can be
+// easily added with minimal changes among backends and operations").
+//
+// A persistent collective is initialised once (buffers registered, schedule
+// planned) and then launched many times; each launch skips most of the
+// per-operation setup cost, exactly like MPI_Allreduce_init /
+// MPIX_Persistent or CUDA-graph-captured NCCL. Here the amortised saving is
+// a fraction of the backend's launch overhead, applied through the same
+// rendezvous machinery as every other operation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/backends/backend.h"
+
+namespace mcrdl {
+
+class McrDl;
+
+// Fraction of the backend's launch overhead a persistent launch still pays.
+inline constexpr double kPersistentLaunchFraction = 0.25;
+
+class PersistentAllReduce {
+ public:
+  // Plans a persistent allreduce of `tensor` on `comm`. The tensor binding
+  // is fixed (like MPI persistent requests); re-binding requires a new plan.
+  PersistentAllReduce(Comm* comm, int rank, Tensor tensor, ReduceOp op);
+
+  // Launches one execution; with async_op the returned Work behaves exactly
+  // like the ordinary all_reduce handle.
+  Work launch(bool async_op = false);
+
+  int launches() const { return launches_; }
+  const Tensor& tensor() const { return tensor_; }
+
+ private:
+  Comm* comm_;
+  int rank_;
+  Tensor tensor_;
+  ReduceOp op_;
+  int launches_ = 0;
+};
+
+}  // namespace mcrdl

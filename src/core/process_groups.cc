@@ -1,0 +1,57 @@
+#include "src/core/process_groups.h"
+
+namespace mcrdl {
+
+ProcessGroups::ProcessGroups(int world, int tensor_parallel, int expert_parallel)
+    : world_(world), tp_(tensor_parallel), ep_(expert_parallel) {
+  MCRDL_REQUIRE(world_ >= 1, "world must be >= 1");
+  MCRDL_REQUIRE(tp_ >= 1 && world_ % tp_ == 0, "world must be divisible by tensor_parallel");
+  const int dp = world_ / tp_;
+  MCRDL_REQUIRE(ep_ >= 1 && dp % ep_ == 0,
+                "data-parallel degree must be divisible by expert_parallel");
+}
+
+void ProcessGroups::check_rank(int rank) const {
+  MCRDL_REQUIRE(rank >= 0 && rank < world_, "rank out of range");
+}
+
+std::vector<int> ProcessGroups::tp_group(int rank) const {
+  check_rank(rank);
+  const int base = (rank / tp_) * tp_;
+  std::vector<int> out;
+  for (int t = 0; t < tp_; ++t) out.push_back(base + t);
+  return out;
+}
+
+std::vector<int> ProcessGroups::dp_group(int rank) const {
+  check_rank(rank);
+  std::vector<int> out;
+  for (int r = rank % tp_; r < world_; r += tp_) out.push_back(r);
+  return out;
+}
+
+std::vector<int> ProcessGroups::ep_group(int rank) const {
+  check_rank(rank);
+  // Within this rank's DP group, take the contiguous slice of ep_ peers.
+  const std::vector<int> dp = dp_group(rank);
+  int index = 0;
+  for (std::size_t i = 0; i < dp.size(); ++i) {
+    if (dp[i] == rank) index = static_cast<int>(i);
+  }
+  const int slice = (index / ep_) * ep_;
+  return {dp.begin() + slice, dp.begin() + slice + ep_};
+}
+
+std::vector<std::vector<int>> ProcessGroups::all_tp_groups() const {
+  std::vector<std::vector<int>> out;
+  for (int base = 0; base < world_; base += tp_) out.push_back(tp_group(base));
+  return out;
+}
+
+std::vector<std::vector<int>> ProcessGroups::all_dp_groups() const {
+  std::vector<std::vector<int>> out;
+  for (int t = 0; t < tp_; ++t) out.push_back(dp_group(t));
+  return out;
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,45 @@
+// Process-group topology helpers for the hybrid-parallel schemes the paper
+// targets (Section III-A): given a world laid out as
+// (data-parallel x tensor-parallel) or with expert-parallel slices, build
+// the rank lists each rank's collectives run over. Mirrors the group
+// bookkeeping in Megatron/DeepSpeed.
+#pragma once
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mcrdl {
+
+// Rank layout: tensor-parallel ranks are contiguous (rank = dp * tp + t).
+class ProcessGroups {
+ public:
+  ProcessGroups(int world, int tensor_parallel, int expert_parallel = 1);
+
+  int world() const { return world_; }
+  int tensor_parallel() const { return tp_; }
+  int data_parallel() const { return world_ / tp_; }
+  int expert_parallel() const { return ep_; }
+
+  // The TP group containing `rank` (size tensor_parallel, same node when
+  // tp <= gpus-per-node under the block layout).
+  std::vector<int> tp_group(int rank) const;
+  // The DP group containing `rank` (ranks with the same TP index).
+  std::vector<int> dp_group(int rank) const;
+  // The expert-parallel group containing `rank`: consecutive slices of the
+  // DP dimension of size expert_parallel (DeepSpeed-MoE style).
+  std::vector<int> ep_group(int rank) const;
+
+  // All groups of each kind (for setup loops / debugging).
+  std::vector<std::vector<int>> all_tp_groups() const;
+  std::vector<std::vector<int>> all_dp_groups() const;
+
+ private:
+  void check_rank(int rank) const;
+
+  int world_;
+  int tp_;
+  int ep_;
+};
+
+}  // namespace mcrdl

@@ -1,0 +1,61 @@
+#include "src/core/trace.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace mcrdl {
+
+namespace {
+
+// Minimal JSON string escaping for our controlled inputs.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const CommLogger& logger) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& r : logger.records()) {
+    if (!first) out << ",";
+    first = false;
+    // Complete ("X") events: ts/dur in microseconds, pid = rank,
+    // tid = backend name (one track per backend per rank).
+    out << "{\"name\":\"" << json_escape(op_name(r.op)) << "\",\"cat\":\"comm\","
+        << "\"ph\":\"X\",\"ts\":" << r.start << ",\"dur\":" << (r.end - r.start)
+        << ",\"pid\":" << r.rank << ",\"tid\":\"" << json_escape(r.backend) << "\","
+        << "\"args\":{\"bytes\":" << r.bytes << ",\"fused\":" << (r.fused ? "true" : "false")
+        << ",\"compressed\":" << (r.compressed ? "true" : "false") << "}}";
+  }
+  // Process metadata so the viewer labels tracks "rank N".
+  std::set<int> ranks;
+  for (const auto& r : logger.records()) ranks.insert(r.rank);
+  for (int rank : ranks) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << rank
+        << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace(const CommLogger& logger, const std::string& path) {
+  std::ofstream out(path);
+  MCRDL_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  out << to_chrome_trace(logger);
+  MCRDL_REQUIRE(out.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace mcrdl

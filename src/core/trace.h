@@ -1,0 +1,21 @@
+// Chrome trace-event export: dumps the communication logger's records (and
+// optionally per-device compute activity) as a chrome://tracing /
+// Perfetto-compatible JSON file, one track per (rank, backend). This is the
+// observability story the paper's logging extension (Section V-E) enables —
+// the same data that generates Figures 1 and 12, but navigable on a
+// timeline.
+#pragma once
+
+#include <string>
+
+#include "src/core/logger.h"
+
+namespace mcrdl {
+
+// Serialises the records to trace-event JSON. Returns the JSON string.
+std::string to_chrome_trace(const CommLogger& logger);
+
+// Writes to_chrome_trace() to `path` (throws on I/O failure).
+void write_chrome_trace(const CommLogger& logger, const std::string& path);
+
+}  // namespace mcrdl

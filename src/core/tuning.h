@@ -1,0 +1,99 @@
+// The MCR-DL tuning suite (paper Section V-F).
+//
+// TuningTable is the static table mapping (operation, world size, message
+// size) → best backend; one is generated per system by TuningSuite, which
+// runs micro-benchmarks of every backend over a grid of operations, message
+// sizes and scales on a freshly built simulated cluster — exactly the
+// workflow the paper describes — and is consulted at runtime whenever the
+// special backend string "auto" is passed to an operation.
+//
+// Table size = Num_Collectives × Num_Scales × Num_Message_Sizes (paper
+// Section V-F); tables serialise to a plain-text format for reuse.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/comm_types.h"
+#include "src/net/topology.h"
+
+namespace mcrdl {
+
+class TuningTable {
+ public:
+  struct Entry {
+    OpType op;
+    int world;
+    std::size_t max_bytes;  // entry covers message sizes <= max_bytes
+    std::string backend;
+  };
+
+  // Registers the best backend for messages up to max_bytes at this
+  // (op, world) point.
+  void set(OpType op, int world, std::size_t max_bytes, std::string backend);
+
+  // Best backend for the given operation/scale/size. Uses the closest
+  // tabulated world size (preferring the next one up) and the smallest
+  // tabulated size bucket >= bytes, falling back to the largest bucket for
+  // oversized messages. Throws if the operation was never tuned.
+  const std::string& lookup(OpType op, int world, std::size_t bytes) const;
+
+  bool has(OpType op) const;
+  bool empty() const { return table_.empty(); }
+  std::size_t num_entries() const;
+  // All entries for one (op, world), ordered by message size — the rows of
+  // the paper's Table II.
+  std::vector<Entry> entries(OpType op, int world) const;
+  std::vector<int> tuned_worlds(OpType op) const;
+
+  // Plain-text round trip: one "op world max_bytes backend" line per entry.
+  std::string serialize() const;
+  static TuningTable parse(const std::string& text);
+  void save(const std::string& path) const;
+  static TuningTable load(const std::string& path);
+
+ private:
+  // op -> world -> (max_bytes -> backend)
+  std::map<OpType, std::map<int, std::map<std::size_t, std::string>>> table_;
+};
+
+struct TuningConfig {
+  std::vector<std::string> backends;  // defaults to all four
+  std::vector<OpType> ops = {OpType::AllReduce, OpType::AllGather, OpType::AllToAllSingle,
+                             OpType::Broadcast, OpType::ReduceScatter};
+  std::vector<std::size_t> sizes = {256,    512,    1024,  2048,  4096,    8192,   16384,
+                                    32768,  65536,  1 << 17, 1 << 18, 1 << 20, 1 << 22};
+  std::vector<int> world_sizes;  // defaults to the full config world
+  int iterations = 3;
+  int warmup = 1;
+};
+
+class TuningSuite {
+ public:
+  struct Measurement {
+    std::string backend;
+    OpType op;
+    int world;
+    std::size_t bytes;
+    SimTime time_us;  // mean per-operation latency
+  };
+
+  // `base` supplies the node architecture; the suite scales node counts to
+  // reach each requested world size.
+  explicit TuningSuite(net::SystemConfig base);
+
+  // Runs the micro-benchmark grid and builds the static tuning table.
+  TuningTable generate(const TuningConfig& config);
+
+  const std::vector<Measurement>& measurements() const { return measurements_; }
+  // Measured latency for one grid point (throws if absent).
+  SimTime measured(const std::string& backend, OpType op, int world, std::size_t bytes) const;
+
+ private:
+  net::SystemConfig base_;
+  std::vector<Measurement> measurements_;
+};
+
+}  // namespace mcrdl

@@ -1,0 +1,97 @@
+// How a training run routes its communication:
+//
+//  * CommPlan — which backend serves each operation class. Pure plans model
+//    the paper's baselines ("Baseline NCCL" = PyTorch-distributed built
+//    against one backend); the mixed plan is MCR-DL's coarse-grained
+//    mix-and-match (one backend per collective); the tuned plan passes
+//    "auto" so every (op, message size) pair resolves through the tuning
+//    table — the paper's MCR-DL-T.
+//  * FrameworkModel — per-call behaviour of the PyTorch-compatible
+//    frameworks compared in Figures 7 and 11: host overhead per operation,
+//    host-staging copies (mpi4py's cupy→numpy round trip), fusion support,
+//    and whether mixed-backend routing is available.
+//  * CommIssuer — the thin shim models call; it applies the framework
+//    overheads and routes to the chosen backend through the MCR-DL Api.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/mcr_dl.h"
+
+namespace mcrdl::models {
+
+struct CommPlan {
+  std::string name;              // series label, e.g. "MCR-DL"
+  std::string default_backend = "nccl";
+  std::map<OpType, std::string> per_op;  // coarse-grained mixing
+  bool use_auto = false;                 // fine-grained tuned mixing (MCR-DL-T)
+
+  const std::string& backend_for(OpType op) const;
+  // Concrete backends this plan needs initialised (excludes "auto").
+  std::vector<std::string> backends_needed(const std::vector<std::string>& all) const;
+
+  static CommPlan pure(const std::string& backend, std::string label = {});
+  // The paper's flagship mix: NCCL Allreduce/ReduceScatter + MVAPICH2-GDR
+  // Alltoall and small-message collectives.
+  static CommPlan mcr_dl_mixed();
+  // "auto" everywhere; requires a tuning table.
+  static CommPlan mcr_dl_tuned();
+};
+
+struct FrameworkModel {
+  std::string name;
+  double per_call_overhead_us = 0.0;  // host software cost per operation
+  double per_byte_overhead_us = 0.0;  // extra framework passes over the payload
+  bool host_staging = false;          // device->host->device copies (mpi4py)
+  // The framework cannot overlap its GPU-tensor communication (Listing 2's
+  // blocking mpi4py calls): every operation completes before returning.
+  bool forces_blocking = false;
+  bool supports_fusion = false;
+  bool supports_mixed = false;        // can follow a mixed CommPlan
+  std::string fixed_backend;          // used when !supports_mixed (empty = plan default)
+
+  static FrameworkModel mcr_dl();
+  static FrameworkModel pytorch_distributed(const std::string& backend);
+  static FrameworkModel horovod();
+  static FrameworkModel mpi4py();
+  // Zero-overhead reference: the OSU micro-benchmark path (Fig 7 baseline).
+  static FrameworkModel raw();
+};
+
+// Per-rank communication shim used by the workload models.
+class CommIssuer {
+ public:
+  CommIssuer(Api api, const CommPlan& plan, const FrameworkModel& framework);
+
+  int rank() const { return api_.rank(); }
+  Api& api() { return api_; }
+  const CommPlan& plan() const { return plan_; }
+  const FrameworkModel& framework() const { return framework_; }
+
+  Work all_reduce(Tensor t, ReduceOp op = ReduceOp::Sum, bool async_op = false);
+  Work all_to_all_single(Tensor output, Tensor input, bool async_op = false);
+  Work all_gather(Tensor output, Tensor input, bool async_op = false);
+  Work reduce_scatter(Tensor output, Tensor input, ReduceOp op = ReduceOp::Sum,
+                      bool async_op = false);
+  Work broadcast(Tensor tensor, int root, bool async_op = false);
+  void synchronize();
+
+  // Rebinds to a sub-communicator (tensor-parallel groups etc.).
+  CommIssuer group(std::vector<int> ranks) const;
+
+ private:
+  std::string route(OpType op) const;
+  // Framework cost before the operation posts: host overhead plus, for
+  // host-staging frameworks, the D2H+H2D round trip for `bytes`.
+  void pre_op(std::size_t bytes);
+  // Downgrades async to blocking for frameworks that force blocking calls.
+  bool effective_async(bool async_op) const;
+
+  Api api_;
+  const CommPlan& plan_;
+  const FrameworkModel& framework_;
+};
+
+}  // namespace mcrdl::models

@@ -1,0 +1,106 @@
+#include "src/models/dlrm.h"
+
+namespace mcrdl::models {
+
+DLRMModel::DLRMModel(DLRMConfig config, const net::SystemConfig& system)
+    : config_(std::move(config)),
+      gpu_tflops_(system.gpu_tflops),
+      hbm_gbps_(system.hbm_gbps) {
+  MCRDL_REQUIRE(!config_.bottom_mlp.empty() && !config_.top_mlp.empty(), "invalid DLRM config");
+}
+
+double DLRMModel::samples_per_step(int /*world*/) const {
+  return config_.global_batch;  // strong scaling: the global batch is fixed
+}
+
+double DLRMModel::mlp_flops(const std::vector<int>& dims, int batch, int input_dim) const {
+  double flops = 0.0;
+  int prev = input_dim;
+  for (int d : dims) {
+    flops += 2.0 * batch * prev * d;
+    prev = d;
+  }
+  return flops;
+}
+
+std::size_t DLRMModel::alltoall_bytes(int world) const {
+  // Each rank exchanges its local batch's embedding vectors for every
+  // model-parallel table: B_local x world_tables x dim.
+  const int local_batch = config_.global_batch / world;
+  return static_cast<std::size_t>(local_batch) * world * config_.tables_per_rank *
+         config_.embedding_dim * dtype_size(config_.dtype);
+}
+
+std::size_t DLRMModel::dense_grad_bytes() const {
+  double params = 0.0;
+  int prev = config_.dense_features;
+  for (int d : config_.bottom_mlp) {
+    params += static_cast<double>(prev) * d + d;
+    prev = d;
+  }
+  prev = config_.bottom_mlp.back() + config_.embedding_dim;
+  for (int d : config_.top_mlp) {
+    params += static_cast<double>(prev) * d + d;
+    prev = d;
+  }
+  return static_cast<std::size_t>(params) * dtype_size(config_.dtype);
+}
+
+void DLRMModel::run_steps(CommIssuer& comm, int rank, int steps) const {
+  sim::Device* dev = comm.api().context()->cluster()->device(rank);
+  const int world = comm.api().world_size();
+  const int local_batch = config_.global_batch / std::max(world, 1);
+
+  const SimTime bottom_us = flops_time_us(
+      3.0 * mlp_flops(config_.bottom_mlp, local_batch, config_.dense_features), gpu_tflops_,
+      config_.compute_efficiency);
+  const SimTime top_us = flops_time_us(
+      3.0 * mlp_flops(config_.top_mlp, local_batch,
+                      config_.bottom_mlp.back() + config_.embedding_dim),
+      gpu_tflops_, config_.compute_efficiency);
+  // Embedding lookup: memory-bound gather over the local table shard.
+  const double lookup_bytes = static_cast<double>(local_batch) * world *
+                              config_.tables_per_rank * config_.embedding_dim *
+                              dtype_size(config_.dtype);
+  const SimTime lookup_us = lookup_bytes / gbps_to_bytes_per_us(hbm_gbps_) * 4.0;
+
+  const std::size_t a2a = alltoall_bytes(world);
+  const std::int64_t a2a_numel = static_cast<std::int64_t>(a2a / dtype_size(config_.dtype));
+  const std::int64_t grad_numel =
+      static_cast<std::int64_t>(dense_grad_bytes() / dtype_size(config_.dtype));
+
+  auto alltoall_async = [&] {
+    Tensor in = Tensor::phantom({a2a_numel}, config_.dtype, dev);
+    Tensor out = Tensor::phantom({a2a_numel}, config_.dtype, dev);
+    return comm.all_to_all_single(std::move(out), std::move(in), /*async_op=*/true);
+  };
+
+  // Software pipeline: the forward Alltoall of batch s overlaps the top MLP
+  // of batch s-1 (paper Section III-E).
+  Work pending_fwd_a2a;
+  for (int s = 0; s < steps; ++s) {
+    // Bottom MLP + embedding lookup for this batch.
+    dev->compute(bottom_us, "bottom-mlp");
+    dev->compute(lookup_us, "embedding-lookup");
+    Work fwd_a2a = alltoall_async();
+
+    if (pending_fwd_a2a != nullptr) {
+      // Previous batch's embeddings arrived; run its top MLP + backward.
+      pending_fwd_a2a->wait();
+      dev->compute(top_us, "top-mlp");
+      dev->compute(top_us * 2.0, "top-mlp-bwd");
+      // Backward embedding Alltoall and the dense-gradient allreduce.
+      Work bwd_a2a = alltoall_async();
+      Tensor grads = Tensor::phantom({grad_numel}, config_.dtype, dev);
+      Work ar = comm.all_reduce(std::move(grads), ReduceOp::Sum, /*async_op=*/true);
+      dev->compute(bottom_us * 2.0, "bottom-mlp-bwd");
+      bwd_a2a->wait();
+      ar->wait();
+      dev->compute(lookup_us, "embedding-update");
+    }
+    pending_fwd_a2a = fwd_a2a;
+  }
+  if (pending_fwd_a2a != nullptr) pending_fwd_a2a->synchronize();
+}
+
+}  // namespace mcrdl::models

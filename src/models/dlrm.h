@@ -1,0 +1,46 @@
+// DLRM training workload (paper Sections III-E and VI-4: synthetic 8k
+// batches, bottom MLP 512-512-64, top MLP 1024-1024-1024-1, embedding
+// tables of 1e6 x num_ranks rows).
+//
+// The embedding tables are model-parallel: after the (memory-bound) lookup,
+// a *non-blocking* Alltoall redistributes embedding vectors while the top
+// MLP of the previous batch computes — the overlap structure that makes
+// non-blocking Alltoall a hard requirement (paper Section III-E). The dense
+// MLPs are data-parallel and all-reduce their gradients each step.
+#pragma once
+
+#include "src/models/workload.h"
+
+namespace mcrdl::models {
+
+struct DLRMConfig {
+  int global_batch = 8192;
+  std::vector<int> bottom_mlp = {512, 512, 64};
+  std::vector<int> top_mlp = {1024, 1024, 1024, 1};
+  int embedding_dim = 128;
+  int dense_features = 13;
+  int tables_per_rank = 2;  // paper: table rows scale as 1e6 x num_ranks
+  double compute_efficiency = 0.05;
+  DType dtype = DType::F32;
+};
+
+class DLRMModel : public Model {
+ public:
+  DLRMModel(DLRMConfig config, const net::SystemConfig& system);
+
+  std::string name() const override { return "DLRM"; }
+  double samples_per_step(int world) const override;
+  void run_steps(CommIssuer& comm, int rank, int steps) const override;
+
+  std::size_t alltoall_bytes(int world) const;
+  std::size_t dense_grad_bytes() const;
+
+ private:
+  double mlp_flops(const std::vector<int>& dims, int batch, int input_dim) const;
+
+  DLRMConfig config_;
+  double gpu_tflops_;
+  double hbm_gbps_;
+};
+
+}  // namespace mcrdl::models

@@ -1,0 +1,107 @@
+#include "src/models/megatron.h"
+
+#include <vector>
+
+#include "src/core/process_groups.h"
+
+namespace mcrdl::models {
+
+MegatronDenseModel::MegatronDenseModel(MegatronConfig config, const net::SystemConfig& system)
+    : config_(config), gpu_tflops_(system.gpu_tflops) {
+  MCRDL_REQUIRE(config_.tensor_parallel >= 1, "invalid tensor-parallel degree");
+}
+
+double MegatronDenseModel::samples_per_step(int world) const {
+  // One micro-batch of sequences per model replica per step.
+  return static_cast<double>(config_.micro_batch) * world / config_.tensor_parallel;
+}
+
+std::size_t MegatronDenseModel::activation_bytes() const {
+  return static_cast<std::size_t>(config_.micro_batch) * config_.seq * config_.hidden *
+         dtype_size(config_.dtype);
+}
+
+void MegatronDenseModel::run_steps(CommIssuer& comm, int rank, int steps) const {
+  sim::Device* dev = comm.api().context()->cluster()->device(rank);
+  const int world = comm.api().world_size();
+  const int tp = config_.tensor_parallel;
+  MCRDL_REQUIRE(world % tp == 0, "world size must be divisible by tensor_parallel");
+
+  // TP ranks are contiguous (sharing a node under the block layout); DP
+  // peers stride by the TP degree.
+  ProcessGroups groups(world, tp);
+  CommIssuer tp_comm = comm.group(groups.tp_group(rank));
+  CommIssuer dp_comm = comm.group(groups.dp_group(rank));
+
+  const double tokens = static_cast<double>(config_.micro_batch) * config_.seq;
+  // 6 * params * tokens FLOPs per fwd+bwd step, split across the TP pair.
+  const double step_flops = 6.0 * config_.params * tokens / tp;
+  const SimTime layer_us = flops_time_us(step_flops / config_.layers, gpu_tflops_,
+                                         config_.compute_efficiency);
+
+  const std::int64_t act_numel =
+      static_cast<std::int64_t>(activation_bytes() / dtype_size(config_.dtype));
+  const std::int64_t small_numel =
+      static_cast<std::int64_t>(config_.small_op_bytes / dtype_size(config_.dtype));
+  const double shard_grad_bytes = config_.params / tp * dtype_size(config_.dtype);
+  const int zero_buckets = static_cast<int>(
+      (shard_grad_bytes + config_.zero_bucket_bytes - 1) / config_.zero_bucket_bytes);
+  const std::int64_t bucket_numel =
+      static_cast<std::int64_t>(config_.zero_bucket_bytes / dtype_size(config_.dtype));
+  const int dp = world / tp;
+
+  auto tp_allreduce = [&](std::int64_t numel, bool async) {
+    Tensor t = Tensor::phantom({numel}, config_.dtype, dev);
+    return tp_comm.all_reduce(std::move(t), ReduceOp::Sum, async);
+  };
+
+  for (int s = 0; s < steps; ++s) {
+    // Forward: 2 activation allreduces + the small per-layer ops.
+    for (int layer = 0; layer < config_.layers; ++layer) {
+      dev->compute(layer_us / 3.0, "megatron-fwd");
+      tp_allreduce(act_numel, /*async=*/true)->wait();
+      tp_allreduce(act_numel, /*async=*/true)->wait();
+      for (int k = 0; k < config_.small_ops_per_layer; ++k) {
+        tp_allreduce(small_numel, /*async=*/true)->wait();
+      }
+    }
+    // Backward: compute + activation-gradient allreduces; ZeRO-2 gradient
+    // reduce-scatter buckets issue as layers finish and overlap compute.
+    std::vector<Work> zero_works;
+    int issued = 0;
+    for (int layer = config_.layers - 1; layer >= 0; --layer) {
+      dev->compute(layer_us * 2.0 / 3.0, "megatron-bwd");
+      tp_allreduce(act_numel, /*async=*/true)->wait();
+      tp_allreduce(act_numel, /*async=*/true)->wait();
+      for (int k = 0; k < config_.small_ops_per_layer; ++k) {
+        tp_allreduce(small_numel, /*async=*/true)->wait();
+      }
+      const int target = zero_buckets * (config_.layers - layer) / config_.layers;
+      while (issued < target) {
+        Tensor g = Tensor::phantom({bucket_numel}, config_.dtype, dev);
+        Tensor out = Tensor::phantom({bucket_numel / std::max(dp, 1)}, config_.dtype, dev);
+        zero_works.push_back(
+            dp_comm.reduce_scatter(std::move(out), std::move(g), ReduceOp::Sum, /*async_op=*/true));
+        ++issued;
+      }
+    }
+    while (issued < zero_buckets) {
+      Tensor g = Tensor::phantom({bucket_numel}, config_.dtype, dev);
+      Tensor out = Tensor::phantom({bucket_numel / std::max(dp, 1)}, config_.dtype, dev);
+      zero_works.push_back(
+          dp_comm.reduce_scatter(std::move(out), std::move(g), ReduceOp::Sum, /*async_op=*/true));
+      ++issued;
+    }
+    for (auto& w : zero_works) w->wait();
+    // Optimizer on the shard, then gather the updated fp16 parameters.
+    dev->compute(layer_us, "optimizer");
+    for (int b = 0; b < zero_buckets; ++b) {
+      Tensor shard = Tensor::phantom({bucket_numel / std::max(dp, 1)}, config_.dtype, dev);
+      Tensor full = Tensor::phantom({bucket_numel}, config_.dtype, dev);
+      dp_comm.all_gather(std::move(full), std::move(shard), /*async_op=*/true)->wait();
+    }
+    comm.synchronize();
+  }
+}
+
+}  // namespace mcrdl::models

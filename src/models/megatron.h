@@ -1,0 +1,48 @@
+// Dense Megatron-DeepSpeed training workload (paper Section VI-4: 6.7B
+// parameters, tensor-parallel degree 2, ZeRO stage 2, trained on the Pile).
+//
+// Communication per step:
+//   * two activation Allreduces per layer per pass inside each
+//     tensor-parallel pair (same node, medium messages), plus a handful of
+//     small Allreduces per layer (layernorm/bias terms) — small-message
+//     latency territory, where MVAPICH2-GDR shines;
+//   * ZeRO-2 gradient ReduceScatter across the data-parallel group and the
+//     end-of-step parameter AllGather — huge messages, where synthesized
+//     (SCCL) schedules shine.
+// Mixing the two is what Figure 10 measures.
+#pragma once
+
+#include "src/models/workload.h"
+
+namespace mcrdl::models {
+
+struct MegatronConfig {
+  int layers = 32;         // 6.7B: 32 x hidden 4096
+  int hidden = 4096;
+  int seq = 2048;
+  int micro_batch = 1;
+  int tensor_parallel = 2;
+  double params = 6.7e9;
+  std::size_t zero_bucket_bytes = 128u << 20;
+  int small_ops_per_layer = 4;        // layernorm/bias gradient allreduces
+  std::size_t small_op_bytes = 32u << 10;
+  double compute_efficiency = 0.5;
+  DType dtype = DType::F16;
+};
+
+class MegatronDenseModel : public Model {
+ public:
+  MegatronDenseModel(MegatronConfig config, const net::SystemConfig& system);
+
+  std::string name() const override { return "Megatron-Dense"; }
+  double samples_per_step(int world) const override;
+  void run_steps(CommIssuer& comm, int rank, int steps) const override;
+
+  std::size_t activation_bytes() const;
+
+ private:
+  MegatronConfig config_;
+  double gpu_tflops_;
+};
+
+}  // namespace mcrdl::models

@@ -1,0 +1,50 @@
+// DeepSpeed-MoE training workload (paper Section VI-4: the 4B-parameter
+// 350M+PR-MoE-32/64 model trained on the Pile).
+//
+// Communication pattern per step:
+//   * every MoE layer does an Alltoall token dispatch and an Alltoall
+//     combine in the forward pass, and the mirror pair in backward — the
+//     operations that come to dominate at scale (paper Section III-D);
+//   * the dense (non-expert) gradients are all-reduced in buckets that
+//     overlap the backward compute, like DDP.
+// Payloads are phantom tensors (timing-only) sized from the config.
+#pragma once
+
+#include "src/models/workload.h"
+
+namespace mcrdl::models {
+
+struct DSMoEConfig {
+  int layers = 24;          // 350M base: 24 x hidden 1024
+  int hidden = 1024;
+  int seq = 1024;
+  int micro_batch = 2;      // sequences per GPU per step
+  int moe_every = 2;        // every other layer hosts experts (PR-MoE)
+  // Expert-parallel degree: the token Alltoall runs within groups of this
+  // many ranks. 0 = the whole world (DeepSpeed-MoE's default when the
+  // expert count matches the world size).
+  int expert_parallel = 0;
+  double base_params = 350e6;
+  std::size_t grad_bucket_bytes = 25u << 20;
+  double compute_efficiency = 0.45;  // fraction of peak FLOPs achieved
+  DType dtype = DType::F16;
+};
+
+class DSMoEModel : public Model {
+ public:
+  DSMoEModel(DSMoEConfig config, const net::SystemConfig& system);
+
+  std::string name() const override { return "DS-MoE"; }
+  double samples_per_step(int world) const override;
+  void run_steps(CommIssuer& comm, int rank, int steps) const override;
+
+  // Bytes of one Alltoall dispatch/combine payload.
+  std::size_t alltoall_bytes() const;
+  int moe_layers() const { return config_.layers / config_.moe_every; }
+
+ private:
+  DSMoEConfig config_;
+  double gpu_tflops_;
+};
+
+}  // namespace mcrdl::models

@@ -1,0 +1,39 @@
+#include "src/models/resnet.h"
+
+#include <vector>
+
+namespace mcrdl::models {
+
+ResNet50Model::ResNet50Model(ResNet50Config config, const net::SystemConfig& system)
+    : config_(config), gpu_tflops_(system.gpu_tflops) {}
+
+double ResNet50Model::samples_per_step(int world) const {
+  return static_cast<double>(config_.batch_per_gpu) * world;
+}
+
+void ResNet50Model::run_steps(CommIssuer& comm, int rank, int steps) const {
+  sim::Device* dev = comm.api().context()->cluster()->device(rank);
+  const double step_flops = config_.flops_per_sample * config_.batch_per_gpu;
+  const SimTime fwd_us =
+      flops_time_us(step_flops / 3.0, gpu_tflops_, config_.compute_efficiency);
+  const SimTime bwd_us = 2.0 * fwd_us;
+  const std::int64_t bucket_numel =
+      static_cast<std::int64_t>(config_.params / config_.grad_buckets);
+
+  for (int s = 0; s < steps; ++s) {
+    dev->compute(fwd_us, "resnet-fwd");
+    // Backward in chunks; each chunk's gradients all-reduce while the next
+    // chunk computes (DDP-style overlap).
+    std::vector<Work> works;
+    for (int b = 0; b < config_.grad_buckets; ++b) {
+      dev->compute(bwd_us / config_.grad_buckets, "resnet-bwd");
+      Tensor g = Tensor::phantom({bucket_numel}, config_.grad_dtype, dev);
+      works.push_back(comm.all_reduce(std::move(g), ReduceOp::Sum, /*async_op=*/true));
+    }
+    for (auto& w : works) w->wait();
+    dev->compute(fwd_us * 0.05, "optimizer");
+    comm.synchronize();
+  }
+}
+
+}  // namespace mcrdl::models

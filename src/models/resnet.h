@@ -1,0 +1,35 @@
+// ResNet-50 data-parallel training workload (paper Figure 1's
+// compute-dominated baseline): per-step forward/backward compute plus
+// bucketed gradient Allreduce overlapping the backward pass. The only
+// significant communication is Allreduce, which is why monolithic
+// single-backend frameworks already serve data-parallel models well
+// (paper Section I-C).
+#pragma once
+
+#include "src/models/workload.h"
+
+namespace mcrdl::models {
+
+struct ResNet50Config {
+  int batch_per_gpu = 32;
+  double params = 25.5e6;
+  double flops_per_sample = 12.0e9;  // ~4 GF forward + 8 GF backward
+  int grad_buckets = 4;
+  double compute_efficiency = 0.09;  // achieved fraction of peak on conv nets
+  DType grad_dtype = DType::F32;
+};
+
+class ResNet50Model : public Model {
+ public:
+  ResNet50Model(ResNet50Config config, const net::SystemConfig& system);
+
+  std::string name() const override { return "ResNet-50"; }
+  double samples_per_step(int world) const override;
+  void run_steps(CommIssuer& comm, int rank, int steps) const override;
+
+ private:
+  ResNet50Config config_;
+  double gpu_tflops_;
+};
+
+}  // namespace mcrdl::models

@@ -1,0 +1,83 @@
+#include "src/net/comm_types.h"
+
+namespace mcrdl {
+
+const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::Send: return "send";
+    case OpType::Recv: return "recv";
+    case OpType::Broadcast: return "broadcast";
+    case OpType::Reduce: return "reduce";
+    case OpType::AllReduce: return "all_reduce";
+    case OpType::AllGather: return "all_gather";
+    case OpType::AllGatherV: return "all_gatherv";
+    case OpType::Gather: return "gather";
+    case OpType::GatherV: return "gatherv";
+    case OpType::Scatter: return "scatter";
+    case OpType::ScatterV: return "scatterv";
+    case OpType::ReduceScatter: return "reduce_scatter";
+    case OpType::AllToAll: return "all_to_all";
+    case OpType::AllToAllSingle: return "all_to_all_single";
+    case OpType::AllToAllV: return "all_to_allv";
+    case OpType::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Prod: return "prod";
+    case ReduceOp::Min: return "min";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Avg: return "avg";
+  }
+  return "?";
+}
+
+bool op_from_name(const std::string& name, OpType& out) {
+  static const OpType all[] = {
+      OpType::Send,    OpType::Recv,     OpType::Broadcast,      OpType::Reduce,
+      OpType::AllReduce, OpType::AllGather, OpType::AllGatherV,  OpType::Gather,
+      OpType::GatherV, OpType::Scatter,  OpType::ScatterV,       OpType::ReduceScatter,
+      OpType::AllToAll, OpType::AllToAllSingle, OpType::AllToAllV, OpType::Barrier};
+  for (OpType op : all) {
+    if (name == op_name(op)) {
+      out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_alltoall_like(OpType op) {
+  return op == OpType::AllToAll || op == OpType::AllToAllSingle || op == OpType::AllToAllV;
+}
+
+bool is_rooted(OpType op) {
+  switch (op) {
+    case OpType::Broadcast:
+    case OpType::Reduce:
+    case OpType::Gather:
+    case OpType::GatherV:
+    case OpType::Scatter:
+    case OpType::ScatterV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_vector_collective(OpType op) {
+  switch (op) {
+    case OpType::GatherV:
+    case OpType::ScatterV:
+    case OpType::AllGatherV:
+    case OpType::AllToAllV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mcrdl

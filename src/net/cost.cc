@@ -1,0 +1,308 @@
+#include "src/net/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcrdl::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+int ceil_log2(int n) {
+  MCRDL_REQUIRE(n >= 1, "ceil_log2 of non-positive value");
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+double BackendProfile::bw_efficiency(OpType op) const {
+  auto it = bw_eff.find(op);
+  return it != bw_eff.end() ? it->second : default_bw_eff;
+}
+
+CommShape CommShape::over(const Topology& topo, int world_used) {
+  MCRDL_REQUIRE(world_used >= 1 && world_used <= topo.world_size(),
+                "communicator size out of range for topology");
+  CommShape s;
+  s.world = world_used;
+  const int g = topo.gpus_per_node();
+  s.ppn = std::min(world_used, g);
+  s.nodes = (world_used + g - 1) / g;
+  return s;
+}
+
+CostModel::CostModel(const Topology* topo, BackendProfile profile)
+    : topo_(topo), profile_(std::move(profile)) {
+  MCRDL_REQUIRE(topo_ != nullptr, "CostModel needs a topology");
+}
+
+CostModel::Terms CostModel::terms_for(const CommShape& shape, OpType op) const {
+  const SystemConfig& cfg = topo_->config();
+  const double eff = profile_.bw_efficiency(op);
+  Terms t;
+  t.alpha_intra = cfg.intra_node.latency_us + profile_.step_latency_us;
+  t.alpha_inter = cfg.inter_node.latency_us + profile_.step_latency_us;
+  t.beta_intra =
+      gbps_to_bytes_per_us(cfg.intra_node.bandwidth_gbps) * eff * profile_.intra_bw_scale;
+  t.beta_inter_gpu = gbps_to_bytes_per_us(topo_->inter_node_bw_per_gpu(shape.ppn)) * eff;
+  t.red_bw = gbps_to_bytes_per_us(std::max(profile_.reduction_gbps, 1.0));
+  if (shape.nodes <= 1) {
+    t.alpha_mixed = t.alpha_intra;
+    t.beta_mixed = t.beta_intra;
+  } else {
+    const double p = shape.world;
+    const double intra_frac = (p - shape.nodes) / p;
+    const double inter_frac = shape.nodes / p;
+    t.alpha_mixed = intra_frac * t.alpha_intra + inter_frac * t.alpha_inter;
+    const double inv = intra_frac / t.beta_intra + inter_frac / t.beta_inter_gpu;
+    t.beta_mixed = 1.0 / inv;
+  }
+  return t;
+}
+
+namespace {
+
+// Per-hop latency of a pipelined ring step: the profile's pipeline factor
+// scales how much of the raw link latency is exposed per hop.
+double ring_hop_alpha(const BackendProfile& p, double link_latency) {
+  return link_latency * p.ring_pipeline_factor + p.step_latency_us;
+}
+
+}  // namespace
+
+SimTime CostModel::collective_cost(OpType op, std::size_t bytes, const CommShape& shape) const {
+  MCRDL_REQUIRE(shape.world >= 1, "collective over empty communicator");
+  if (shape.world == 1) return profile_.launch_overhead_us;
+  const Terms t = terms_for(shape, op);
+  double cost = kInf;
+  switch (op) {
+    case OpType::AllReduce:
+      cost = allreduce_cost(bytes, shape, t);
+      break;
+    case OpType::AllGather:
+    case OpType::AllGatherV:
+      cost = allgather_cost(bytes, shape, t);
+      break;
+    case OpType::ReduceScatter:
+      cost = reduce_scatter_cost(bytes, shape, t);
+      break;
+    case OpType::Broadcast:
+      cost = broadcast_cost(bytes, shape, t);
+      break;
+    case OpType::Reduce:
+      cost = reduce_cost(bytes, shape, t);
+      break;
+    case OpType::Gather:
+    case OpType::GatherV:
+    case OpType::Scatter:
+    case OpType::ScatterV:
+      cost = gather_cost(bytes, shape, t);
+      break;
+    case OpType::AllToAll:
+    case OpType::AllToAllSingle:
+    case OpType::AllToAllV:
+      cost = alltoall_cost(bytes, shape, t);
+      break;
+    case OpType::Barrier:
+      cost = barrier_cost(shape, t);
+      break;
+    case OpType::Send:
+    case OpType::Recv:
+      // Point-to-point cost requires endpoints; callers use p2p_cost().
+      MCRDL_REQUIRE(false, "send/recv costs come from p2p_cost()");
+  }
+  MCRDL_CHECK(cost != kInf) << "no applicable algorithm for " << op_name(op) << " in backend "
+                            << profile_.name;
+  return profile_.launch_overhead_us + cost;
+}
+
+SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
+  const LinkSpec& link = topo_->link(src, dst);
+  const double eff = profile_.bw_efficiency(OpType::Send);
+  double cost = profile_.launch_overhead_us * 0.5 + profile_.p2p_latency_us +
+                link.latency_us +
+                static_cast<double>(bytes) / (gbps_to_bytes_per_us(link.bandwidth_gbps) * eff);
+  if (bytes > profile_.eager_threshold) cost += profile_.rendezvous_overhead_us;
+  return cost;
+}
+
+// --- per-operation algorithm menus -----------------------------------------
+
+SimTime CostModel::allreduce_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  const double S = static_cast<double>(bytes);
+  const double P = s.world;
+  const SystemConfig& cfg = topo_->config();
+  double best = kInf;
+  if (has(Algo::Ring)) {
+    const double hops = 2.0 * (P - 1.0);
+    const double intra_frac = (P - s.nodes) / P;
+    const double inter_frac = s.nodes > 1 ? s.nodes / P : 0.0;
+    const double alpha =
+        intra_frac * ring_hop_alpha(profile_, cfg.intra_node.latency_us) +
+        inter_frac * ring_hop_alpha(profile_, cfg.inter_node.latency_us);
+    const double bw = 2.0 * (P - 1.0) / P * S / t.beta_mixed;
+    best = std::min(best, hops * alpha + bw + S / t.red_bw);
+  }
+  if (has(Algo::DoubleBinaryTree)) {
+    const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+    const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+    best = std::min(best, 2.0 * ceil_log2(s.world) * alpha + 2.0 * S / beta + S / t.red_bw);
+  }
+  if (has(Algo::RecursiveDoubling)) {
+    const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+    const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+    best = std::min(best, ceil_log2(s.world) * (alpha + S / beta + S / t.red_bw));
+  }
+  if (has(Algo::TwoLevel) && s.nodes > 1 && s.ppn > 1) {
+    const double beta_node =
+        gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::AllReduce);
+    const double intra_reduce = ceil_log2(s.ppn) * (t.alpha_intra + S / t.beta_intra + S / t.red_bw);
+    const double inter = ceil_log2(s.nodes) * (t.alpha_inter + S / beta_node + S / t.red_bw);
+    const double intra_bcast = ceil_log2(s.ppn) * (t.alpha_intra + S / t.beta_intra);
+    best = std::min(best, intra_reduce + inter + intra_bcast);
+  }
+  return best;
+}
+
+SimTime CostModel::allgather_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  const double S = static_cast<double>(bytes);  // per-rank contribution
+  const double P = s.world;
+  const SystemConfig& cfg = topo_->config();
+  double best = kInf;
+  if (has(Algo::Ring)) {
+    const double intra_frac = (P - s.nodes) / P;
+    const double inter_frac = s.nodes > 1 ? s.nodes / P : 0.0;
+    const double alpha =
+        intra_frac * ring_hop_alpha(profile_, cfg.intra_node.latency_us) +
+        inter_frac * ring_hop_alpha(profile_, cfg.inter_node.latency_us);
+    best = std::min(best, (P - 1.0) * alpha + (P - 1.0) * S / t.beta_mixed);
+  }
+  if (has(Algo::RecursiveDoubling)) {
+    const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+    const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+    best = std::min(best, ceil_log2(s.world) * alpha + (P - 1.0) * S / beta);
+  }
+  if (has(Algo::TwoLevel) && profile_.overlapped_two_level && s.nodes > 1 && s.ppn > 1) {
+    const double beta_node =
+        gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::AllGather);
+    const double lat = 2.0 * ceil_log2(s.ppn) * t.alpha_intra + ceil_log2(s.nodes) * t.alpha_inter;
+    const double inter_bw = (s.nodes - 1.0) * s.ppn * S / beta_node;
+    const double intra_bw = P * S / t.beta_intra;
+    const double gather_bw = (s.ppn - 1.0) * S / t.beta_intra;
+    // Synthesized schedules overlap the intra broadcast with the inter
+    // exchange, so the wire term is the max of the two, not the sum.
+    best = std::min(best, lat + std::max(inter_bw, intra_bw) + gather_bw);
+  }
+  return best;
+}
+
+SimTime CostModel::reduce_scatter_cost(std::size_t bytes, const CommShape& s,
+                                       const Terms& t) const {
+  const double S = static_cast<double>(bytes);
+  const double P = s.world;
+  const SystemConfig& cfg = topo_->config();
+  double best = kInf;
+  if (has(Algo::Ring)) {
+    const double intra_frac = (P - s.nodes) / P;
+    const double inter_frac = s.nodes > 1 ? s.nodes / P : 0.0;
+    const double alpha =
+        intra_frac * ring_hop_alpha(profile_, cfg.intra_node.latency_us) +
+        inter_frac * ring_hop_alpha(profile_, cfg.inter_node.latency_us);
+    best = std::min(best,
+                    (P - 1.0) * alpha + (P - 1.0) / P * S / t.beta_mixed + (P - 1.0) / P * S / t.red_bw);
+  }
+  if (has(Algo::RecursiveDoubling)) {
+    const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+    const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+    best = std::min(best,
+                    ceil_log2(s.world) * alpha + (P - 1.0) / P * S / beta + (P - 1.0) / P * S / t.red_bw);
+  }
+  return best;
+}
+
+SimTime CostModel::broadcast_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  const double S = static_cast<double>(bytes);
+  const double P = s.world;
+  double best = kInf;
+  const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+  const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+  if (has(Algo::BinomialTree) || has(Algo::DoubleBinaryTree)) {
+    best = std::min(best, ceil_log2(s.world) * (alpha + S / beta));
+  }
+  if (has(Algo::Ring)) {
+    // Scatter + allgather (van de Geijn): bandwidth-optimal for large S.
+    best = std::min(best, ceil_log2(s.world) * alpha + 2.0 * (P - 1.0) / P * S / t.beta_mixed);
+  }
+  return best;
+}
+
+SimTime CostModel::reduce_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  const double S = static_cast<double>(bytes);
+  const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+  const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
+  // Binomial reduction tree; every level moves and reduces the payload.
+  return ceil_log2(s.world) * (alpha + S / beta + S / t.red_bw);
+}
+
+SimTime CostModel::gather_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  const double S = static_cast<double>(bytes);  // per-rank payload
+  const SystemConfig& cfg = topo_->config();
+  // Binomial tree latency; the root's links are the bandwidth bottleneck:
+  // (ppn-1) local payloads arrive over NVLink, the rest through the NIC.
+  const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+  const double beta_nic =
+      gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::Gather);
+  const double intra_bw = (s.ppn - 1.0) * S / t.beta_intra;
+  const double inter_bw = s.nodes > 1 ? (s.world - s.ppn) * S / beta_nic : 0.0;
+  return ceil_log2(s.world) * alpha + intra_bw + inter_bw;
+}
+
+SimTime CostModel::alltoall_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
+  // `bytes` is the total local buffer; each rank exchanges bytes/P per peer.
+  const double P = s.world;
+  const double m = static_cast<double>(bytes) / P;
+  const SystemConfig& cfg = topo_->config();
+  const double intra_peers = s.ppn - 1.0;
+  const double inter_peers = P - s.ppn;
+  double best = kInf;
+  if (has(Algo::Bruck)) {
+    const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+    best = std::min(best,
+                    ceil_log2(s.world) * (alpha + static_cast<double>(bytes) / 2.0 / t.beta_mixed));
+  }
+  if (has(Algo::PairwiseExchange)) {
+    // One peer per round; inter-node rounds are built on the backend's
+    // network p2p path and pay its per-peer latency — the term that makes
+    // NCCL's Alltoall scale poorly with P (paper Section I-C). Intra-node
+    // rounds are direct NVLink copies.
+    const double intra_alpha = cfg.intra_node.latency_us * profile_.ring_pipeline_factor +
+                               profile_.step_latency_us;
+    const double inter_alpha = cfg.inter_node.latency_us * profile_.ring_pipeline_factor +
+                               profile_.step_latency_us + profile_.p2p_latency_us;
+    const double lat = intra_peers * intra_alpha + inter_peers * inter_alpha;
+    const double bw = intra_peers * m / t.beta_intra + inter_peers * m / t.beta_inter_gpu;
+    best = std::min(best, lat + bw);
+  }
+  if (has(Algo::ScatteredExchange)) {
+    // GDR-style: all sends posted up front, intra- and inter-node traffic
+    // overlap; per-round software cost is a fraction of a step.
+    const double lat = (s.nodes > 1 ? t.alpha_inter : t.alpha_intra) +
+                       (P - 2.0) * 0.25 * profile_.step_latency_us;
+    const double bw = std::max(intra_peers * m / t.beta_intra, inter_peers * m / t.beta_inter_gpu);
+    best = std::min(best, lat + bw);
+  }
+  return best;
+}
+
+SimTime CostModel::barrier_cost(const CommShape& s, const Terms& t) const {
+  const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
+  return ceil_log2(s.world) * alpha;
+}
+
+}  // namespace mcrdl::net

@@ -1,0 +1,149 @@
+// Analytic collective-communication cost models.
+//
+// Every backend is characterised by a BackendProfile (latencies, achieved
+// bandwidth fractions per operation, and the set of algorithm templates its
+// implementation uses). CostModel evaluates the classical α/β cost of each
+// applicable algorithm over a two-level (intra-node NVLink / inter-node IB)
+// topology and returns the cheapest — mirroring how real libraries select
+// algorithms by message size and scale. All the paper's performance
+// crossovers (NCCL wins large Allreduce, MVAPICH2-GDR wins small messages
+// and Alltoall at scale, SCCL wins large All_gather) emerge from these
+// models; `tests/net/calibration_test.cc` pins the orderings.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/comm_types.h"
+#include "src/net/topology.h"
+
+namespace mcrdl::net {
+
+// Shape of a communicator over the block rank layout.
+struct CommShape {
+  int world = 1;  // ranks in the communicator
+  int nodes = 1;  // nodes spanned
+  int ppn = 1;    // ranks per node
+
+  // Shape of a communicator covering ranks [0, world_used) of `topo`.
+  static CommShape over(const Topology& topo, int world_used);
+  static CommShape over(const Topology& topo) { return over(topo, topo.world_size()); }
+};
+
+// Algorithm templates a backend implementation may employ.
+enum class Algo {
+  Ring,               // bandwidth-optimal rings (NCCL's workhorse)
+  DoubleBinaryTree,   // NCCL's latency tree for allreduce/broadcast
+  RecursiveDoubling,  // MPI latency-optimal power-of-two exchanges
+  BinomialTree,       // rooted MPI collectives
+  Bruck,              // small-message alltoall
+  PairwiseExchange,   // large-message alltoall, one peer per round
+  ScatteredExchange,  // GDR-style alltoall with intra/inter overlap
+  TwoLevel,           // hierarchical node-leader algorithms
+};
+
+// Performance personality of one communication backend.
+struct BackendProfile {
+  std::string name;          // registry key, e.g. "mv2-gdr"
+  std::string display_name;  // e.g. "MVAPICH2-GDR"
+
+  double launch_overhead_us = 0.0;  // fixed critical-path cost per operation
+  double step_latency_us = 0.0;     // software α added to every algorithm step
+  double p2p_latency_us = 0.0;      // extra latency per point-to-point message
+  double reduction_gbps = 0.0;      // on-GPU reduction arithmetic bandwidth
+
+  std::size_t eager_threshold = 0;     // p2p messages <= this skip rendezvous
+  double rendezvous_overhead_us = 0.0; // extra RTT-ish cost for large p2p
+
+  // Fraction of the hardware link latency visible per ring hop; kernel-level
+  // chunk pipelining (NCCL) hides most of it, host-driven MPI rings do not.
+  double ring_pipeline_factor = 1.0;
+
+  // Whether the library's two-level schedules overlap intra-node and
+  // inter-node traffic (synthesized MSCCL/SCCL schedules do; classic MPI
+  // hierarchical collectives run the phases back to back).
+  bool overlapped_two_level = false;
+
+  // Fraction of NVLink bandwidth the library reaches inside a node, applied
+  // on top of the per-op efficiency. Kernel-based libraries (NCCL/SCCL)
+  // drive NVLink directly; host-mediated MPI over CUDA IPC reaches far less.
+  double intra_bw_scale = 1.0;
+
+  bool stream_aware = false;             // synchronises via CUDA streams
+  bool native_vector_collectives = false;
+  bool supports_all_ops = true;          // full MPI operation coverage
+
+  std::set<Algo> algorithms;
+  // Operations the library implements natively; ops absent from a non-empty
+  // set must be emulated by MCR-DL's emulation layer (paper Section V-B).
+  std::set<OpType> native_ops;
+  std::map<OpType, double> bw_eff;  // achieved fraction of link bandwidth per op
+  double default_bw_eff = 0.8;
+
+  double bw_efficiency(OpType op) const;
+  bool is_native(OpType op) const { return native_ops.empty() || native_ops.count(op) > 0; }
+};
+
+// Ready-made profiles for the four backends the paper evaluates.
+BackendProfile nccl_profile();
+BackendProfile mv2_gdr_profile();
+BackendProfile ompi_profile();
+BackendProfile sccl_profile();
+// Extensibility demo (paper Section V-B): a host-side Gloo-style backend
+// added purely by defining a profile — not part of the paper's evaluation.
+BackendProfile gloo_profile();
+// All of the above, in the paper's order.
+std::vector<BackendProfile> all_backend_profiles();
+
+// Evaluates operation costs for one backend over one topology.
+class CostModel {
+ public:
+  CostModel(const Topology* topo, BackendProfile profile);
+
+  // Virtual-time cost of a collective. `bytes` follows the PyTorch
+  // convention: the per-rank input payload for allreduce/allgather/
+  // reduce_scatter/bcast/gather/scatter, and the *total local buffer* for
+  // the alltoall family.
+  SimTime collective_cost(OpType op, std::size_t bytes, const CommShape& shape) const;
+
+  // Virtual-time cost of one point-to-point message between two ranks.
+  SimTime p2p_cost(std::size_t bytes, int src, int dst) const;
+
+  const BackendProfile& profile() const { return profile_; }
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  // Derived per-shape link terms (bytes/µs and µs).
+  struct Terms {
+    double alpha_intra;    // per-step latency, intra-node
+    double alpha_inter;    // per-step latency, inter-node
+    double alpha_mixed;    // ppn-weighted average step latency
+    double beta_intra;     // bytes/µs over NVLink (efficiency applied)
+    double beta_inter_gpu; // bytes/µs per GPU over the NIC, all ppn active
+    double beta_mixed;     // harmonic step mix for ring laps
+    double red_bw;         // bytes/µs of reduction arithmetic
+  };
+  Terms terms_for(const CommShape& shape, OpType op) const;
+
+  bool has(Algo a) const { return profile_.algorithms.count(a) > 0; }
+
+  SimTime allreduce_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime allgather_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime reduce_scatter_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime broadcast_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime reduce_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime gather_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime alltoall_cost(std::size_t bytes, const CommShape& s, const Terms& t) const;
+  SimTime barrier_cost(const CommShape& s, const Terms& t) const;
+
+  const Topology* topo_;
+  BackendProfile profile_;
+};
+
+// ceil(log2(n)) with log2(1) == 0; shared by the algorithm formulas.
+int ceil_log2(int n);
+
+}  // namespace mcrdl::net

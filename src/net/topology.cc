@@ -1,0 +1,72 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+
+namespace mcrdl::net {
+
+SystemConfig SystemConfig::lassen(int num_nodes) {
+  MCRDL_REQUIRE(num_nodes >= 1, "lassen node count must be >= 1");
+  SystemConfig c;
+  c.name = "Lassen";
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 4;
+  // NVLink2 on a 4-GPU POWER9 node: ~50 GB/s effective per GPU pair.
+  c.intra_node = LinkSpec{1.8, 50.0};
+  // Mellanox EDR (2 HCAs/node on Lassen): ~21 GB/s node injection; a single
+  // GPU pair across nodes sees the full path latency and NIC share.
+  c.inter_node = LinkSpec{3.5, 10.5};
+  c.nic_bandwidth_gbps = 21.0;
+  c.pcie_bandwidth_gbps = 12.0;
+  c.pcie_latency_us = 4.0;
+  // V100: 15.7 fp32 TFLOPs, ~50 effective mixed-precision TFLOPs for DL.
+  c.gpu_tflops = 50.0;
+  c.hbm_gbps = 800.0;
+  return c;
+}
+
+SystemConfig SystemConfig::theta_gpu(int num_nodes) {
+  MCRDL_REQUIRE(num_nodes >= 1, "theta_gpu node count must be >= 1");
+  SystemConfig c;
+  c.name = "ThetaGPU";
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 8;
+  // NVLink3 / NVSwitch inside a DGX-A100: ~220 GB/s effective per GPU.
+  c.intra_node = LinkSpec{1.2, 220.0};
+  // 8×HDR-200 HCAs per DGX node: ~20 GB/s per GPU across nodes.
+  c.inter_node = LinkSpec{2.5, 20.0};
+  c.nic_bandwidth_gbps = 160.0;
+  c.pcie_bandwidth_gbps = 24.0;
+  c.pcie_latency_us = 3.0;
+  // A100: ~150 effective mixed-precision TFLOPs.
+  c.gpu_tflops = 150.0;
+  c.hbm_gbps = 1550.0;
+  return c;
+}
+
+Topology::Topology(SystemConfig config) : config_(std::move(config)) {
+  MCRDL_REQUIRE(config_.num_nodes >= 1, "topology needs >= 1 node");
+  MCRDL_REQUIRE(config_.gpus_per_node >= 1, "topology needs >= 1 GPU per node");
+}
+
+int Topology::node_of(int rank) const {
+  MCRDL_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  return rank / config_.gpus_per_node;
+}
+
+int Topology::local_of(int rank) const {
+  MCRDL_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  return rank % config_.gpus_per_node;
+}
+
+const LinkSpec& Topology::link(int a, int b) const {
+  return same_node(a, b) ? config_.intra_node : config_.inter_node;
+}
+
+double Topology::inter_node_bw_per_gpu(int concurrent) const {
+  MCRDL_REQUIRE(concurrent >= 1, "concurrent GPU count must be >= 1");
+  const double share = config_.nic_bandwidth_gbps / static_cast<double>(concurrent);
+  // A single GPU cannot exceed its own HCA path.
+  return std::min(share, config_.inter_node.bandwidth_gbps);
+}
+
+}  // namespace mcrdl::net

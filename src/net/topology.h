@@ -1,0 +1,78 @@
+// Cluster topology description: nodes × GPUs-per-node, intra-node (NVLink)
+// and inter-node (InfiniBand) link characteristics, plus presets for the two
+// systems the paper evaluates on (Lassen and ThetaGPU).
+//
+// Ranks are laid out block-wise: rank r lives on node r / gpus_per_node,
+// local device r % gpus_per_node — the standard `ppn` launch layout the
+// paper's "16 node 4 ppn" captions describe.
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace mcrdl::net {
+
+// One physical link class: first-byte latency plus sustained bandwidth.
+struct LinkSpec {
+  double latency_us = 0.0;
+  double bandwidth_gbps = 0.0;  // GB/s (1e9 bytes/s)
+
+  // Time to move `bytes` over this link once, ignoring contention.
+  SimTime transfer_time(std::size_t bytes) const {
+    return latency_us + transfer_time_us(bytes, bandwidth_gbps);
+  }
+};
+
+// Full machine description. Bandwidth figures are effective, per-direction
+// numbers in GB/s; compute figures feed the workload models' kernel
+// durations.
+struct SystemConfig {
+  std::string name;
+  int num_nodes = 1;
+  int gpus_per_node = 1;
+
+  LinkSpec intra_node;        // GPU<->GPU over NVLink within a node
+  LinkSpec inter_node;        // GPU<->GPU across nodes (through the NIC)
+  double nic_bandwidth_gbps = 0.0;  // per-node injection bandwidth (shared by local GPUs)
+  double pcie_bandwidth_gbps = 0.0; // host staging path (D2H/H2D)
+  double pcie_latency_us = 0.0;
+
+  double gpu_tflops = 0.0;    // effective mixed-precision throughput per GPU
+  double hbm_gbps = 0.0;      // device memory bandwidth (memory-bound kernels)
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+
+  // Lassen (LLNL): 4×16GB V100 per node, POWER9, Mellanox IB EDR fat-tree.
+  static SystemConfig lassen(int num_nodes);
+  // ThetaGPU (ALCF): DGX-A100 nodes — 8×40GB A100, AMD Rome, HDR IB.
+  static SystemConfig theta_gpu(int num_nodes);
+};
+
+// Rank→hardware mapping helpers over a SystemConfig.
+class Topology {
+ public:
+  explicit Topology(SystemConfig config);
+
+  const SystemConfig& config() const { return config_; }
+  int world_size() const { return config_.world_size(); }
+  int num_nodes() const { return config_.num_nodes; }
+  int gpus_per_node() const { return config_.gpus_per_node; }
+
+  int node_of(int rank) const;
+  int local_of(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  // Point-to-point link between two ranks (intra- or inter-node class).
+  const LinkSpec& link(int a, int b) const;
+
+  // Effective per-GPU inter-node bandwidth when `concurrent` GPUs on one
+  // node drive the NIC simultaneously (NIC injection bandwidth is shared).
+  double inter_node_bw_per_gpu(int concurrent) const;
+
+ private:
+  SystemConfig config_;
+};
+
+}  // namespace mcrdl::net

@@ -1,0 +1,194 @@
+#include "src/sim/device.h"
+
+#include <utility>
+
+namespace mcrdl::sim {
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+void Event::synchronize() {
+  host_waiters_.wait([&] { return complete_; });
+}
+
+void Event::reset() {
+  MCRDL_CHECK(stream_waiters_.empty()) << "reset of an Event with stalled stream waiters";
+  complete_ = false;
+  completion_time_ = 0.0;
+}
+
+void Event::on_complete(std::function<void()> fn) {
+  if (complete_) {
+    fn();
+    return;
+  }
+  callbacks_.push_back(std::move(fn));
+}
+
+void Event::mark_complete(SimTime t) {
+  complete_ = true;
+  completion_time_ = t;
+  auto callbacks = std::move(callbacks_);
+  callbacks_.clear();
+  for (auto& fn : callbacks) fn();
+  host_waiters_.notify_all();
+  std::vector<Stream*> waiters;
+  waiters.swap(stream_waiters_);
+  for (Stream* s : waiters) s->resume();
+}
+
+// ---------------------------------------------------------------------------
+// StreamGate
+// ---------------------------------------------------------------------------
+
+void StreamGate::open() {
+  if (open_) return;
+  open_ = true;
+  std::vector<Stream*> waiters;
+  waiters.swap(waiters_);
+  for (Stream* s : waiters) s->resume();
+}
+
+// ---------------------------------------------------------------------------
+// Stream
+// ---------------------------------------------------------------------------
+
+Stream::Stream(Scheduler* sched, Device* device, std::string name)
+    : sched_(sched), device_(device), name_(std::move(name)), quiescent_(sched) {}
+
+void Stream::launch_kernel(SimTime duration, std::function<void()> on_complete,
+                           std::string label) {
+  MCRDL_REQUIRE(duration >= 0.0, "kernel duration must be non-negative");
+  Op op;
+  op.kind = Op::Kind::Kernel;
+  op.duration = duration;
+  op.fn = std::move(on_complete);
+  op.label = std::move(label);
+  enqueue(std::move(op));
+}
+
+void Stream::record_event(const std::shared_ptr<Event>& event) {
+  MCRDL_REQUIRE(event != nullptr, "record_event with null event");
+  Op op;
+  op.kind = Op::Kind::Record;
+  op.event = event;
+  enqueue(std::move(op));
+}
+
+void Stream::wait_event(std::shared_ptr<Event> event) {
+  MCRDL_REQUIRE(event != nullptr, "wait_event with null event");
+  Op op;
+  op.kind = Op::Kind::WaitEvent;
+  op.event = std::move(event);
+  enqueue(std::move(op));
+}
+
+void Stream::wait_gate(std::shared_ptr<StreamGate> gate) {
+  MCRDL_REQUIRE(gate != nullptr, "wait_gate with null gate");
+  Op op;
+  op.kind = Op::Kind::Gate;
+  op.gate = std::move(gate);
+  enqueue(std::move(op));
+}
+
+void Stream::add_callback(std::function<void()> fn) {
+  MCRDL_REQUIRE(fn != nullptr, "add_callback with null function");
+  Op op;
+  op.kind = Op::Kind::Callback;
+  op.fn = std::move(fn);
+  enqueue(std::move(op));
+}
+
+void Stream::synchronize() {
+  quiescent_.wait([&] { return idle(); });
+}
+
+void Stream::enqueue(Op op) {
+  queue_.push_back(std::move(op));
+  if (state_ == State::Idle && !pumping_) pump();
+}
+
+void Stream::resume() {
+  MCRDL_CHECK(state_ == State::Stalled) << "resume of a stream that is not stalled";
+  state_ = State::Idle;
+  if (!pumping_) pump();
+}
+
+void Stream::pump() {
+  struct PumpGuard {
+    bool& flag;
+    explicit PumpGuard(bool& f) : flag(f) { flag = true; }
+    ~PumpGuard() { flag = false; }
+  } guard(pumping_);
+
+  while (!queue_.empty()) {
+    Op& front = queue_.front();
+    switch (front.kind) {
+      case Op::Kind::Kernel: {
+        state_ = State::Running;
+        busy_time_ += front.duration;
+        auto fn = std::move(front.fn);
+        SimTime end = sched_->now() + front.duration;
+        queue_.pop_front();
+        sched_->schedule_at(end, [this, fn = std::move(fn)] {
+          if (fn) fn();
+          state_ = State::Idle;
+          pump();
+        });
+        return;  // stream occupied until the completion event fires
+      }
+      case Op::Kind::Record: {
+        front.event->mark_complete(sched_->now());
+        queue_.pop_front();
+        break;
+      }
+      case Op::Kind::WaitEvent: {
+        if (front.event->complete()) {
+          queue_.pop_front();
+          break;
+        }
+        state_ = State::Stalled;
+        front.event->add_stream_waiter(this);
+        return;
+      }
+      case Op::Kind::Gate: {
+        if (front.gate->is_open()) {
+          queue_.pop_front();
+          break;
+        }
+        state_ = State::Stalled;
+        front.gate->add_waiter(this);
+        return;
+      }
+      case Op::Kind::Callback: {
+        auto fn = std::move(front.fn);
+        queue_.pop_front();
+        fn();  // may enqueue further ops on this stream; loop re-examines
+        break;
+      }
+    }
+  }
+  state_ = State::Idle;
+  quiescent_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+
+Device::Device(Scheduler* sched, int global_id, int node_id, int local_id)
+    : sched_(sched), global_id_(global_id), node_id_(node_id), local_id_(local_id) {
+  default_stream_ = create_stream("default");
+}
+
+Stream* Device::create_stream(std::string name) {
+  streams_.push_back(std::make_unique<Stream>(sched_, this, std::move(name)));
+  return streams_.back().get();
+}
+
+void Device::compute(SimTime duration, std::string label) {
+  default_stream_->launch_kernel(duration, {}, std::move(label));
+}
+
+}  // namespace mcrdl::sim

@@ -1,0 +1,181 @@
+// Simulated device runtime: Device / Stream / Event with CUDA semantics.
+//
+// A Stream is an in-order queue of operations. Kernels occupy the stream for
+// a virtual-time duration; Record/Wait of Events reproduce cudaEventRecord /
+// cudaStreamWaitEvent ordering; Gates let collective backends stall a stream
+// until an all-ranks rendezvous completes (the moment every participant's
+// stream has reached its gate). Host code interacts through synchronize()
+// calls that suspend the calling actor in virtual time.
+//
+// All methods must be called under the scheduler baton (i.e. from actor code
+// or timed-event callbacks); see src/sim/scheduler.h for the threading
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/scheduler.h"
+
+namespace mcrdl::sim {
+
+class Stream;
+
+// CUDA-event analogue. An Event is complete once a Record operation for it
+// has been executed by its stream; both host actors and other streams can
+// wait on it.
+class Event {
+ public:
+  explicit Event(Scheduler* sched) : sched_(sched), host_waiters_(sched) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool complete() const { return complete_; }
+  // Virtual time at which the event completed; only valid when complete().
+  SimTime completion_time() const { return completion_time_; }
+
+  // Host-side blocking wait (cudaEventSynchronize).
+  void synchronize();
+
+  // Re-arms the event for another Record (cudaEventRecord overwrites).
+  void reset();
+
+  // Runs fn at completion (immediately if already complete). Callbacks run
+  // under the baton, before host waiters resume.
+  void on_complete(std::function<void()> fn);
+
+  // --- stream-internal interface ---
+  void mark_complete(SimTime t);
+  void add_stream_waiter(Stream* s) { stream_waiters_.push_back(s); }
+
+ private:
+  Scheduler* sched_;
+  bool complete_ = false;
+  SimTime completion_time_ = 0.0;
+  SimCondition host_waiters_;
+  std::vector<Stream*> stream_waiters_;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+// A gate a stream can be told to wait behind; collective rendezvous objects
+// open gates when the operation's completion time arrives. Unlike an Event,
+// a Gate is one-shot and not recorded by any stream.
+class StreamGate {
+ public:
+  explicit StreamGate(Scheduler* sched) : sched_(sched) {}
+  StreamGate(const StreamGate&) = delete;
+  StreamGate& operator=(const StreamGate&) = delete;
+
+  bool is_open() const { return open_; }
+  void open();
+  void add_waiter(Stream* s) { waiters_.push_back(s); }
+
+ private:
+  [[maybe_unused]] Scheduler* sched_;
+  bool open_ = false;
+  std::vector<Stream*> waiters_;
+};
+
+class Device;
+
+// In-order execution queue on a device.
+class Stream {
+ public:
+  Stream(Scheduler* sched, Device* device, std::string name);
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Enqueues a kernel that occupies the stream for `duration` virtual µs;
+  // on_complete (optional) runs at the kernel's completion time — backends
+  // use it to apply the data effect of a transfer or reduction.
+  void launch_kernel(SimTime duration, std::function<void()> on_complete = {},
+                     std::string label = {});
+
+  // cudaEventRecord: the event completes when the stream reaches this point.
+  void record_event(const std::shared_ptr<Event>& event);
+
+  // cudaStreamWaitEvent: stalls the stream until the event is complete.
+  void wait_event(std::shared_ptr<Event> event);
+
+  // Stalls the stream behind a rendezvous gate.
+  void wait_gate(std::shared_ptr<StreamGate> gate);
+
+  // Runs fn the moment the stream reaches this point (zero duration). Used
+  // by collective backends to timestamp stream-side arrival at a rendezvous.
+  void add_callback(std::function<void()> fn);
+
+  // Host-side blocking wait until every queued operation has finished.
+  void synchronize();
+
+  bool idle() const { return queue_.empty() && state_ == State::Idle; }
+  Device* device() const { return device_; }
+  const std::string& name() const { return name_; }
+  // Total virtual time this stream has spent executing kernels.
+  SimTime busy_time() const { return busy_time_; }
+
+  // --- event/gate-internal interface ---
+  // Called when a stalled-on dependency becomes ready.
+  void resume();
+
+ private:
+  enum class State { Idle, Running, Stalled };
+  struct Op {
+    enum class Kind { Kernel, Record, WaitEvent, Gate, Callback };
+    Kind kind;
+    SimTime duration = 0.0;
+    std::function<void()> fn;
+    std::shared_ptr<Event> event;
+    std::shared_ptr<StreamGate> gate;
+    std::string label;
+  };
+
+  void enqueue(Op op);
+  void pump();
+
+  Scheduler* sched_;
+  Device* device_;
+  std::string name_;
+  std::deque<Op> queue_;
+  State state_ = State::Idle;
+  bool pumping_ = false;
+  SimTime busy_time_ = 0.0;
+  SimCondition quiescent_;
+};
+
+// A simulated GPU. Owns its streams; `global_id` is the rank-visible device
+// index, (node_id, local_id) locate it in the cluster topology.
+class Device {
+ public:
+  Device(Scheduler* sched, int global_id, int node_id, int local_id);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int global_id() const { return global_id_; }
+  int node_id() const { return node_id_; }
+  int local_id() const { return local_id_; }
+
+  Stream* default_stream() { return default_stream_; }
+  Stream* create_stream(std::string name);
+  const std::vector<std::unique_ptr<Stream>>& streams() const { return streams_; }
+
+  Scheduler* scheduler() { return sched_; }
+
+  // Convenience: run a compute kernel of `duration` on the default stream.
+  void compute(SimTime duration, std::string label = {});
+
+ private:
+  Scheduler* sched_;
+  int global_id_;
+  int node_id_;
+  int local_id_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  Stream* default_stream_ = nullptr;
+};
+
+}  // namespace mcrdl::sim

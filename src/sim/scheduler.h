@@ -1,0 +1,210 @@
+// Virtual-time cooperative scheduler — the execution substrate for the whole
+// simulated cluster.
+//
+// Model
+// -----
+// Every simulated rank (and nothing else) is an *actor*: an OS thread that
+// runs user code. Exactly one actor executes at any instant — a "baton" is
+// handed from actor to actor — so all simulated state (tensors, streams,
+// rendezvous objects) is implicitly protected by the baton, needs no locking
+// of its own, and every run is deterministic.
+//
+// Virtual time only advances when every actor is blocked: the blocking actor
+// drains the timed-event queue (device kernel completions, fusion timeouts,
+// link transfers) until some actor becomes runnable again. If every live
+// actor is blocked and no timed event is pending, the system has genuinely
+// deadlocked; the scheduler wakes all actors with DeadlockError. This is the
+// property that lets the mixed-backend tests distinguish naive
+// synchronisation (which deadlocks) from MCR-DL's ordering (which doesn't).
+//
+// Threading contract: Scheduler public methods are callable from actor
+// threads or from timed-event callbacks (which run on the thread that is
+// draining the queue, still under the baton). Timed-event callbacks must not
+// block. Code outside run() may only call spawn()/run().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace mcrdl::sim {
+
+class Scheduler;
+
+// Reason an actor was made runnable again; Abort/Deadlock cause the wait
+// primitive to throw once the actor regains the baton.
+enum class WakeReason { Normal, Abort, Deadlock };
+
+// Raised inside actors that are force-unwound because another actor failed.
+class SimAborted : public Error {
+ public:
+  explicit SimAborted(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+enum class ActorState { Runnable, Running, Blocked, Done };
+
+struct Actor {
+  Actor(std::string name_, std::function<void()> fn_, int id_)
+      : name(std::move(name_)), fn(std::move(fn_)), id(id_) {}
+
+  std::string name;
+  std::function<void()> fn;
+  int id = -1;
+  std::thread thread;
+  std::condition_variable cv;
+  ActorState state = ActorState::Runnable;
+  bool done = false;
+  WakeReason wake_reason = WakeReason::Normal;
+  // Incremented on every suspension; wake sources capture the generation so
+  // stale wakeups (cancelled timers, force-woken condition entries) are
+  // rejected.
+  std::uint64_t wait_gen = 0;
+};
+
+}  // namespace detail
+
+class Scheduler {
+ public:
+  // Identifies one suspension of one actor; handed to wake sources.
+  struct WaitToken {
+    detail::Actor* actor = nullptr;
+    std::uint64_t gen = 0;
+  };
+
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers an actor. Must be called before run().
+  void spawn(std::string name, std::function<void()> fn);
+
+  // Runs the simulation until every actor returns. Rethrows the first actor
+  // exception (including DeadlockError) after all threads have unwound.
+  void run();
+
+  // Current virtual time in microseconds.
+  SimTime now() const { return now_; }
+
+  // --- actor-side blocking primitives ------------------------------------
+  void sleep_until(SimTime t);
+  void sleep_for(SimTime dt) { sleep_until(now_ + dt); }
+  // Gives every other actor runnable at the current virtual time a chance to
+  // run before this actor continues.
+  void yield();
+
+  // --- low-level wait protocol (used by SimCondition and the device
+  // runtime; most code should use SimCondition instead) --------------------
+  // prepare_wait() marks the start of a suspension and returns the token the
+  // wake source must present; the caller registers the token somewhere and
+  // then calls commit_wait(), which blocks until try_wake() is called with a
+  // matching token. try_wake returns false for stale tokens.
+  WaitToken prepare_wait();
+  void commit_wait();
+  bool try_wake(const WaitToken& token, WakeReason reason);
+
+  // --- timed events -------------------------------------------------------
+  // Schedules fn at virtual time t (clamped to now if in the past). Returns
+  // an id usable with cancel(). fn runs under the baton and must not block.
+  std::uint64_t schedule_at(SimTime t, std::function<void()> fn);
+  std::uint64_t schedule_after(SimTime dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+  // Cancels a pending event; no-op if it already fired.
+  void cancel(std::uint64_t event_id);
+
+  // Name of the actor currently holding the baton ("" outside run()).
+  const std::string& current_actor_name() const;
+  // Index of the current actor in spawn order (-1 outside run()).
+  int current_actor_id() const;
+  bool running() const { return running_; }
+
+  // Number of timed events that have fired so far (diagnostic).
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct TimedEvent {
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    bool operator()(const std::shared_ptr<TimedEvent>& a,
+                    const std::shared_ptr<TimedEvent>& b) const {
+      if (a->t != b->t) return a->t > b->t;
+      return a->seq > b->seq;  // FIFO among simultaneous events
+    }
+  };
+
+  bool try_wake_locked(const WaitToken& token, WakeReason reason);
+  void force_wake_all_locked(WakeReason reason);
+  void actor_main(detail::Actor* self);
+  // Hands the baton onwards when an actor exits; called with mu_ held.
+  void pass_baton_and_exit(std::unique_lock<std::mutex>& lock);
+  // Drains timed events until some actor is runnable; declares deadlock if
+  // the system is exhausted while live actors remain blocked.
+  void dispatch_until_runnable_locked(std::unique_lock<std::mutex>& lock, bool exiting);
+  void declare_deadlock_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable main_cv_;
+
+  std::vector<std::unique_ptr<detail::Actor>> actors_;
+  std::deque<detail::Actor*> run_queue_;
+  std::priority_queue<std::shared_ptr<TimedEvent>, std::vector<std::shared_ptr<TimedEvent>>,
+                      EventOrder>
+      events_;
+  std::map<std::uint64_t, std::weak_ptr<TimedEvent>> events_by_id_;
+
+  detail::Actor* current_ = nullptr;
+  SimTime now_ = 0.0;
+  std::uint64_t next_event_seq_ = 0;
+  std::uint64_t events_fired_ = 0;
+  int live_actors_ = 0;
+  bool running_ = false;
+  bool aborting_ = false;
+  std::string deadlock_message_;
+  std::exception_ptr first_error_;
+};
+
+// A condition variable in virtual time. wait() suspends the calling actor
+// until another actor (or a timed event) calls notify_all(); the predicate
+// overload loops like std::condition_variable::wait.
+class SimCondition {
+ public:
+  explicit SimCondition(Scheduler* sched) : sched_(sched) {}
+  SimCondition(const SimCondition&) = delete;
+  SimCondition& operator=(const SimCondition&) = delete;
+
+  void wait();
+
+  template <typename Pred>
+  void wait(Pred pred) {
+    while (!pred()) wait();
+  }
+
+  void notify_all();
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  Scheduler* sched_;
+  std::vector<Scheduler::WaitToken> waiters_;
+};
+
+}  // namespace mcrdl::sim

@@ -1,0 +1,123 @@
+#include "src/tensor/dtype.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace mcrdl {
+
+std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::F16:
+    case DType::BF16:
+      return 2;
+    case DType::F32:
+    case DType::I32:
+      return 4;
+    case DType::F64:
+    case DType::I64:
+      return 8;
+    case DType::U8:
+      return 1;
+  }
+  return 0;
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::F16: return "f16";
+    case DType::BF16: return "bf16";
+    case DType::F32: return "f32";
+    case DType::F64: return "f64";
+    case DType::I32: return "i32";
+    case DType::I64: return "i64";
+    case DType::U8: return "u8";
+  }
+  return "?";
+}
+
+bool is_floating(DType dtype) {
+  switch (dtype) {
+    case DType::F16:
+    case DType::BF16:
+    case DType::F32:
+    case DType::F64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalise into a float exponent.
+      int e = -1;
+      std::uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      const std::uint32_t fexp = 127 - 15 - e;
+      bits = sign | (fexp << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+std::uint16_t float_to_half(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x7FFFFFu;
+  if (exp == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant != 0 ? 0x200u : 0));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow -> inf
+  if (e <= 0) {
+    if (e < -10) return sign;  // underflow -> signed zero
+    // Subnormal: shift mantissa (with the implicit bit) right.
+    mant |= 0x800000u;
+    const int shift = 14 - e;
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  std::uint16_t half = static_cast<std::uint16_t>(sign | (e << 10) | (mant >> 13));
+  // Round to nearest even on the dropped 13 bits.
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1))) ++half;
+  return half;
+}
+
+float bfloat16_to_float(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+std::uint16_t float_to_bfloat16(float f) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x7FFFFFu) != 0) {
+    return static_cast<std::uint16_t>((bits >> 16) | 0x40u);  // quiet the NaN
+  }
+  // Round to nearest even on the dropped 16 bits.
+  const std::uint32_t rem = bits & 0xFFFFu;
+  bits >>= 16;
+  if (rem > 0x8000u || (rem == 0x8000u && (bits & 1))) ++bits;
+  return static_cast<std::uint16_t>(bits);
+}
+
+}  // namespace mcrdl

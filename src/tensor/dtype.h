@@ -1,0 +1,26 @@
+// Element types for MCR-DL tensors, mirroring the PyTorch dtypes that DL
+// communication actually moves, including the 16-bit float formats (with
+// software conversion routines used by the compression codec and tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcrdl {
+
+enum class DType { F16, BF16, F32, F64, I32, I64, U8 };
+
+std::size_t dtype_size(DType dtype);
+const char* dtype_name(DType dtype);
+bool is_floating(DType dtype);
+
+// IEEE 754 binary16 <-> binary32 conversion (round-to-nearest-even on the
+// way down, with correct handling of subnormals, infinities and NaN).
+float half_to_float(std::uint16_t h);
+std::uint16_t float_to_half(float f);
+
+// bfloat16 <-> binary32 (truncation of the mantissa with round-to-nearest).
+float bfloat16_to_float(std::uint16_t b);
+std::uint16_t float_to_bfloat16(float f);
+
+}  // namespace mcrdl

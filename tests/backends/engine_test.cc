@@ -1,0 +1,204 @@
+// Direct unit tests for the data semantics of apply_collective — every
+// operation's block movement and reduction math, independent of timing.
+#include "src/backends/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl::backends_detail {
+namespace {
+
+Tensor vec(std::initializer_list<double> vals) {
+  Tensor t = Tensor::zeros({static_cast<std::int64_t>(vals.size())}, DType::F64, nullptr);
+  std::int64_t i = 0;
+  for (double v : vals) t.set(i++, v);
+  return t;
+}
+
+TEST(ApplyCollective, AllReduceSum) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({1, 2});
+  slots[1].input = vec({10, 20});
+  slots[2].input = vec({100, 200});
+  apply_collective({OpType::AllReduce, 16, 0, ReduceOp::Sum}, slots);
+  for (auto& s : slots) EXPECT_EQ(s.input.to_vector(), (std::vector<double>{111, 222}));
+}
+
+TEST(ApplyCollective, AllReduceAvgDividesByWorld) {
+  std::vector<ArrivalSlot> slots(4);
+  for (int r = 0; r < 4; ++r) slots[static_cast<std::size_t>(r)].input = vec({4.0 * r});
+  apply_collective({OpType::AllReduce, 8, 0, ReduceOp::Avg}, slots);
+  for (auto& s : slots) EXPECT_EQ(s.input.to_vector(), (std::vector<double>{6.0}));
+}
+
+TEST(ApplyCollective, AllReduceMinMax) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({5, 1});
+  slots[1].input = vec({3, 9});
+  apply_collective({OpType::AllReduce, 16, 0, ReduceOp::Max}, slots);
+  EXPECT_EQ(slots[0].input.to_vector(), (std::vector<double>{5, 9}));
+  slots[0].input = vec({5, 1});
+  slots[1].input = vec({3, 9});
+  apply_collective({OpType::AllReduce, 16, 0, ReduceOp::Min}, slots);
+  EXPECT_EQ(slots[1].input.to_vector(), (std::vector<double>{3, 1}));
+}
+
+TEST(ApplyCollective, ReduceLandsOnRootOnly) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({1});
+  slots[1].input = vec({2});
+  slots[2].input = vec({3});
+  apply_collective({OpType::Reduce, 8, 1, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[1].input.to_vector(), (std::vector<double>{6}));
+  EXPECT_EQ(slots[0].input.to_vector(), (std::vector<double>{1}));  // untouched
+  EXPECT_EQ(slots[2].input.to_vector(), (std::vector<double>{3}));
+}
+
+TEST(ApplyCollective, Broadcast) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({0, 0});
+  slots[1].input = vec({7, 8});
+  slots[2].input = vec({0, 0});
+  apply_collective({OpType::Broadcast, 16, 1, ReduceOp::Sum}, slots);
+  for (auto& s : slots) EXPECT_EQ(s.input.to_vector(), (std::vector<double>{7, 8}));
+}
+
+TEST(ApplyCollective, AllGather) {
+  std::vector<ArrivalSlot> slots(3);
+  for (int r = 0; r < 3; ++r) {
+    slots[static_cast<std::size_t>(r)].input = vec({r * 10.0, r * 10.0 + 1});
+    slots[static_cast<std::size_t>(r)].output = Tensor::zeros({6}, DType::F64, nullptr);
+  }
+  apply_collective({OpType::AllGather, 16, 0, ReduceOp::Sum}, slots);
+  for (auto& s : slots) {
+    EXPECT_EQ(s.output.to_vector(), (std::vector<double>{0, 1, 10, 11, 20, 21}));
+  }
+}
+
+TEST(ApplyCollective, AllGatherV) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1});
+  slots[1].input = vec({2, 3, 4});
+  for (auto& s : slots) {
+    s.output = Tensor::zeros({4}, DType::F64, nullptr);
+    s.recv_counts = {1, 3};
+    s.recv_displs = {0, 1};
+  }
+  apply_collective({OpType::AllGatherV, 8, 0, ReduceOp::Sum}, slots);
+  for (auto& s : slots) EXPECT_EQ(s.output.to_vector(), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(ApplyCollective, GatherAtRoot) {
+  std::vector<ArrivalSlot> slots(3);
+  for (int r = 0; r < 3; ++r) slots[static_cast<std::size_t>(r)].input = vec({r + 1.0});
+  slots[2].output = Tensor::zeros({3}, DType::F64, nullptr);
+  apply_collective({OpType::Gather, 8, 2, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[2].output.to_vector(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(ApplyCollective, GatherV) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1, 2});
+  slots[1].input = vec({9});
+  slots[0].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[0].recv_counts = {2, 1};
+  slots[0].recv_displs = {0, 2};
+  apply_collective({OpType::GatherV, 16, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{1, 2, 9}));
+}
+
+TEST(ApplyCollective, Scatter) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({10, 20, 30});
+  for (auto& s : slots) s.output = Tensor::zeros({1}, DType::F64, nullptr);
+  apply_collective({OpType::Scatter, 8, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{10}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{20}));
+  EXPECT_EQ(slots[2].output.to_vector(), (std::vector<double>{30}));
+}
+
+TEST(ApplyCollective, ScatterV) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[1].input = vec({1, 2, 3});
+  slots[1].send_counts = {2, 1};
+  slots[1].send_displs = {0, 2};
+  slots[0].output = Tensor::zeros({2}, DType::F64, nullptr);
+  slots[1].output = Tensor::zeros({1}, DType::F64, nullptr);
+  apply_collective({OpType::ScatterV, 8, 1, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{1, 2}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{3}));
+}
+
+TEST(ApplyCollective, ReduceScatter) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1, 2, 3, 4});
+  slots[1].input = vec({10, 20, 30, 40});
+  slots[0].output = Tensor::zeros({2}, DType::F64, nullptr);
+  slots[1].output = Tensor::zeros({2}, DType::F64, nullptr);
+  apply_collective({OpType::ReduceScatter, 32, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{11, 22}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{33, 44}));
+}
+
+TEST(ApplyCollective, AllToAllSingle) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1, 2});
+  slots[1].input = vec({3, 4});
+  slots[0].output = Tensor::zeros({2}, DType::F64, nullptr);
+  slots[1].output = Tensor::zeros({2}, DType::F64, nullptr);
+  apply_collective({OpType::AllToAllSingle, 16, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{1, 3}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{2, 4}));
+}
+
+TEST(ApplyCollective, AllToAllListForm) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].inputs = {vec({1}), vec({2})};
+  slots[1].inputs = {vec({3}), vec({4})};
+  slots[0].outputs = {vec({0}), vec({0})};
+  slots[1].outputs = {vec({0}), vec({0})};
+  apply_collective({OpType::AllToAll, 16, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].outputs[0].to_vector(), (std::vector<double>{1}));
+  EXPECT_EQ(slots[0].outputs[1].to_vector(), (std::vector<double>{3}));
+  EXPECT_EQ(slots[1].outputs[0].to_vector(), (std::vector<double>{2}));
+  EXPECT_EQ(slots[1].outputs[1].to_vector(), (std::vector<double>{4}));
+}
+
+TEST(ApplyCollective, AllToAllV) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1, 2, 3});
+  slots[0].send_counts = {1, 2};
+  slots[0].send_displs = {0, 1};
+  slots[1].input = vec({4, 5, 6});
+  slots[1].send_counts = {2, 1};
+  slots[1].send_displs = {0, 2};
+  slots[0].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[0].recv_counts = {1, 2};
+  slots[0].recv_displs = {0, 1};
+  slots[1].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[1].recv_counts = {2, 1};
+  slots[1].recv_displs = {0, 2};
+  apply_collective({OpType::AllToAllV, 24, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{1, 4, 5}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{2, 3, 6}));
+}
+
+TEST(ApplyCollective, PhantomSlotsAreSkipped) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = Tensor::phantom({4}, DType::F32, nullptr);
+  slots[1].input = Tensor::phantom({4}, DType::F32, nullptr);
+  // Must not throw or touch memory.
+  apply_collective({OpType::AllReduce, 16, 0, ReduceOp::Sum}, slots);
+  SUCCEED();
+}
+
+TEST(ApplyCollective, BarrierMovesNothing) {
+  std::vector<ArrivalSlot> slots(2);
+  slots[0].input = vec({1});
+  slots[1].input = vec({2});
+  apply_collective({OpType::Barrier, 0, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].input.to_vector(), (std::vector<double>{1}));
+  EXPECT_EQ(slots[1].input.to_vector(), (std::vector<double>{2}));
+}
+
+}  // namespace
+}  // namespace mcrdl::backends_detail

@@ -1,0 +1,196 @@
+// Point-to-point semantics: FIFO tag matching, out-of-order posting, many
+// outstanding messages, ring pipelines, eager-vs-rendezvous costs, and the
+// gloo extensibility backend.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/backends/backend.h"
+
+namespace mcrdl {
+namespace {
+
+class P2pSemanticsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<ClusterContext>(net::SystemConfig::lassen(2));  // 8 ranks
+    backend_ = make_backend(GetParam(), cluster_.get());
+    backend_->init();
+  }
+  std::unique_ptr<ClusterContext> cluster_;
+  std::unique_ptr<Backend> backend_;
+};
+
+TEST_P(P2pSemanticsTest, RecvBeforeSendMatches) {
+  cluster_->run_spmd(2, [&](int rank) {
+    if (rank == 1) {
+      Tensor t = Tensor::zeros({4}, DType::F32, cluster_->device(rank));
+      Work w = backend_->world()->recv(rank, t, 0, true);  // posted first
+      w->synchronize();
+      EXPECT_DOUBLE_EQ(t.get(3), 3.0);
+    } else {
+      cluster_->scheduler().sleep_for(50.0);  // send arrives later
+      Tensor t = Tensor::arange(4, DType::F32, cluster_->device(rank));
+      backend_->world()->send(rank, t, 1, false);
+      backend_->synchronize(rank);
+    }
+  });
+}
+
+TEST_P(P2pSemanticsTest, FifoMatchingPreservesMessageOrder) {
+  cluster_->run_spmd(2, [&](int rank) {
+    if (rank == 0) {
+      for (int i = 0; i < 4; ++i) {
+        Tensor t = Tensor::full({1}, DType::F32, 100.0 + i, cluster_->device(rank));
+        backend_->world()->send(rank, t, 1, true);
+      }
+      backend_->synchronize(rank);
+    } else {
+      std::vector<Tensor> rx;
+      std::vector<Work> works;
+      for (int i = 0; i < 4; ++i) {
+        rx.push_back(Tensor::zeros({1}, DType::F32, cluster_->device(rank)));
+        works.push_back(backend_->world()->recv(rank, rx.back(), 0, true));
+      }
+      for (auto& w : works) w->synchronize();
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(rx[static_cast<std::size_t>(i)].get(0), 100.0 + i) << "message " << i;
+      }
+    }
+  });
+}
+
+TEST_P(P2pSemanticsTest, RingPipeline) {
+  // Every rank sends its value around the ring world_size-1 times; each
+  // ends up having seen everyone's contribution (an allgather by hand).
+  const int n = 8;
+  cluster_->run_spmd([&](int rank) {
+    Comm* comm = backend_->world();
+    double have = rank * 1.0;
+    double sum = have;
+    for (int step = 0; step < n - 1; ++step) {
+      Tensor tx = Tensor::full({1}, DType::F64, have, cluster_->device(rank));
+      Tensor rx = Tensor::zeros({1}, DType::F64, cluster_->device(rank));
+      Work ws = comm->send(rank, tx, (rank + 1) % n, true);
+      Work wr = comm->recv(rank, rx, (rank + n - 1) % n, true);
+      ws->synchronize();
+      wr->synchronize();
+      have = rx.get(0);
+      sum += have;
+    }
+    EXPECT_DOUBLE_EQ(sum, n * (n - 1) / 2.0);
+  });
+}
+
+TEST_P(P2pSemanticsTest, InterNodeSlowerThanIntraNode) {
+  SimTime intra = 0.0, inter = 0.0;
+  cluster_->run_spmd([&](int rank) {
+    Comm* comm = backend_->world();
+    Tensor payload = Tensor::phantom({1 << 18}, DType::F32, cluster_->device(rank));  // 1 MiB
+    // ranks 0<->1 same node; then 0<->4 across nodes.
+    if (rank == 0) {
+      SimTime t0 = cluster_->scheduler().now();
+      comm->send(rank, payload, 1, false);
+      backend_->synchronize(rank);
+      intra = cluster_->scheduler().now() - t0;
+      t0 = cluster_->scheduler().now();
+      comm->send(rank, payload, 4, false);
+      backend_->synchronize(rank);
+      inter = cluster_->scheduler().now() - t0;
+    } else if (rank == 1) {
+      comm->recv(rank, payload, 0, false);
+    } else if (rank == 4) {
+      comm->recv(rank, payload, 0, false);
+    }
+  });
+  EXPECT_GT(inter, intra);
+}
+
+TEST_P(P2pSemanticsTest, SelfSendRejected) {
+  cluster_->run_spmd(1, [&](int rank) {
+    Tensor t = Tensor::zeros({1}, DType::F32, cluster_->device(rank));
+    EXPECT_THROW(backend_->world()->send(rank, t, 0, true), InvalidArgument);
+    EXPECT_THROW(backend_->world()->recv(rank, t, 0, true), InvalidArgument);
+  });
+}
+
+TEST_P(P2pSemanticsTest, UnmatchedRecvDeadlocksOnHostWait) {
+  EXPECT_THROW(cluster_->run_spmd(2, [&](int rank) {
+                 if (rank == 1) {
+                   Tensor t = Tensor::zeros({1}, DType::F32, cluster_->device(rank));
+                   backend_->world()->recv(rank, t, 0, true);  // no one sends
+                   backend_->synchronize(rank);                // host-level wait
+                 }
+               }),
+               DeadlockError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, P2pSemanticsTest,
+                         ::testing::Values("nccl", "mv2-gdr", "gloo"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(P2pCosts, RendezvousAddsLatencyAboveEagerThreshold) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  auto mpi = make_backend("mv2-gdr", &cluster);
+  mpi->init();
+  const std::size_t eager = mpi->profile().eager_threshold;
+  SimTime small_t = 0.0, large_t = 0.0;
+  cluster.run_spmd(2, [&](int rank) {
+    auto roundtrip = [&](std::size_t bytes) {
+      Tensor t = Tensor::phantom({static_cast<std::int64_t>(bytes)}, DType::U8,
+                                 cluster.device(rank));
+      SimTime t0 = cluster.scheduler().now();
+      if (rank == 0) {
+        mpi->world()->send(rank, t, 1, false);
+      } else {
+        mpi->world()->recv(rank, t, 0, false);
+      }
+      mpi->synchronize(rank);
+      return cluster.scheduler().now() - t0;
+    };
+    const SimTime s = roundtrip(eager);
+    const SimTime l = roundtrip(eager + 64);
+    if (rank == 0) {
+      small_t = s;
+      large_t = l;
+    }
+  });
+  EXPECT_GT(large_t - small_t, mpi->profile().rendezvous_overhead_us * 0.5);
+}
+
+TEST(GlooBackend, ExtensibilityDemoWorksButIsSlow) {
+  // The Gloo-style backend exists purely to show a new backend is one
+  // profile + one factory line (paper Section V-B). It must be correct —
+  // and clearly slower than the GPU-aware libraries.
+  ClusterContext cluster(net::SystemConfig::lassen(2));
+  auto gloo = make_backend("gloo", &cluster);
+  auto nccl = make_backend("nccl", &cluster);
+  gloo->init();
+  nccl->init();
+  EXPECT_EQ(gloo->display_name(), "Gloo");
+  EXPECT_TRUE(gloo->profile().supports_all_ops);
+  SimTime gloo_t = 0.0, nccl_t = 0.0;
+  cluster.run_spmd([&](int rank) {
+    Tensor a = Tensor::full({1 << 20}, DType::F32, 1.0, cluster.device(rank));
+    SimTime t0 = cluster.scheduler().now();
+    gloo->world()->all_reduce(rank, a, ReduceOp::Sum, false);
+    gloo->synchronize(rank);
+    if (rank == 0) gloo_t = cluster.scheduler().now() - t0;
+    EXPECT_DOUBLE_EQ(a.get(0), 8.0);
+    Tensor b = Tensor::full({1 << 20}, DType::F32, 1.0, cluster.device(rank));
+    t0 = cluster.scheduler().now();
+    nccl->world()->all_reduce(rank, b, ReduceOp::Sum, false);
+    nccl->synchronize(rank);
+    if (rank == 0) nccl_t = cluster.scheduler().now() - t0;
+  });
+  EXPECT_GT(gloo_t, 2.0 * nccl_t);
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,112 @@
+// Tests for the CLI flag parser used by the tools.
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f;
+  f.define("size", "1024", "message size");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  EXPECT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(f.get("size"), "1024");
+  EXPECT_EQ(f.get_int("size"), 1024);
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  Flags f;
+  f.define("a", "", "");
+  f.define("b", "", "");
+  std::vector<std::string> args = {"prog", "--a=x", "--b", "y"};
+  auto argv = argv_of(args);
+  EXPECT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(f.get("a"), "x");
+  EXPECT_EQ(f.get("b"), "y");
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags f;
+  f.define("a", "", "");
+  std::vector<std::string> args = {"prog", "--nope=1"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()), InvalidArgument);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags f;
+  f.define("a", "", "");
+  std::vector<std::string> args = {"prog", "--a"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()), InvalidArgument);
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  Flags f;
+  std::vector<std::string> args = {"prog", "stray"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()), InvalidArgument);
+}
+
+TEST(Flags, HelpShortCircuits) {
+  Flags f;
+  f.define("a", "1", "the a flag");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = argv_of(args);
+  EXPECT_FALSE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(f.help("prog").find("the a flag"), std::string::npos);
+}
+
+TEST(Flags, TypedAccessors) {
+  Flags f;
+  f.define("n", "7", "");
+  f.define("x", "2.5", "");
+  f.define("on", "true", "");
+  f.define("off", "0", "");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("n"), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x"), 2.5);
+  EXPECT_TRUE(f.get_bool("on"));
+  EXPECT_FALSE(f.get_bool("off"));
+  EXPECT_THROW(f.get_int("x"), InvalidArgument);  // "2.5" is not an int? stoi accepts prefix
+}
+
+TEST(Flags, ListAccessors) {
+  Flags f;
+  f.define("items", "a,b,c", "");
+  f.define("sizes", "1k,4m,256", "");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_list("items"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(f.get_size_list("sizes"), (std::vector<std::size_t>{1024, 4u << 20, 256}));
+}
+
+TEST(Flags, DuplicateDefinitionRejected) {
+  Flags f;
+  f.define("a", "", "");
+  EXPECT_THROW(f.define("a", "", ""), InvalidArgument);
+}
+
+TEST(ParseSize, SuffixesAndErrors) {
+  EXPECT_EQ(parse_size("512"), 512u);
+  EXPECT_EQ(parse_size("4k"), 4096u);
+  EXPECT_EQ(parse_size("2m"), 2u << 20);
+  EXPECT_EQ(parse_size("1g"), 1u << 30);
+  EXPECT_EQ(parse_size("1G"), 1u << 30);
+  EXPECT_THROW(parse_size(""), InvalidArgument);
+  EXPECT_THROW(parse_size("abc"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcrdl

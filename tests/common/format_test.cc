@@ -1,0 +1,49 @@
+// Tests for formatting helpers and the text table printer.
+#include "src/common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl {
+namespace {
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(256), "256 B");
+  EXPECT_EQ(format_bytes(1024), "1 KiB");
+  EXPECT_EQ(format_bytes(4096), "4 KiB");
+  EXPECT_EQ(format_bytes(1048576), "1 MiB");
+  EXPECT_EQ(format_bytes(3 * 1048576), "3 MiB");
+  EXPECT_EQ(format_bytes(std::size_t{1} << 30), "1 GiB");
+  EXPECT_EQ(format_bytes(1536), "1536 B");  // non-integral KiB stays in bytes
+}
+
+TEST(Format, TimeUs) {
+  EXPECT_EQ(format_time_us(12.3), "12.30 us");
+  EXPECT_EQ(format_time_us(4567.0), "4.567 ms");
+  EXPECT_EQ(format_time_us(2.5e6), "2.500 s");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.314), "31.4%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable t({"Message Size", "Backend"});
+  t.add_row({"256", "MVAPICH2-GDR"});
+  t.add_row({"4096", "NCCL"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| Message Size | Backend      |"), std::string::npos);
+  EXPECT_NE(s.find("| 256          | MVAPICH2-GDR |"), std::string::npos);
+  EXPECT_NE(s.find("| 4096         | NCCL         |"), std::string::npos);
+}
+
+TEST(Format, TextTablePadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1 |   |   |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrdl

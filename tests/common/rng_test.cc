@@ -1,0 +1,66 @@
+// Tests for the deterministic RNG.
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcrdl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.uniform(5.0, 6.0);
+    EXPECT_GE(d, 5.0);
+    EXPECT_LT(d, 6.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng master(42);
+  Rng c1 = master.split(1);
+  Rng c2 = master.split(2);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) {
+    values.insert(c1.next_u64());
+    values.insert(c2.next_u64());
+  }
+  EXPECT_EQ(values.size(), 64u);  // no collisions between streams
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.split(5), cb = b.split(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,63 @@
+// Tests for the error-handling primitives.
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcrdl {
+namespace {
+
+TEST(Status, CheckPassesOnTrue) {
+  MCRDL_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(Status, CheckThrowsOnFalseWithMessage) {
+  try {
+    MCRDL_CHECK(false) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(Status, CheckThrowsWithoutStreamedMessage) {
+  auto stmt = [] { MCRDL_CHECK(false); };
+  EXPECT_THROW(stmt(), Error);
+}
+
+TEST(Status, CheckDoesNotEvaluateMessageOnSuccess) {
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return "x";
+  };
+  MCRDL_CHECK(true) << touch();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Status, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MCRDL_REQUIRE(false, "bad rank"), InvalidArgument);
+  MCRDL_REQUIRE(true, "fine");
+}
+
+TEST(Status, RequireMessageIncludesDescription) {
+  try {
+    MCRDL_REQUIRE(2 < 1, "rank out of range");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("rank out of range"), std::string::npos);
+  }
+}
+
+TEST(Status, ErrorHierarchy) {
+  EXPECT_THROW(throw DeadlockError("d"), Error);
+  EXPECT_THROW(throw BackendStateError("b"), Error);
+  EXPECT_THROW(throw InvalidArgument("i"), Error);
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,174 @@
+// Tests for the bitstream utilities and the zfp-style fixed-rate codec:
+// exact sizes, round-trip error bounds, and edge cases. Rate sweep via
+// parameterized tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/compress/bitstream.h"
+#include "src/compress/zfp_codec.h"
+
+namespace mcrdl::compress {
+namespace {
+
+TEST(BitStream, RoundTripMixedWidths) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0xABCD, 16);
+  w.write(1, 1);
+  w.write(0x123456789, 36);
+  auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(16), 0xABCDu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(36), 0x123456789u);
+}
+
+TEST(BitStream, MasksHighBits) {
+  BitWriter w;
+  w.write(0xFF, 4);  // only low 4 bits kept
+  auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(4), 0xFu);
+}
+
+TEST(BitStream, SizeIsCeilOfBits) {
+  BitWriter w;
+  for (int i = 0; i < 3; ++i) w.write(1, 3);  // 9 bits
+  EXPECT_EQ(w.bits_written(), 9u);
+  EXPECT_EQ(w.finish().size(), 2u);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(1, 8);
+  auto buf = w.finish();
+  BitReader r(buf);
+  r.read(8);
+  EXPECT_THROW(r.read(1), InvalidArgument);
+}
+
+TEST(BitStream, WidthLimitsEnforced) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 58), InvalidArgument);
+  EXPECT_THROW(w.write(0, -1), InvalidArgument);
+}
+
+TEST(ZfpCodec, InvalidRateRejected) {
+  EXPECT_THROW(ZfpCodec(ZfpConfig{3}), InvalidArgument);
+  EXPECT_THROW(ZfpCodec(ZfpConfig{29}), InvalidArgument);
+}
+
+TEST(ZfpCodec, CompressedSizeIsExactAndRateFixed) {
+  ZfpCodec codec(ZfpConfig{8});
+  Rng rng(1);
+  Tensor t = Tensor::random_uniform({1000}, DType::F32, nullptr, rng, -1.0, 1.0);
+  auto buf = codec.compress(t);
+  EXPECT_EQ(buf.size(), codec.compressed_bytes(1000));
+  // ~(8 + 3) bits per value vs 32-bit floats: ratio just under 3x.
+  EXPECT_GT(codec.ratio(DType::F32), 2.5);
+  EXPECT_LT(static_cast<double>(buf.size()), 1000.0 * 4 / 2.5);
+}
+
+TEST(ZfpCodec, ZeroTensorRoundTripsExactly) {
+  ZfpCodec codec(ZfpConfig{8});
+  Tensor t = Tensor::zeros({17}, DType::F32, nullptr);
+  Tensor out = Tensor::zeros({17}, DType::F32, nullptr);
+  codec.decompress(codec.compress(t), out);
+  for (int i = 0; i < 17; ++i) EXPECT_DOUBLE_EQ(out.get(i), 0.0);
+  // Zero blocks carry no payload beyond the header.
+  EXPECT_EQ(codec.compress(t).size(), (5u * 12 + 7) / 8);
+}
+
+TEST(ZfpCodec, ConstantBlockReconstructsTightly) {
+  ZfpCodec codec(ZfpConfig{12});
+  Tensor t = Tensor::full({8}, DType::F64, 3.14159, nullptr);
+  Tensor out = Tensor::zeros({8}, DType::F64, nullptr);
+  codec.decompress(codec.compress(t), out);
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(out.get(i), 3.14159, codec.error_bound(3.14159));
+}
+
+TEST(ZfpCodec, NonMultipleOfBlockLength) {
+  ZfpCodec codec(ZfpConfig{10});
+  Tensor t = Tensor::arange(7, DType::F32, nullptr);
+  Tensor out = Tensor::zeros({7}, DType::F32, nullptr);
+  codec.decompress(codec.compress(t), out);
+  for (int i = 0; i < 7; ++i) EXPECT_NEAR(out.get(i), i, codec.error_bound(6.0));
+}
+
+TEST(ZfpCodec, NegativeValues) {
+  ZfpCodec codec(ZfpConfig{12});
+  Tensor t = Tensor::zeros({4}, DType::F64, nullptr);
+  t.set(0, -1.0);
+  t.set(1, 0.5);
+  t.set(2, -0.25);
+  t.set(3, 0.125);
+  Tensor out = Tensor::zeros({4}, DType::F64, nullptr);
+  codec.decompress(codec.compress(t), out);
+  const double bound = codec.error_bound(1.0);
+  EXPECT_NEAR(out.get(0), -1.0, bound);
+  EXPECT_NEAR(out.get(1), 0.5, bound);
+  EXPECT_NEAR(out.get(2), -0.25, bound);
+  EXPECT_NEAR(out.get(3), 0.125, bound);
+}
+
+TEST(ZfpCodec, RejectsIntegerAndPhantomTensors) {
+  ZfpCodec codec;
+  Tensor ints = Tensor::zeros({4}, DType::I32, nullptr);
+  EXPECT_THROW(codec.compress(ints), InvalidArgument);
+  Tensor ph = Tensor::phantom({4}, DType::F32, nullptr);
+  EXPECT_THROW(codec.compress(ph), InvalidArgument);
+}
+
+TEST(ZfpCodec, LargeMagnitudeRange) {
+  ZfpCodec codec(ZfpConfig{16});
+  Tensor t = Tensor::zeros({4}, DType::F64, nullptr);
+  t.set(0, 1e20);
+  t.set(1, -1e20);
+  t.set(2, 1e19);
+  t.set(3, 0.0);
+  Tensor out = Tensor::zeros({4}, DType::F64, nullptr);
+  codec.decompress(codec.compress(t), out);
+  EXPECT_NEAR(out.get(0), 1e20, codec.error_bound(1e20));
+  EXPECT_NEAR(out.get(1), -1e20, codec.error_bound(1e20));
+}
+
+// --- rate sweep property test ------------------------------------------------
+
+class ZfpRateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZfpRateTest, RandomDataWithinErrorBound) {
+  const int rate = GetParam();
+  ZfpCodec codec(ZfpConfig{rate});
+  Rng rng(static_cast<std::uint64_t>(rate));
+  Tensor t = Tensor::random_uniform({256}, DType::F64, nullptr, rng, -10.0, 10.0);
+  Tensor out = Tensor::zeros({256}, DType::F64, nullptr);
+  codec.decompress(codec.compress(t), out);
+  const double bound = codec.error_bound(10.0);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NEAR(out.get(i), t.get(i), bound) << "rate " << rate << " index " << i;
+  }
+}
+
+TEST_P(ZfpRateTest, HigherRateNeverIncreasesError) {
+  const int rate = GetParam();
+  if (rate >= 24) GTEST_SKIP() << "no higher rate to compare against";
+  Rng rng(7);
+  Tensor t = Tensor::random_uniform({512}, DType::F64, nullptr, rng, -1.0, 1.0);
+  auto max_err = [&](int bits) {
+    ZfpCodec codec(ZfpConfig{bits});
+    Tensor out = Tensor::zeros({512}, DType::F64, nullptr);
+    codec.decompress(codec.compress(t), out);
+    double worst = 0.0;
+    for (int i = 0; i < 512; ++i) worst = std::max(worst, std::abs(out.get(i) - t.get(i)));
+    return worst;
+  };
+  EXPECT_LE(max_err(rate + 4), max_err(rate) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ZfpRateTest, ::testing::Values(4, 8, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace mcrdl::compress

@@ -1,0 +1,219 @@
+// Tests for Tensor Fusion: size-triggered and timeout-triggered flushes,
+// data correctness of pack/slice-back, bypass of large tensors, and the
+// cross-backend overlap flush.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/mcr_dl.h"
+
+namespace mcrdl {
+namespace {
+
+class FusionTest : public ::testing::Test {
+ protected:
+  void make(FusionConfig cfg) {
+    McrDlOptions opts;
+    opts.fusion = cfg;
+    cluster_ = std::make_unique<ClusterContext>(net::SystemConfig::lassen(1));  // 4 ranks
+    mcr_ = std::make_unique<McrDl>(cluster_.get(), opts);
+  }
+  std::unique_ptr<ClusterContext> cluster_;
+  std::unique_ptr<McrDl> mcr_;
+};
+
+FusionConfig small_buffer_config() {
+  FusionConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_bytes = 64;          // tiny: fills after a few tensors
+  cfg.flush_timeout_us = 1e6;     // effectively never
+  cfg.max_tensor_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST_F(FusionTest, SizeTriggeredFlushProducesCorrectSums) {
+  make(small_buffer_config());
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    std::vector<Tensor> tensors;
+    std::vector<Work> works;
+    for (int i = 0; i < 8; ++i) {
+      tensors.push_back(Tensor::full({4}, DType::F32, i + 1.0, cluster_->device(rank)));
+      works.push_back(api.all_reduce("nccl", tensors.back(), ReduceOp::Sum, true));
+    }
+    api.synchronize();
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(tensors[static_cast<std::size_t>(i)].get(j), 4.0 * (i + 1.0))
+            << "tensor " << i;
+      }
+      EXPECT_TRUE(works[static_cast<std::size_t>(i)]->test());
+    }
+  });
+  EXPECT_GT(mcr_->fusion().flush_count(), 0);
+  EXPECT_EQ(mcr_->fusion().fused_tensor_count(), 8 * 4);
+}
+
+TEST_F(FusionTest, FusionReducesOperationCount) {
+  // 8 small tensors per rank should fuse into far fewer collectives.
+  FusionConfig cfg = small_buffer_config();
+  cfg.buffer_bytes = 1 << 20;  // everything fits in one buffer
+  make(cfg);
+  McrDlOptions& opts = mcr_->options();
+  opts.logging_enabled = true;
+  mcr_->logger().set_enabled(true);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    for (int i = 0; i < 8; ++i) {
+      Tensor t = Tensor::full({16}, DType::F32, 1.0, cluster_->device(rank));
+      api.all_reduce("nccl", t, ReduceOp::Sum, true);
+    }
+    api.synchronize();
+  });
+  // One flush per rank: 4 fused collectives total, not 32.
+  EXPECT_EQ(mcr_->fusion().flush_count(), 4);
+}
+
+TEST_F(FusionTest, TimeoutTriggersFlush) {
+  FusionConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_bytes = 1 << 24;  // never fills
+  cfg.flush_timeout_us = 25.0;
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor t = Tensor::full({4}, DType::F32, 1.0, cluster_->device(rank));
+    Work w = api.all_reduce("nccl", t, ReduceOp::Sum, true);
+    // Do NOT wait on the handle (that would force a flush); just let
+    // virtual time pass — the T timeout must flush on its own.
+    cluster_->scheduler().sleep_for(500.0);
+    EXPECT_TRUE(w->test());
+    EXPECT_DOUBLE_EQ(t.get(0), 4.0);
+  });
+  EXPECT_GT(mcr_->fusion().timeout_flush_count(), 0);
+}
+
+TEST_F(FusionTest, WaitForcesEarlyFlush) {
+  FusionConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_bytes = 1 << 24;
+  cfg.flush_timeout_us = 1e6;
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor t = Tensor::full({4}, DType::F32, 2.0, cluster_->device(rank));
+    Work w = api.all_reduce("nccl", t, ReduceOp::Sum, true);
+    w->synchronize();  // data dependency forces the flush long before T
+    EXPECT_LT(cluster_->scheduler().now(), 1e5);
+    EXPECT_DOUBLE_EQ(t.get(0), 8.0);
+  });
+}
+
+TEST_F(FusionTest, LargeTensorsBypassFusion) {
+  FusionConfig cfg = small_buffer_config();
+  cfg.max_tensor_bytes = 32;
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor big = Tensor::full({1024}, DType::F32, 1.0, cluster_->device(rank));  // 4 KiB
+    api.all_reduce("nccl", big);
+    api.synchronize();
+    EXPECT_DOUBLE_EQ(big.get(0), 4.0);
+  });
+  EXPECT_EQ(mcr_->fusion().fused_tensor_count(), 0);
+}
+
+TEST_F(FusionTest, MixedDtypesFuseSeparately) {
+  FusionConfig cfg = small_buffer_config();
+  cfg.buffer_bytes = 1 << 20;
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor f = Tensor::full({4}, DType::F32, 1.0, cluster_->device(rank));
+    Tensor d = Tensor::full({4}, DType::F64, 2.0, cluster_->device(rank));
+    api.all_reduce("nccl", f, ReduceOp::Sum, true);
+    api.all_reduce("nccl", d, ReduceOp::Sum, true);
+    api.synchronize();
+    EXPECT_DOUBLE_EQ(f.get(0), 4.0);
+    EXPECT_DOUBLE_EQ(d.get(0), 8.0);
+  });
+  // Two dtype buffers per rank.
+  EXPECT_EQ(mcr_->fusion().flush_count(), 8);
+}
+
+TEST_F(FusionTest, CrossBackendOverlapFlushesOtherBackends) {
+  FusionConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_bytes = 1 << 24;
+  cfg.flush_timeout_us = 30.0;
+  cfg.cross_backend_overlap = true;
+  make(cfg);
+  mcr_->init({"nccl", "mv2-gdr"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor a = Tensor::full({4}, DType::F32, 1.0, cluster_->device(rank));
+    Tensor b = Tensor::full({4}, DType::F32, 2.0, cluster_->device(rank));
+    Work wa = api.all_reduce("nccl", a, ReduceOp::Sum, true);
+    Work wb = api.all_reduce("mv2-gdr", b, ReduceOp::Sum, true);
+    // Let the nccl timeout fire; its overlap rule must flush mv2-gdr too.
+    cluster_->scheduler().sleep_for(500.0);
+    EXPECT_TRUE(wa->test());
+    EXPECT_TRUE(wb->test());
+    EXPECT_DOUBLE_EQ(a.get(0), 4.0);
+    EXPECT_DOUBLE_EQ(b.get(0), 8.0);
+  });
+  // The nccl buffer timed out first; the mv2-gdr buffer must have been
+  // flushed by the overlap rule, not by its own timer.
+  EXPECT_GT(mcr_->fusion().overlap_flush_count(), 0);
+}
+
+TEST_F(FusionTest, AvgReductionThroughFusion) {
+  FusionConfig cfg = small_buffer_config();
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor t = Tensor::full({4}, DType::F32, rank * 1.0, cluster_->device(rank));
+    api.all_reduce("nccl", t, ReduceOp::Avg, true);
+    api.synchronize();
+    EXPECT_DOUBLE_EQ(t.get(0), 1.5);  // mean of 0,1,2,3
+  });
+}
+
+TEST_F(FusionTest, PhantomTensorsFuseForTiming) {
+  FusionConfig cfg = small_buffer_config();
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    for (int i = 0; i < 4; ++i) {
+      Tensor t = Tensor::phantom({8}, DType::F32, cluster_->device(rank));
+      api.all_reduce("nccl", t, ReduceOp::Sum, true);
+    }
+    api.synchronize();
+    EXPECT_GT(cluster_->scheduler().now(), 0.0);
+  });
+}
+
+TEST_F(FusionTest, DisabledFusionPassesThrough) {
+  FusionConfig cfg;  // disabled
+  make(cfg);
+  mcr_->init({"nccl"});
+  cluster_->run_spmd([&](int rank) {
+    Api api = mcr_->on(rank);
+    Tensor t = Tensor::full({4}, DType::F32, 1.0, cluster_->device(rank));
+    api.all_reduce("nccl", t);
+    api.synchronize();
+    EXPECT_DOUBLE_EQ(t.get(0), 4.0);
+  });
+  EXPECT_EQ(mcr_->fusion().flush_count(), 0);
+}
+
+}  // namespace
+}  // namespace mcrdl

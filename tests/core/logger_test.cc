@@ -1,0 +1,91 @@
+// Unit tests for the communication logger's aggregation math.
+#include "src/core/logger.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl {
+namespace {
+
+CommRecord rec(int rank, OpType op, const std::string& backend, std::size_t bytes, SimTime start,
+               SimTime end) {
+  CommRecord r;
+  r.rank = rank;
+  r.op = op;
+  r.backend = backend;
+  r.bytes = bytes;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(CommLogger, DisabledByDefaultAndDropsRecords) {
+  CommLogger log;
+  EXPECT_FALSE(log.enabled());
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 0, 10));
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(CommLogger, IntervalUnionMergesOverlaps) {
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({}), 0.0);
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({{0, 10}}), 10.0);
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({{0, 10}, {5, 15}}), 15.0);
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({{0, 10}, {20, 30}}), 20.0);
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({{0, 10}, {2, 3}, {4, 6}}), 10.0);
+  EXPECT_DOUBLE_EQ(CommLogger::interval_union({{20, 30}, {0, 10}, {10, 20}}), 30.0);
+}
+
+TEST(CommLogger, CommTimeUsesUnionPerRank) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 0, 10));
+  log.record(rec(0, OpType::AllToAllSingle, "mv2-gdr", 100, 5, 20));  // overlaps
+  log.record(rec(1, OpType::AllReduce, "nccl", 100, 0, 50));
+  EXPECT_DOUBLE_EQ(log.comm_time(0), 20.0);
+  EXPECT_DOUBLE_EQ(log.comm_time(1), 50.0);
+  EXPECT_DOUBLE_EQ(log.comm_time(2), 0.0);
+}
+
+TEST(CommLogger, BreakdownByOpSumsDurations) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 0, 10));
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 20, 25));
+  log.record(rec(0, OpType::AllToAllSingle, "mv2-gdr", 100, 30, 60));
+  auto by_op = log.time_by_op(0);
+  EXPECT_DOUBLE_EQ(by_op["all_reduce"], 15.0);
+  EXPECT_DOUBLE_EQ(by_op["all_to_all_single"], 30.0);
+}
+
+TEST(CommLogger, BreakdownByBackend) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 0, 10));
+  log.record(rec(0, OpType::Broadcast, "nccl", 100, 10, 12));
+  log.record(rec(0, OpType::AllToAllSingle, "mv2-gdr", 100, 12, 20));
+  auto by_backend = log.time_by_backend(0);
+  EXPECT_DOUBLE_EQ(by_backend["nccl"], 12.0);
+  EXPECT_DOUBLE_EQ(by_backend["mv2-gdr"], 8.0);
+}
+
+TEST(CommLogger, BytesAndCounts) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 100, 0, 1));
+  log.record(rec(0, OpType::AllReduce, "nccl", 250, 1, 2));
+  log.record(rec(1, OpType::AllReduce, "nccl", 999, 0, 1));
+  EXPECT_EQ(log.bytes_moved(0), 350u);
+  EXPECT_EQ(log.op_count(0), 2);
+  EXPECT_EQ(log.op_count(1), 1);
+}
+
+TEST(CommLogger, ClearResets) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 1, 0, 1));
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.op_count(0), 0);
+}
+
+}  // namespace
+}  // namespace mcrdl

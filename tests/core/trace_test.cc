@@ -1,0 +1,92 @@
+// Tests for the Chrome trace-event exporter.
+#include "src/core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "src/core/mcr_dl.h"
+
+namespace mcrdl {
+namespace {
+
+CommRecord rec(int rank, OpType op, const std::string& backend, SimTime start, SimTime end) {
+  CommRecord r;
+  r.rank = rank;
+  r.op = op;
+  r.backend = backend;
+  r.bytes = 1024;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(Trace, EmptyLoggerIsValidTrace) {
+  CommLogger log;
+  EXPECT_EQ(to_chrome_trace(log), R"({"displayTimeUnit":"ms","traceEvents":[]})");
+}
+
+TEST(Trace, RecordsBecomeCompleteEvents) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 10.0, 25.0));
+  log.record(rec(1, OpType::AllToAllSingle, "mv2-gdr", 5.0, 9.0));
+  std::string json = to_chrome_trace(log);
+  EXPECT_NE(json.find(R"("name":"all_reduce")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ts":10)"), std::string::npos);
+  EXPECT_NE(json.find(R"("dur":15)"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid":"mv2-gdr")"), std::string::npos);
+  // One metadata event per rank.
+  EXPECT_NE(json.find(R"("name":"rank 0")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"rank 1")"), std::string::npos);
+}
+
+TEST(Trace, FlagsAppearInArgs) {
+  CommLogger log;
+  log.set_enabled(true);
+  CommRecord r = rec(0, OpType::AllReduce, "nccl", 0.0, 1.0);
+  r.fused = true;
+  log.record(r);
+  EXPECT_NE(to_chrome_trace(log).find(R"("fused":true)"), std::string::npos);
+}
+
+TEST(Trace, WriteToFileRoundTrips) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::Broadcast, "sccl", 1.0, 2.0));
+  const std::string path = ::testing::TempDir() + "/mcrdl_trace_test.json";
+  write_chrome_trace(log, path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_chrome_trace(log));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EndToEndFromARealRun) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.logging_enabled = true;
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl", "mv2-gdr"});
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({256}, DType::F32, 1.0, cluster.device(rank));
+    api.all_reduce("nccl", t);
+    Tensor o = Tensor::zeros({256}, DType::F32, cluster.device(rank));
+    api.all_to_all_single("mv2-gdr", o, t);
+    api.synchronize();
+  });
+  std::string json = to_chrome_trace(mcr.logger());
+  // 2 ops x 4 ranks = 8 complete events.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = json.find(R"("ph":"X")", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 8u);
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,141 @@
+// Tests for the tuning table and tuning suite: lookup semantics,
+// serialisation round trips, and suite-generated tables matching the
+// cost-model orderings (the Table II pipeline).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/tuning.h"
+#include "src/net/cost.h"
+
+namespace mcrdl {
+namespace {
+
+TEST(TuningTable, ExactLookup) {
+  TuningTable t;
+  t.set(OpType::AllGather, 64, 2048, "mv2-gdr");
+  t.set(OpType::AllGather, 64, 8192, "nccl");
+  t.set(OpType::AllGather, 64, 32768, "sccl");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 64, 256), "mv2-gdr");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 64, 2048), "mv2-gdr");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 64, 2049), "nccl");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 64, 32768), "sccl");
+}
+
+TEST(TuningTable, OversizedMessagesUseLargestBucket) {
+  TuningTable t;
+  t.set(OpType::AllReduce, 8, 1024, "mv2-gdr");
+  t.set(OpType::AllReduce, 8, 65536, "nccl");
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 8, 10 << 20), "nccl");
+}
+
+TEST(TuningTable, NearestWorldSizeResolution) {
+  TuningTable t;
+  t.set(OpType::AllReduce, 16, 1024, "a16");
+  t.set(OpType::AllReduce, 64, 1024, "a64");
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 16, 512), "a16");
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 32, 512), "a64");   // next size up
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 128, 512), "a64");  // beyond: largest
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 4, 512), "a16");
+}
+
+TEST(TuningTable, MissingOpThrows) {
+  TuningTable t;
+  t.set(OpType::AllReduce, 8, 1024, "nccl");
+  EXPECT_THROW(t.lookup(OpType::AllGather, 8, 512), InvalidArgument);
+  EXPECT_TRUE(t.has(OpType::AllReduce));
+  EXPECT_FALSE(t.has(OpType::AllGather));
+}
+
+TEST(TuningTable, EntryCountFormula) {
+  // Paper: entries = Num_Collectives x Num_Scales x Num_Message_Sizes.
+  TuningTable t;
+  for (OpType op : {OpType::AllReduce, OpType::AllGather}) {
+    for (int world : {8, 16, 32}) {
+      for (std::size_t bytes : {1024u, 4096u, 16384u, 65536u}) {
+        t.set(op, world, bytes, "nccl");
+      }
+    }
+  }
+  EXPECT_EQ(t.num_entries(), 2u * 3u * 4u);
+}
+
+TEST(TuningTable, SerializeParseRoundTrip) {
+  TuningTable t;
+  t.set(OpType::AllGather, 64, 2048, "mv2-gdr");
+  t.set(OpType::AllToAllSingle, 32, 1 << 20, "nccl");
+  TuningTable r = TuningTable::parse(t.serialize());
+  EXPECT_EQ(r.lookup(OpType::AllGather, 64, 100), "mv2-gdr");
+  EXPECT_EQ(r.lookup(OpType::AllToAllSingle, 32, 1 << 19), "nccl");
+  EXPECT_EQ(r.num_entries(), 2u);
+}
+
+TEST(TuningTable, SaveLoadRoundTrip) {
+  TuningTable t;
+  t.set(OpType::Broadcast, 16, 4096, "sccl");
+  const std::string path = ::testing::TempDir() + "/mcrdl_tuning_test.txt";
+  t.save(path);
+  TuningTable r = TuningTable::load(path);
+  EXPECT_EQ(r.lookup(OpType::Broadcast, 16, 1), "sccl");
+  std::remove(path.c_str());
+}
+
+TEST(TuningTable, ParseRejectsGarbage) {
+  EXPECT_THROW(TuningTable::parse("all_reduce not_a_number 12 nccl\n"), InvalidArgument);
+  EXPECT_THROW(TuningTable::parse("frobnicate 8 1024 nccl\n"), InvalidArgument);
+}
+
+TEST(TuningTable, ParseSkipsCommentsAndBlankLines) {
+  TuningTable t = TuningTable::parse("# header\n\nall_reduce 8 1024 nccl\n");
+  EXPECT_EQ(t.num_entries(), 1u);
+}
+
+TEST(TuningSuite, GeneratesTableMatchingCostModelOrderings) {
+  // A reduced grid at 16 Lassen GPUs: small allreduce must tune to
+  // MVAPICH2-GDR and large allreduce to NCCL (Fig 2a premise).
+  TuningSuite suite(net::SystemConfig::lassen(4));
+  TuningConfig cfg;
+  cfg.backends = {"nccl", "mv2-gdr"};
+  cfg.ops = {OpType::AllReduce};
+  cfg.sizes = {1024, 1 << 22};
+  cfg.world_sizes = {16};
+  cfg.iterations = 2;
+  cfg.warmup = 1;
+  TuningTable table = suite.generate(cfg);
+  EXPECT_EQ(table.lookup(OpType::AllReduce, 16, 1024), "mv2-gdr");
+  EXPECT_EQ(table.lookup(OpType::AllReduce, 16, 1 << 22), "nccl");
+  EXPECT_EQ(table.num_entries(), 2u);
+  // Raw measurements are retained for Fig 2-style plots.
+  EXPECT_EQ(suite.measurements().size(), 4u);
+  EXPECT_GT(suite.measured("nccl", OpType::AllReduce, 16, 1024), 0.0);
+}
+
+TEST(TuningSuite, AlltoallTunesToMv2AtScale) {
+  TuningSuite suite(net::SystemConfig::lassen(4));
+  TuningConfig cfg;
+  cfg.backends = {"nccl", "mv2-gdr"};
+  cfg.ops = {OpType::AllToAllSingle};
+  cfg.sizes = {1 << 20};
+  cfg.world_sizes = {16};
+  cfg.iterations = 1;
+  TuningTable table = suite.generate(cfg);
+  EXPECT_EQ(table.lookup(OpType::AllToAllSingle, 16, 1 << 20), "mv2-gdr");
+}
+
+TEST(TuningSuite, MultipleWorldSizesProduceIndependentRows) {
+  TuningSuite suite(net::SystemConfig::lassen(2));
+  TuningConfig cfg;
+  cfg.backends = {"nccl"};
+  cfg.ops = {OpType::AllReduce};
+  cfg.sizes = {4096};
+  cfg.world_sizes = {4, 8};
+  cfg.iterations = 1;
+  TuningTable table = suite.generate(cfg);
+  EXPECT_EQ(table.tuned_worlds(OpType::AllReduce), (std::vector<int>{4, 8}));
+  // Latency grows with scale.
+  EXPECT_LT(suite.measured("nccl", OpType::AllReduce, 4, 4096),
+            suite.measured("nccl", OpType::AllReduce, 8, 4096));
+}
+
+}  // namespace
+}  // namespace mcrdl

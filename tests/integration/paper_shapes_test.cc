@@ -1,0 +1,152 @@
+// Integration tests pinning the end-to-end paper shapes at reduced scale:
+// the figures' winner orderings must hold when the full stack (models +
+// runtime + backends + cost models) runs together. These are the
+// regression guards for EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "src/models/dlrm.h"
+#include "src/models/megatron.h"
+#include "src/models/moe.h"
+#include "src/models/resnet.h"
+
+namespace mcrdl::models {
+namespace {
+
+HarnessOptions quick() {
+  HarnessOptions o;
+  o.warmup_steps = 1;
+  o.measured_steps = 2;
+  return o;
+}
+
+// --- Fig 8 shape -------------------------------------------------------------
+
+TEST(PaperShapes, Fig8_NcclBeatsMv2AtSmallScaleForMoE) {
+  net::SystemConfig sys = net::SystemConfig::lassen(4);  // 16 GPUs
+  TrainingHarness h(sys);
+  DSMoEModel m(DSMoEConfig{}, sys);
+  RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), quick());
+  RunResult mv2 = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), quick());
+  EXPECT_GT(nccl.throughput, mv2.throughput);
+}
+
+TEST(PaperShapes, Fig8_MixedBeatsBothAtEveryScale) {
+  for (int nodes : {4, 16}) {
+    net::SystemConfig sys = net::SystemConfig::lassen(nodes);
+    TrainingHarness h(sys);
+    DSMoEModel m(DSMoEConfig{}, sys);
+    RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), quick());
+    RunResult mv2 = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), quick());
+    RunResult mixed = h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::raw(), quick());
+    EXPECT_GT(mixed.throughput, nccl.throughput) << nodes * 4 << " GPUs";
+    EXPECT_GT(mixed.throughput, mv2.throughput) << nodes * 4 << " GPUs";
+  }
+}
+
+TEST(PaperShapes, Fig8_MoEGainOverPureGrowsWithScale) {
+  auto gain_at = [&](int nodes) {
+    net::SystemConfig sys = net::SystemConfig::lassen(nodes);
+    TrainingHarness h(sys);
+    DSMoEModel m(DSMoEConfig{}, sys);
+    RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), quick());
+    RunResult mixed = h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::raw(), quick());
+    return mixed.throughput / nccl.throughput;
+  };
+  EXPECT_GT(gain_at(16), gain_at(4));  // 64 vs 16 GPUs
+}
+
+// --- Fig 9 shape -------------------------------------------------------------
+
+TEST(PaperShapes, Fig9_DlrmMixedWinsAt32WithPaperClassMargins) {
+  net::SystemConfig sys = net::SystemConfig::theta_gpu(4);  // 32 GPUs
+  TrainingHarness h(sys);
+  DLRMModel m(DLRMConfig{}, sys);
+  HarnessOptions o = quick();
+  o.measured_steps = 6;
+  o.warmup_steps = 2;
+  RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), o);
+  RunResult mv2 = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), o);
+  RunResult mixed = h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::raw(), o);
+  // Paper: +25% over MV2-GDR, +30% over NCCL. Accept the 10%-60% band.
+  EXPECT_GT(mixed.throughput / mv2.throughput, 1.10);
+  EXPECT_LT(mixed.throughput / mv2.throughput, 1.60);
+  EXPECT_GT(mixed.throughput / nccl.throughput, 1.15);
+  EXPECT_LT(mixed.throughput / nccl.throughput, 1.70);
+}
+
+TEST(PaperShapes, Fig9_Mv2OvertakesNcclAt32ForDlrm) {
+  net::SystemConfig sys = net::SystemConfig::theta_gpu(4);
+  TrainingHarness h(sys);
+  DLRMModel m(DLRMConfig{}, sys);
+  HarnessOptions o = quick();
+  o.measured_steps = 6;
+  RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), o);
+  RunResult mv2 = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), o);
+  EXPECT_GT(mv2.throughput, nccl.throughput);
+}
+
+// --- Fig 10 shape ------------------------------------------------------------
+
+TEST(PaperShapes, Fig10_ScclBeatsMv2ForDenseMegatron) {
+  net::SystemConfig sys = net::SystemConfig::theta_gpu(2);  // 16 GPUs
+  TrainingHarness h(sys);
+  MegatronConfig cfg;
+  cfg.layers = 8;
+  MegatronDenseModel m(cfg, sys);
+  RunResult sccl = h.run(m, CommPlan::pure("sccl"), FrameworkModel::raw(), quick());
+  RunResult mv2 = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), quick());
+  EXPECT_GT(sccl.throughput, mv2.throughput);
+}
+
+// --- Fig 11 shape ------------------------------------------------------------
+
+TEST(PaperShapes, Fig11_FrameworkOrdering) {
+  net::SystemConfig sys = net::SystemConfig::lassen(8);  // 32 GPUs
+  TrainingHarness h(sys);
+  DSMoEConfig cfg;
+  cfg.layers = 8;
+  DSMoEModel m(cfg, sys);
+  HarnessOptions o = quick();
+  o.mcr_options.fusion.enabled = true;
+  RunResult mcr = h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::mcr_dl(), o);
+  RunResult pytd =
+      h.run(m, CommPlan::pure("nccl"), FrameworkModel::pytorch_distributed("nccl"), o);
+  RunResult m4p = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::mpi4py(), o);
+  EXPECT_GT(mcr.throughput, pytd.throughput);
+  EXPECT_GT(mcr.throughput, m4p.throughput);
+  // mpi4py's blocking + staging must hurt relative to its own backend raw.
+  RunResult mv2_raw = h.run(m, CommPlan::pure("mv2-gdr"), FrameworkModel::raw(), o);
+  EXPECT_LT(m4p.throughput, mv2_raw.throughput);
+}
+
+// --- Fig 12 shape ------------------------------------------------------------
+
+TEST(PaperShapes, Fig12_MixedReducesCommShare) {
+  net::SystemConfig sys = net::SystemConfig::lassen(16);  // 64 GPUs
+  TrainingHarness h(sys);
+  DSMoEModel m(DSMoEConfig{}, sys);
+  RunResult nccl = h.run(m, CommPlan::pure("nccl"), FrameworkModel::raw(), quick());
+  RunResult mixed = h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::raw(), quick());
+  EXPECT_LT(mixed.comm_fraction(), nccl.comm_fraction());
+}
+
+// --- determinism across the whole stack --------------------------------------
+
+TEST(PaperShapes, EndToEndRunsAreBitwiseDeterministic) {
+  auto once = [] {
+    net::SystemConfig sys = net::SystemConfig::lassen(4);
+    TrainingHarness h(sys);
+    DSMoEConfig cfg;
+    cfg.layers = 8;
+    DSMoEModel m(cfg, sys);
+    return h.run(m, CommPlan::mcr_dl_mixed(), FrameworkModel::mcr_dl(), quick());
+  };
+  RunResult a = once();
+  RunResult b = once();
+  EXPECT_EQ(a.step_time_us, b.step_time_us);
+  EXPECT_EQ(a.comm_time_us, b.comm_time_us);
+  EXPECT_EQ(a.comm_by_op_us, b.comm_by_op_us);
+}
+
+}  // namespace
+}  // namespace mcrdl::models

@@ -1,0 +1,143 @@
+// Calibration tests: pin the paper-observed performance orderings that the
+// whole evaluation depends on (Section I-C, Figure 2, Table II).
+//
+// These are the "shape" contracts of the reproduction — if a profile
+// constant changes and one of these breaks, the downstream figures stop
+// matching the paper.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/cost.h"
+
+namespace mcrdl::net {
+namespace {
+
+// Name of the cheapest backend for (op, bytes) on the given topology.
+std::string best_backend(const Topology& topo, OpType op, std::size_t bytes) {
+  std::string best;
+  double best_cost = 0.0;
+  for (const auto& profile : all_backend_profiles()) {
+    CostModel model(&topo, profile);
+    double cost = model.collective_cost(op, bytes, CommShape::over(topo));
+    if (best.empty() || cost < best_cost) {
+      best = profile.name;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+double cost_of(const Topology& topo, const BackendProfile& p, OpType op, std::size_t bytes) {
+  return CostModel(&topo, p).collective_cost(op, bytes, CommShape::over(topo));
+}
+
+// --- Table II: all_gather tuning table at 64 Lassen GPUs --------------------
+
+TEST(Calibration, TableII_AllGatherSmallMessagesGoToMv2Gdr) {
+  Topology topo(SystemConfig::lassen(16));  // 64 GPUs
+  for (std::size_t bytes : {256u, 512u, 1024u, 2048u}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllGather, bytes), "mv2-gdr") << bytes << " bytes";
+  }
+}
+
+TEST(Calibration, TableII_AllGatherMidMessagesGoToNccl) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {4096u, 8192u}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllGather, bytes), "nccl") << bytes << " bytes";
+  }
+}
+
+TEST(Calibration, TableII_AllGatherLargeMessagesGoToSccl) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {16384u, 32768u, 262144u}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllGather, bytes), "sccl") << bytes << " bytes";
+  }
+}
+
+// --- Figure 2(a): (i)Allreduce at 64 Lassen GPUs ----------------------------
+
+TEST(Calibration, Fig2a_Mv2GdrWinsSmallAllreduce) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {1024u, 4096u, 16384u}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllReduce, bytes), "mv2-gdr") << bytes << " bytes";
+  }
+}
+
+TEST(Calibration, Fig2a_NcclWinsLargeAllreduce) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {1u << 20, 8u << 20, 64u << 20}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllReduce, bytes), "nccl") << bytes << " bytes";
+  }
+}
+
+TEST(Calibration, Fig2a_NcclLargeAllreduceAdvantageIsSubstantial) {
+  Topology topo(SystemConfig::lassen(16));
+  double nccl = cost_of(topo, nccl_profile(), OpType::AllReduce, 64u << 20);
+  double mv2 = cost_of(topo, mv2_gdr_profile(), OpType::AllReduce, 64u << 20);
+  EXPECT_GT(mv2 / nccl, 1.3);  // paper: NCCL's Allreduce clearly better at MB sizes
+}
+
+TEST(Calibration, Fig2a_OpenMpiTrailsMv2Gdr) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {1024u, 65536u, 1u << 20, 16u << 20}) {
+    EXPECT_LT(cost_of(topo, mv2_gdr_profile(), OpType::AllReduce, bytes),
+              cost_of(topo, ompi_profile(), OpType::AllReduce, bytes))
+        << bytes << " bytes";
+  }
+}
+
+// --- Figure 2(b): Alltoall at 64 Lassen GPUs --------------------------------
+
+TEST(Calibration, Fig2b_Mv2GdrWinsAlltoallAcrossSizes) {
+  Topology topo(SystemConfig::lassen(16));
+  for (std::size_t bytes : {4096u, 65536u, 1u << 20, 16u << 20}) {
+    EXPECT_EQ(best_backend(topo, OpType::AllToAllSingle, bytes), "mv2-gdr") << bytes << " bytes";
+  }
+}
+
+TEST(Calibration, Fig2b_NcclAlltoallGapGrowsWithScale) {
+  // NCCL's per-peer p2p latency makes its Alltoall scale poorly; the
+  // NCCL/MV2 ratio must increase with world size (paper Section I-C).
+  double prev_ratio = 0.0;
+  for (int nodes : {4, 8, 16, 32, 64}) {
+    Topology topo(SystemConfig::lassen(nodes));
+    double ratio = cost_of(topo, nccl_profile(), OpType::AllToAllSingle, 1u << 20) /
+                   cost_of(topo, mv2_gdr_profile(), OpType::AllToAllSingle, 1u << 20);
+    EXPECT_GT(ratio, prev_ratio) << nodes << " nodes";
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 2.0);  // clear separation at 256 GPUs
+}
+
+// --- The DS-MoE / DLRM mixing premise ---------------------------------------
+
+TEST(Calibration, MixedBackendPremiseHoldsOnLassen) {
+  // The whole point of MCR-DL: at scale, the best Allreduce backend (NCCL)
+  // and the best Alltoall backend (MVAPICH2-GDR) are different libraries.
+  Topology topo(SystemConfig::lassen(64));  // 256 GPUs
+  EXPECT_EQ(best_backend(topo, OpType::AllReduce, 16u << 20), "nccl");
+  EXPECT_EQ(best_backend(topo, OpType::AllToAllSingle, 1u << 20), "mv2-gdr");
+}
+
+TEST(Calibration, MixedBackendPremiseHoldsOnThetaGpu) {
+  Topology topo(SystemConfig::theta_gpu(4));  // 32 GPUs
+  EXPECT_EQ(best_backend(topo, OpType::AllReduce, 16u << 20), "nccl");
+  EXPECT_EQ(best_backend(topo, OpType::AllToAllSingle, 1u << 20), "mv2-gdr");
+}
+
+TEST(Calibration, NcclBeatsMv2OnSmallScaleAllreduceBoundWorkloads) {
+  // Paper Fig 8/9: "at smaller scales, NCCL performs better ... because
+  // Alltoall is not yet a dominant factor". The premise: NCCL's large-
+  // message Allreduce advantage outweighs its Alltoall penalty when the
+  // Alltoall payloads are small.
+  Topology topo(SystemConfig::theta_gpu(1));  // 8 GPUs, single node
+  double nccl_mix = cost_of(topo, nccl_profile(), OpType::AllReduce, 16u << 20) +
+                    cost_of(topo, nccl_profile(), OpType::AllToAllSingle, 256u << 10);
+  double mv2_mix = cost_of(topo, mv2_gdr_profile(), OpType::AllReduce, 16u << 20) +
+                   cost_of(topo, mv2_gdr_profile(), OpType::AllToAllSingle, 256u << 10);
+  EXPECT_LT(nccl_mix, mv2_mix);
+}
+
+}  // namespace
+}  // namespace mcrdl::net

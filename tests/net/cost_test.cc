@@ -1,0 +1,181 @@
+// Structural properties of the collective cost models: monotonicity in
+// message size and scale, sanity of the communicator-shape helper, and
+// behaviour at degenerate sizes. Parameterized across backends and ops.
+#include "src/net/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mcrdl::net {
+namespace {
+
+TEST(CommShape, SingleNode) {
+  Topology topo(SystemConfig::lassen(1));
+  CommShape s = CommShape::over(topo);
+  EXPECT_EQ(s.world, 4);
+  EXPECT_EQ(s.nodes, 1);
+  EXPECT_EQ(s.ppn, 4);
+}
+
+TEST(CommShape, MultiNode) {
+  Topology topo(SystemConfig::lassen(16));
+  CommShape s = CommShape::over(topo);
+  EXPECT_EQ(s.world, 64);
+  EXPECT_EQ(s.nodes, 16);
+  EXPECT_EQ(s.ppn, 4);
+}
+
+TEST(CommShape, SubWorld) {
+  Topology topo(SystemConfig::lassen(16));
+  CommShape s = CommShape::over(topo, 8);
+  EXPECT_EQ(s.world, 8);
+  EXPECT_EQ(s.nodes, 2);
+  EXPECT_EQ(s.ppn, 4);
+  CommShape tiny = CommShape::over(topo, 2);
+  EXPECT_EQ(tiny.nodes, 1);
+  EXPECT_EQ(tiny.ppn, 2);
+}
+
+TEST(CommShape, OutOfRangeRejected) {
+  Topology topo(SystemConfig::lassen(2));
+  EXPECT_THROW(CommShape::over(topo, 0), InvalidArgument);
+  EXPECT_THROW(CommShape::over(topo, 9), InvalidArgument);
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(64), 6);
+  EXPECT_EQ(ceil_log2(65), 7);
+  EXPECT_THROW(ceil_log2(0), InvalidArgument);
+}
+
+// --- property sweep: backend × op ------------------------------------------
+
+using BackendOp = std::tuple<std::string, OpType>;
+
+class CostPropertyTest : public ::testing::TestWithParam<BackendOp> {
+ protected:
+  static BackendProfile profile_by_name(const std::string& name) {
+    for (auto& p : all_backend_profiles()) {
+      if (p.name == name) return p;
+    }
+    throw InvalidArgument("unknown backend profile: " + name);
+  }
+};
+
+TEST_P(CostPropertyTest, MonotoneInMessageSize) {
+  const auto& [backend, op] = GetParam();
+  Topology topo(SystemConfig::lassen(16));
+  CostModel model(&topo, profile_by_name(backend));
+  CommShape shape = CommShape::over(topo);
+  double prev = 0.0;
+  for (std::size_t bytes = 256; bytes <= (16u << 20); bytes *= 4) {
+    double cost = model.collective_cost(op, bytes, shape);
+    EXPECT_GE(cost, prev) << backend << " " << op_name(op) << " at " << bytes << " bytes";
+    EXPECT_GT(cost, 0.0);
+    prev = cost;
+  }
+}
+
+TEST_P(CostPropertyTest, MonotoneInScale) {
+  const auto& [backend, op] = GetParam();
+  CostModel* unused = nullptr;
+  (void)unused;
+  double prev = 0.0;
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    Topology topo(SystemConfig::lassen(nodes));
+    CostModel model(&topo, profile_by_name(backend));
+    double cost = model.collective_cost(op, 1 << 20, CommShape::over(topo));
+    EXPECT_GE(cost, prev * 0.999) << backend << " " << op_name(op) << " at " << nodes << " nodes";
+    prev = cost;
+  }
+}
+
+TEST_P(CostPropertyTest, SingleRankCostsOnlyLaunchOverhead) {
+  const auto& [backend, op] = GetParam();
+  Topology topo(SystemConfig::lassen(1));
+  BackendProfile profile = profile_by_name(backend);
+  CostModel model(&topo, profile);
+  CommShape solo{1, 1, 1};
+  EXPECT_DOUBLE_EQ(model.collective_cost(op, 1 << 20, solo), profile.launch_overhead_us);
+}
+
+TEST_P(CostPropertyTest, ZeroByteCollectiveIsLatencyOnlyAndFinite) {
+  const auto& [backend, op] = GetParam();
+  Topology topo(SystemConfig::lassen(4));
+  CostModel model(&topo, profile_by_name(backend));
+  double cost = model.collective_cost(op, 0, CommShape::over(topo));
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 1000.0);  // pure latency, no wire time
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndOps, CostPropertyTest,
+    ::testing::Combine(::testing::Values("nccl", "mv2-gdr", "ompi", "sccl"),
+                       ::testing::Values(OpType::AllReduce, OpType::AllGather,
+                                         OpType::ReduceScatter, OpType::Broadcast, OpType::Reduce,
+                                         OpType::Gather, OpType::Scatter, OpType::AllToAllSingle,
+                                         OpType::AllToAll)),
+    [](const ::testing::TestParamInfo<BackendOp>& info) {
+      std::string name = std::get<0>(info.param) + "_" + op_name(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(CostModel, P2pIntraNodeCheaperThanInter) {
+  Topology topo(SystemConfig::lassen(2));
+  CostModel model(&topo, mv2_gdr_profile());
+  EXPECT_LT(model.p2p_cost(1 << 20, 0, 1), model.p2p_cost(1 << 20, 0, 4));
+}
+
+TEST(CostModel, P2pRendezvousKicksInAboveEagerThreshold) {
+  Topology topo(SystemConfig::lassen(2));
+  BackendProfile p = mv2_gdr_profile();
+  CostModel model(&topo, p);
+  double below = model.p2p_cost(p.eager_threshold, 0, 1);
+  double above = model.p2p_cost(p.eager_threshold + 1, 0, 1);
+  EXPECT_GT(above - below, p.rendezvous_overhead_us * 0.9);
+}
+
+TEST(CostModel, SendRecvRequireP2pCost) {
+  Topology topo(SystemConfig::lassen(2));
+  CostModel model(&topo, nccl_profile());
+  EXPECT_THROW(model.collective_cost(OpType::Send, 1024, CommShape::over(topo)), InvalidArgument);
+}
+
+TEST(CostModel, VectorCollectivesShareBaseFormulas) {
+  Topology topo(SystemConfig::lassen(4));
+  CostModel model(&topo, mv2_gdr_profile());
+  CommShape shape = CommShape::over(topo);
+  EXPECT_DOUBLE_EQ(model.collective_cost(OpType::AllGather, 4096, shape),
+                   model.collective_cost(OpType::AllGatherV, 4096, shape));
+  EXPECT_DOUBLE_EQ(model.collective_cost(OpType::Gather, 4096, shape),
+                   model.collective_cost(OpType::GatherV, 4096, shape));
+}
+
+TEST(CostModel, BackendProfilesDeclareExpectedCapabilities) {
+  auto nccl = nccl_profile();
+  EXPECT_TRUE(nccl.stream_aware);
+  EXPECT_FALSE(nccl.native_vector_collectives);
+  EXPECT_FALSE(nccl.is_native(OpType::Gather));
+  EXPECT_FALSE(nccl.is_native(OpType::AllToAllV));
+  EXPECT_TRUE(nccl.is_native(OpType::AllReduce));
+
+  auto mv2 = mv2_gdr_profile();
+  EXPECT_FALSE(mv2.stream_aware);
+  EXPECT_TRUE(mv2.native_vector_collectives);
+  EXPECT_TRUE(mv2.is_native(OpType::GatherV));
+
+  auto sccl = sccl_profile();
+  EXPECT_TRUE(sccl.stream_aware);
+  EXPECT_TRUE(sccl.overlapped_two_level);
+}
+
+}  // namespace
+}  // namespace mcrdl::net

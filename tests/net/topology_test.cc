@@ -1,0 +1,84 @@
+// Tests for cluster topology and rank→hardware mapping.
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl::net {
+namespace {
+
+TEST(Topology, LassenPreset) {
+  SystemConfig c = SystemConfig::lassen(16);
+  EXPECT_EQ(c.name, "Lassen");
+  EXPECT_EQ(c.num_nodes, 16);
+  EXPECT_EQ(c.gpus_per_node, 4);
+  EXPECT_EQ(c.world_size(), 64);
+  EXPECT_GT(c.intra_node.bandwidth_gbps, c.inter_node.bandwidth_gbps);
+  EXPECT_LT(c.intra_node.latency_us, c.inter_node.latency_us);
+}
+
+TEST(Topology, ThetaGpuPreset) {
+  SystemConfig c = SystemConfig::theta_gpu(4);
+  EXPECT_EQ(c.name, "ThetaGPU");
+  EXPECT_EQ(c.gpus_per_node, 8);
+  EXPECT_EQ(c.world_size(), 32);
+  // A100 nodes are faster than V100 nodes in every dimension.
+  SystemConfig lassen = SystemConfig::lassen(4);
+  EXPECT_GT(c.gpu_tflops, lassen.gpu_tflops);
+  EXPECT_GT(c.intra_node.bandwidth_gbps, lassen.intra_node.bandwidth_gbps);
+}
+
+TEST(Topology, BlockRankLayout) {
+  Topology topo(SystemConfig::lassen(4));  // 16 GPUs, 4 per node
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(3), 0);
+  EXPECT_EQ(topo.node_of(4), 1);
+  EXPECT_EQ(topo.node_of(15), 3);
+  EXPECT_EQ(topo.local_of(0), 0);
+  EXPECT_EQ(topo.local_of(5), 1);
+  EXPECT_EQ(topo.local_of(15), 3);
+}
+
+TEST(Topology, SameNodePredicate) {
+  Topology topo(SystemConfig::lassen(2));
+  EXPECT_TRUE(topo.same_node(0, 3));
+  EXPECT_FALSE(topo.same_node(3, 4));
+  EXPECT_TRUE(topo.same_node(5, 5));
+}
+
+TEST(Topology, LinkSelection) {
+  Topology topo(SystemConfig::lassen(2));
+  EXPECT_DOUBLE_EQ(topo.link(0, 1).bandwidth_gbps, topo.config().intra_node.bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(topo.link(0, 4).bandwidth_gbps, topo.config().inter_node.bandwidth_gbps);
+}
+
+TEST(Topology, NicSharingDividesBandwidth) {
+  Topology topo(SystemConfig::lassen(2));
+  double solo = topo.inter_node_bw_per_gpu(1);
+  double shared = topo.inter_node_bw_per_gpu(4);
+  EXPECT_GT(solo, shared);
+  EXPECT_NEAR(shared * 4, topo.config().nic_bandwidth_gbps, 1e-9);
+  // A single GPU is limited by its own HCA path, not the whole NIC pool.
+  EXPECT_LE(solo, topo.config().inter_node.bandwidth_gbps);
+}
+
+TEST(Topology, RankOutOfRangeRejected) {
+  Topology topo(SystemConfig::lassen(1));
+  EXPECT_THROW(topo.node_of(-1), InvalidArgument);
+  EXPECT_THROW(topo.node_of(4), InvalidArgument);
+  EXPECT_THROW(topo.local_of(100), InvalidArgument);
+}
+
+TEST(Topology, LinkTransferTime) {
+  LinkSpec link{2.0, 10.0};  // 2us + 10 GB/s
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 2.0);
+  // 10 GB/s == 10,000 bytes/us, so 1 MB takes ~104.8576us + latency.
+  EXPECT_NEAR(link.transfer_time(1 << 20), 2.0 + 104.8576, 1e-6);
+}
+
+TEST(Topology, InvalidConfigsRejected) {
+  EXPECT_THROW(SystemConfig::lassen(0), InvalidArgument);
+  EXPECT_THROW(SystemConfig::theta_gpu(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcrdl::net

@@ -1,0 +1,96 @@
+// Tests for dtype metadata and the 16-bit float conversion routines.
+#include "src/tensor/dtype.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mcrdl {
+namespace {
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(dtype_size(DType::F16), 2u);
+  EXPECT_EQ(dtype_size(DType::BF16), 2u);
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::F64), 8u);
+  EXPECT_EQ(dtype_size(DType::I32), 4u);
+  EXPECT_EQ(dtype_size(DType::I64), 8u);
+  EXPECT_EQ(dtype_size(DType::U8), 1u);
+}
+
+TEST(DType, Names) {
+  EXPECT_STREQ(dtype_name(DType::F16), "f16");
+  EXPECT_STREQ(dtype_name(DType::BF16), "bf16");
+  EXPECT_STREQ(dtype_name(DType::I64), "i64");
+}
+
+TEST(DType, FloatingPredicate) {
+  EXPECT_TRUE(is_floating(DType::F16));
+  EXPECT_TRUE(is_floating(DType::F64));
+  EXPECT_FALSE(is_floating(DType::I32));
+  EXPECT_FALSE(is_floating(DType::U8));
+}
+
+TEST(Half, RoundTripExactValues) {
+  // All these values are exactly representable in binary16.
+  for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(half_to_float(float_to_half(f)), f) << f;
+  }
+}
+
+TEST(Half, SignedZero) {
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000u);
+  EXPECT_EQ(half_to_float(0x8000u), -0.0f);
+  EXPECT_TRUE(std::signbit(half_to_float(0x8000u)));
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(1e6f))));
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(-1e6f))));
+  EXPECT_LT(half_to_float(float_to_half(-1e6f)), 0.0f);
+}
+
+TEST(Half, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(inf))));
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(std::nanf("")))));
+}
+
+TEST(Half, SubnormalRange) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half_to_float(float_to_half(tiny)), tiny);
+  // Values below half the smallest subnormal flush to zero.
+  EXPECT_EQ(half_to_float(float_to_half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, RoundingErrorBounded) {
+  // Relative error of a binary16 round-trip is at most 2^-11 for normals.
+  for (float f = 0.001f; f < 100.0f; f *= 1.37f) {
+    const float rt = half_to_float(float_to_half(f));
+    EXPECT_NEAR(rt, f, f * (1.0f / 1024.0f)) << f;
+  }
+}
+
+TEST(BFloat16, RoundTripExactValues) {
+  for (float f : {0.0f, 1.0f, -2.0f, 256.0f, 1.5f, -0.375f}) {
+    EXPECT_EQ(bfloat16_to_float(float_to_bfloat16(f)), f) << f;
+  }
+}
+
+TEST(BFloat16, PreservesFloatRange) {
+  // bfloat16 keeps the full float32 exponent range.
+  EXPECT_FALSE(std::isinf(bfloat16_to_float(float_to_bfloat16(1e38f))));
+  EXPECT_TRUE(std::isnan(bfloat16_to_float(float_to_bfloat16(std::nanf("")))));
+}
+
+TEST(BFloat16, RoundingErrorBounded) {
+  for (float f = 0.001f; f < 1e6f; f *= 2.71f) {
+    const float rt = bfloat16_to_float(float_to_bfloat16(f));
+    EXPECT_NEAR(rt, f, f * (1.0f / 128.0f)) << f;
+  }
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,60 @@
+// mcrdl_info — prints the registered backends, their capability matrix and
+// performance personalities, and the built-in system topologies.
+//
+//   ./tools/mcrdl_info
+#include <cstdio>
+
+#include "src/backends/backend.h"
+#include "src/common/format.h"
+#include "src/net/cost.h"
+
+using namespace mcrdl;
+
+int main() {
+  std::printf("MCR-DL simulated communication backends\n\n");
+  {
+    TextTable t({"Backend", "Family", "Launch", "Vector collectives", "Native op coverage",
+                 "Stream-aware"});
+    auto profiles = net::all_backend_profiles();
+    profiles.push_back(net::gloo_profile());
+    for (const auto& p : profiles) {
+      int native = 0, total = 0;
+      for (OpType op : {OpType::Send, OpType::Recv, OpType::Broadcast, OpType::Reduce,
+                        OpType::AllReduce, OpType::AllGather, OpType::AllGatherV, OpType::Gather,
+                        OpType::GatherV, OpType::Scatter, OpType::ScatterV, OpType::ReduceScatter,
+                        OpType::AllToAll, OpType::AllToAllSingle, OpType::AllToAllV,
+                        OpType::Barrier}) {
+        ++total;
+        native += p.is_native(op);
+      }
+      char cov[32], launch[32];
+      std::snprintf(cov, sizeof(cov), "%d/%d", native, total);
+      std::snprintf(launch, sizeof(launch), "%.1f us", p.launch_overhead_us);
+      t.add_row({p.display_name, p.stream_aware ? "stream (NCCL-like)" : "host MPI", launch,
+                 p.native_vector_collectives ? "native" : "emulated by MCR-DL", cov,
+                 p.stream_aware ? "yes" : "no"});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  std::printf("\nBuilt-in system topologies\n\n");
+  {
+    TextTable t({"System", "GPUs/node", "Intra-node", "Inter-node (per GPU)", "NIC/node",
+                 "GPU peak"});
+    for (const auto& cfg :
+         {net::SystemConfig::lassen(1), net::SystemConfig::theta_gpu(1)}) {
+      char intra[48], inter[48], nic[32], peak[32];
+      std::snprintf(intra, sizeof(intra), "%.0f GB/s @ %.1f us", cfg.intra_node.bandwidth_gbps,
+                    cfg.intra_node.latency_us);
+      std::snprintf(inter, sizeof(inter), "%.0f GB/s @ %.1f us", cfg.inter_node.bandwidth_gbps,
+                    cfg.inter_node.latency_us);
+      std::snprintf(nic, sizeof(nic), "%.0f GB/s", cfg.nic_bandwidth_gbps);
+      std::snprintf(peak, sizeof(peak), "%.0f TFLOPs", cfg.gpu_tflops);
+      t.add_row({cfg.name, std::to_string(cfg.gpus_per_node), intra, inter, nic, peak});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  std::printf("\nMCR-DL emulates every missing native operation (see Table I bench).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// mcrdl_osu — an OSU-Micro-Benchmarks-style latency sweep over the
+// simulated backends (the tool behind the paper's Figure 2 methodology).
+//
+//   ./tools/mcrdl_osu --op=all_to_all_single --system=lassen --gpus=64 ...
+//       --backends=nccl,mv2-gdr --sizes=1k,64k,1m,16m
+#include <cstdio>
+
+#include "src/backends/backend.h"
+#include "src/common/flags.h"
+#include "src/common/format.h"
+#include "src/core/tuning.h"
+
+using namespace mcrdl;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("op", "all_reduce", "collective to benchmark (Listing-1 name)");
+  flags.define("system", "lassen", "node architecture: lassen | theta-gpu");
+  flags.define("gpus", "64", "world size");
+  flags.define("backends", "mv2-gdr,ompi,nccl,sccl", "backends to compare");
+  flags.define("sizes", "1k,4k,16k,64k,256k,1m,4m,16m,64m", "message sizes");
+  flags.define("iterations", "3", "timed iterations per point");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    OpType op;
+    MCRDL_REQUIRE(op_from_name(flags.get("op"), op), "unknown op: " + flags.get("op"));
+    const int world = flags.get_int("gpus");
+    const std::string system = flags.get("system");
+    net::SystemConfig base = system == "lassen" ? net::SystemConfig::lassen((world + 3) / 4)
+                                                : net::SystemConfig::theta_gpu((world + 7) / 8);
+
+    TuningSuite suite(base);
+    TuningConfig cfg;
+    cfg.backends = flags.get_list("backends");
+    cfg.ops = {op};
+    cfg.sizes = flags.get_size_list("sizes");
+    cfg.world_sizes = {world};
+    cfg.iterations = flags.get_int("iterations");
+    (void)suite.generate(cfg);
+
+    std::printf("# %s, %d GPUs on %s (virtual time)\n", op_name(op), world, base.name.c_str());
+    std::vector<std::string> headers = {"Size"};
+    for (const auto& b : cfg.backends) headers.push_back(b);
+    TextTable t(headers);
+    for (std::size_t bytes : cfg.sizes) {
+      std::vector<std::string> row = {format_bytes(bytes)};
+      for (const auto& b : cfg.backends) {
+        row.push_back(format_time_us(suite.measured(b, op, world, bytes)));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

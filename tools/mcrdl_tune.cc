@@ -1,0 +1,88 @@
+// mcrdl_tune — the tuning-suite CLI (paper Section V-F, the workflow a
+// cluster admin runs once per system).
+//
+//   ./tools/mcrdl_tune --system=lassen --gpus=64 ...
+//       --ops=all_reduce,all_gather,all_to_all_single ...
+//       --sizes=1k,16k,256k,4m --output=/tmp/lassen64.tuning
+//
+// The output file feeds McrDl::set_tuning_table / TuningTable::load and is
+// what the "auto" backend consults at runtime.
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/common/format.h"
+#include "src/core/tuning.h"
+
+using namespace mcrdl;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("system", "lassen", "node architecture: lassen | theta-gpu");
+  flags.define("gpus", "16", "comma-separated world sizes to tune, e.g. 16,32,64");
+  flags.define("backends", "mv2-gdr,ompi,nccl,sccl", "backends to sweep");
+  flags.define("ops", "all_reduce,all_gather,all_to_all_single,broadcast,reduce_scatter",
+               "operations to tune");
+  flags.define("sizes", "256,1k,4k,16k,64k,256k,1m,4m", "message sizes (k/m/g suffixes)");
+  flags.define("iterations", "3", "timed iterations per grid point");
+  flags.define("warmup", "1", "warmup iterations per grid point");
+  flags.define("output", "", "path for the generated tuning table (empty: stdout only)");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    const std::string system = flags.get("system");
+    MCRDL_REQUIRE(system == "lassen" || system == "theta-gpu",
+                  "--system must be lassen or theta-gpu");
+    std::vector<int> worlds;
+    for (const auto& w : flags.get_list("gpus")) worlds.push_back(std::stoi(w));
+    MCRDL_REQUIRE(!worlds.empty(), "--gpus must list at least one world size");
+
+    TuningConfig cfg;
+    cfg.backends = flags.get_list("backends");
+    cfg.ops.clear();
+    for (const auto& name : flags.get_list("ops")) {
+      OpType op;
+      MCRDL_REQUIRE(op_from_name(name, op), "unknown operation: " + name);
+      cfg.ops.push_back(op);
+    }
+    cfg.sizes = flags.get_size_list("sizes");
+    cfg.world_sizes = worlds;
+    cfg.iterations = flags.get_int("iterations");
+    cfg.warmup = flags.get_int("warmup");
+
+    const int max_world = *std::max_element(worlds.begin(), worlds.end());
+    net::SystemConfig base = system == "lassen"
+                                 ? net::SystemConfig::lassen((max_world + 3) / 4)
+                                 : net::SystemConfig::theta_gpu((max_world + 7) / 8);
+
+    std::printf("tuning %s: %zu backends x %zu ops x %zu sizes x %zu scales = %zu grid points\n",
+                base.name.c_str(), cfg.backends.size(), cfg.ops.size(), cfg.sizes.size(),
+                worlds.size(),
+                cfg.backends.size() * cfg.ops.size() * cfg.sizes.size() * worlds.size());
+
+    TuningSuite suite(base);
+    TuningTable table = suite.generate(cfg);
+
+    for (int world : worlds) {
+      for (OpType op : cfg.ops) {
+        std::printf("\n%s @ %d GPUs:\n", op_name(op), world);
+        TextTable t({"Message size", "Backend", "Latency"});
+        for (const auto& e : table.entries(op, world)) {
+          t.add_row({format_bytes(e.max_bytes), e.backend,
+                     format_time_us(suite.measured(e.backend, op, world, e.max_bytes))});
+        }
+        std::printf("%s", t.to_string().c_str());
+      }
+    }
+
+    const std::string out = flags.get("output");
+    if (!out.empty()) {
+      table.save(out);
+      std::printf("\nwrote %zu entries to %s\n", table.num_entries(), out.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
