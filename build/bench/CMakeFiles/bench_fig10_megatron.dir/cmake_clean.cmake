@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_megatron.dir/bench_fig10_megatron.cc.o"
+  "CMakeFiles/bench_fig10_megatron.dir/bench_fig10_megatron.cc.o.d"
+  "bench_fig10_megatron"
+  "bench_fig10_megatron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_megatron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_frameworks.dir/bench_fig11_frameworks.cc.o"
+  "CMakeFiles/bench_fig11_frameworks.dir/bench_fig11_frameworks.cc.o.d"
+  "bench_fig11_frameworks"
+  "bench_fig11_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dsmoe.dir/bench_fig8_dsmoe.cc.o"
+  "CMakeFiles/bench_fig8_dsmoe.dir/bench_fig8_dsmoe.cc.o.d"
+  "bench_fig8_dsmoe"
+  "bench_fig8_dsmoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dsmoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dlrm.dir/bench_fig9_dlrm.cc.o"
+  "CMakeFiles/bench_fig9_dlrm.dir/bench_fig9_dlrm.cc.o.d"
+  "bench_fig9_dlrm"
+  "bench_fig9_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

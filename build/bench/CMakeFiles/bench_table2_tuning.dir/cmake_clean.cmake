@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tuning.dir/bench_table2_tuning.cc.o"
+  "CMakeFiles/bench_table2_tuning.dir/bench_table2_tuning.cc.o.d"
+  "bench_table2_tuning"
+  "bench_table2_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

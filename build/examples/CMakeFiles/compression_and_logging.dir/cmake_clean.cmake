@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_and_logging.dir/compression_and_logging.cpp.o"
+  "CMakeFiles/compression_and_logging.dir/compression_and_logging.cpp.o.d"
+  "compression_and_logging"
+  "compression_and_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_and_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

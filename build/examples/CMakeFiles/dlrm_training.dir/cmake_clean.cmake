@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_training.dir/dlrm_training.cpp.o"
+  "CMakeFiles/dlrm_training.dir/dlrm_training.cpp.o.d"
+  "dlrm_training"
+  "dlrm_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_backend_overlap.dir/mixed_backend_overlap.cpp.o"
+  "CMakeFiles/mixed_backend_overlap.dir/mixed_backend_overlap.cpp.o.d"
+  "mixed_backend_overlap"
+  "mixed_backend_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_backend_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

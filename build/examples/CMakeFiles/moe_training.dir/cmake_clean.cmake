@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_training.dir/moe_training.cpp.o"
+  "CMakeFiles/moe_training.dir/moe_training.cpp.o.d"
+  "moe_training"
+  "moe_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_backends.dir/backend.cc.o"
+  "CMakeFiles/mcrdl_backends.dir/backend.cc.o.d"
+  "CMakeFiles/mcrdl_backends.dir/cluster.cc.o"
+  "CMakeFiles/mcrdl_backends.dir/cluster.cc.o.d"
+  "CMakeFiles/mcrdl_backends.dir/engine.cc.o"
+  "CMakeFiles/mcrdl_backends.dir/engine.cc.o.d"
+  "CMakeFiles/mcrdl_backends.dir/work.cc.o"
+  "CMakeFiles/mcrdl_backends.dir/work.cc.o.d"
+  "libmcrdl_backends.a"
+  "libmcrdl_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

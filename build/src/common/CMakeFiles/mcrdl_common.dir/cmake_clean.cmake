@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_common.dir/flags.cc.o"
+  "CMakeFiles/mcrdl_common.dir/flags.cc.o.d"
+  "CMakeFiles/mcrdl_common.dir/format.cc.o"
+  "CMakeFiles/mcrdl_common.dir/format.cc.o.d"
+  "CMakeFiles/mcrdl_common.dir/logging.cc.o"
+  "CMakeFiles/mcrdl_common.dir/logging.cc.o.d"
+  "libmcrdl_common.a"
+  "libmcrdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_compress.dir/bitstream.cc.o"
+  "CMakeFiles/mcrdl_compress.dir/bitstream.cc.o.d"
+  "CMakeFiles/mcrdl_compress.dir/zfp_codec.cc.o"
+  "CMakeFiles/mcrdl_compress.dir/zfp_codec.cc.o.d"
+  "libmcrdl_compress.a"
+  "libmcrdl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composite_work.cc" "src/core/CMakeFiles/mcrdl_core.dir/composite_work.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/composite_work.cc.o.d"
+  "/root/repo/src/core/compression.cc" "src/core/CMakeFiles/mcrdl_core.dir/compression.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/compression.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/mcrdl_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/context.cc.o.d"
+  "/root/repo/src/core/emulation.cc" "src/core/CMakeFiles/mcrdl_core.dir/emulation.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/emulation.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/core/CMakeFiles/mcrdl_core.dir/fusion.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/fusion.cc.o.d"
+  "/root/repo/src/core/logger.cc" "src/core/CMakeFiles/mcrdl_core.dir/logger.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/logger.cc.o.d"
+  "/root/repo/src/core/persistent.cc" "src/core/CMakeFiles/mcrdl_core.dir/persistent.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/persistent.cc.o.d"
+  "/root/repo/src/core/process_groups.cc" "src/core/CMakeFiles/mcrdl_core.dir/process_groups.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/process_groups.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/mcrdl_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/mcrdl_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/mcrdl_core.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/mcrdl_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mcrdl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mcrdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcrdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcrdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_core.dir/composite_work.cc.o"
+  "CMakeFiles/mcrdl_core.dir/composite_work.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/compression.cc.o"
+  "CMakeFiles/mcrdl_core.dir/compression.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/context.cc.o"
+  "CMakeFiles/mcrdl_core.dir/context.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/emulation.cc.o"
+  "CMakeFiles/mcrdl_core.dir/emulation.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/fusion.cc.o"
+  "CMakeFiles/mcrdl_core.dir/fusion.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/logger.cc.o"
+  "CMakeFiles/mcrdl_core.dir/logger.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/persistent.cc.o"
+  "CMakeFiles/mcrdl_core.dir/persistent.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/process_groups.cc.o"
+  "CMakeFiles/mcrdl_core.dir/process_groups.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/trace.cc.o"
+  "CMakeFiles/mcrdl_core.dir/trace.cc.o.d"
+  "CMakeFiles/mcrdl_core.dir/tuning.cc.o"
+  "CMakeFiles/mcrdl_core.dir/tuning.cc.o.d"
+  "libmcrdl_core.a"
+  "libmcrdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_models.dir/comm_plan.cc.o"
+  "CMakeFiles/mcrdl_models.dir/comm_plan.cc.o.d"
+  "CMakeFiles/mcrdl_models.dir/dlrm.cc.o"
+  "CMakeFiles/mcrdl_models.dir/dlrm.cc.o.d"
+  "CMakeFiles/mcrdl_models.dir/megatron.cc.o"
+  "CMakeFiles/mcrdl_models.dir/megatron.cc.o.d"
+  "CMakeFiles/mcrdl_models.dir/moe.cc.o"
+  "CMakeFiles/mcrdl_models.dir/moe.cc.o.d"
+  "CMakeFiles/mcrdl_models.dir/resnet.cc.o"
+  "CMakeFiles/mcrdl_models.dir/resnet.cc.o.d"
+  "CMakeFiles/mcrdl_models.dir/workload.cc.o"
+  "CMakeFiles/mcrdl_models.dir/workload.cc.o.d"
+  "libmcrdl_models.a"
+  "libmcrdl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/comm_types.cc" "src/net/CMakeFiles/mcrdl_net.dir/comm_types.cc.o" "gcc" "src/net/CMakeFiles/mcrdl_net.dir/comm_types.cc.o.d"
+  "/root/repo/src/net/cost.cc" "src/net/CMakeFiles/mcrdl_net.dir/cost.cc.o" "gcc" "src/net/CMakeFiles/mcrdl_net.dir/cost.cc.o.d"
+  "/root/repo/src/net/profiles.cc" "src/net/CMakeFiles/mcrdl_net.dir/profiles.cc.o" "gcc" "src/net/CMakeFiles/mcrdl_net.dir/profiles.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/mcrdl_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/mcrdl_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcrdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

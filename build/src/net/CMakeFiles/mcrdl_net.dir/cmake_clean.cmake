@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_net.dir/comm_types.cc.o"
+  "CMakeFiles/mcrdl_net.dir/comm_types.cc.o.d"
+  "CMakeFiles/mcrdl_net.dir/cost.cc.o"
+  "CMakeFiles/mcrdl_net.dir/cost.cc.o.d"
+  "CMakeFiles/mcrdl_net.dir/profiles.cc.o"
+  "CMakeFiles/mcrdl_net.dir/profiles.cc.o.d"
+  "CMakeFiles/mcrdl_net.dir/topology.cc.o"
+  "CMakeFiles/mcrdl_net.dir/topology.cc.o.d"
+  "libmcrdl_net.a"
+  "libmcrdl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

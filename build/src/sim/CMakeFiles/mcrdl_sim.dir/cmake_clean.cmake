@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_sim.dir/device.cc.o"
+  "CMakeFiles/mcrdl_sim.dir/device.cc.o.d"
+  "CMakeFiles/mcrdl_sim.dir/scheduler.cc.o"
+  "CMakeFiles/mcrdl_sim.dir/scheduler.cc.o.d"
+  "libmcrdl_sim.a"
+  "libmcrdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

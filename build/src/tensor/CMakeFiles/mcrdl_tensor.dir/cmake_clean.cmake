@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_tensor.dir/dtype.cc.o"
+  "CMakeFiles/mcrdl_tensor.dir/dtype.cc.o.d"
+  "CMakeFiles/mcrdl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mcrdl_tensor.dir/tensor.cc.o.d"
+  "libmcrdl_tensor.a"
+  "libmcrdl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_collectives_test.dir/backend_collectives_test.cc.o"
+  "CMakeFiles/backends_collectives_test.dir/backend_collectives_test.cc.o.d"
+  "backends_collectives_test"
+  "backends_collectives_test.pdb"
+  "backends_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

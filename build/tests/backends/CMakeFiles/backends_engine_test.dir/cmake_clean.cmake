@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_engine_test.dir/engine_test.cc.o"
+  "CMakeFiles/backends_engine_test.dir/engine_test.cc.o.d"
+  "backends_engine_test"
+  "backends_engine_test.pdb"
+  "backends_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

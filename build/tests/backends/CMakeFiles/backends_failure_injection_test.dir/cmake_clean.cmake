@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_failure_injection_test.dir/failure_injection_test.cc.o"
+  "CMakeFiles/backends_failure_injection_test.dir/failure_injection_test.cc.o.d"
+  "backends_failure_injection_test"
+  "backends_failure_injection_test.pdb"
+  "backends_failure_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

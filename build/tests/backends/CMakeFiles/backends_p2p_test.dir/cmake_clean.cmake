@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_p2p_test.dir/p2p_test.cc.o"
+  "CMakeFiles/backends_p2p_test.dir/p2p_test.cc.o.d"
+  "backends_p2p_test"
+  "backends_p2p_test.pdb"
+  "backends_p2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

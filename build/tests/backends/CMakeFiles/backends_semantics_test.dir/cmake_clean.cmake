@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_semantics_test.dir/backend_semantics_test.cc.o"
+  "CMakeFiles/backends_semantics_test.dir/backend_semantics_test.cc.o.d"
+  "backends_semantics_test"
+  "backends_semantics_test.pdb"
+  "backends_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

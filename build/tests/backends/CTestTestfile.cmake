@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/backends
+# Build directory: /root/repo/build/tests/backends
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/backends/backends_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backends_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backends_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backends_p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backends_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backends_failure_injection_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_format_test.dir/format_test.cc.o"
+  "CMakeFiles/common_format_test.dir/format_test.cc.o.d"
+  "common_format_test"
+  "common_format_test.pdb"
+  "common_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

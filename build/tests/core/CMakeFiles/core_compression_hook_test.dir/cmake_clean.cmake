@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compression_hook_test.dir/compression_hook_test.cc.o"
+  "CMakeFiles/core_compression_hook_test.dir/compression_hook_test.cc.o.d"
+  "core_compression_hook_test"
+  "core_compression_hook_test.pdb"
+  "core_compression_hook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compression_hook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_emulation_test.dir/emulation_test.cc.o"
+  "CMakeFiles/core_emulation_test.dir/emulation_test.cc.o.d"
+  "core_emulation_test"
+  "core_emulation_test.pdb"
+  "core_emulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_emulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

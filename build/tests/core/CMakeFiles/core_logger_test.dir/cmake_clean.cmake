@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_logger_test.dir/logger_test.cc.o"
+  "CMakeFiles/core_logger_test.dir/logger_test.cc.o.d"
+  "core_logger_test"
+  "core_logger_test.pdb"
+  "core_logger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_logger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

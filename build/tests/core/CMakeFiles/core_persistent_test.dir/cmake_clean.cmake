@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_persistent_test.dir/persistent_test.cc.o"
+  "CMakeFiles/core_persistent_test.dir/persistent_test.cc.o.d"
+  "core_persistent_test"
+  "core_persistent_test.pdb"
+  "core_persistent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_process_groups_test.dir/process_groups_test.cc.o"
+  "CMakeFiles/core_process_groups_test.dir/process_groups_test.cc.o.d"
+  "core_process_groups_test"
+  "core_process_groups_test.pdb"
+  "core_process_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_process_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

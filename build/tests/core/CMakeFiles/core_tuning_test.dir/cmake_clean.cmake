@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tuning_test.dir/tuning_test.cc.o"
+  "CMakeFiles/core_tuning_test.dir/tuning_test.cc.o.d"
+  "core_tuning_test"
+  "core_tuning_test.pdb"
+  "core_tuning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

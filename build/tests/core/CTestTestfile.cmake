@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_tuning_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_logger_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_compression_hook_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_emulation_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_persistent_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_process_groups_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_model_test.dir/model_test.cc.o"
+  "CMakeFiles/models_model_test.dir/model_test.cc.o.d"
+  "models_model_test"
+  "models_model_test.pdb"
+  "models_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

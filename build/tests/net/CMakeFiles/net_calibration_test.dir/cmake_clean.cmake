@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_calibration_test.dir/calibration_test.cc.o"
+  "CMakeFiles/net_calibration_test.dir/calibration_test.cc.o.d"
+  "net_calibration_test"
+  "net_calibration_test.pdb"
+  "net_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

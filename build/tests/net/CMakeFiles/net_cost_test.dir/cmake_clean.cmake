@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_cost_test.dir/cost_test.cc.o"
+  "CMakeFiles/net_cost_test.dir/cost_test.cc.o.d"
+  "net_cost_test"
+  "net_cost_test.pdb"
+  "net_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_collective_dtype_test.dir/collective_dtype_test.cc.o"
+  "CMakeFiles/tensor_collective_dtype_test.dir/collective_dtype_test.cc.o.d"
+  "tensor_collective_dtype_test"
+  "tensor_collective_dtype_test.pdb"
+  "tensor_collective_dtype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_collective_dtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

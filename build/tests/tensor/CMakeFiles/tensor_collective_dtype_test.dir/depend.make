@@ -1,0 +1,2 @@
+# Empty dependencies file for tensor_collective_dtype_test.
+# This may be replaced when dependencies are built.

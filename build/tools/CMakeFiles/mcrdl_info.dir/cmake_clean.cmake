@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_info.dir/mcrdl_info.cc.o"
+  "CMakeFiles/mcrdl_info.dir/mcrdl_info.cc.o.d"
+  "mcrdl_info"
+  "mcrdl_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

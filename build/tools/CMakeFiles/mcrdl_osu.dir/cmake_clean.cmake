@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_osu.dir/mcrdl_osu.cc.o"
+  "CMakeFiles/mcrdl_osu.dir/mcrdl_osu.cc.o.d"
+  "mcrdl_osu"
+  "mcrdl_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_tune.dir/mcrdl_tune.cc.o"
+  "CMakeFiles/mcrdl_tune.dir/mcrdl_tune.cc.o.d"
+  "mcrdl_tune"
+  "mcrdl_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
