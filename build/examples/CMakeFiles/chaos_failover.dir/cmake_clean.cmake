@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_failover.dir/chaos_failover.cpp.o"
+  "CMakeFiles/chaos_failover.dir/chaos_failover.cpp.o.d"
+  "chaos_failover"
+  "chaos_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

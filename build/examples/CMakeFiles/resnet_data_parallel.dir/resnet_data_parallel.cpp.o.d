@@ -28,7 +28,6 @@ examples/CMakeFiles/resnet_data_parallel.dir/resnet_data_parallel.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h \
  /root/repo/src/models/resnet.h /root/repo/src/models/workload.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/bits/move.h /usr/include/c++/12/type_traits \
@@ -108,7 +107,6 @@ examples/CMakeFiles/resnet_data_parallel.dir/resnet_data_parallel.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/atomic_wide_counter.h \
  /usr/include/x86_64-linux-gnu/bits/struct_mutex.h \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
- /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
@@ -213,34 +211,36 @@ examples/CMakeFiles/resnet_data_parallel.dir/resnet_data_parallel.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/models/comm_plan.h /root/repo/src/core/mcr_dl.h \
  /root/repo/src/backends/backend.h /root/repo/src/backends/cluster.h \
- /root/repo/src/net/topology.h /root/repo/src/common/status.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/units.h \
- /usr/include/c++/12/cstddef /root/repo/src/sim/device.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/scheduler.h \
+ /root/repo/src/fault/injector.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /root/repo/src/common/units.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fault/watchdog.h \
+ /root/repo/src/net/comm_types.h /root/repo/src/sim/scheduler.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/backends/engine.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/common/status.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/topology.h \
+ /root/repo/src/sim/device.h /root/repo/src/backends/engine.h \
  /root/repo/src/net/cost.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/comm_types.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/tensor/dtype.h /root/repo/src/backends/work.h \
  /root/repo/src/core/composite_work.h /root/repo/src/core/compression.h \
  /root/repo/src/compress/zfp_codec.h /root/repo/src/core/context.h \
  /usr/include/c++/12/optional /root/repo/src/core/fusion.h \
  /root/repo/src/core/logger.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/tuning.h \
+ /root/repo/src/fault/failover.h /root/repo/src/fault/policy.h \
  /root/repo/src/core/emulation.h /root/repo/src/core/persistent.h \
  /root/repo/src/core/process_groups.h /root/repo/src/core/trace.h

@@ -8,6 +8,7 @@ subdirs("common")
 subdirs("sim")
 subdirs("net")
 subdirs("tensor")
+subdirs("fault")
 subdirs("backends")
 subdirs("compress")
 subdirs("core")

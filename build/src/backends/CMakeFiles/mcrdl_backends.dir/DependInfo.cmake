@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/mcrdl_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/mcrdl_net.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/mcrdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mcrdl_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mcrdl_common.dir/DependInfo.cmake"
   )
 

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/backends/CMakeFiles/mcrdl_backends.dir/DependInfo.cmake"
   "/root/repo/build/src/compress/CMakeFiles/mcrdl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mcrdl_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/mcrdl_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/mcrdl_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/mcrdl_net.dir/DependInfo.cmake"

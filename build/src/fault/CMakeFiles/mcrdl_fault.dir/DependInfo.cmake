@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/failover.cc" "src/fault/CMakeFiles/mcrdl_fault.dir/failover.cc.o" "gcc" "src/fault/CMakeFiles/mcrdl_fault.dir/failover.cc.o.d"
+  "/root/repo/src/fault/injector.cc" "src/fault/CMakeFiles/mcrdl_fault.dir/injector.cc.o" "gcc" "src/fault/CMakeFiles/mcrdl_fault.dir/injector.cc.o.d"
+  "/root/repo/src/fault/policy.cc" "src/fault/CMakeFiles/mcrdl_fault.dir/policy.cc.o" "gcc" "src/fault/CMakeFiles/mcrdl_fault.dir/policy.cc.o.d"
+  "/root/repo/src/fault/watchdog.cc" "src/fault/CMakeFiles/mcrdl_fault.dir/watchdog.cc.o" "gcc" "src/fault/CMakeFiles/mcrdl_fault.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcrdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcrdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrdl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_fault.dir/failover.cc.o"
+  "CMakeFiles/mcrdl_fault.dir/failover.cc.o.d"
+  "CMakeFiles/mcrdl_fault.dir/injector.cc.o"
+  "CMakeFiles/mcrdl_fault.dir/injector.cc.o.d"
+  "CMakeFiles/mcrdl_fault.dir/policy.cc.o"
+  "CMakeFiles/mcrdl_fault.dir/policy.cc.o.d"
+  "CMakeFiles/mcrdl_fault.dir/watchdog.cc.o"
+  "CMakeFiles/mcrdl_fault.dir/watchdog.cc.o.d"
+  "libmcrdl_fault.a"
+  "libmcrdl_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcrdl_fault.a"
+)

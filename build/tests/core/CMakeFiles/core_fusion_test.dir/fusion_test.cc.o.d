@@ -131,18 +131,16 @@ tests/core/CMakeFiles/core_fusion_test.dir/fusion_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/select.h \
  /usr/include/x86_64-linux-gnu/bits/select.h \
  /usr/include/x86_64-linux-gnu/bits/types/sigset_t.h \
- /usr/include/alloca.h \
- /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
- /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
+ /usr/include/alloca.h /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/cstdio \
  /usr/include/stdio.h /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos64_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cerrno \
- /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
- /usr/include/linux/errno.h /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/c++/12/cerrno /usr/include/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
+ /usr/include/x86_64-linux-gnu/asm/errno.h \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
@@ -294,10 +292,9 @@ tests/core/CMakeFiles/core_fusion_test.dir/fusion_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/mcr_dl.h /root/repo/src/backends/backend.h \
- /root/repo/src/backends/cluster.h /root/repo/src/net/topology.h \
- /root/repo/src/common/status.h /root/repo/src/common/units.h \
- /root/repo/src/sim/device.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/backends/cluster.h /root/repo/src/fault/injector.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/units.h \
+ /root/repo/src/fault/watchdog.h /root/repo/src/net/comm_types.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
@@ -306,15 +303,18 @@ tests/core/CMakeFiles/core_fusion_test.dir/fusion_test.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/backends/engine.h \
- /root/repo/src/net/cost.h /root/repo/src/net/comm_types.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/common/rng.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/common/status.h /root/repo/src/net/topology.h \
+ /root/repo/src/sim/device.h /root/repo/src/backends/engine.h \
+ /root/repo/src/net/cost.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/tensor/dtype.h /root/repo/src/backends/work.h \
  /root/repo/src/core/composite_work.h /root/repo/src/core/compression.h \
  /root/repo/src/compress/zfp_codec.h /root/repo/src/core/context.h \
  /root/repo/src/core/fusion.h /root/repo/src/core/logger.h \
- /root/repo/src/core/tuning.h /root/repo/src/core/emulation.h \
+ /root/repo/src/core/tuning.h /root/repo/src/fault/failover.h \
+ /root/repo/src/fault/policy.h /root/repo/src/core/emulation.h \
  /root/repo/src/core/persistent.h /root/repo/src/core/process_groups.h \
  /root/repo/src/core/trace.h

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/failover_test.cc" "tests/fault/CMakeFiles/fault_failover_test.dir/failover_test.cc.o" "gcc" "tests/fault/CMakeFiles/fault_failover_test.dir/failover_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcrdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/mcrdl_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mcrdl_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mcrdl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mcrdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcrdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcrdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_failover_test.dir/failover_test.cc.o"
+  "CMakeFiles/fault_failover_test.dir/failover_test.cc.o.d"
+  "fault_failover_test"
+  "fault_failover_test.pdb"
+  "fault_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_policy_test.dir/policy_test.cc.o"
+  "CMakeFiles/fault_policy_test.dir/policy_test.cc.o.d"
+  "fault_policy_test"
+  "fault_policy_test.pdb"
+  "fault_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_watchdog_test.dir/watchdog_test.cc.o"
+  "CMakeFiles/fault_watchdog_test.dir/watchdog_test.cc.o.d"
+  "fault_watchdog_test"
+  "fault_watchdog_test.pdb"
+  "fault_watchdog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fault
+# Build directory: /root/repo/build/tests/fault
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fault/fault_injector_test[1]_include.cmake")
+include("/root/repo/build/tests/fault/fault_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/fault/fault_failover_test[1]_include.cmake")
+include("/root/repo/build/tests/fault/fault_watchdog_test[1]_include.cmake")

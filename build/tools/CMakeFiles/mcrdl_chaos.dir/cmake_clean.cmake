@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrdl_chaos.dir/mcrdl_chaos.cc.o"
+  "CMakeFiles/mcrdl_chaos.dir/mcrdl_chaos.cc.o.d"
+  "mcrdl_chaos"
+  "mcrdl_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrdl_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

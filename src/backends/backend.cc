@@ -35,9 +35,11 @@ Comm::Comm(Backend* backend, std::vector<int> ranks)
       engine_(&backend->cluster()->scheduler(),
               net::CostModel(&backend->cluster()->topology(), backend->profile()),
               shape_of_group(backend->cluster()->topology(), ranks_),
-              static_cast<int>(ranks_.size())),
+              static_cast<int>(ranks_.size()), ranks_, &backend->cluster()->faults(),
+              backend->profile().name),
       p2p_(&backend->cluster()->scheduler(),
-           net::CostModel(&backend->cluster()->topology(), backend->profile()), ranks_) {
+           net::CostModel(&backend->cluster()->topology(), backend->profile()), ranks_,
+           &backend->cluster()->faults(), backend->profile().name) {
   MCRDL_REQUIRE(!ranks_.empty(), "communicator needs at least one rank");
   std::set<int> seen;
   for (std::size_t i = 0; i < ranks_.size(); ++i) {
@@ -58,8 +60,23 @@ void Comm::validate_root(int root) const {
   MCRDL_REQUIRE(root >= 0 && root < size(), "root out of range for communicator");
 }
 
+void Comm::inject_launch_delay(int global_rank) {
+  fault::FaultInjector& faults = backend_->cluster()->faults();
+  if (!faults.enabled()) return;
+  // Stragglers add a flat per-op delay; slowdowns stretch the backend's
+  // launch overhead. Both are charged to this rank's host thread before the
+  // operation is posted, so the rendezvous genuinely waits for it.
+  const SimTime delay =
+      faults.rank_delay(global_rank) +
+      (faults.rank_launch_scale(global_rank) - 1.0) * backend_->profile().launch_overhead_us;
+  if (delay <= 0.0) return;
+  faults.note_injected_delay(delay);
+  backend_->cluster()->scheduler().sleep_for(delay);
+}
+
 Work Comm::submit(int rank, OpDesc desc, ArrivalSlot slot, bool async_op) {
   backend_->require_initialized();
+  inject_launch_delay(rank);
   if (!backend_->profile().is_native(desc.op)) {
     std::ostringstream msg;
     msg << backend_->display_name() << " has no native " << op_name(desc.op)
@@ -274,6 +291,7 @@ Work Comm::send(int rank, Tensor tensor, int dst, bool async_op) {
   MCRDL_REQUIRE(tensor.defined(), "send needs a defined tensor");
   const int idx = group_rank(rank);
   MCRDL_REQUIRE(dst >= 0 && dst < size() && dst != idx, "invalid send destination");
+  inject_launch_delay(rank);
   auto op = p2p_.post_send(idx, dst, tensor);
   Work work = backend_->post_p2p(*this, rank, /*is_send=*/true, op, tensor.bytes(), async_op);
   work->op = OpType::Send;
@@ -289,6 +307,7 @@ Work Comm::recv(int rank, Tensor tensor, int src, bool async_op) {
   MCRDL_REQUIRE(tensor.defined(), "recv needs a defined tensor");
   const int idx = group_rank(rank);
   MCRDL_REQUIRE(src >= 0 && src < size() && src != idx, "invalid recv source");
+  inject_launch_delay(rank);
   auto op = p2p_.post_recv(idx, src, tensor);
   Work work = backend_->post_p2p(*this, rank, /*is_send=*/false, op, tensor.bytes(), async_op);
   work->op = OpType::Recv;

@@ -84,6 +84,9 @@ class Comm {
   Work submit(int rank, backends_detail::OpDesc desc, backends_detail::ArrivalSlot slot,
               bool async_op);
   void validate_root(int root) const;
+  // Charges injected straggler/slowdown time to `rank`'s host launch path
+  // (no-op unless a fault plan is active — see src/fault/injector.h).
+  void inject_launch_delay(int global_rank);
 
   Backend* backend_;
   std::vector<int> ranks_;

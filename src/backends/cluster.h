@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/injector.h"
 #include "src/net/topology.h"
 #include "src/sim/device.h"
 #include "src/sim/scheduler.h"
@@ -23,6 +24,11 @@ class ClusterContext {
   int world_size() const { return topo_.world_size(); }
   sim::Device* device(int rank);
 
+  // Fault-injection decision engine for this cluster. Always present but
+  // disabled (zero-cost on every hot path) until a FaultPlan is configured
+  // — see src/fault/injector.h and McrDlOptions::fault.
+  fault::FaultInjector& faults() { return faults_; }
+
   // Runs fn(rank) as one actor per rank and blocks until all complete.
   // Rethrows the first actor error (including DeadlockError).
   void run_spmd(const std::function<void(int)>& fn);
@@ -33,6 +39,7 @@ class ClusterContext {
   sim::Scheduler sched_;
   net::Topology topo_;
   std::vector<std::unique_ptr<sim::Device>> devices_;
+  fault::FaultInjector faults_{&sched_};
 };
 
 }  // namespace mcrdl

@@ -252,6 +252,10 @@ const std::shared_ptr<sim::StreamGate>& Rendezvous::gate(int idx) {
 
 void Rendezvous::mark_ready(int idx) {
   MCRDL_CHECK(idx >= 0 && idx < expected_);
+  // A failed rendezvous never starts its wire phase; a straggler's stream
+  // reaching its arrival callback after the watchdog fired must not revive
+  // the operation.
+  if (error_) return;
   MCRDL_CHECK(slot_posted_[static_cast<std::size_t>(idx)]) << "ready before post";
   MCRDL_CHECK(!slot_ready_[static_cast<std::size_t>(idx)]) << "double ready";
   slot_ready_[static_cast<std::size_t>(idx)] = true;
@@ -280,7 +284,31 @@ void Rendezvous::finish() {
 }
 
 void Rendezvous::wait_done() {
-  done_cond_.wait([&] { return done_; });
+  done_cond_.wait([&] { return done_ || error_ != nullptr; });
+  if (error_ && !done_) std::rethrow_exception(error_);
+}
+
+void Rendezvous::fail(std::exception_ptr err) {
+  MCRDL_CHECK(err != nullptr);
+  if (done_ || error_) return;
+  error_ = std::move(err);
+  done_cond_.notify_all();
+}
+
+std::vector<int> Rendezvous::posted_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < expected_; ++i) {
+    if (slot_posted_[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Rendezvous::missing_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < expected_; ++i) {
+    if (!slot_posted_[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
 }
 
 void Rendezvous::on_complete(std::function<void()> fn) {
@@ -296,12 +324,31 @@ void Rendezvous::on_complete(std::function<void()> fn) {
 // ---------------------------------------------------------------------------
 
 CollectiveEngine::CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model,
-                                   net::CommShape shape, int size)
+                                   net::CommShape shape, int size, std::vector<int> global_ranks,
+                                   fault::FaultInjector* faults, std::string backend_name)
     : sched_(sched),
       cost_model_(std::move(cost_model)),
       shape_(shape),
       size_(size),
-      next_seq_(static_cast<std::size_t>(size), 0) {}
+      global_ranks_(std::move(global_ranks)),
+      faults_(faults),
+      backend_name_(std::move(backend_name)),
+      next_seq_(static_cast<std::size_t>(size), 0) {
+  if (global_ranks_.empty()) {
+    for (int i = 0; i < size_; ++i) global_ranks_.push_back(i);
+  }
+  MCRDL_CHECK(static_cast<int>(global_ranks_.size()) == size_);
+  if (faults_ != nullptr) {
+    // Injected link degradation flows through the cost model so it shows up
+    // as longer virtual-time operations, not exceptions. The hook returns
+    // the identity while no fault is active, which the model skips — a
+    // disabled injector leaves every cost bit-identical.
+    cost_model_.set_fault_scale([faults = faults_, name = backend_name_](OpType op) {
+      const fault::BetaScale s = faults->link_beta_scale(name, op);
+      return net::FaultBetaScale{s.intra, s.inter};
+    });
+  }
+}
 
 std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
                                                    ArrivalSlot slot) {
@@ -326,6 +373,43 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
     pending_[seq] = rv;
     // Reclaim the table entry once everyone has moved past this op.
     rv->on_complete([this, seq] { pending_.erase(seq); });
+    if (faults_ != nullptr && faults_->enabled()) {
+      // The first-arriving rank classifies the rendezvous for everyone —
+      // an injected failure fails the collective identically on all ranks,
+      // keeping sequence numbers aligned for the retry/failover layer.
+      if (faults_->backend_unavailable(backend_name_)) {
+        faults_->note_outage_rejection();
+        rv->fail(std::make_exception_ptr(BackendUnavailable(
+            "backend '" + backend_name_ + "' is out of service (injected outage); rejected " +
+            op_name(d.op))));
+      } else if (faults_->should_fail(backend_name_, d.op)) {
+        faults_->note_transient();
+        rv->fail(std::make_exception_ptr(TransientFault(
+            std::string("injected transient fault: ") + op_name(d.op) + " on backend '" +
+            backend_name_ + "'")));
+      } else if (faults_->watchdog_deadline_us() > 0.0) {
+        const SimTime deadline = faults_->watchdog_deadline_us();
+        std::weak_ptr<Rendezvous> weak = rv;
+        const std::uint64_t timer =
+            faults_->watchdog().arm(deadline, [this, weak, deadline, op = d.op] {
+              auto strong = weak.lock();
+              if (!strong || strong->done() || strong->failed()) return;
+              faults_->note_watchdog_timeout();
+              std::vector<int> arrived, missing;
+              for (int i : strong->posted_indices())
+                arrived.push_back(global_ranks_[static_cast<std::size_t>(i)]);
+              for (int i : strong->missing_indices())
+                missing.push_back(global_ranks_[static_cast<std::size_t>(i)]);
+              strong->fail(std::make_exception_ptr(
+                  TimeoutError(fault::describe_timeout(op, backend_name_, deadline, arrived,
+                                                       missing))));
+            });
+        // Completion cancels the deadline; cancelled events are popped
+        // without advancing virtual time, so a clean run with the watchdog
+        // enabled keeps the exact fault-free timeline.
+        rv->on_complete([this, timer] { faults_->watchdog().disarm(timer); });
+      }
+    }
   } else {
     rv = it->second;
     const OpDesc& expect = rv->desc();
@@ -338,6 +422,13 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
     }
   }
   rv->post(idx, std::move(slot));
+  if (rv->failed()) {
+    // Doomed rendezvous: the sequence number is consumed (all ranks stay
+    // aligned for the retry), the table entry is reclaimed once the last
+    // rank has observed the failure, and the injected error propagates.
+    if (rv->posted_count() >= size_) pending_.erase(seq);
+    std::rethrow_exception(rv->error());
+  }
   return rv;
 }
 
@@ -374,8 +465,15 @@ void P2pOp::mark_recv_ready() {
   maybe_finish();
 }
 
+void P2pOp::doom(std::exception_ptr err) {
+  MCRDL_CHECK(err != nullptr);
+  if (done_ || error_) return;
+  error_ = std::move(err);
+  done_cond_.notify_all();
+}
+
 void P2pOp::maybe_finish() {
-  if (!send_ready_ || !recv_ready_ || done_) return;
+  if (!send_ready_ || !recv_ready_ || done_ || error_) return;
   const SimTime duration = duration_fn_();
   exec_start_ = sched_->now();
   complete_time_ = sched_->now() + duration;
@@ -395,7 +493,8 @@ void P2pOp::maybe_finish() {
 }
 
 void P2pOp::wait_done() {
-  done_cond_.wait([&] { return done_; });
+  done_cond_.wait([&] { return done_ || error_ != nullptr; });
+  if (error_ && !done_) std::rethrow_exception(error_);
 }
 
 void P2pOp::on_complete(std::function<void()> fn) {
@@ -407,8 +506,20 @@ void P2pOp::on_complete(std::function<void()> fn) {
 }
 
 P2pEngine::P2pEngine(sim::Scheduler* sched, net::CostModel cost_model,
-                     std::vector<int> global_ranks)
-    : sched_(sched), cost_model_(std::move(cost_model)), global_ranks_(std::move(global_ranks)) {}
+                     std::vector<int> global_ranks, fault::FaultInjector* faults,
+                     std::string backend_name)
+    : sched_(sched),
+      cost_model_(std::move(cost_model)),
+      global_ranks_(std::move(global_ranks)),
+      faults_(faults),
+      backend_name_(std::move(backend_name)) {
+  if (faults_ != nullptr) {
+    cost_model_.set_fault_scale([faults = faults_, name = backend_name_](OpType op) {
+      const fault::BetaScale s = faults->link_beta_scale(name, op);
+      return net::FaultBetaScale{s.intra, s.inter};
+    });
+  }
+}
 
 std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::size_t bytes) {
   const int size = static_cast<int>(global_ranks_.size());
@@ -424,6 +535,22 @@ std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::siz
   const int g_dst = global_ranks_[static_cast<std::size_t>(dst)];
   auto op = std::make_shared<P2pOp>(
       sched_, [this, bytes, g_src, g_dst] { return cost_model_.p2p_cost(bytes, g_src, g_dst); });
+  if (faults_ != nullptr && faults_->enabled()) {
+    // Classified once per pair, by the first-arriving side; the doomed op
+    // still enters the FIFO so the counterpart matches (and fails) the same
+    // attempt. Transient specs match p2p pairs through OpType::Send.
+    if (faults_->backend_unavailable(backend_name_)) {
+      faults_->note_outage_rejection();
+      op->doom(std::make_exception_ptr(BackendUnavailable(
+          "backend '" + backend_name_ + "' is out of service (injected outage); rejected " +
+          std::string(is_send ? "send" : "recv"))));
+    } else if (faults_->should_fail(backend_name_, OpType::Send)) {
+      faults_->note_transient();
+      op->doom(std::make_exception_ptr(TransientFault(
+          "injected transient fault: p2p " + std::string(is_send ? "send" : "recv") +
+          " on backend '" + backend_name_ + "'")));
+    }
+  }
   (is_send ? pending_sends_[key] : pending_recvs_[key]).push_back(op);
   return op;
 }
@@ -431,12 +558,14 @@ std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::siz
 std::shared_ptr<P2pOp> P2pEngine::post_send(int src, int dst, const Tensor& t) {
   auto op = match(src, dst, /*is_send=*/true, t.bytes());
   op->set_send(t);
+  if (op->doomed()) std::rethrow_exception(op->error());
   return op;
 }
 
 std::shared_ptr<P2pOp> P2pEngine::post_recv(int dst, int src, Tensor t) {
   auto op = match(src, dst, /*is_send=*/false, t.bytes());
   op->set_recv(std::move(t));
+  if (op->doomed()) std::rethrow_exception(op->error());
   return op;
 }
 

@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/fault/injector.h"
 #include "src/net/cost.h"
 #include "src/sim/device.h"
 #include "src/sim/scheduler.h"
@@ -87,11 +90,26 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   SimTime complete_time() const { return complete_time_; }
   // When the wire time actually began (all ranks ready + channel free).
   SimTime exec_start_time() const { return wire_start_; }
-  // Host-side block until completion (MPI discipline).
+  // Host-side block until completion (MPI discipline). Rethrows the stored
+  // error if the rendezvous failed instead of completing.
   void wait_done();
 
   // Invoked (under the baton) at completion, after data application.
   void on_complete(std::function<void()> fn);
+
+  // --- fault injection (src/fault/) ----------------------------------------
+  // Marks the rendezvous failed: stores the error and wakes host waiters so
+  // wait_done()/join() rethrow it from actor context. Safe to call from a
+  // timed-event callback (never throws; gates stay closed; no data effects
+  // are applied). No-op once done or already failed.
+  void fail(std::exception_ptr err);
+  bool failed() const { return error_ != nullptr; }
+  std::exception_ptr error() const { return error_; }
+  int posted_count() const { return posted_; }
+  // Group-rank indices that did / did not reach the rendezvous (for the
+  // watchdog's who-arrived diagnostic).
+  std::vector<int> posted_indices() const;
+  std::vector<int> missing_indices() const;
 
  private:
   void finish();
@@ -113,17 +131,28 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   std::vector<std::shared_ptr<sim::StreamGate>> gates_;
   std::vector<std::function<void()>> completion_callbacks_;
   sim::SimCondition done_cond_;
+  std::exception_ptr error_;
 };
 
 // Per-communicator collective sequencing: each rank's n-th call joins the
 // n-th rendezvous; descriptors must match across ranks.
+//
+// Fault injection: when constructed with a FaultInjector, every rendezvous
+// is classified exactly once — by the first-arriving rank, at creation — as
+// doomed (injected outage or transient fault) or live (optionally guarded
+// by a watchdog deadline). All joiners of a doomed rendezvous observe the
+// same stored error, so communicator sequence numbers advance uniformly
+// across ranks and retries stay aligned.
 class CollectiveEngine {
  public:
   CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model, net::CommShape shape,
-                   int size);
+                   int size, std::vector<int> global_ranks = {},
+                   fault::FaultInjector* faults = nullptr, std::string backend_name = "");
 
   // Joins rank idx's next collective; creates the rendezvous on first
-  // arrival and validates the descriptor on subsequent ones.
+  // arrival and validates the descriptor on subsequent ones. Throws the
+  // injected error (after consuming the sequence number) when the
+  // rendezvous is doomed.
   std::shared_ptr<Rendezvous> join(int idx, const OpDesc& desc, ArrivalSlot slot);
 
   const net::CostModel& cost_model() const { return cost_model_; }
@@ -135,6 +164,9 @@ class CollectiveEngine {
   net::CostModel cost_model_;
   net::CommShape shape_;
   int size_;
+  std::vector<int> global_ranks_;
+  fault::FaultInjector* faults_;
+  std::string backend_name_;
   std::vector<std::uint64_t> next_seq_;
   std::map<std::uint64_t, std::shared_ptr<Rendezvous>> pending_;
   SimTime channel_busy_until_ = 0.0;
@@ -159,6 +191,13 @@ class P2pOp : public std::enable_shared_from_this<P2pOp> {
   void wait_done();
   void on_complete(std::function<void()> fn);
 
+  // Fault injection: a doomed op is still enqueued for FIFO matching (both
+  // sides of the pair must observe the same failed attempt) but never
+  // transfers data; post_send/post_recv rethrow its error.
+  void doom(std::exception_ptr err);
+  bool doomed() const { return error_ != nullptr; }
+  std::exception_ptr error() const { return error_; }
+
  private:
   void maybe_finish();
 
@@ -173,12 +212,18 @@ class P2pOp : public std::enable_shared_from_this<P2pOp> {
   std::shared_ptr<sim::StreamGate> send_gate_, recv_gate_;
   std::vector<std::function<void()>> completion_callbacks_;
   sim::SimCondition done_cond_;
+  std::exception_ptr error_;
 };
 
 // FIFO tag-matching of sends and recvs per (src, dst) pair.
+//
+// Fault injection mirrors CollectiveEngine: each pair is classified once at
+// creation (by whichever side arrives first, matched against OpType::Send
+// specs), so both endpoints of a doomed pair fail the same attempt.
 class P2pEngine {
  public:
-  P2pEngine(sim::Scheduler* sched, net::CostModel cost_model, std::vector<int> global_ranks);
+  P2pEngine(sim::Scheduler* sched, net::CostModel cost_model, std::vector<int> global_ranks,
+            fault::FaultInjector* faults = nullptr, std::string backend_name = "");
 
   // src/dst are group-rank indices. Returns the matched (or newly created)
   // pairwise operation; caller wires readiness signals and tensors.
@@ -191,6 +236,8 @@ class P2pEngine {
   sim::Scheduler* sched_;
   net::CostModel cost_model_;
   std::vector<int> global_ranks_;
+  fault::FaultInjector* faults_;
+  std::string backend_name_;
   // Key: src * size + dst. Queues of operations where only one side arrived.
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_sends_;
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_recvs_;

@@ -55,6 +55,32 @@ class CollectiveMismatch : public Error {
   explicit CollectiveMismatch(const std::string& what) : Error(what) {}
 };
 
+// Raised when a rendezvous watchdog fires: a collective waited longer than
+// its (virtual-time) deadline for peers that never arrived. The message
+// names who arrived and who is missing, turning a would-be hang into a
+// diagnosable timeout (see src/fault/watchdog.h).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+// Raised when an operation targets a backend that is out of service — a
+// permanent injected outage or an opened circuit breaker. The failover
+// router catches this and re-routes to the next healthy backend
+// (src/fault/failover.h).
+class BackendUnavailable : public Error {
+ public:
+  explicit BackendUnavailable(const std::string& what) : Error(what) {}
+};
+
+// Raised for an injected transient operation failure (a flapping NIC, a
+// dropped completion). Retryable: the retry policy re-issues the operation
+// with exponential backoff before giving up (src/fault/policy.h).
+class TransientFault : public Error {
+ public:
+  explicit TransientFault(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 // Stream-style message builder used by the CHECK macros below.

@@ -24,6 +24,14 @@ McrDl::~McrDl() = default;
 void McrDl::init(const std::vector<std::string>& backend_names) {
   MCRDL_REQUIRE(!backend_names.empty(), "init needs at least one backend");
   MCRDL_CHECK(!initialized_) << "McrDl::init called twice";
+  // Install the fault plan before any backend initialises so outages that
+  // start at t=0 are visible to the very first operation.
+  if (options_.fault.enabled) {
+    cluster_->faults().configure(options_.fault.plan);
+    failover_ = std::make_unique<fault::FailoverRouter>(
+        &cluster_->faults(), options_.fault.retry, options_.fault.breaker_threshold,
+        options_.fault.failover);
+  }
   for (const auto& name : backend_names) {
     if (backends_.count(name) > 0) {
       throw InvalidArgument("backend '" + name + "' listed twice in init()");
@@ -41,6 +49,10 @@ void McrDl::finalize() {
   for (auto& [name, b] : backends_) b->finalize();
   backends_.clear();
   backend_order_.clear();
+  if (options_.fault.enabled) {
+    failover_.reset();
+    cluster_->faults().reset();
+  }
   initialized_ = false;
 }
 
@@ -115,7 +127,7 @@ void Api::pre_call() const {
 }
 
 Work Api::finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
-                    bool compressed) {
+                    bool compressed, const RouteMeta& meta) {
   if (ctx_->logger().enabled()) {
     CommLogger* logger = &ctx_->logger();
     CommRecord rec;
@@ -126,6 +138,10 @@ Work Api::finish_op(Work w, OpType op, std::size_t bytes, const std::string& bac
     rec.start = w->posted_at;
     rec.fused = fused;
     rec.compressed = compressed;
+    rec.attempts = meta.attempts;
+    rec.rerouted = meta.rerouted;
+    if (meta.rerouted) rec.requested_backend = meta.requested;
+    rec.fault = meta.fault;
     // Capturing the shared handle keeps it alive until completion; the
     // callback list is cleared when it fires, breaking the cycle.
     w->on_complete([logger, rec, w]() mutable {
@@ -139,6 +155,95 @@ Work Api::finish_op(Work w, OpType op, std::size_t bytes, const std::string& bac
   return w;
 }
 
+Work Api::routed(Backend* preferred, OpType op, std::size_t bytes, const IssueFn& issue) {
+  fault::FailoverRouter* router = ctx_->failover();
+  if (router == nullptr) {
+    // Fault subsystem disabled: issue exactly once on the resolved backend.
+    Issued r = issue(preferred, comm_for(preferred));
+    return finish_op(std::move(r.w), op, bytes, preferred->name(), r.fused, r.compressed,
+                     RouteMeta{});
+  }
+
+  // Preference order: the resolved backend first, then init() order. All
+  // ranks derive the identical order, and health is per-rank, driven only
+  // by the fault verdicts this rank has observed — which are identical
+  // across ranks at the same logical op (one stored verdict per
+  // rendezvous). Every rank therefore walks the same retry/re-route
+  // sequence for the same op, at its own pace, and collectives stay
+  // aligned across retries and failover even with stragglers in flight.
+  RouteMeta meta;
+  meta.requested = preferred->name();
+  std::vector<std::string> order;
+  order.push_back(preferred->name());
+  for (const auto& name : ctx_->get_backends()) {
+    if (name != preferred->name()) order.push_back(name);
+  }
+
+  std::string current = router->select(preferred->name(), order, rank_);
+  if (current != preferred->name()) {
+    meta.rerouted = true;
+    meta.fault = "unavailable";
+    router->report().rerouted++;
+  }
+
+  meta.attempts = 0;
+  int attempts_on_current = 0;
+  for (;;) {
+    ++attempts_on_current;
+    ++meta.attempts;
+    router->report().attempted++;
+    Backend* b = ctx_->backend(current);
+    try {
+      Issued r = issue(b, comm_for(b));
+      router->record_success(current, rank_);
+      router->report().succeeded++;
+      return finish_op(std::move(r.w), op, bytes, current, r.fused, r.compressed, meta);
+    } catch (const TransientFault& tf) {
+      meta.fault = "transient";
+      router->record_failure(current, rank_);
+      if (attempts_on_current < router->retry().max_attempts &&
+          router->healthy(current, rank_)) {
+        const SimTime backoff = router->retry().backoff(attempts_on_current);
+        router->report().retried++;
+        router->report().backoff_time_us += backoff;
+        ctx_->cluster()->scheduler().sleep_for(backoff);
+        continue;
+      }
+      // Retries exhausted (or breaker opened mid-retry): move on if we can,
+      // otherwise surface the original fault as the operation's failure.
+      try {
+        current = router->next_healthy(current, order, rank_);
+      } catch (const BackendUnavailable&) {
+        router->report().failed++;
+        throw tf;
+      }
+      meta.rerouted = true;
+      router->report().rerouted++;
+      attempts_on_current = 0;
+    } catch (const BackendUnavailable&) {
+      meta.fault = "unavailable";
+      router->record_failure(current, rank_);
+      std::string next;
+      try {
+        next = router->next_healthy(current, order, rank_);
+      } catch (const BackendUnavailable&) {
+        router->report().failed++;
+        throw;
+      }
+      current = next;
+      meta.rerouted = true;
+      router->report().rerouted++;
+      attempts_on_current = 0;
+    } catch (const TimeoutError&) {
+      // A watchdog timeout means peers are wedged mid-collective; re-routing
+      // one rank alone cannot realign the group, so it is always fatal.
+      router->record_failure(current, rank_);
+      router->report().failed++;
+      throw;
+    }
+  }
+}
+
 void Api::synchronize() {
   ctx_->fusion().flush_all(rank_);
   for (const auto& name : ctx_->get_backends()) ctx_->backend(name)->synchronize(rank_);
@@ -149,149 +254,166 @@ void Api::synchronize(const std::string& backend) {
   ctx_->backend(backend)->synchronize(rank_);
 }
 
+// The issue lambdas below capture tensors and count vectors by value and
+// pass copies into the backend calls, so a retry or failover re-invocation
+// starts from intact arguments (Tensor is a cheap shared-storage handle).
+
 Work Api::all_reduce(const std::string& backend, Tensor tensor, ReduceOp op, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::AllReduce, tensor.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = tensor.bytes();
-  if (ctx_->fusion().eligible(tensor)) {
-    Work w = ctx_->fusion().all_reduce(comm, rank_, std::move(tensor), op);
-    if (!async_op) w->wait();
-    return finish_op(std::move(w), OpType::AllReduce, bytes, b->name(), /*fused=*/true, false);
-  }
-  Work w = comm->all_reduce(rank_, std::move(tensor), op, async_op);
-  return finish_op(std::move(w), OpType::AllReduce, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::AllReduce, bytes);
+  return routed(b, OpType::AllReduce, bytes, [this, tensor, op, async_op](Backend*, Comm* comm) {
+    if (ctx_->fusion().eligible(tensor)) {
+      Work w = ctx_->fusion().all_reduce(comm, rank_, tensor, op);
+      if (!async_op) w->wait();
+      return Issued{std::move(w), /*fused=*/true, false};
+    }
+    return Issued{comm->all_reduce(rank_, tensor, op, async_op), false, false};
+  });
 }
 
 Work Api::broadcast(const std::string& backend, Tensor tensor, int root, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::Broadcast, tensor.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = tensor.bytes();
-  if (ctx_->compression().eligible(OpType::Broadcast, tensor)) {
-    Work w = ctx_->compression().broadcast(*comm, rank_, std::move(tensor), root, async_op);
-    return finish_op(std::move(w), OpType::Broadcast, bytes, b->name(), false, /*compressed=*/true);
-  }
-  Work w = comm->broadcast(rank_, std::move(tensor), root, async_op);
-  return finish_op(std::move(w), OpType::Broadcast, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::Broadcast, bytes);
+  return routed(b, OpType::Broadcast, bytes, [this, tensor, root, async_op](Backend*, Comm* comm) {
+    if (ctx_->compression().eligible(OpType::Broadcast, tensor)) {
+      Work w = ctx_->compression().broadcast(*comm, rank_, tensor, root, async_op);
+      return Issued{std::move(w), false, /*compressed=*/true};
+    }
+    return Issued{comm->broadcast(rank_, tensor, root, async_op), false, false};
+  });
 }
 
 Work Api::reduce(const std::string& backend, Tensor tensor, int root, ReduceOp op,
                  bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::Reduce, tensor.bytes());
   const std::size_t bytes = tensor.bytes();
-  Work w = comm_for(b)->reduce(rank_, std::move(tensor), root, op, async_op);
-  return finish_op(std::move(w), OpType::Reduce, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::Reduce, bytes);
+  return routed(b, OpType::Reduce, bytes, [this, tensor, root, op, async_op](Backend*, Comm* comm) {
+    return Issued{comm->reduce(rank_, tensor, root, op, async_op), false, false};
+  });
 }
 
 Work Api::all_gather(const std::string& backend, Tensor output, Tensor input, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::AllGather, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  if (ctx_->compression().eligible(OpType::AllGather, input)) {
-    Work w = ctx_->compression().all_gather(*comm, rank_, std::move(output), std::move(input),
-                                            async_op);
-    return finish_op(std::move(w), OpType::AllGather, bytes, b->name(), false, true);
-  }
-  Work w = comm->all_gather(rank_, std::move(output), std::move(input), async_op);
-  return finish_op(std::move(w), OpType::AllGather, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::AllGather, bytes);
+  return routed(b, OpType::AllGather, bytes,
+                [this, output, input, async_op](Backend*, Comm* comm) {
+                  if (ctx_->compression().eligible(OpType::AllGather, input)) {
+                    Work w = ctx_->compression().all_gather(*comm, rank_, output, input, async_op);
+                    return Issued{std::move(w), false, /*compressed=*/true};
+                  }
+                  return Issued{comm->all_gather(rank_, output, input, async_op), false, false};
+                });
 }
 
 Work Api::all_gatherv(const std::string& backend, Tensor output, Tensor input,
                       std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::AllGatherV, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  Work w;
-  if (b->profile().is_native(OpType::AllGatherV)) {
-    w = comm->all_gatherv(rank_, std::move(output), std::move(input), std::move(recv_counts),
-                          std::move(recv_displs), async_op);
-  } else {
-    w = emulation::all_gatherv(*comm, rank_, std::move(output), std::move(input),
-                               std::move(recv_counts), std::move(recv_displs), async_op);
-  }
-  return finish_op(std::move(w), OpType::AllGatherV, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::AllGatherV, bytes);
+  return routed(b, OpType::AllGatherV, bytes,
+                [this, output, input, recv_counts, recv_displs, async_op](Backend* bk, Comm* comm) {
+                  Work w = bk->profile().is_native(OpType::AllGatherV)
+                               ? comm->all_gatherv(rank_, output, input, recv_counts, recv_displs,
+                                                   async_op)
+                               : emulation::all_gatherv(*comm, rank_, output, input, recv_counts,
+                                                        recv_displs, async_op);
+                  return Issued{std::move(w), false, false};
+                });
 }
 
 Work Api::gather(const std::string& backend, Tensor output, Tensor input, int root,
                  bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::Gather, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  Work w = b->profile().is_native(OpType::Gather)
-               ? comm->gather(rank_, std::move(output), std::move(input), root, async_op)
-               : emulation::gather(*comm, rank_, std::move(output), std::move(input), root,
-                                   async_op);
-  return finish_op(std::move(w), OpType::Gather, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::Gather, bytes);
+  return routed(b, OpType::Gather, bytes,
+                [this, output, input, root, async_op](Backend* bk, Comm* comm) {
+                  Work w = bk->profile().is_native(OpType::Gather)
+                               ? comm->gather(rank_, output, input, root, async_op)
+                               : emulation::gather(*comm, rank_, output, input, root, async_op);
+                  return Issued{std::move(w), false, false};
+                });
 }
 
 Work Api::gatherv(const std::string& backend, Tensor output, Tensor input, int root,
                   std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::GatherV, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  Work w = b->profile().is_native(OpType::GatherV)
-               ? comm->gatherv(rank_, std::move(output), std::move(input), root,
-                               std::move(recv_counts), std::move(recv_displs), async_op)
-               : emulation::gatherv(*comm, rank_, std::move(output), std::move(input), root,
-                                    std::move(recv_counts), std::move(recv_displs), async_op);
-  return finish_op(std::move(w), OpType::GatherV, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::GatherV, bytes);
+  return routed(
+      b, OpType::GatherV, bytes,
+      [this, output, input, root, recv_counts, recv_displs, async_op](Backend* bk, Comm* comm) {
+        Work w = bk->profile().is_native(OpType::GatherV)
+                     ? comm->gatherv(rank_, output, input, root, recv_counts, recv_displs,
+                                     async_op)
+                     : emulation::gatherv(*comm, rank_, output, input, root, recv_counts,
+                                          recv_displs, async_op);
+        return Issued{std::move(w), false, false};
+      });
 }
 
 Work Api::scatter(const std::string& backend, Tensor output, Tensor input, int root,
                   bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::Scatter, output.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = output.bytes();
-  Work w = b->profile().is_native(OpType::Scatter)
-               ? comm->scatter(rank_, std::move(output), std::move(input), root, async_op)
-               : emulation::scatter(*comm, rank_, std::move(output), std::move(input), root,
-                                    async_op);
-  return finish_op(std::move(w), OpType::Scatter, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::Scatter, bytes);
+  return routed(b, OpType::Scatter, bytes,
+                [this, output, input, root, async_op](Backend* bk, Comm* comm) {
+                  Work w = bk->profile().is_native(OpType::Scatter)
+                               ? comm->scatter(rank_, output, input, root, async_op)
+                               : emulation::scatter(*comm, rank_, output, input, root, async_op);
+                  return Issued{std::move(w), false, false};
+                });
 }
 
 Work Api::scatterv(const std::string& backend, Tensor output, Tensor input, int root,
                    std::vector<int> send_counts, std::vector<int> send_displs, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::ScatterV, output.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = output.bytes();
-  Work w = b->profile().is_native(OpType::ScatterV)
-               ? comm->scatterv(rank_, std::move(output), std::move(input), root,
-                                std::move(send_counts), std::move(send_displs), async_op)
-               : emulation::scatterv(*comm, rank_, std::move(output), std::move(input), root,
-                                     std::move(send_counts), std::move(send_displs), async_op);
-  return finish_op(std::move(w), OpType::ScatterV, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::ScatterV, bytes);
+  return routed(
+      b, OpType::ScatterV, bytes,
+      [this, output, input, root, send_counts, send_displs, async_op](Backend* bk, Comm* comm) {
+        Work w = bk->profile().is_native(OpType::ScatterV)
+                     ? comm->scatterv(rank_, output, input, root, send_counts, send_displs,
+                                      async_op)
+                     : emulation::scatterv(*comm, rank_, output, input, root, send_counts,
+                                           send_displs, async_op);
+        return Issued{std::move(w), false, false};
+      });
 }
 
 Work Api::reduce_scatter(const std::string& backend, Tensor output, Tensor input, ReduceOp op,
                          bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::ReduceScatter, input.bytes());
   const std::size_t bytes = input.bytes();
-  Work w = comm_for(b)->reduce_scatter(rank_, std::move(output), std::move(input), op, async_op);
-  return finish_op(std::move(w), OpType::ReduceScatter, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::ReduceScatter, bytes);
+  return routed(b, OpType::ReduceScatter, bytes,
+                [this, output, input, op, async_op](Backend*, Comm* comm) {
+                  return Issued{comm->reduce_scatter(rank_, output, input, op, async_op), false,
+                                false};
+                });
 }
 
 Work Api::all_to_all_single(const std::string& backend, Tensor output, Tensor input,
                             bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::AllToAllSingle, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  if (ctx_->compression().eligible(OpType::AllToAllSingle, input)) {
-    Work w = ctx_->compression().all_to_all_single(*comm, rank_, std::move(output),
-                                                   std::move(input), async_op);
-    return finish_op(std::move(w), OpType::AllToAllSingle, bytes, b->name(), false, true);
-  }
-  Work w = comm->all_to_all_single(rank_, std::move(output), std::move(input), async_op);
-  return finish_op(std::move(w), OpType::AllToAllSingle, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::AllToAllSingle, bytes);
+  return routed(b, OpType::AllToAllSingle, bytes,
+                [this, output, input, async_op](Backend*, Comm* comm) {
+                  if (ctx_->compression().eligible(OpType::AllToAllSingle, input)) {
+                    Work w = ctx_->compression().all_to_all_single(*comm, rank_, output, input,
+                                                                   async_op);
+                    return Issued{std::move(w), false, /*compressed=*/true};
+                  }
+                  return Issued{comm->all_to_all_single(rank_, output, input, async_op), false,
+                                false};
+                });
 }
 
 Work Api::all_to_all(const std::string& backend, TensorList outputs, TensorList inputs,
@@ -299,48 +421,54 @@ Work Api::all_to_all(const std::string& backend, TensorList outputs, TensorList 
   pre_call();
   const std::size_t bytes = total_bytes(inputs);
   Backend* b = resolve(backend, OpType::AllToAll, bytes);
-  Work w = comm_for(b)->all_to_all(rank_, std::move(outputs), std::move(inputs), async_op);
-  return finish_op(std::move(w), OpType::AllToAll, bytes, b->name(), false, false);
+  return routed(b, OpType::AllToAll, bytes, [this, outputs, inputs, async_op](Backend*, Comm* comm) {
+    return Issued{comm->all_to_all(rank_, outputs, inputs, async_op), false, false};
+  });
 }
 
 Work Api::all_to_allv(const std::string& backend, Tensor output, Tensor input,
                       std::vector<int> send_counts, std::vector<int> send_displs,
                       std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
   pre_call();
-  Backend* b = resolve(backend, OpType::AllToAllV, input.bytes());
-  Comm* comm = comm_for(b);
   const std::size_t bytes = input.bytes();
-  Work w = b->profile().is_native(OpType::AllToAllV)
-               ? comm->all_to_allv(rank_, std::move(output), std::move(input),
-                                   std::move(send_counts), std::move(send_displs),
-                                   std::move(recv_counts), std::move(recv_displs), async_op)
-               : emulation::all_to_allv(*comm, rank_, std::move(output), std::move(input),
-                                        std::move(send_counts), std::move(send_displs),
-                                        std::move(recv_counts), std::move(recv_displs), async_op);
-  return finish_op(std::move(w), OpType::AllToAllV, bytes, b->name(), false, false);
+  Backend* b = resolve(backend, OpType::AllToAllV, bytes);
+  return routed(b, OpType::AllToAllV, bytes,
+                [this, output, input, send_counts, send_displs, recv_counts, recv_displs,
+                 async_op](Backend* bk, Comm* comm) {
+                  Work w = bk->profile().is_native(OpType::AllToAllV)
+                               ? comm->all_to_allv(rank_, output, input, send_counts, send_displs,
+                                                   recv_counts, recv_displs, async_op)
+                               : emulation::all_to_allv(*comm, rank_, output, input, send_counts,
+                                                        send_displs, recv_counts, recv_displs,
+                                                        async_op);
+                  return Issued{std::move(w), false, false};
+                });
 }
 
 Work Api::barrier(const std::string& backend, bool async_op) {
   pre_call();
   Backend* b = resolve(backend, OpType::Barrier, 0);
-  Work w = comm_for(b)->barrier(rank_, async_op);
-  return finish_op(std::move(w), OpType::Barrier, 0, b->name(), false, false);
+  return routed(b, OpType::Barrier, 0, [this, async_op](Backend*, Comm* comm) {
+    return Issued{comm->barrier(rank_, async_op), false, false};
+  });
 }
 
 Work Api::send(const std::string& backend, Tensor tensor, int dst, bool async_op) {
   pre_call();
   Backend* b = ctx_->backend(backend);  // "auto" is collective-only
   const std::size_t bytes = tensor.bytes();
-  Work w = comm_for(b)->send(rank_, std::move(tensor), dst, async_op);
-  return finish_op(std::move(w), OpType::Send, bytes, b->name(), false, false);
+  return routed(b, OpType::Send, bytes, [this, tensor, dst, async_op](Backend*, Comm* comm) {
+    return Issued{comm->send(rank_, tensor, dst, async_op), false, false};
+  });
 }
 
 Work Api::recv(const std::string& backend, Tensor tensor, int src, bool async_op) {
   pre_call();
   Backend* b = ctx_->backend(backend);
   const std::size_t bytes = tensor.bytes();
-  Work w = comm_for(b)->recv(rank_, std::move(tensor), src, async_op);
-  return finish_op(std::move(w), OpType::Recv, bytes, b->name(), false, false);
+  return routed(b, OpType::Recv, bytes, [this, tensor, src, async_op](Backend*, Comm* comm) {
+    return Issued{comm->recv(rank_, tensor, src, async_op), false, false};
+  });
 }
 
 }  // namespace mcrdl

@@ -20,6 +20,7 @@
 // transparently (Section V-B). Sub-communicators come from Api::group().
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,6 +32,7 @@
 #include "src/core/fusion.h"
 #include "src/core/logger.h"
 #include "src/core/tuning.h"
+#include "src/fault/failover.h"
 
 namespace mcrdl {
 
@@ -41,6 +43,10 @@ struct McrDlOptions {
   // Host-side cost added to every MCR-DL call; models the thin Python layer
   // over the C++ backbone (paper C3 / Figure 7).
   SimTime per_call_overhead_us = 0.0;
+  // Opt-in fault injection + retry/failover policies (src/fault/). Disabled
+  // by default: no plan is installed and every operation issues exactly once
+  // on its resolved backend, bit-identical to a build without the subsystem.
+  fault::FaultOptions fault;
 };
 
 class Api;
@@ -72,6 +78,9 @@ class McrDl {
   CompressionLayer& compression() { return *compression_; }
   McrDlOptions& options() { return options_; }
 
+  // Health-aware routing; non-null only when options.fault.enabled.
+  fault::FailoverRouter* failover() const { return failover_.get(); }
+
   ClusterContext* cluster() const { return cluster_; }
 
   // Per-rank facade over the world communicator.
@@ -89,6 +98,7 @@ class McrDl {
   CommLogger logger_;
   std::unique_ptr<FusionManager> fusion_;
   std::unique_ptr<CompressionLayer> compression_;
+  std::unique_ptr<fault::FailoverRouter> failover_;
 };
 
 // The per-rank API handle (cheap to copy). All peers/roots are expressed in
@@ -150,11 +160,33 @@ class Api {
   Work recv(const std::string& backend, Tensor tensor, int src, bool async_op = false);
 
  private:
+  // Routing metadata accumulated while (re)issuing one operation under the
+  // fault/failover subsystem; lands in CommRecord so traces show failover.
+  struct RouteMeta {
+    int attempts = 1;
+    bool rerouted = false;
+    std::string requested;  // originally requested backend when rerouted
+    std::string fault;      // last injected failure: "", "transient", "unavailable"
+  };
+  // What one issue attempt produced.
+  struct Issued {
+    Work w;
+    bool fused = false;
+    bool compressed = false;
+  };
+  using IssueFn = std::function<Issued(Backend*, Comm*)>;
+
   Comm* comm_for(Backend* b) const;
   Backend* resolve(const std::string& name, OpType op, std::size_t bytes) const;
+  // Issues the operation once on `preferred` — or, when a FailoverRouter is
+  // active, retries with backoff on injected transient faults and re-routes
+  // to the next-best healthy backend on outages / tripped breakers. The
+  // issue callback must be safely re-invocable: capture tensors by value
+  // and pass copies, never std::move its captures.
+  Work routed(Backend* preferred, OpType op, std::size_t bytes, const IssueFn& issue);
   // Applies per-call overhead and wraps the work with logging.
   Work finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
-                 bool compressed);
+                 bool compressed, const RouteMeta& meta);
   void pre_call() const;
 
   McrDl* ctx_;

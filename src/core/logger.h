@@ -24,6 +24,11 @@ struct CommRecord {
   SimTime end = 0.0;    // when it completed
   bool fused = false;
   bool compressed = false;
+  // --- resilience metadata (src/fault/) ------------------------------------
+  int attempts = 1;               // issue attempts, including retries
+  bool rerouted = false;          // completed on a different backend than requested
+  std::string requested_backend;  // original routing choice when rerouted
+  std::string fault;              // last injected failure seen: "", "transient", "unavailable"
 };
 
 class CommLogger {

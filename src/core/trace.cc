@@ -34,9 +34,20 @@ std::string to_chrome_trace(const CommLogger& logger) {
     // tid = backend name (one track per backend per rank).
     out << "{\"name\":\"" << json_escape(op_name(r.op)) << "\",\"cat\":\"comm\","
         << "\"ph\":\"X\",\"ts\":" << r.start << ",\"dur\":" << (r.end - r.start)
-        << ",\"pid\":" << r.rank << ",\"tid\":\"" << json_escape(r.backend) << "\","
-        << "\"args\":{\"bytes\":" << r.bytes << ",\"fused\":" << (r.fused ? "true" : "false")
-        << ",\"compressed\":" << (r.compressed ? "true" : "false") << "}}";
+        << ",\"pid\":" << r.rank << ",\"tid\":\"" << json_escape(r.backend) << "\",";
+    // Rerouted/retried operations stand out: a distinct color name plus the
+    // failover metadata in args, so chaos traces show where traffic moved.
+    if (r.rerouted) out << "\"cname\":\"terrible\",";
+    else if (r.attempts > 1) out << "\"cname\":\"bad\",";
+    out << "\"args\":{\"bytes\":" << r.bytes << ",\"fused\":" << (r.fused ? "true" : "false")
+        << ",\"compressed\":" << (r.compressed ? "true" : "false");
+    if (r.attempts > 1) out << ",\"attempts\":" << r.attempts;
+    if (r.rerouted) {
+      out << ",\"rerouted\":true,\"requested_backend\":\"" << json_escape(r.requested_backend)
+          << "\"";
+    }
+    if (!r.fault.empty()) out << ",\"fault\":\"" << json_escape(r.fault) << "\"";
+    out << "}}";
   }
   // Process metadata so the viewer labels tracks "rank N".
   std::set<int> ranks;

@@ -1,0 +1,76 @@
+#include "src/fault/failover.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace mcrdl::fault {
+
+std::string ResilienceReport::to_string() const {
+  std::ostringstream out;
+  out << "resilience report:\n"
+      << "  operations succeeded : " << succeeded << "\n"
+      << "  issue attempts       : " << attempted << "\n"
+      << "  retries (transient)  : " << retried << "\n"
+      << "  rerouted (failover)  : " << rerouted << "\n"
+      << "  failed permanently   : " << failed << "\n"
+      << "  breakers tripped     : " << breakers_tripped << "\n"
+      << "  backoff virtual time : " << backoff_time_us << " us\n";
+  return out.str();
+}
+
+FailoverRouter::FailoverRouter(FaultInjector* injector, RetryPolicy retry, int breaker_threshold,
+                               bool failover_enabled)
+    : injector_(injector),
+      retry_(retry),
+      breaker_(breaker_threshold),
+      failover_(failover_enabled) {}
+
+bool FailoverRouter::healthy(const std::string& backend, int rank) const {
+  return breaker_.healthy(backend, rank);
+}
+
+std::string FailoverRouter::select(const std::string& preferred,
+                                   const std::vector<std::string>& order, int rank) const {
+  if (healthy(preferred, rank)) return preferred;
+  if (!failover_) {
+    throw BackendUnavailable("backend '" + preferred +
+                             "' is out of service and failover is disabled");
+  }
+  for (const std::string& candidate : order) {
+    if (candidate != preferred && healthy(candidate, rank)) return candidate;
+  }
+  throw BackendUnavailable("no healthy backend available (preferred '" + preferred + "')");
+}
+
+std::string FailoverRouter::next_healthy(const std::string& failed,
+                                         const std::vector<std::string>& order, int rank) const {
+  if (!failover_) {
+    throw BackendUnavailable("backend '" + failed + "' failed and failover is disabled");
+  }
+  // Prefer backends after the failed one in the order; wrap to earlier
+  // entries only as a last resort (they were skipped for a reason, but a
+  // reason that may have been health that has since not changed — still
+  // better than failing the op outright).
+  auto it = std::find(order.begin(), order.end(), failed);
+  const std::size_t start = it == order.end() ? 0 : (it - order.begin()) + 1;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::string& candidate = order[(start + i) % order.size()];
+    if (candidate != failed && healthy(candidate, rank)) return candidate;
+  }
+  throw BackendUnavailable("no healthy backend to fail over to (failed '" + failed + "')");
+}
+
+void FailoverRouter::record_success(const std::string& backend, int rank) {
+  breaker_.record_success(backend, rank);
+}
+
+bool FailoverRouter::record_failure(const std::string& backend, int rank) {
+  const bool tripped = breaker_.record_failure(backend, rank);
+  // Every rank trips its own breaker (health is per-rank so routing stays
+  // sequence-aligned), but the report counts each backend's loss once.
+  if (tripped && tripped_backends_.insert(backend).second) ++report_.breakers_tripped;
+  return tripped;
+}
+
+}  // namespace mcrdl::fault

@@ -1,0 +1,102 @@
+// Backend failover routing — the payoff of mix-and-match communication.
+//
+// MCR-DL already routes each operation to the backend the tuning table (or
+// static preference) says is fastest. The FailoverRouter layers *health* on
+// top of that ordering: when the preferred backend is unavailable (injected
+// outage or opened circuit breaker), the op is deterministically re-routed
+// to the next-best healthy backend in the same preference order, and the
+// decision is surfaced through CommRecord's `rerouted`/`attempts` fields so
+// Chrome traces show failover visually.
+//
+// The router also owns the resilience bookkeeping a chaos run reports: how
+// many ops were attempted, retried, rerouted, or ultimately failed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/fault/injector.h"
+#include "src/fault/policy.h"
+
+namespace mcrdl::fault {
+
+// Aggregate outcome of a (chaos) run, printed by tools/mcrdl_chaos.cc.
+struct ResilienceReport {
+  std::uint64_t attempted = 0;       // operation issues, including retries
+  std::uint64_t succeeded = 0;       // operations that eventually completed
+  std::uint64_t retried = 0;         // retry attempts after a transient fault
+  std::uint64_t rerouted = 0;        // operations moved to another backend
+  std::uint64_t failed = 0;          // operations that exhausted every option
+  std::uint64_t breakers_tripped = 0;
+  SimTime backoff_time_us = 0.0;     // virtual time charged to retry backoff
+
+  std::string to_string() const;
+};
+
+// Opt-in fault configuration carried on McrDlOptions.
+struct FaultOptions {
+  bool enabled = false;       // master switch; false = zero behavior change
+  FaultPlan plan;             // what to inject (may be empty: policies only)
+  RetryPolicy retry;          // transient-fault retry schedule
+  int breaker_threshold = 3;  // consecutive failures before a backend opens
+  bool failover = true;       // re-route on unhealthy backends ("auto" routing)
+};
+
+// Health-aware routing over a fixed preference order. One instance per
+// McrDl context; shared by all ranks (the single-baton scheduler serialises
+// access).
+class FailoverRouter {
+ public:
+  FailoverRouter(FaultInjector* injector, RetryPolicy retry, int breaker_threshold,
+                 bool failover_enabled);
+
+  // True when `rank` may still issue on `backend` (its breaker is closed).
+  // Deliberately *not* a live outage check: outages are observed through
+  // the per-rendezvous verdict (BackendUnavailable at issue), which every
+  // rank sees at the same logical operation. Routing off live injector
+  // time would let ranks at different virtual times — stragglers — make
+  // different decisions for the same op and desync sequence numbers.
+  bool healthy(const std::string& backend, int rank) const;
+
+  // Picks the backend `rank` issues on: `preferred` when healthy, otherwise
+  // the first healthy entry of `order`. Throws BackendUnavailable when
+  // nothing is healthy (or when failover is disabled and `preferred` is
+  // down).
+  std::string select(const std::string& preferred, const std::vector<std::string>& order,
+                     int rank) const;
+
+  // After `failed` errored out for `rank`: the next healthy backend
+  // strictly after it in `order` (entries before `failed` were already
+  // preferred and are reconsidered only if healthy — tuning order wins,
+  // then static order). Throws BackendUnavailable when no healthy
+  // candidate remains.
+  std::string next_healthy(const std::string& failed, const std::vector<std::string>& order,
+                           int rank) const;
+
+  void record_success(const std::string& backend, int rank);
+  // Returns true if this failure tripped the backend's breaker.
+  bool record_failure(const std::string& backend, int rank);
+
+  const RetryPolicy& retry() const { return retry_; }
+  bool failover_enabled() const { return failover_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  FaultInjector* injector() const { return injector_; }
+
+  ResilienceReport& report() { return report_; }
+  const ResilienceReport& report() const { return report_; }
+
+ private:
+  FaultInjector* injector_;  // may be null (policies without injection)
+  RetryPolicy retry_;
+  CircuitBreaker breaker_;
+  bool failover_;
+  ResilienceReport report_;
+  std::set<std::string> tripped_backends_;  // report each backend's trip once
+};
+
+}  // namespace mcrdl::fault

@@ -1,0 +1,30 @@
+#include "src/fault/policy.h"
+
+#include "src/common/status.h"
+
+namespace mcrdl::fault {
+
+CircuitBreaker::CircuitBreaker(int threshold) : threshold_(threshold) {
+  MCRDL_REQUIRE(threshold >= 1, "circuit breaker threshold must be >= 1");
+}
+
+bool CircuitBreaker::record_failure(const std::string& backend, int rank) {
+  const int count = ++consecutive_[{backend, rank}];
+  if (count >= threshold_ && open_.count({backend, rank}) == 0) {
+    open_.insert({backend, rank});
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(const std::string& backend, int rank) {
+  auto it = consecutive_.find({backend, rank});
+  if (it != consecutive_.end()) it->second = 0;
+}
+
+int CircuitBreaker::consecutive_failures(const std::string& backend, int rank) const {
+  auto it = consecutive_.find({backend, rank});
+  return it == consecutive_.end() ? 0 : it->second;
+}
+
+}  // namespace mcrdl::fault

@@ -1,0 +1,73 @@
+// Resilience policies: how the runtime *responds* to injected (or real)
+// faults, as opposed to src/fault/injector.h which decides when they occur.
+//
+// Two standard mechanisms:
+//
+//   * RetryPolicy — bounded retry with exponential backoff for
+//     TransientFault. Backoff is charged to virtual time by the caller
+//     (Api::routed sleeps on the scheduler), so retries are visible in the
+//     simulated timeline exactly like they would be on a wall clock.
+//   * CircuitBreaker — N *consecutive* failures on a backend mark it
+//     unhealthy. Both the counts and the resulting health are tracked per
+//     (backend, rank): a rank's routing decisions must depend only on the
+//     fault verdicts *it* has observed, which are identical across ranks at
+//     the same logical operation (one verdict per rendezvous). Global
+//     health would let a fast rank's trip — recorded while retrying a
+//     *later* op — leak into a straggling rank's retry of an earlier op,
+//     desyncing the per-communicator sequence numbers the engines key
+//     rendezvous on (observed as a virtual-time deadlock). Once open, a
+//     breaker stays open: reopening mid-run would desync sequences the
+//     same way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace mcrdl::fault {
+
+// Exponential backoff schedule for transient-fault retries.
+struct RetryPolicy {
+  int max_attempts = 3;             // total attempts per backend (first + retries)
+  SimTime base_backoff_us = 50.0;   // backoff before the first retry
+  double backoff_multiplier = 2.0;  // growth per subsequent retry
+
+  // Virtual-time backoff charged before retry number `attempt` (1-based:
+  // attempt 1 is the first retry).
+  SimTime backoff(int attempt) const {
+    SimTime b = base_backoff_us;
+    for (int i = 1; i < attempt; ++i) b *= backoff_multiplier;
+    return b;
+  }
+};
+
+// Per-backend consecutive-failure tracker. Deterministic and allocation-light;
+// shared by every rank of a cluster (the simulator is single-batoned, so no
+// locking is needed beyond the scheduler's own serialisation).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(int threshold = 3);
+
+  // Records one failed attempt by `rank` on `backend`. Returns true if this
+  // failure tripped the breaker (backend newly unhealthy for `rank`).
+  bool record_failure(const std::string& backend, int rank);
+  // A successful attempt resets `rank`'s consecutive count for `backend`.
+  void record_success(const std::string& backend, int rank);
+
+  bool healthy(const std::string& backend, int rank) const {
+    return open_.count({backend, rank}) == 0;
+  }
+  int threshold() const { return threshold_; }
+  // Consecutive failures recorded for (backend, rank); for introspection.
+  int consecutive_failures(const std::string& backend, int rank) const;
+
+ private:
+  int threshold_;
+  std::map<std::pair<std::string, int>, int> consecutive_;
+  std::set<std::pair<std::string, int>> open_;
+};
+
+}  // namespace mcrdl::fault

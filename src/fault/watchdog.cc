@@ -1,0 +1,44 @@
+#include "src/fault/watchdog.h"
+
+#include <sstream>
+
+namespace mcrdl::fault {
+
+namespace {
+
+void append_ranks(std::ostringstream& out, const std::vector<int>& ranks) {
+  if (ranks.empty()) {
+    out << "none";
+    return;
+  }
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ranks[i];
+  }
+}
+
+}  // namespace
+
+std::string describe_timeout(OpType op, const std::string& backend, SimTime waited_us,
+                             const std::vector<int>& arrived_global,
+                             const std::vector<int>& missing_global) {
+  std::ostringstream out;
+  out << "rendezvous watchdog: " << op_name(op) << " on backend '" << backend << "' timed out after "
+      << waited_us << " us of virtual time; arrived ranks: [";
+  append_ranks(out, arrived_global);
+  out << "], missing ranks: [";
+  append_ranks(out, missing_global);
+  out << "]";
+  return out.str();
+}
+
+std::uint64_t Watchdog::arm(SimTime deadline_us, std::function<void()> on_deadline) {
+  return sched_->schedule_after(deadline_us, [this, fn = std::move(on_deadline)] {
+    ++fired_;
+    fn();
+  });
+}
+
+void Watchdog::disarm(std::uint64_t timer_id) { sched_->cancel(timer_id); }
+
+}  // namespace mcrdl::fault

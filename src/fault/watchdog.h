@@ -1,0 +1,60 @@
+// Rendezvous watchdog: turns would-be collective hangs into diagnosable
+// TimeoutErrors.
+//
+// The scheduler's global deadlock detection only fires when *every* actor is
+// blocked with no pending timed event — a rank that spins, or a cluster
+// where unrelated work keeps ticking, can leave a half-joined collective
+// waiting forever. The watchdog gives each rendezvous its own virtual-time
+// deadline: when it fires before every participant has arrived, the
+// rendezvous is marked failed with a TimeoutError that names who arrived
+// and who is missing, and every waiter unwinds.
+//
+// Scheduler-safety contract: timed-event callbacks run under the baton with
+// the scheduler mid-dispatch; an exception escaping one corrupts scheduler
+// state. The watchdog therefore never throws from its timer — it marks the
+// rendezvous failed and notifies; the TimeoutError is thrown from actor
+// context inside Rendezvous::wait_done().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/comm_types.h"
+#include "src/sim/scheduler.h"
+
+namespace mcrdl::fault {
+
+// Builds the human-readable timeout diagnostic: which global ranks reached
+// the rendezvous and which never arrived.
+std::string describe_timeout(OpType op, const std::string& backend, SimTime waited_us,
+                             const std::vector<int>& arrived_global,
+                             const std::vector<int>& missing_global);
+
+// Thin wrapper over the scheduler's timer facility that counts fired
+// deadlines. One per FaultInjector; the engines arm one deadline per
+// rendezvous and cancel it on completion.
+class Watchdog {
+ public:
+  explicit Watchdog(sim::Scheduler* sched) : sched_(sched) {}
+
+  // Arms `on_deadline` to fire after `deadline_us` of virtual time. The
+  // callback runs under the baton and MUST NOT throw or block — mark state
+  // and notify a SimCondition instead. Returns the timer id for disarm().
+  std::uint64_t arm(SimTime deadline_us, std::function<void()> on_deadline);
+  // Cancels a pending deadline; no-op (and no virtual-time effect) if it
+  // already fired — the scheduler pops cancelled events without advancing
+  // time, so disarmed watchdogs leave the timeline untouched.
+  void disarm(std::uint64_t timer_id);
+
+  std::uint64_t fired() const { return fired_; }
+  sim::Scheduler* scheduler() const { return sched_; }
+
+ private:
+  sim::Scheduler* sched_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace mcrdl::fault

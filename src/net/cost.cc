@@ -52,6 +52,17 @@ CostModel::Terms CostModel::terms_for(const CommShape& shape, OpType op) const {
       gbps_to_bytes_per_us(cfg.intra_node.bandwidth_gbps) * eff * profile_.intra_bw_scale;
   t.beta_inter_gpu = gbps_to_bytes_per_us(topo_->inter_node_bw_per_gpu(shape.ppn)) * eff;
   t.red_bw = gbps_to_bytes_per_us(std::max(profile_.reduction_gbps, 1.0));
+  if (fault_scale_) {
+    // Injected link degradation multiplies β (time per byte), i.e. divides
+    // the achievable bandwidth. Skipped entirely at the identity so runs
+    // with the hook installed but no active fault stay bit-identical.
+    const FaultBetaScale fs = fault_scale_(op);
+    if (fs.intra != 1.0) t.beta_intra /= fs.intra;
+    if (fs.inter != 1.0) {
+      t.beta_inter_gpu /= fs.inter;
+      t.fault_inter = fs.inter;
+    }
+  }
   if (shape.nodes <= 1) {
     t.alpha_mixed = t.alpha_intra;
     t.beta_mixed = t.beta_intra;
@@ -125,9 +136,14 @@ SimTime CostModel::collective_cost(OpType op, std::size_t bytes, const CommShape
 SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
   const LinkSpec& link = topo_->link(src, dst);
   const double eff = profile_.bw_efficiency(OpType::Send);
+  double bw = gbps_to_bytes_per_us(link.bandwidth_gbps) * eff;
+  if (fault_scale_) {
+    const FaultBetaScale fs = fault_scale_(OpType::Send);
+    const double f = topo_->same_node(src, dst) ? fs.intra : fs.inter;
+    if (f != 1.0) bw /= f;
+  }
   double cost = profile_.launch_overhead_us * 0.5 + profile_.p2p_latency_us +
-                link.latency_us +
-                static_cast<double>(bytes) / (gbps_to_bytes_per_us(link.bandwidth_gbps) * eff);
+                link.latency_us + static_cast<double>(bytes) / bw;
   if (bytes > profile_.eager_threshold) cost += profile_.rendezvous_overhead_us;
   return cost;
 }
@@ -160,8 +176,8 @@ SimTime CostModel::allreduce_cost(std::size_t bytes, const CommShape& s, const T
     best = std::min(best, ceil_log2(s.world) * (alpha + S / beta + S / t.red_bw));
   }
   if (has(Algo::TwoLevel) && s.nodes > 1 && s.ppn > 1) {
-    const double beta_node =
-        gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::AllReduce);
+    const double beta_node = gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) *
+                             profile_.bw_efficiency(OpType::AllReduce) / t.fault_inter;
     const double intra_reduce = ceil_log2(s.ppn) * (t.alpha_intra + S / t.beta_intra + S / t.red_bw);
     const double inter = ceil_log2(s.nodes) * (t.alpha_inter + S / beta_node + S / t.red_bw);
     const double intra_bcast = ceil_log2(s.ppn) * (t.alpha_intra + S / t.beta_intra);
@@ -189,8 +205,8 @@ SimTime CostModel::allgather_cost(std::size_t bytes, const CommShape& s, const T
     best = std::min(best, ceil_log2(s.world) * alpha + (P - 1.0) * S / beta);
   }
   if (has(Algo::TwoLevel) && profile_.overlapped_two_level && s.nodes > 1 && s.ppn > 1) {
-    const double beta_node =
-        gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::AllGather);
+    const double beta_node = gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) *
+                             profile_.bw_efficiency(OpType::AllGather) / t.fault_inter;
     const double lat = 2.0 * ceil_log2(s.ppn) * t.alpha_intra + ceil_log2(s.nodes) * t.alpha_inter;
     const double inter_bw = (s.nodes - 1.0) * s.ppn * S / beta_node;
     const double intra_bw = P * S / t.beta_intra;
@@ -256,8 +272,8 @@ SimTime CostModel::gather_cost(std::size_t bytes, const CommShape& s, const Term
   // Binomial tree latency; the root's links are the bandwidth bottleneck:
   // (ppn-1) local payloads arrive over NVLink, the rest through the NIC.
   const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
-  const double beta_nic =
-      gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) * profile_.bw_efficiency(OpType::Gather);
+  const double beta_nic = gbps_to_bytes_per_us(cfg.nic_bandwidth_gbps) *
+                          profile_.bw_efficiency(OpType::Gather) / t.fault_inter;
   const double intra_bw = (s.ppn - 1.0) * S / t.beta_intra;
   const double inter_bw = s.nodes > 1 ? (s.world - s.ppn) * S / beta_nic : 0.0;
   return ceil_log2(s.world) * alpha + intra_bw + inter_bw;

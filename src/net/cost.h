@@ -11,6 +11,7 @@
 // models; `tests/net/calibration_test.cc` pins the orderings.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -98,6 +99,16 @@ BackendProfile gloo_profile();
 // All of the above, in the paper's order.
 std::vector<BackendProfile> all_backend_profiles();
 
+// β multipliers injected by the fault subsystem: >1 slows the matching link
+// class down (link degradation shows up as longer virtual-time transfers).
+struct FaultBetaScale {
+  double intra = 1.0;
+  double inter = 1.0;
+};
+// Queried per cost evaluation; returns the multipliers active *now* for the
+// backend this model belongs to (src/fault/injector.h).
+using FaultScaleFn = std::function<FaultBetaScale(OpType)>;
+
 // Evaluates operation costs for one backend over one topology.
 class CostModel {
  public:
@@ -115,6 +126,11 @@ class CostModel {
   const BackendProfile& profile() const { return profile_; }
   const Topology& topology() const { return *topo_; }
 
+  // Installs (or clears, with nullptr) the fault-injection β hook. Unset —
+  // the default — the cost formulas are untouched, keeping fault-free runs
+  // bit-identical to a build without the fault subsystem.
+  void set_fault_scale(FaultScaleFn fn) { fault_scale_ = std::move(fn); }
+
  private:
   // Derived per-shape link terms (bytes/µs and µs).
   struct Terms {
@@ -125,6 +141,7 @@ class CostModel {
     double beta_inter_gpu; // bytes/µs per GPU over the NIC, all ppn active
     double beta_mixed;     // harmonic step mix for ring laps
     double red_bw;         // bytes/µs of reduction arithmetic
+    double fault_inter = 1.0;  // active fault β multiplier, inter-node links
   };
   Terms terms_for(const CommShape& shape, OpType op) const;
 
@@ -141,6 +158,7 @@ class CostModel {
 
   const Topology* topo_;
   BackendProfile profile_;
+  FaultScaleFn fault_scale_;
 };
 
 // ceil(log2(n)) with log2(1) == 0; shared by the algorithm formulas.

@@ -133,5 +133,79 @@ TEST(FailureInjection, ApiForUnknownRankRejected) {
   EXPECT_THROW(mcr.on(-1), InvalidArgument);
 }
 
+// --- FaultInjector-driven scenarios (src/fault/) ---------------------------
+
+TEST(FailureInjection, OutageWithNoAlternativeFailsLoudlyNotSilently) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.plan.specs.push_back(fault::FaultSpec::outage("nccl", 0.0));
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl"});  // the dead backend is the only one
+  EXPECT_THROW(cluster.run_spmd([&](int rank) {
+                 Api api = mcr.on(rank);
+                 Tensor t = Tensor::full({4}, DType::F32, 1.0, cluster.device(rank));
+                 api.all_reduce("nccl", t);
+               }),
+               BackendUnavailable);
+}
+
+TEST(FailureInjection, FailoverDisabledRefusesToMaskAnOutage) {
+  // With failover off, a healthy alternative must NOT be used silently: the
+  // outage surfaces so the caller decides.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.failover = false;
+  opts.fault.plan.specs.push_back(fault::FaultSpec::outage("nccl", 0.0));
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl", "mv2-gdr"});
+  EXPECT_THROW(cluster.run_spmd([&](int rank) {
+                 Api api = mcr.on(rank);
+                 Tensor t = Tensor::full({4}, DType::F32, 1.0, cluster.device(rank));
+                 api.all_reduce("nccl", t);
+               }),
+               BackendUnavailable);
+}
+
+TEST(FailureInjection, SeededChaosScheduleStillProducesExactSums) {
+  // Probabilistic transients with a fixed seed: the fault pattern is fully
+  // deterministic, and however the retries and failovers land, every
+  // collective must still produce bit-exact results.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.plan.seed = 1234;
+  opts.fault.plan.specs.push_back(fault::FaultSpec::transient("mv2-gdr", 0.4));
+  opts.fault.retry.max_attempts = 6;
+  McrDl mcr(&cluster, opts);
+  mcr.init({"mv2-gdr", "nccl"});
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({32}, DType::F32, 1.0, cluster.device(rank));
+    for (int i = 0; i < 5; ++i) api.all_reduce("mv2-gdr", t, ReduceOp::Sum);
+    api.synchronize();
+    EXPECT_DOUBLE_EQ(t.get(0), 1024.0);  // 4^5
+  });
+  const fault::ResilienceReport& report = mcr.failover()->report();
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GE(report.attempted, report.succeeded);
+  EXPECT_GT(cluster.faults().stats().transient_injected, 0u);
+}
+
+TEST(FailureInjection, InjectorStateResetsOnFinalize) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.plan.specs.push_back(fault::FaultSpec::outage("nccl", 0.0));
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl", "mv2-gdr"});
+  EXPECT_TRUE(cluster.faults().enabled());
+  mcr.finalize();
+  EXPECT_FALSE(cluster.faults().enabled());
+  EXPECT_FALSE(cluster.faults().backend_unavailable("nccl"));
+  EXPECT_EQ(mcr.failover(), nullptr);
+}
+
 }  // namespace
 }  // namespace mcrdl

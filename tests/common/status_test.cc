@@ -57,6 +57,38 @@ TEST(Status, ErrorHierarchy) {
   EXPECT_THROW(throw DeadlockError("d"), Error);
   EXPECT_THROW(throw BackendStateError("b"), Error);
   EXPECT_THROW(throw InvalidArgument("i"), Error);
+  EXPECT_THROW(throw TimeoutError("t"), Error);
+  EXPECT_THROW(throw BackendUnavailable("u"), Error);
+  EXPECT_THROW(throw TransientFault("f"), Error);
+}
+
+TEST(Status, FaultErrorsAreDistinctlyCatchable) {
+  // The retry/failover machinery dispatches on the concrete type; a
+  // TransientFault must not be caught as BackendUnavailable and vice versa.
+  auto raise_transient = [] { throw TransientFault("flap"); };
+  EXPECT_THROW(raise_transient(), TransientFault);
+  try {
+    raise_transient();
+    FAIL();
+  } catch (const BackendUnavailable&) {
+    FAIL() << "TransientFault caught as BackendUnavailable";
+  } catch (const TransientFault& e) {
+    EXPECT_NE(std::string(e.what()).find("flap"), std::string::npos);
+  }
+  try {
+    throw TimeoutError("rendezvous stalled");
+  } catch (const TransientFault&) {
+    FAIL() << "TimeoutError caught as TransientFault";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("stalled"), std::string::npos);
+  }
+}
+
+TEST(Status, FaultErrorsPreserveMessages) {
+  TimeoutError t("waited 500us; missing rank 3");
+  EXPECT_NE(std::string(t.what()).find("missing rank 3"), std::string::npos);
+  BackendUnavailable u("backend 'nccl' is out of service");
+  EXPECT_NE(std::string(u.what()).find("nccl"), std::string::npos);
 }
 
 }  // namespace

@@ -53,6 +53,48 @@ TEST(Trace, FlagsAppearInArgs) {
   EXPECT_NE(to_chrome_trace(log).find(R"("fused":true)"), std::string::npos);
 }
 
+TEST(Trace, RetriedOpsGetADistinctColorAndAttemptCount) {
+  CommLogger log;
+  log.set_enabled(true);
+  CommRecord r = rec(0, OpType::AllReduce, "nccl", 0.0, 1.0);
+  r.attempts = 3;
+  r.fault = "transient";
+  log.record(r);
+  const std::string json = to_chrome_trace(log);
+  EXPECT_NE(json.find(R"("cname":"bad")"), std::string::npos);
+  EXPECT_NE(json.find(R"("attempts":3)"), std::string::npos);
+  EXPECT_NE(json.find(R"("fault":"transient")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("rerouted")"), std::string::npos);
+}
+
+TEST(Trace, ReroutedOpsCarryFailoverArgs) {
+  CommLogger log;
+  log.set_enabled(true);
+  CommRecord r = rec(1, OpType::AllReduce, "mv2-gdr", 0.0, 1.0);
+  r.attempts = 2;
+  r.rerouted = true;
+  r.requested_backend = "nccl";
+  r.fault = "unavailable";
+  log.record(r);
+  const std::string json = to_chrome_trace(log);
+  // Rerouted beats retried for the color so failover stands out.
+  EXPECT_NE(json.find(R"("cname":"terrible")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("cname":"bad")"), std::string::npos);
+  EXPECT_NE(json.find(R"("rerouted":true)"), std::string::npos);
+  EXPECT_NE(json.find(R"("requested_backend":"nccl")"), std::string::npos);
+  EXPECT_NE(json.find(R"("fault":"unavailable")"), std::string::npos);
+}
+
+TEST(Trace, CleanRecordsCarryNoResilienceArgs) {
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 0.0, 1.0));
+  const std::string json = to_chrome_trace(log);
+  EXPECT_EQ(json.find(R"("cname")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("attempts")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("fault")"), std::string::npos);
+}
+
 TEST(Trace, WriteToFileRoundTrips) {
   CommLogger log;
   log.set_enabled(true);

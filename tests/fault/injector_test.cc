@@ -1,0 +1,211 @@
+// FaultInjector / FaultPlan: deterministic decisions and plan round-trips.
+#include "src/fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/scheduler.h"
+
+namespace mcrdl::fault {
+namespace {
+
+FaultPlan transient_plan(std::uint64_t seed, double p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.specs.push_back(FaultSpec::transient("nccl", p));
+  return plan;
+}
+
+std::vector<bool> decision_sequence(FaultInjector& inj, int n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(inj.should_fail("nccl", OpType::AllReduce));
+  return out;
+}
+
+TEST(FaultInjector, DisabledByDefaultAndInert) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.should_fail("nccl", OpType::AllReduce));
+  EXPECT_FALSE(inj.backend_unavailable("nccl"));
+  EXPECT_TRUE(inj.link_beta_scale("nccl", OpType::AllReduce).identity());
+  EXPECT_DOUBLE_EQ(inj.rank_launch_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.rank_delay(0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.watchdog_deadline_us(), 0.0);
+}
+
+TEST(FaultInjector, SameSeedSameDecisionSequence) {
+  sim::Scheduler sched;
+  FaultInjector a(&sched);
+  FaultInjector b(&sched);
+  a.configure(transient_plan(42, 0.5));
+  b.configure(transient_plan(42, 0.5));
+  EXPECT_EQ(decision_sequence(a, 200), decision_sequence(b, 200));
+}
+
+TEST(FaultInjector, ReconfigureReplaysTheSameSequence) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  inj.configure(transient_plan(7, 0.3));
+  const std::vector<bool> first = decision_sequence(inj, 100);
+  inj.configure(transient_plan(7, 0.3));  // resets the rng stream
+  EXPECT_EQ(decision_sequence(inj, 100), first);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  sim::Scheduler sched;
+  FaultInjector a(&sched);
+  FaultInjector b(&sched);
+  a.configure(transient_plan(1, 0.5));
+  b.configure(transient_plan(2, 0.5));
+  EXPECT_NE(decision_sequence(a, 200), decision_sequence(b, 200));
+}
+
+TEST(FaultInjector, NonMatchingOpsDoNotConsumeTheStream) {
+  // Decisions must depend only on the sequence of *matching* ops, so an
+  // unrelated backend's traffic cannot perturb the injected fault pattern.
+  sim::Scheduler sched;
+  FaultInjector a(&sched);
+  FaultInjector b(&sched);
+  a.configure(transient_plan(9, 0.5));
+  b.configure(transient_plan(9, 0.5));
+  std::vector<bool> with_noise;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.should_fail("mv2-gdr", OpType::AllReduce));  // no matching spec
+    with_noise.push_back(b.should_fail("nccl", OpType::AllReduce));
+  }
+  EXPECT_EQ(with_noise, decision_sequence(a, 100));
+}
+
+TEST(FaultInjector, ProbabilityEndpointsAreDeterministic) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  inj.configure(transient_plan(3, 1.0));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(inj.should_fail("nccl", OpType::AllReduce));
+  inj.configure(transient_plan(3, 0.0));
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(inj.should_fail("nccl", OpType::AllReduce));
+}
+
+TEST(FaultInjector, TransientOpSpecOnlyHitsItsOp) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::transient_op("nccl", OpType::AllToAllSingle, 1.0));
+  inj.configure(plan);
+  EXPECT_FALSE(inj.should_fail("nccl", OpType::AllReduce));
+  EXPECT_TRUE(inj.should_fail("nccl", OpType::AllToAllSingle));
+}
+
+TEST(FaultInjector, OutageStartsAtItsInstant) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::outage("nccl", 0.0));
+  plan.specs.push_back(FaultSpec::outage("sccl", 1e9));  // far future
+  inj.configure(plan);
+  EXPECT_TRUE(inj.backend_unavailable("nccl"));
+  EXPECT_FALSE(inj.backend_unavailable("sccl"));
+  EXPECT_FALSE(inj.backend_unavailable("mv2-gdr"));
+}
+
+TEST(FaultInjector, LinkDegradationFactorsCompose) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::degrade_links("nccl", 4.0, LinkScope::InterNode));
+  plan.specs.push_back(FaultSpec::degrade_links("", 2.0, LinkScope::All));
+  inj.configure(plan);
+  const BetaScale s = inj.link_beta_scale("nccl", OpType::AllReduce);
+  EXPECT_DOUBLE_EQ(s.inter, 8.0);  // 4 (inter-only) * 2 (all links)
+  EXPECT_DOUBLE_EQ(s.intra, 2.0);  // only the all-links spec
+  const BetaScale other = inj.link_beta_scale("mv2-gdr", OpType::AllReduce);
+  EXPECT_DOUBLE_EQ(other.inter, 2.0);
+  EXPECT_DOUBLE_EQ(other.intra, 2.0);
+}
+
+TEST(FaultInjector, SlowdownAndStragglerTargetOneRank) {
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::slow_rank(2, 3.0));
+  plan.specs.push_back(FaultSpec::straggler(1, 250.0));
+  inj.configure(plan);
+  EXPECT_DOUBLE_EQ(inj.rank_launch_scale(2), 3.0);
+  EXPECT_DOUBLE_EQ(inj.rank_launch_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.rank_delay(1), 250.0);
+  EXPECT_DOUBLE_EQ(inj.rank_delay(2), 0.0);
+}
+
+TEST(FaultInjector, WindowBoundsViaActiveAt) {
+  const FaultSpec s = FaultSpec::transient("nccl", 0.5, 100.0, 200.0);
+  EXPECT_FALSE(s.active_at(99.9));
+  EXPECT_TRUE(s.active_at(100.0));
+  EXPECT_TRUE(s.active_at(199.9));
+  EXPECT_FALSE(s.active_at(200.0));  // end-exclusive
+}
+
+TEST(FaultInjector, FactoryValidation) {
+  EXPECT_THROW(FaultSpec::transient("nccl", -0.1), InvalidArgument);
+  EXPECT_THROW(FaultSpec::transient("nccl", 1.5), InvalidArgument);
+  EXPECT_THROW(FaultSpec::degrade_links("nccl", 0.0), InvalidArgument);
+  EXPECT_THROW(FaultSpec::slow_rank(0, 0.5), InvalidArgument);
+  EXPECT_THROW(FaultSpec::straggler(0, -1.0), InvalidArgument);
+}
+
+TEST(FaultPlan, SerializeParseRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.watchdog_deadline_us = 5000.0;
+  plan.specs.push_back(FaultSpec::transient("nccl", 0.25, 10.0, 500.0));
+  plan.specs.push_back(FaultSpec::transient_op("", OpType::AllToAllSingle, 1.0));
+  plan.specs.push_back(FaultSpec::outage("sccl", 750.0));
+  plan.specs.push_back(FaultSpec::degrade_links("mv2-gdr", 2.5, LinkScope::InterNode, 0.0, 1e6));
+  plan.specs.push_back(FaultSpec::slow_rank(3, 2.0));
+  plan.specs.push_back(FaultSpec::straggler(1, 125.0, 50.0));
+  const FaultPlan parsed = FaultPlan::parse(plan.serialize());
+  // The text format is the canonical form, so a round-trip is exact.
+  EXPECT_EQ(parsed.serialize(), plan.serialize());
+  ASSERT_EQ(parsed.specs.size(), plan.specs.size());
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(parsed.watchdog_deadline_us, plan.watchdog_deadline_us);
+  EXPECT_EQ(parsed.specs[1].any_op, false);
+  EXPECT_EQ(parsed.specs[1].op, OpType::AllToAllSingle);
+  EXPECT_EQ(parsed.specs[3].scope, LinkScope::InterNode);
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  const FaultPlan plan = FaultPlan::parse(
+      "# a chaos scenario\n"
+      "\n"
+      "seed 99\n"
+      "outage nccl 1000\n");
+  EXPECT_EQ(plan.seed, 99u);
+  ASSERT_EQ(plan.specs.size(), 1u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::Outage);
+}
+
+TEST(FaultPlan, ParseErrorsNameTheLine) {
+  try {
+    FaultPlan::parse("seed 1\nbogus nccl 0.5\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, SaveLoadRoundTrip) {
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::outage("nccl", 2500.0));
+  const std::string path = ::testing::TempDir() + "/mcrdl_fault_plan_test.txt";
+  plan.save(path);
+  EXPECT_EQ(FaultPlan::load(path).serialize(), plan.serialize());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcrdl::fault

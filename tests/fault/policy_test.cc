@@ -1,0 +1,76 @@
+// RetryPolicy backoff schedule and CircuitBreaker state machine.
+#include "src/fault/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrdl::fault {
+namespace {
+
+TEST(RetryPolicy, ExponentialBackoffSchedule) {
+  RetryPolicy p;  // 50us base, x2
+  EXPECT_DOUBLE_EQ(p.backoff(1), 50.0);
+  EXPECT_DOUBLE_EQ(p.backoff(2), 100.0);
+  EXPECT_DOUBLE_EQ(p.backoff(3), 200.0);
+  RetryPolicy slow{5, 10.0, 3.0};
+  EXPECT_DOUBLE_EQ(slow.backoff(1), 10.0);
+  EXPECT_DOUBLE_EQ(slow.backoff(4), 270.0);
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdConsecutiveFailures) {
+  CircuitBreaker cb(3);
+  EXPECT_TRUE(cb.healthy("nccl", 0));
+  EXPECT_FALSE(cb.record_failure("nccl", 0));
+  EXPECT_FALSE(cb.record_failure("nccl", 0));
+  EXPECT_TRUE(cb.healthy("nccl", 0));  // 2 < 3: still closed
+  EXPECT_TRUE(cb.record_failure("nccl", 0));  // third failure trips it
+  EXPECT_FALSE(cb.healthy("nccl", 0));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker cb(3);
+  cb.record_failure("nccl", 0);
+  cb.record_failure("nccl", 0);
+  cb.record_success("nccl", 0);
+  EXPECT_EQ(cb.consecutive_failures("nccl", 0), 0);
+  cb.record_failure("nccl", 0);
+  cb.record_failure("nccl", 0);
+  EXPECT_TRUE(cb.healthy("nccl", 0));  // the streak restarted after the success
+}
+
+TEST(CircuitBreaker, HealthIsPerRank) {
+  // A rank's health must depend only on the verdicts that rank observed:
+  // shared health would let a fast rank's trip (recorded on a later op)
+  // reroute a straggler mid-way through an earlier op's retry ladder,
+  // desyncing communicator sequence numbers.
+  CircuitBreaker cb(2);
+  cb.record_failure("nccl", 0);
+  cb.record_failure("nccl", 1);
+  EXPECT_EQ(cb.consecutive_failures("nccl", 0), 1);
+  EXPECT_EQ(cb.consecutive_failures("nccl", 1), 1);
+  EXPECT_TRUE(cb.healthy("nccl", 0));  // neither rank reached the threshold
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  EXPECT_FALSE(cb.healthy("nccl", 0));  // rank 0 tripped...
+  EXPECT_TRUE(cb.healthy("nccl", 1));   // ...rank 1 keeps its own ladder
+  EXPECT_TRUE(cb.record_failure("nccl", 1));  // until it trips at the same op
+  EXPECT_FALSE(cb.healthy("nccl", 1));
+}
+
+TEST(CircuitBreaker, BackendsAreIndependent) {
+  CircuitBreaker cb(1);
+  cb.record_failure("nccl", 0);
+  EXPECT_FALSE(cb.healthy("nccl", 0));
+  EXPECT_TRUE(cb.healthy("mv2-gdr", 0));
+}
+
+TEST(CircuitBreaker, StaysOpenOnceTripped) {
+  // Reopening mid-run would desync communicator sequence numbers across
+  // ranks, so a tripped breaker is permanent for the life of the run.
+  CircuitBreaker cb(1);
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  cb.record_success("nccl", 0);
+  EXPECT_FALSE(cb.healthy("nccl", 0));
+  EXPECT_FALSE(cb.record_failure("nccl", 0));  // not a *new* trip
+}
+
+}  // namespace
+}  // namespace mcrdl::fault

@@ -1,0 +1,98 @@
+// Rendezvous watchdog: timed-out collectives must fail with a message that
+// names who arrived and who didn't, and a clean run must be unaffected.
+#include "src/fault/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/mcr_dl.h"
+
+namespace mcrdl::fault {
+namespace {
+
+TEST(Watchdog, DescribeTimeoutNamesArrivedAndMissingRanks) {
+  const std::string msg =
+      describe_timeout(OpType::AllReduce, "mv2-gdr", 1000.0, {0, 1, 2}, {3});
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos);
+  EXPECT_NE(msg.find("'mv2-gdr'"), std::string::npos);
+  EXPECT_NE(msg.find("1000"), std::string::npos);
+  EXPECT_NE(msg.find("arrived ranks: [0, 1, 2]"), std::string::npos);
+  EXPECT_NE(msg.find("missing ranks: [3]"), std::string::npos);
+}
+
+TEST(Watchdog, DescribeTimeoutHandlesEmptyArrivedList) {
+  const std::string msg = describe_timeout(OpType::Barrier, "nccl", 5.0, {}, {0, 1});
+  EXPECT_NE(msg.find("arrived ranks: [none]"), std::string::npos);
+}
+
+TEST(Watchdog, ArmFiresAtTheDeadline) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  bool fired = false;
+  cluster.run_spmd(1, [&](int) {
+    cluster.faults().watchdog().arm(10.0, [&] { fired = true; });
+    cluster.scheduler().sleep_for(20.0);
+  });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(cluster.faults().watchdog().fired(), 1u);
+}
+
+TEST(Watchdog, DisarmedTimerNeverFiresNorAdvancesTime) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  bool fired = false;
+  cluster.run_spmd(1, [&](int) {
+    const std::uint64_t id = cluster.faults().watchdog().arm(1e9, [&] { fired = true; });
+    cluster.faults().watchdog().disarm(id);
+    cluster.scheduler().sleep_for(20.0);
+  });
+  EXPECT_FALSE(fired);
+  // A cancelled timer is popped without advancing virtual time.
+  EXPECT_DOUBLE_EQ(cluster.scheduler().now(), 20.0);
+}
+
+TEST(WatchdogEndToEnd, AbsentRankTimesOutNamingTheMissingRank) {
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.plan.watchdog_deadline_us = 1000.0;
+  McrDl mcr(&cluster, opts);
+  mcr.init({"mv2-gdr"});
+  try {
+    cluster.run_spmd([&](int rank) {
+      if (rank == 3) return;  // crashed process: never joins
+      Api api = mcr.on(rank);
+      api.barrier("mv2-gdr");
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("barrier"), std::string::npos);
+    EXPECT_NE(what.find("missing ranks: [3]"), std::string::npos);
+    EXPECT_NE(what.find("arrived ranks: [0, 1, 2]"), std::string::npos);
+  }
+  EXPECT_GT(cluster.faults().stats().watchdog_timeouts, 0u);
+}
+
+TEST(WatchdogEndToEnd, CleanRunIsUnaffectedByAnArmedWatchdog) {
+  auto timed_run = [](SimTime deadline) {
+    ClusterContext cluster(net::SystemConfig::lassen(1));
+    McrDlOptions opts;
+    opts.fault.enabled = true;
+    opts.fault.plan.watchdog_deadline_us = deadline;
+    McrDl mcr(&cluster, opts);
+    mcr.init({"mv2-gdr"});
+    cluster.run_spmd([&](int rank) {
+      Api api = mcr.on(rank);
+      Tensor t = Tensor::full({1024}, DType::F32, 1.0, cluster.device(rank));
+      for (int i = 0; i < 4; ++i) api.all_reduce("mv2-gdr", t, ReduceOp::Sum);
+    });
+    EXPECT_EQ(cluster.faults().stats().watchdog_timeouts, 0u);
+    return cluster.scheduler().now();
+  };
+  // Disarmed-before-firing timers are cancelled without advancing time, so
+  // the timeline with a (generous) watchdog is identical to none at all.
+  EXPECT_DOUBLE_EQ(timed_run(0.0), timed_run(1e9));
+}
+
+}  // namespace
+}  // namespace mcrdl::fault

@@ -1,0 +1,192 @@
+// mcrdl_chaos — chaos-test the runtime's fault tolerance and print a
+// resilience report.
+//
+// Runs the same allreduce workload twice on identical simulated clusters:
+// once fault-free (the baseline) and once under an injected fault plan with
+// retry/failover enabled. The tool then differentially compares every
+// rank's final data against the baseline — failover is only worth anything
+// if it produces *zero wrong results* — and prints what the fault layer
+// did: injections, retries, breaker trips, reroutes, and the virtual-time
+// cost of surviving.
+//
+//   ./tools/mcrdl_chaos --scenario=outage --at=2000            # kill nccl mid-run
+//   ./tools/mcrdl_chaos --scenario=transient --p=0.3
+//   ./tools/mcrdl_chaos --scenario=degrade --factor=8
+//   ./tools/mcrdl_chaos --plan=my_chaos.txt --trace=chaos.json
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/format.h"
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+namespace {
+
+struct RunResult {
+  std::vector<double> finals;  // per-rank final tensor value
+  SimTime end_time_us = 0.0;
+  SimTime comm_time_us = 0.0;  // rank 0's communication time
+};
+
+// The workload: `iters` spaced allreduces on the preferred backend. Every
+// iteration multiplies the data by the world size, so any dropped or
+// double-applied collective shows up in the differential check.
+RunResult run_workload(ClusterContext& cluster, McrDl& mcr, const std::string& backend,
+                       int iters, std::size_t elems, SimTime interval_us) {
+  RunResult out;
+  out.finals.assign(cluster.world_size(), 0.0);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({static_cast<long long>(elems)}, DType::F32, 1.0,
+                            cluster.device(rank));
+    for (int i = 0; i < iters; ++i) {
+      api.all_reduce(backend, t, ReduceOp::Sum);
+      if (interval_us > 0.0) cluster.scheduler().sleep_for(interval_us);
+    }
+    api.synchronize();
+    out.finals[rank] = t.get(0);
+  });
+  out.end_time_us = cluster.scheduler().now();
+  out.comm_time_us = mcr.logger().comm_time(0);
+  return out;
+}
+
+fault::FaultPlan build_plan(const Flags& flags, const std::string& primary) {
+  if (!flags.get("plan").empty()) return fault::FaultPlan::load(flags.get("plan"));
+  fault::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const SimTime watchdog = flags.get_double("watchdog");
+  if (watchdog > 0.0) plan.watchdog_deadline_us = watchdog;
+  const std::string scenario = flags.get("scenario");
+  if (scenario == "outage") {
+    plan.specs.push_back(fault::FaultSpec::outage(primary, flags.get_double("at")));
+  } else if (scenario == "transient") {
+    plan.specs.push_back(fault::FaultSpec::transient(primary, flags.get_double("p")));
+  } else if (scenario == "degrade") {
+    plan.specs.push_back(fault::FaultSpec::degrade_links(primary, flags.get_double("factor"),
+                                                         fault::LinkScope::InterNode));
+  } else if (scenario == "straggler") {
+    plan.specs.push_back(
+        fault::FaultSpec::straggler(flags.get_int("rank"), flags.get_double("delay")));
+  } else if (scenario != "none") {
+    throw InvalidArgument("unknown scenario: " + scenario +
+                          " (want outage|transient|degrade|straggler|none)");
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("system", "lassen", "node architecture: lassen | theta-gpu");
+  flags.define("gpus", "8", "world size");
+  flags.define("backends", "nccl,mv2-gdr", "preference order; first is the workload's choice");
+  flags.define("iterations", "12", "allreduce iterations");
+  flags.define("size", "4m", "message size per allreduce");
+  flags.define("interval", "200", "virtual us between iterations");
+  flags.define("scenario", "outage", "built-in plan: outage|transient|degrade|straggler|none");
+  flags.define("at", "1000", "outage instant in virtual us (scenario=outage)");
+  flags.define("p", "0.3", "per-attempt failure probability (scenario=transient)");
+  flags.define("factor", "4", "inter-node beta multiplier (scenario=degrade)");
+  flags.define("rank", "1", "delayed rank (scenario=straggler)");
+  flags.define("delay", "500", "per-op straggler delay in us (scenario=straggler)");
+  flags.define("watchdog", "0", "rendezvous watchdog deadline in us (0 = off)");
+  flags.define("seed", "42", "fault-decision seed");
+  flags.define("plan", "", "load a fault plan file instead of a built-in scenario");
+  flags.define("trace", "", "write a Chrome trace of the chaos run to this path");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    const int world = flags.get_int("gpus");
+    const net::SystemConfig config = flags.get("system") == "lassen"
+                                         ? net::SystemConfig::lassen((world + 3) / 4)
+                                         : net::SystemConfig::theta_gpu((world + 7) / 8);
+    const std::vector<std::string> backends = flags.get_list("backends");
+    MCRDL_REQUIRE(!backends.empty(), "need at least one backend");
+    const std::string primary = backends.front();
+    const int iters = flags.get_int("iterations");
+    const std::size_t elems = parse_size(flags.get("size")) / 4;  // f32
+    const SimTime interval = flags.get_double("interval");
+
+    const fault::FaultPlan plan = build_plan(flags, primary);
+    std::printf("# chaos plan (%d GPUs on %s, %d x %s all_reduce on '%s')\n", world,
+                config.name.c_str(), iters, flags.get("size").c_str(), primary.c_str());
+    std::printf("%s\n", plan.serialize().c_str());
+
+    // --- baseline: identical workload, no faults -------------------------
+    ClusterContext base_cluster(config);
+    McrDlOptions base_opts;
+    base_opts.logging_enabled = true;
+    McrDl baseline(&base_cluster, base_opts);
+    baseline.init(backends);
+    const RunResult base = run_workload(base_cluster, baseline, primary, iters, elems, interval);
+
+    // --- chaos run --------------------------------------------------------
+    ClusterContext cluster(config);
+    McrDlOptions opts;
+    opts.logging_enabled = true;
+    opts.fault.enabled = true;
+    opts.fault.plan = plan;
+    McrDl mcr(&cluster, opts);
+    mcr.init(backends);
+    const RunResult chaos = run_workload(cluster, mcr, primary, iters, elems, interval);
+
+    // --- differential check ----------------------------------------------
+    int wrong = 0;
+    for (int r = 0; r < world; ++r) {
+      if (chaos.finals[r] != base.finals[r]) ++wrong;
+    }
+
+    const fault::ResilienceReport& report = mcr.failover()->report();
+    const fault::InjectionStats& stats = cluster.faults().stats();
+    std::printf("== resilience report ==\n%s", report.to_string().c_str());
+    std::printf("injected: %llu transient, %llu outage rejections, %llu watchdog timeouts\n",
+                static_cast<unsigned long long>(stats.transient_injected),
+                static_cast<unsigned long long>(stats.outage_rejections),
+                static_cast<unsigned long long>(stats.watchdog_timeouts));
+    if (stats.straggler_delays > 0) {
+      std::printf("injected delay: %s over %llu launches\n",
+                  format_time_us(stats.delay_injected_us).c_str(),
+                  static_cast<unsigned long long>(stats.straggler_delays));
+    }
+    std::printf("virtual time: baseline %s, chaos %s (+%.1f%%)\n",
+                format_time_us(base.end_time_us).c_str(),
+                format_time_us(chaos.end_time_us).c_str(),
+                base.end_time_us > 0.0
+                    ? 100.0 * (chaos.end_time_us - base.end_time_us) / base.end_time_us
+                    : 0.0);
+    std::printf("rank-0 comm time: baseline %s, chaos %s\n",
+                format_time_us(base.comm_time_us).c_str(),
+                format_time_us(chaos.comm_time_us).c_str());
+
+    // Where the traffic actually ran, per backend.
+    std::map<std::string, int> ops_by_backend;
+    int rerouted_records = 0;
+    for (const auto& rec : mcr.logger().records()) {
+      if (rec.rank != 0) continue;
+      ops_by_backend[rec.backend]++;
+      if (rec.rerouted) ++rerouted_records;
+    }
+    std::printf("rank-0 ops by backend:");
+    for (const auto& [name, count] : ops_by_backend) std::printf(" %s=%d", name.c_str(), count);
+    std::printf(" (%d rerouted)\n", rerouted_records);
+
+    if (!flags.get("trace").empty()) {
+      write_chrome_trace(mcr.logger(), flags.get("trace"));
+      std::printf("trace written to %s (rerouted ops are highlighted)\n",
+                  flags.get("trace").c_str());
+    }
+
+    std::printf("differential check: %s\n",
+                wrong == 0 ? "PASS — all ranks match the fault-free run"
+                           : "FAIL — ranks diverged from the fault-free run");
+    return wrong == 0 ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
