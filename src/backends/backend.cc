@@ -302,6 +302,48 @@ Work Comm::send(int rank, Tensor tensor, int dst, bool async_op) {
   return work;
 }
 
+Work Comm::issue(int rank, const OpRequest& req) {
+  switch (req.op) {
+    case OpType::AllReduce:
+      return all_reduce(rank, req.tensor, req.rop, req.async_op);
+    case OpType::Broadcast:
+      return broadcast(rank, req.tensor, req.root, req.async_op);
+    case OpType::Reduce:
+      return reduce(rank, req.tensor, req.root, req.rop, req.async_op);
+    case OpType::AllGather:
+      return all_gather(rank, req.output, req.input, req.async_op);
+    case OpType::AllGatherV:
+      return all_gatherv(rank, req.output, req.input, req.recv_counts, req.recv_displs,
+                         req.async_op);
+    case OpType::Gather:
+      return gather(rank, req.output, req.input, req.root, req.async_op);
+    case OpType::GatherV:
+      return gatherv(rank, req.output, req.input, req.root, req.recv_counts, req.recv_displs,
+                     req.async_op);
+    case OpType::Scatter:
+      return scatter(rank, req.output, req.input, req.root, req.async_op);
+    case OpType::ScatterV:
+      return scatterv(rank, req.output, req.input, req.root, req.send_counts, req.send_displs,
+                      req.async_op);
+    case OpType::ReduceScatter:
+      return reduce_scatter(rank, req.output, req.input, req.rop, req.async_op);
+    case OpType::AllToAllSingle:
+      return all_to_all_single(rank, req.output, req.input, req.async_op);
+    case OpType::AllToAll:
+      return all_to_all(rank, req.outputs, req.inputs, req.async_op);
+    case OpType::AllToAllV:
+      return all_to_allv(rank, req.output, req.input, req.send_counts, req.send_displs,
+                         req.recv_counts, req.recv_displs, req.async_op);
+    case OpType::Barrier:
+      return barrier(rank, req.async_op);
+    case OpType::Send:
+      return send(rank, req.tensor, req.peer, req.async_op);
+    case OpType::Recv:
+      return recv(rank, req.tensor, req.peer, req.async_op);
+  }
+  throw InvalidArgument("Comm::issue: unknown OpType");
+}
+
 Work Comm::recv(int rank, Tensor tensor, int src, bool async_op) {
   backend_->require_initialized();
   MCRDL_REQUIRE(tensor.defined(), "recv needs a defined tensor");

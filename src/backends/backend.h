@@ -26,6 +26,7 @@
 
 #include "src/backends/cluster.h"
 #include "src/backends/engine.h"
+#include "src/backends/op_request.h"
 #include "src/backends/work.h"
 #include "src/net/cost.h"
 #include "src/tensor/tensor.h"
@@ -75,6 +76,11 @@ class Comm {
   // --- point-to-point -------------------------------------------------------
   Work send(int rank, Tensor tensor, int dst, bool async_op);
   Work recv(int rank, Tensor tensor, int src, bool async_op);
+
+  // Generic entry point: dispatches an OpRequest onto the matching native
+  // method above. Non-native operations still throw UnsupportedOperation —
+  // emulation::issue (src/core/emulation.h) is the layer that rewrites them.
+  Work issue(int rank, const OpRequest& req);
 
   backends_detail::CollectiveEngine& engine() { return engine_; }
 

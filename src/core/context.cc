@@ -1,9 +1,9 @@
 #include "src/core/context.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
-#include "src/core/emulation.h"
+#include "src/core/op_pipeline.h"
 
 namespace mcrdl {
 
@@ -17,6 +17,7 @@ McrDl::McrDl(ClusterContext* cluster, McrDlOptions options)
   fusion_ = std::make_unique<FusionManager>(cluster_, options_.fusion);
   compression_ = std::make_unique<CompressionLayer>(cluster_, options_.compression);
   logger_.set_enabled(options_.logging_enabled);
+  pipeline_ = std::make_unique<OpPipeline>(this);
 }
 
 McrDl::~McrDl() = default;
@@ -88,7 +89,10 @@ Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, i
 Api McrDl::on(int rank) { return Api(this, rank); }
 
 // ---------------------------------------------------------------------------
-// Api
+// Api — every method packs its arguments into an OpRequest and executes it
+// through the OpPipeline; all cross-cutting behaviour (overhead, tuning,
+// fusion, compression, logging, fault routing, emulation) lives in the
+// pipeline's stages, written once instead of once per operation.
 // ---------------------------------------------------------------------------
 
 Api::Api(McrDl* ctx, int rank, std::vector<int> group)
@@ -114,134 +118,8 @@ int Api::get_size(const std::string& backend) const {
   return comm_for(ctx_->backend(backend))->size();
 }
 
-Backend* Api::resolve(const std::string& name, OpType op, std::size_t bytes) const {
-  const int world =
-      group_.empty() ? ctx_->cluster()->world_size() : static_cast<int>(group_.size());
-  return ctx_->resolve(name, op, bytes, world);
-}
-
-void Api::pre_call() const {
-  if (ctx_->options().per_call_overhead_us > 0.0) {
-    ctx_->cluster()->scheduler().sleep_for(ctx_->options().per_call_overhead_us);
-  }
-}
-
-Work Api::finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
-                    bool compressed, const RouteMeta& meta) {
-  if (ctx_->logger().enabled()) {
-    CommLogger* logger = &ctx_->logger();
-    CommRecord rec;
-    rec.rank = rank_;
-    rec.op = op;
-    rec.backend = backend;
-    rec.bytes = bytes;
-    rec.start = w->posted_at;
-    rec.fused = fused;
-    rec.compressed = compressed;
-    rec.attempts = meta.attempts;
-    rec.rerouted = meta.rerouted;
-    if (meta.rerouted) rec.requested_backend = meta.requested;
-    rec.fault = meta.fault;
-    // Capturing the shared handle keeps it alive until completion; the
-    // callback list is cleared when it fires, breaking the cycle.
-    w->on_complete([logger, rec, w]() mutable {
-      rec.end = w->complete_time();
-      // Bill only the execution window when the backend reported one, so
-      // compute-overlapped queueing time does not count as communication.
-      if (w->exec_start >= 0.0) rec.start = w->exec_start;
-      logger->record(std::move(rec));
-    });
-  }
-  return w;
-}
-
-Work Api::routed(Backend* preferred, OpType op, std::size_t bytes, const IssueFn& issue) {
-  fault::FailoverRouter* router = ctx_->failover();
-  if (router == nullptr) {
-    // Fault subsystem disabled: issue exactly once on the resolved backend.
-    Issued r = issue(preferred, comm_for(preferred));
-    return finish_op(std::move(r.w), op, bytes, preferred->name(), r.fused, r.compressed,
-                     RouteMeta{});
-  }
-
-  // Preference order: the resolved backend first, then init() order. All
-  // ranks derive the identical order, and health is per-rank, driven only
-  // by the fault verdicts this rank has observed — which are identical
-  // across ranks at the same logical op (one stored verdict per
-  // rendezvous). Every rank therefore walks the same retry/re-route
-  // sequence for the same op, at its own pace, and collectives stay
-  // aligned across retries and failover even with stragglers in flight.
-  RouteMeta meta;
-  meta.requested = preferred->name();
-  std::vector<std::string> order;
-  order.push_back(preferred->name());
-  for (const auto& name : ctx_->get_backends()) {
-    if (name != preferred->name()) order.push_back(name);
-  }
-
-  std::string current = router->select(preferred->name(), order, rank_);
-  if (current != preferred->name()) {
-    meta.rerouted = true;
-    meta.fault = "unavailable";
-    router->report().rerouted++;
-  }
-
-  meta.attempts = 0;
-  int attempts_on_current = 0;
-  for (;;) {
-    ++attempts_on_current;
-    ++meta.attempts;
-    router->report().attempted++;
-    Backend* b = ctx_->backend(current);
-    try {
-      Issued r = issue(b, comm_for(b));
-      router->record_success(current, rank_);
-      router->report().succeeded++;
-      return finish_op(std::move(r.w), op, bytes, current, r.fused, r.compressed, meta);
-    } catch (const TransientFault& tf) {
-      meta.fault = "transient";
-      router->record_failure(current, rank_);
-      if (attempts_on_current < router->retry().max_attempts &&
-          router->healthy(current, rank_)) {
-        const SimTime backoff = router->retry().backoff(attempts_on_current);
-        router->report().retried++;
-        router->report().backoff_time_us += backoff;
-        ctx_->cluster()->scheduler().sleep_for(backoff);
-        continue;
-      }
-      // Retries exhausted (or breaker opened mid-retry): move on if we can,
-      // otherwise surface the original fault as the operation's failure.
-      try {
-        current = router->next_healthy(current, order, rank_);
-      } catch (const BackendUnavailable&) {
-        router->report().failed++;
-        throw tf;
-      }
-      meta.rerouted = true;
-      router->report().rerouted++;
-      attempts_on_current = 0;
-    } catch (const BackendUnavailable&) {
-      meta.fault = "unavailable";
-      router->record_failure(current, rank_);
-      std::string next;
-      try {
-        next = router->next_healthy(current, order, rank_);
-      } catch (const BackendUnavailable&) {
-        router->report().failed++;
-        throw;
-      }
-      current = next;
-      meta.rerouted = true;
-      router->report().rerouted++;
-      attempts_on_current = 0;
-    } catch (const TimeoutError&) {
-      // A watchdog timeout means peers are wedged mid-collective; re-routing
-      // one rank alone cannot realign the group, so it is always fatal.
-      router->record_failure(current, rank_);
-      router->report().failed++;
-      throw;
-    }
-  }
+Work Api::dispatch(OpRequest req) const {
+  return ctx_->pipeline().execute(rank_, group_, std::move(req));
 }
 
 void Api::synchronize() {
@@ -254,221 +132,189 @@ void Api::synchronize(const std::string& backend) {
   ctx_->backend(backend)->synchronize(rank_);
 }
 
-// The issue lambdas below capture tensors and count vectors by value and
-// pass copies into the backend calls, so a retry or failover re-invocation
-// starts from intact arguments (Tensor is a cheap shared-storage handle).
-
 Work Api::all_reduce(const std::string& backend, Tensor tensor, ReduceOp op, bool async_op) {
-  pre_call();
-  const std::size_t bytes = tensor.bytes();
-  Backend* b = resolve(backend, OpType::AllReduce, bytes);
-  return routed(b, OpType::AllReduce, bytes, [this, tensor, op, async_op](Backend*, Comm* comm) {
-    if (ctx_->fusion().eligible(tensor)) {
-      Work w = ctx_->fusion().all_reduce(comm, rank_, tensor, op);
-      if (!async_op) w->wait();
-      return Issued{std::move(w), /*fused=*/true, false};
-    }
-    return Issued{comm->all_reduce(rank_, tensor, op, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::AllReduce;
+  req.backend = backend;
+  req.tensor = std::move(tensor);
+  req.rop = op;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::broadcast(const std::string& backend, Tensor tensor, int root, bool async_op) {
-  pre_call();
-  const std::size_t bytes = tensor.bytes();
-  Backend* b = resolve(backend, OpType::Broadcast, bytes);
-  return routed(b, OpType::Broadcast, bytes, [this, tensor, root, async_op](Backend*, Comm* comm) {
-    if (ctx_->compression().eligible(OpType::Broadcast, tensor)) {
-      Work w = ctx_->compression().broadcast(*comm, rank_, tensor, root, async_op);
-      return Issued{std::move(w), false, /*compressed=*/true};
-    }
-    return Issued{comm->broadcast(rank_, tensor, root, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::Broadcast;
+  req.backend = backend;
+  req.tensor = std::move(tensor);
+  req.root = root;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::reduce(const std::string& backend, Tensor tensor, int root, ReduceOp op,
                  bool async_op) {
-  pre_call();
-  const std::size_t bytes = tensor.bytes();
-  Backend* b = resolve(backend, OpType::Reduce, bytes);
-  return routed(b, OpType::Reduce, bytes, [this, tensor, root, op, async_op](Backend*, Comm* comm) {
-    return Issued{comm->reduce(rank_, tensor, root, op, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::Reduce;
+  req.backend = backend;
+  req.tensor = std::move(tensor);
+  req.root = root;
+  req.rop = op;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::all_gather(const std::string& backend, Tensor output, Tensor input, bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::AllGather, bytes);
-  return routed(b, OpType::AllGather, bytes,
-                [this, output, input, async_op](Backend*, Comm* comm) {
-                  if (ctx_->compression().eligible(OpType::AllGather, input)) {
-                    Work w = ctx_->compression().all_gather(*comm, rank_, output, input, async_op);
-                    return Issued{std::move(w), false, /*compressed=*/true};
-                  }
-                  return Issued{comm->all_gather(rank_, output, input, async_op), false, false};
-                });
+  OpRequest req;
+  req.op = OpType::AllGather;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::all_gatherv(const std::string& backend, Tensor output, Tensor input,
                       std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::AllGatherV, bytes);
-  return routed(b, OpType::AllGatherV, bytes,
-                [this, output, input, recv_counts, recv_displs, async_op](Backend* bk, Comm* comm) {
-                  Work w = bk->profile().is_native(OpType::AllGatherV)
-                               ? comm->all_gatherv(rank_, output, input, recv_counts, recv_displs,
-                                                   async_op)
-                               : emulation::all_gatherv(*comm, rank_, output, input, recv_counts,
-                                                        recv_displs, async_op);
-                  return Issued{std::move(w), false, false};
-                });
+  OpRequest req;
+  req.op = OpType::AllGatherV;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.recv_counts = std::move(recv_counts);
+  req.recv_displs = std::move(recv_displs);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::gather(const std::string& backend, Tensor output, Tensor input, int root,
                  bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::Gather, bytes);
-  return routed(b, OpType::Gather, bytes,
-                [this, output, input, root, async_op](Backend* bk, Comm* comm) {
-                  Work w = bk->profile().is_native(OpType::Gather)
-                               ? comm->gather(rank_, output, input, root, async_op)
-                               : emulation::gather(*comm, rank_, output, input, root, async_op);
-                  return Issued{std::move(w), false, false};
-                });
+  OpRequest req;
+  req.op = OpType::Gather;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.root = root;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::gatherv(const std::string& backend, Tensor output, Tensor input, int root,
                   std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::GatherV, bytes);
-  return routed(
-      b, OpType::GatherV, bytes,
-      [this, output, input, root, recv_counts, recv_displs, async_op](Backend* bk, Comm* comm) {
-        Work w = bk->profile().is_native(OpType::GatherV)
-                     ? comm->gatherv(rank_, output, input, root, recv_counts, recv_displs,
-                                     async_op)
-                     : emulation::gatherv(*comm, rank_, output, input, root, recv_counts,
-                                          recv_displs, async_op);
-        return Issued{std::move(w), false, false};
-      });
+  OpRequest req;
+  req.op = OpType::GatherV;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.root = root;
+  req.recv_counts = std::move(recv_counts);
+  req.recv_displs = std::move(recv_displs);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::scatter(const std::string& backend, Tensor output, Tensor input, int root,
                   bool async_op) {
-  pre_call();
-  const std::size_t bytes = output.bytes();
-  Backend* b = resolve(backend, OpType::Scatter, bytes);
-  return routed(b, OpType::Scatter, bytes,
-                [this, output, input, root, async_op](Backend* bk, Comm* comm) {
-                  Work w = bk->profile().is_native(OpType::Scatter)
-                               ? comm->scatter(rank_, output, input, root, async_op)
-                               : emulation::scatter(*comm, rank_, output, input, root, async_op);
-                  return Issued{std::move(w), false, false};
-                });
+  OpRequest req;
+  req.op = OpType::Scatter;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.root = root;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::scatterv(const std::string& backend, Tensor output, Tensor input, int root,
                    std::vector<int> send_counts, std::vector<int> send_displs, bool async_op) {
-  pre_call();
-  const std::size_t bytes = output.bytes();
-  Backend* b = resolve(backend, OpType::ScatterV, bytes);
-  return routed(
-      b, OpType::ScatterV, bytes,
-      [this, output, input, root, send_counts, send_displs, async_op](Backend* bk, Comm* comm) {
-        Work w = bk->profile().is_native(OpType::ScatterV)
-                     ? comm->scatterv(rank_, output, input, root, send_counts, send_displs,
-                                      async_op)
-                     : emulation::scatterv(*comm, rank_, output, input, root, send_counts,
-                                           send_displs, async_op);
-        return Issued{std::move(w), false, false};
-      });
+  OpRequest req;
+  req.op = OpType::ScatterV;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.root = root;
+  req.send_counts = std::move(send_counts);
+  req.send_displs = std::move(send_displs);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::reduce_scatter(const std::string& backend, Tensor output, Tensor input, ReduceOp op,
                          bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::ReduceScatter, bytes);
-  return routed(b, OpType::ReduceScatter, bytes,
-                [this, output, input, op, async_op](Backend*, Comm* comm) {
-                  return Issued{comm->reduce_scatter(rank_, output, input, op, async_op), false,
-                                false};
-                });
+  OpRequest req;
+  req.op = OpType::ReduceScatter;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.rop = op;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::all_to_all_single(const std::string& backend, Tensor output, Tensor input,
                             bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::AllToAllSingle, bytes);
-  return routed(b, OpType::AllToAllSingle, bytes,
-                [this, output, input, async_op](Backend*, Comm* comm) {
-                  if (ctx_->compression().eligible(OpType::AllToAllSingle, input)) {
-                    Work w = ctx_->compression().all_to_all_single(*comm, rank_, output, input,
-                                                                   async_op);
-                    return Issued{std::move(w), false, /*compressed=*/true};
-                  }
-                  return Issued{comm->all_to_all_single(rank_, output, input, async_op), false,
-                                false};
-                });
+  OpRequest req;
+  req.op = OpType::AllToAllSingle;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::all_to_all(const std::string& backend, TensorList outputs, TensorList inputs,
                      bool async_op) {
-  pre_call();
-  const std::size_t bytes = total_bytes(inputs);
-  Backend* b = resolve(backend, OpType::AllToAll, bytes);
-  return routed(b, OpType::AllToAll, bytes, [this, outputs, inputs, async_op](Backend*, Comm* comm) {
-    return Issued{comm->all_to_all(rank_, outputs, inputs, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::AllToAll;
+  req.backend = backend;
+  req.outputs = std::move(outputs);
+  req.inputs = std::move(inputs);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::all_to_allv(const std::string& backend, Tensor output, Tensor input,
                       std::vector<int> send_counts, std::vector<int> send_displs,
                       std::vector<int> recv_counts, std::vector<int> recv_displs, bool async_op) {
-  pre_call();
-  const std::size_t bytes = input.bytes();
-  Backend* b = resolve(backend, OpType::AllToAllV, bytes);
-  return routed(b, OpType::AllToAllV, bytes,
-                [this, output, input, send_counts, send_displs, recv_counts, recv_displs,
-                 async_op](Backend* bk, Comm* comm) {
-                  Work w = bk->profile().is_native(OpType::AllToAllV)
-                               ? comm->all_to_allv(rank_, output, input, send_counts, send_displs,
-                                                   recv_counts, recv_displs, async_op)
-                               : emulation::all_to_allv(*comm, rank_, output, input, send_counts,
-                                                        send_displs, recv_counts, recv_displs,
-                                                        async_op);
-                  return Issued{std::move(w), false, false};
-                });
+  OpRequest req;
+  req.op = OpType::AllToAllV;
+  req.backend = backend;
+  req.output = std::move(output);
+  req.input = std::move(input);
+  req.send_counts = std::move(send_counts);
+  req.send_displs = std::move(send_displs);
+  req.recv_counts = std::move(recv_counts);
+  req.recv_displs = std::move(recv_displs);
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::barrier(const std::string& backend, bool async_op) {
-  pre_call();
-  Backend* b = resolve(backend, OpType::Barrier, 0);
-  return routed(b, OpType::Barrier, 0, [this, async_op](Backend*, Comm* comm) {
-    return Issued{comm->barrier(rank_, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::Barrier;
+  req.backend = backend;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::send(const std::string& backend, Tensor tensor, int dst, bool async_op) {
-  pre_call();
-  Backend* b = ctx_->backend(backend);  // "auto" is collective-only
-  const std::size_t bytes = tensor.bytes();
-  return routed(b, OpType::Send, bytes, [this, tensor, dst, async_op](Backend*, Comm* comm) {
-    return Issued{comm->send(rank_, tensor, dst, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::Send;
+  req.backend = backend;
+  req.tensor = std::move(tensor);
+  req.peer = dst;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 Work Api::recv(const std::string& backend, Tensor tensor, int src, bool async_op) {
-  pre_call();
-  Backend* b = ctx_->backend(backend);
-  const std::size_t bytes = tensor.bytes();
-  return routed(b, OpType::Recv, bytes, [this, tensor, src, async_op](Backend*, Comm* comm) {
-    return Issued{comm->recv(rank_, tensor, src, async_op), false, false};
-  });
+  OpRequest req;
+  req.op = OpType::Recv;
+  req.backend = backend;
+  req.tensor = std::move(tensor);
+  req.peer = src;
+  req.async_op = async_op;
+  return dispatch(std::move(req));
 }
 
 }  // namespace mcrdl

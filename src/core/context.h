@@ -18,9 +18,13 @@
 // Passing "auto" routes the operation through the loaded tuning table
 // (Section V-F). Operations a backend lacks natively are emulated
 // transparently (Section V-B). Sub-communicators come from Api::group().
+//
+// Every Api method is a thin constructor of an OpRequest descriptor handed to
+// the runtime's OpPipeline (src/core/op_pipeline.h); tuning, fusion,
+// compression, fault routing, emulation and logging are pipeline stages, not
+// per-op code.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,6 +54,7 @@ struct McrDlOptions {
 };
 
 class Api;
+class OpPipeline;
 
 class McrDl {
  public:
@@ -81,6 +86,10 @@ class McrDl {
   // Health-aware routing; non-null only when options.fault.enabled.
   fault::FailoverRouter* failover() const { return failover_.get(); }
 
+  // The operation pipeline every Api call executes through. Exposed so
+  // callers can inspect the stage order or insert custom stages.
+  OpPipeline& pipeline() { return *pipeline_; }
+
   ClusterContext* cluster() const { return cluster_; }
 
   // Per-rank facade over the world communicator.
@@ -99,6 +108,7 @@ class McrDl {
   std::unique_ptr<FusionManager> fusion_;
   std::unique_ptr<CompressionLayer> compression_;
   std::unique_ptr<fault::FailoverRouter> failover_;
+  std::unique_ptr<OpPipeline> pipeline_;
 };
 
 // The per-rank API handle (cheap to copy). All peers/roots are expressed in
@@ -160,34 +170,10 @@ class Api {
   Work recv(const std::string& backend, Tensor tensor, int src, bool async_op = false);
 
  private:
-  // Routing metadata accumulated while (re)issuing one operation under the
-  // fault/failover subsystem; lands in CommRecord so traces show failover.
-  struct RouteMeta {
-    int attempts = 1;
-    bool rerouted = false;
-    std::string requested;  // originally requested backend when rerouted
-    std::string fault;      // last injected failure: "", "transient", "unavailable"
-  };
-  // What one issue attempt produced.
-  struct Issued {
-    Work w;
-    bool fused = false;
-    bool compressed = false;
-  };
-  using IssueFn = std::function<Issued(Backend*, Comm*)>;
-
   Comm* comm_for(Backend* b) const;
-  Backend* resolve(const std::string& name, OpType op, std::size_t bytes) const;
-  // Issues the operation once on `preferred` — or, when a FailoverRouter is
-  // active, retries with backoff on injected transient faults and re-routes
-  // to the next-best healthy backend on outages / tripped breakers. The
-  // issue callback must be safely re-invocable: capture tensors by value
-  // and pass copies, never std::move its captures.
-  Work routed(Backend* preferred, OpType op, std::size_t bytes, const IssueFn& issue);
-  // Applies per-call overhead and wraps the work with logging.
-  Work finish_op(Work w, OpType op, std::size_t bytes, const std::string& backend, bool fused,
-                 bool compressed, const RouteMeta& meta);
-  void pre_call() const;
+  // Packs per-op arguments into the request's common fields and hands it to
+  // the runtime's OpPipeline.
+  Work dispatch(OpRequest req) const;
 
   McrDl* ctx_;
   int rank_;

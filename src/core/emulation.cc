@@ -168,4 +168,29 @@ Work all_to_allv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<
   return finish(comm, {inner}, std::move(finalize), async_op);
 }
 
+Work issue(Comm& comm, int rank, const OpRequest& req) {
+  switch (req.op) {
+    case OpType::Gather:
+      return gather(comm, rank, req.output, req.input, req.root, req.async_op);
+    case OpType::Scatter:
+      return scatter(comm, rank, req.output, req.input, req.root, req.async_op);
+    case OpType::GatherV:
+      return gatherv(comm, rank, req.output, req.input, req.root, req.recv_counts,
+                     req.recv_displs, req.async_op);
+    case OpType::ScatterV:
+      return scatterv(comm, rank, req.output, req.input, req.root, req.send_counts,
+                      req.send_displs, req.async_op);
+    case OpType::AllGatherV:
+      return all_gatherv(comm, rank, req.output, req.input, req.recv_counts, req.recv_displs,
+                         req.async_op);
+    case OpType::AllToAllV:
+      return all_to_allv(comm, rank, req.output, req.input, req.send_counts, req.send_displs,
+                         req.recv_counts, req.recv_displs, req.async_op);
+    default:
+      // No recipe: let the backend either run it natively or throw
+      // UnsupportedOperation, same as a direct call would.
+      return comm.issue(rank, req);
+  }
+}
+
 }  // namespace mcrdl::emulation

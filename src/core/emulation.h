@@ -34,4 +34,10 @@ Work all_to_allv(Comm& comm, int rank, Tensor output, Tensor input, std::vector<
                  std::vector<int> send_displs, std::vector<int> recv_counts,
                  std::vector<int> recv_displs, bool async_op);
 
+// Generic entry point mirroring Comm::issue: dispatches an OpRequest onto the
+// matching emulation recipe, falling through to comm.issue for operations
+// that have no recipe (so unsupported-and-unemulatable ops still surface the
+// backend's UnsupportedOperation).
+Work issue(Comm& comm, int rank, const OpRequest& req);
+
 }  // namespace mcrdl::emulation

@@ -13,6 +13,7 @@
 
 #include "src/backends/backend.h"
 #include "src/backends/cluster.h"
+#include "src/backends/op_request.h"
 #include "src/backends/work.h"
 #include "src/core/composite_work.h"
 #include "src/core/compression.h"
@@ -20,6 +21,7 @@
 #include "src/core/emulation.h"
 #include "src/core/fusion.h"
 #include "src/core/logger.h"
+#include "src/core/op_pipeline.h"
 #include "src/core/persistent.h"
 #include "src/core/process_groups.h"
 #include "src/core/trace.h"

@@ -1,0 +1,309 @@
+#include "src/core/op_pipeline.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/context.h"
+#include "src/core/emulation.h"
+
+namespace mcrdl {
+
+int OpCall::world_size() const {
+  return group.empty() ? ctx->cluster()->world_size() : static_cast<int>(group.size());
+}
+
+Comm* OpCall::comm_for(Backend* b) const {
+  return group.empty() ? b->world() : b->group(group);
+}
+
+namespace {
+
+// --- overhead: per-call host-side cost (paper C3 / Figure 7) ----------------
+
+class OverheadStage : public OpStage {
+ public:
+  const char* name() const override { return "overhead"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    if (c.ctx->options().per_call_overhead_us > 0.0) {
+      c.ctx->cluster()->scheduler().sleep_for(c.ctx->options().per_call_overhead_us);
+    }
+    return next();
+  }
+};
+
+// --- resolve: backend string -> Backend*, "auto" via the tuning table -------
+
+class ResolveStage : public OpStage {
+ public:
+  const char* name() const override { return "resolve"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    c.bytes = c.req.payload_bytes();
+    if (c.req.op == OpType::Send || c.req.op == OpType::Recv) {
+      // "auto" is collective-only; p2p resolves the literal name.
+      c.resolved = c.ctx->backend(c.req.backend);
+    } else {
+      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size());
+    }
+    c.requested = c.resolved->name();
+    return next();
+  }
+};
+
+// --- fusion: admission for small all_reduce tensors (paper V-C) -------------
+//
+// Admission is decided once, before routing: eligibility depends only on the
+// fusion config and the tensor, never on which backend an attempt lands on.
+
+class FusionStage : public OpStage {
+ public:
+  const char* name() const override { return "fusion"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    c.admit_fusion = c.req.op == OpType::AllReduce && c.ctx->fusion().eligible(c.req.tensor);
+    return next();
+  }
+};
+
+// --- compression: admission by op/dtype/size (paper V-E) --------------------
+
+class CompressionStage : public OpStage {
+ public:
+  const char* name() const override { return "compression"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    const Tensor& payload = c.req.op == OpType::Broadcast ? c.req.tensor : c.req.input;
+    c.admit_compression = c.ctx->compression().eligible(c.req.op, payload);
+    return next();
+  }
+};
+
+// --- finish: CommLogger record attached on completion (paper V-D) -----------
+//
+// Listed before routing so that, on the unwinding completion path, it sees
+// the final outcome of the whole retry/failover loop: the backend the op
+// completed on, total attempts, and the last injected fault.
+
+class FinishStage : public OpStage {
+ public:
+  const char* name() const override { return "finish"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    Work w = next();
+    if (c.ctx->logger().enabled()) {
+      CommLogger* logger = &c.ctx->logger();
+      CommRecord rec;
+      rec.rank = c.rank;
+      rec.op = c.req.op;
+      rec.backend = c.completed_on;
+      rec.bytes = c.bytes;
+      rec.start = w->posted_at;
+      rec.fused = c.fused;
+      rec.compressed = c.compressed;
+      rec.attempts = c.attempts;
+      rec.rerouted = c.rerouted;
+      // Always recorded — also when the op ran where it was asked to — so
+      // traces never carry stale routing info.
+      rec.requested_backend = c.requested;
+      rec.fault = c.fault;
+      // Capturing the shared handle keeps it alive until completion; the
+      // callback list is cleared when it fires, breaking the cycle.
+      w->on_complete([logger, rec, w]() mutable {
+        rec.end = w->complete_time();
+        // Bill only the execution window when the backend reported one, so
+        // compute-overlapped queueing time does not count as communication.
+        if (w->exec_start >= 0.0) rec.start = w->exec_start;
+        logger->record(std::move(rec));
+      });
+    }
+    return w;
+  }
+};
+
+// --- route: fault-aware retry/backoff/failover (src/fault/) -----------------
+
+class RouteStage : public OpStage {
+ public:
+  const char* name() const override { return "route"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    fault::FailoverRouter* router = c.ctx->failover();
+    if (router == nullptr) {
+      // Fault subsystem disabled: issue exactly once on the resolved backend.
+      c.attempt_backend = c.resolved;
+      Work w = next();
+      c.completed_on = c.resolved->name();
+      return w;
+    }
+
+    // Preference order: the resolved backend first, then init() order. All
+    // ranks derive the identical order, and health is per-rank, driven only
+    // by the fault verdicts this rank has observed — which are identical
+    // across ranks at the same logical op (one stored verdict per
+    // rendezvous). Every rank therefore walks the same retry/re-route
+    // sequence for the same op, at its own pace, and collectives stay
+    // aligned across retries and failover even with stragglers in flight.
+    std::vector<std::string> order;
+    order.push_back(c.requested);
+    for (const auto& name : c.ctx->get_backends()) {
+      if (name != c.requested) order.push_back(name);
+    }
+
+    std::string current = router->select(c.requested, order, c.rank);
+    if (current != c.requested) {
+      c.rerouted = true;
+      c.fault = "unavailable";
+      router->report().rerouted++;
+    }
+
+    c.attempts = 0;
+    int attempts_on_current = 0;
+    for (;;) {
+      ++attempts_on_current;
+      ++c.attempts;
+      router->report().attempted++;
+      c.attempt_backend = c.ctx->backend(current);
+      try {
+        Work w = next();
+        router->record_success(current, c.rank);
+        router->report().succeeded++;
+        c.completed_on = current;
+        return w;
+      } catch (const TransientFault& tf) {
+        c.fault = "transient";
+        router->record_failure(current, c.rank);
+        if (attempts_on_current < router->retry().max_attempts &&
+            router->healthy(current, c.rank)) {
+          const SimTime backoff = router->retry().backoff(attempts_on_current);
+          router->report().retried++;
+          router->report().backoff_time_us += backoff;
+          c.ctx->cluster()->scheduler().sleep_for(backoff);
+          continue;
+        }
+        // Retries exhausted (or breaker opened mid-retry): move on if we can,
+        // otherwise surface the original fault as the operation's failure.
+        try {
+          current = router->next_healthy(current, order, c.rank);
+        } catch (const BackendUnavailable&) {
+          router->report().failed++;
+          throw tf;
+        }
+        c.rerouted = true;
+        router->report().rerouted++;
+        attempts_on_current = 0;
+      } catch (const BackendUnavailable&) {
+        c.fault = "unavailable";
+        router->record_failure(current, c.rank);
+        std::string next_backend;
+        try {
+          next_backend = router->next_healthy(current, order, c.rank);
+        } catch (const BackendUnavailable&) {
+          router->report().failed++;
+          throw;
+        }
+        current = next_backend;
+        c.rerouted = true;
+        router->report().rerouted++;
+        attempts_on_current = 0;
+      } catch (const TimeoutError&) {
+        // A watchdog timeout means peers are wedged mid-collective; re-routing
+        // one rank alone cannot realign the group, so it is always fatal.
+        router->record_failure(current, c.rank);
+        router->report().failed++;
+        throw;
+      }
+    }
+  }
+};
+
+// --- issue: the terminal stage — hand the request to a backend (paper V-B) --
+//
+// Runs once per routing attempt. The fused/compressed admissions were fixed
+// upstream; whether the op runs natively or through an emulation recipe is
+// decided here because it depends on the current attempt's backend profile.
+
+class IssueStage : public OpStage {
+ public:
+  const char* name() const override { return "issue"; }
+  Work run(OpCall& c, const OpNext&) override {
+    Backend* b = c.attempt_backend;
+    Comm* comm = c.comm_for(b);
+    c.fused = false;
+    c.compressed = false;
+    if (c.admit_fusion) {
+      Work w = c.ctx->fusion().all_reduce(comm, c.rank, c.req.tensor, c.req.rop);
+      if (!c.req.async_op) w->wait();
+      c.fused = true;
+      return w;
+    }
+    if (c.admit_compression) {
+      c.compressed = true;
+      switch (c.req.op) {
+        case OpType::Broadcast:
+          return c.ctx->compression().broadcast(*comm, c.rank, c.req.tensor, c.req.root,
+                                                c.req.async_op);
+        case OpType::AllGather:
+          return c.ctx->compression().all_gather(*comm, c.rank, c.req.output, c.req.input,
+                                                 c.req.async_op);
+        case OpType::AllToAllSingle:
+          return c.ctx->compression().all_to_all_single(*comm, c.rank, c.req.output, c.req.input,
+                                                        c.req.async_op);
+        default:
+          MCRDL_CHECK(false) << "compression admitted unsupported op " << op_name(c.req.op);
+      }
+    }
+    if (b->profile().is_native(c.req.op)) return comm->issue(c.rank, c.req);
+    return emulation::issue(*comm, c.rank, c.req);
+  }
+};
+
+}  // namespace
+
+OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
+  MCRDL_REQUIRE(ctx_ != nullptr, "OpPipeline needs a context");
+  stages_.push_back(std::make_unique<OverheadStage>());
+  stages_.push_back(std::make_unique<ResolveStage>());
+  stages_.push_back(std::make_unique<FusionStage>());
+  stages_.push_back(std::make_unique<CompressionStage>());
+  stages_.push_back(std::make_unique<FinishStage>());
+  stages_.push_back(std::make_unique<RouteStage>());
+  stages_.push_back(std::make_unique<IssueStage>());
+}
+
+OpPipeline::~OpPipeline() = default;
+
+Work OpPipeline::execute(int rank, const std::vector<int>& group, OpRequest req) {
+  OpCall call;
+  call.ctx = ctx_;
+  call.rank = rank;
+  call.group = group;
+  call.req = std::move(req);
+  return invoke(0, call);
+}
+
+Work OpPipeline::invoke(std::size_t index, OpCall& call) {
+  MCRDL_CHECK(index < stages_.size()) << "pipeline ran off the end — missing terminal stage?";
+  return stages_[index]->run(call, [this, index, &call]() { return invoke(index + 1, call); });
+}
+
+std::vector<std::string> OpPipeline::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& s : stages_) names.emplace_back(s->name());
+  return names;
+}
+
+std::size_t OpPipeline::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (name == stages_[i]->name()) return i;
+  }
+  throw InvalidArgument("OpPipeline has no stage named '" + name + "'");
+}
+
+void OpPipeline::insert_before(const std::string& name, std::unique_ptr<OpStage> stage) {
+  MCRDL_REQUIRE(stage != nullptr, "insert_before needs a stage");
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)), std::move(stage));
+}
+
+void OpPipeline::insert_after(const std::string& name, std::unique_ptr<OpStage> stage) {
+  MCRDL_REQUIRE(stage != nullptr, "insert_after needs a stage");
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)) + 1,
+                 std::move(stage));
+}
+
+}  // namespace mcrdl

@@ -1,0 +1,110 @@
+// The composable operation pipeline behind the MCR-DL facade.
+//
+// Every Listing-1 call is packed into an OpRequest (src/backends/op_request.h)
+// and executed by the OpPipeline, a middleware chain of OpStages. A stage
+// receives the in-flight OpCall plus a `next` continuation; it may adjust the
+// call, invoke `next()` zero or more times (the fault stage re-invokes it per
+// retry/failover attempt), and post-process the returned Work. The request
+// path runs through the stages in list order; the completion path unwinds in
+// reverse, so the logging stage — though listed before routing — observes the
+// final outcome of the whole retry loop.
+//
+// Built-in order (OpPipeline::stage_names()):
+//
+//   overhead     per-call host overhead (paper C3)
+//   resolve      backend-string resolution; "auto" -> tuning table (V-F)
+//   fusion       fusion admission for small all_reduce tensors (V-C)
+//   compression  compression admission by op/dtype/size (V-E)
+//   finish       attaches the CommLogger record on completion (V-D)
+//   route        fault-aware retry/backoff/failover (src/fault/)
+//   issue        terminal: fused / compressed / native / emulated issue (V-B)
+//
+// To add a layer (per-op metrics, batching, persistent-collective caching...),
+// implement OpStage and call insert_before/insert_after with a neighbour's
+// name — no per-op code needed, the stage sees every operation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backends/op_request.h"
+#include "src/backends/work.h"
+
+namespace mcrdl {
+
+class Api;
+class Backend;
+class Comm;
+class McrDl;
+
+// The mutable state of one operation travelling through the pipeline.
+struct OpCall {
+  McrDl* ctx = nullptr;
+  int rank = 0;                  // caller's global rank
+  std::vector<int> group;        // empty = world communicator
+  OpRequest req;
+
+  // Filled by the resolve stage.
+  std::size_t bytes = 0;         // payload size (tuning/logging convention)
+  Backend* resolved = nullptr;   // preferred backend after "auto" resolution
+  std::string requested;         // its name; CommRecord.requested_backend
+
+  // Filled by the admission stages.
+  bool admit_fusion = false;
+  bool admit_compression = false;
+
+  // Maintained by the routing stage across attempts.
+  Backend* attempt_backend = nullptr;  // backend for the current attempt
+  int attempts = 1;
+  bool rerouted = false;
+  std::string fault;             // last injected failure: "", "transient", "unavailable"
+  std::string completed_on;      // backend name the op finally completed on
+
+  // Outcome of the current issue attempt (reset by the issue stage).
+  bool fused = false;
+  bool compressed = false;
+
+  // Size of the call's communicator (group or world).
+  int world_size() const;
+  // The group/world communicator of `b` for this call.
+  Comm* comm_for(Backend* b) const;
+};
+
+// Continuation invoking the remainder of the pipeline on the current call.
+using OpNext = std::function<Work()>;
+
+class OpStage {
+ public:
+  virtual ~OpStage() = default;
+  virtual const char* name() const = 0;
+  virtual Work run(OpCall& call, const OpNext& next) = 0;
+};
+
+class OpPipeline {
+ public:
+  explicit OpPipeline(McrDl* ctx);
+  ~OpPipeline();
+  OpPipeline(const OpPipeline&) = delete;
+  OpPipeline& operator=(const OpPipeline&) = delete;
+
+  // Runs `req` through all stages on behalf of `rank`; `group` empty = world.
+  Work execute(int rank, const std::vector<int>& group, OpRequest req);
+
+  // Stage names in request-path order.
+  std::vector<std::string> stage_names() const;
+  // Insert a custom stage relative to an existing one (by name); throws
+  // InvalidArgument if no stage has that name.
+  void insert_before(const std::string& name, std::unique_ptr<OpStage> stage);
+  void insert_after(const std::string& name, std::unique_ptr<OpStage> stage);
+
+ private:
+  Work invoke(std::size_t index, OpCall& call);
+  std::size_t index_of(const std::string& name) const;
+
+  McrDl* ctx_;
+  std::vector<std::unique_ptr<OpStage>> stages_;
+};
+
+}  // namespace mcrdl

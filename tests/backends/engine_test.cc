@@ -87,6 +87,39 @@ TEST(ApplyCollective, AllGatherV) {
   for (auto& s : slots) EXPECT_EQ(s.output.to_vector(), (std::vector<double>{1, 2, 3, 4}));
 }
 
+// Non-contiguous displacements: receivers may leave gaps between blocks and
+// place them out of rank order; untouched positions must keep their values.
+TEST(ApplyCollective, AllGatherVGappedAndReorderedDispls) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({1, 2});
+  slots[1].input = vec({3});
+  slots[2].input = vec({4, 5});
+  for (auto& s : slots) {
+    s.output = Tensor::zeros({8}, DType::F64, nullptr);
+    s.output.set(2, -1.0);  // gap sentinel
+    s.recv_counts = {2, 1, 2};
+    s.recv_displs = {6, 0, 3};  // rank 0's block last, rank 1's first, a hole at [2]
+  }
+  apply_collective({OpType::AllGatherV, 16, 0, ReduceOp::Sum}, slots);
+  for (auto& s : slots) {
+    EXPECT_EQ(s.output.to_vector(), (std::vector<double>{3, 0, -1, 4, 5, 0, 1, 2}));
+  }
+}
+
+TEST(ApplyCollective, AllGatherVZeroCountContribution) {
+  std::vector<ArrivalSlot> slots(3);
+  slots[0].input = vec({7});
+  slots[1].input = vec({99});  // has data, but contributes 0 elements
+  slots[2].input = vec({8, 9});
+  for (auto& s : slots) {
+    s.output = Tensor::zeros({3}, DType::F64, nullptr);
+    s.recv_counts = {1, 0, 2};
+    s.recv_displs = {0, 1, 1};
+  }
+  apply_collective({OpType::AllGatherV, 24, 0, ReduceOp::Sum}, slots);
+  for (auto& s : slots) EXPECT_EQ(s.output.to_vector(), (std::vector<double>{7, 8, 9}));
+}
+
 TEST(ApplyCollective, GatherAtRoot) {
   std::vector<ArrivalSlot> slots(3);
   for (int r = 0; r < 3; ++r) slots[static_cast<std::size_t>(r)].input = vec({r + 1.0});
@@ -180,6 +213,36 @@ TEST(ApplyCollective, AllToAllV) {
   apply_collective({OpType::AllToAllV, 24, 0, ReduceOp::Sum}, slots);
   EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{1, 4, 5}));
   EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{2, 3, 6}));
+}
+
+// Three ranks, fully irregular exchange matrix including zero-size pairs;
+// pins the send_counts[dst] -> recv_displs[src] placement rule.
+TEST(ApplyCollective, AllToAllVIrregularThreeRanks) {
+  std::vector<ArrivalSlot> slots(3);
+  // Send matrix (rows = src, cols = dst), counts: [[1,2,0],[0,1,2],[2,0,1]].
+  slots[0].input = vec({1, 2, 3});
+  slots[0].send_counts = {1, 2, 0};
+  slots[0].send_displs = {0, 1, 3};
+  slots[1].input = vec({4, 5, 6});
+  slots[1].send_counts = {0, 1, 2};
+  slots[1].send_displs = {0, 0, 1};
+  slots[2].input = vec({7, 8, 9});
+  slots[2].send_counts = {2, 0, 1};
+  slots[2].send_displs = {0, 2, 2};
+  // Receive sides transpose the matrix; rank 0 reorders arrivals.
+  slots[0].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[0].recv_counts = {1, 0, 2};
+  slots[0].recv_displs = {2, 0, 0};  // own block last
+  slots[1].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[1].recv_counts = {2, 1, 0};
+  slots[1].recv_displs = {0, 2, 3};
+  slots[2].output = Tensor::zeros({3}, DType::F64, nullptr);
+  slots[2].recv_counts = {0, 2, 1};
+  slots[2].recv_displs = {0, 0, 2};
+  apply_collective({OpType::AllToAllV, 24, 0, ReduceOp::Sum}, slots);
+  EXPECT_EQ(slots[0].output.to_vector(), (std::vector<double>{7, 8, 1}));
+  EXPECT_EQ(slots[1].output.to_vector(), (std::vector<double>{2, 3, 4}));
+  EXPECT_EQ(slots[2].output.to_vector(), (std::vector<double>{5, 6, 9}));
 }
 
 TEST(ApplyCollective, PhantomSlotsAreSkipped) {

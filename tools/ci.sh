@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification from a pristine tree: configure, build, and run the
+# full test suite (plus an explicit pass over the fault-labelled suite) in a
+# scratch build directory, so a stale incremental `build/` — now untracked —
+# can never hide breakage.
+#
+# Usage: tools/ci.sh [build-dir]     (default: build-ci, wiped every run)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-ci}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== MCR-DL CI: clean configure + build + ctest =="
+echo "   repo:  ${repo_root}"
+echo "   build: ${build_dir} (removed first)"
+
+rm -rf "${build_dir}"
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "${jobs}"
+
+cd "${build_dir}"
+ctest --output-on-failure -j "${jobs}"
+# The fault/chaos suite guards the failover invariants (DESIGN.md §7); run
+# it by label too so a labelling regression is caught even if test names move.
+ctest --output-on-failure -j "${jobs}" -L fault
+
+echo "== CI passed =="
