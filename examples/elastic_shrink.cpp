@@ -1,0 +1,97 @@
+// Elastic shrink: training survives the permanent loss of ranks mid-run.
+//
+// A hybrid-parallel job (tp=2, ep=2 over 8 GPUs) allreduces gradients on
+// MVAPICH2-GDR. At t = 2.5 ms the GPU pair {4, 5} — one TP block — is
+// permanently lost. The recovery layer quiesces the in-flight rendezvous the
+// dead ranks were parked in, shrinks the communicator to the six survivors,
+// and replays the cancelled collectives on the new epoch; the survivors
+// finish the run agreeing with each other. The program then rebuilds its
+// process-group layout with shrink_process_groups(): losing a whole TP block
+// keeps tp=2, while ep collapses because the new dp degree (3) is odd.
+//
+//   ./examples/elastic_shrink
+#include <cstdio>
+#include <vector>
+
+#include "src/core/mcr_dl.h"
+#include "src/core/process_groups.h"
+#include "src/fault/recovery.h"
+
+using namespace mcrdl;
+
+namespace {
+
+void print_layout(const char* title, const ProcessGroups& pg) {
+  std::printf("%s: %d ranks, tp=%d ep=%d (dp=%d)\n", title, pg.world(),
+              pg.tensor_parallel(), pg.expert_parallel(), pg.data_parallel());
+  std::printf("  tp groups:");
+  for (const auto& g : pg.all_tp_groups()) {
+    std::printf(" [");
+    for (std::size_t i = 0; i < g.size(); ++i) std::printf(i ? " %d" : "%d", g[i]);
+    std::printf("]");
+  }
+  std::printf("\n  dp groups:");
+  for (const auto& g : pg.all_dp_groups()) {
+    std::printf(" [");
+    for (std::size_t i = 0; i < g.size(); ++i) std::printf(i ? " %d" : "%d", g[i]);
+    std::printf("]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  ClusterContext cluster(net::SystemConfig::lassen(2));  // 8 GPUs
+  const ProcessGroups before(8, /*tp=*/2, /*ep=*/2);
+  print_layout("== before", before);
+
+  McrDlOptions opts;
+  opts.logging_enabled = true;
+  opts.fault.enabled = true;
+  // The chaos scenario: GPU pair {4, 5} goes silent shortly before t = 2.5 ms
+  // (the straggler parks its peers in a cancellable rendezvous) and is
+  // declared permanently lost at t = 2.5 ms.
+  opts.fault.plan.specs.push_back(fault::FaultSpec::straggler(4, 25000.0, 2000.0));
+  opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(4, 2500.0));
+  opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(5, 2500.0));
+
+  McrDl mcr(&cluster, opts);
+  mcr.init({"mv2-gdr"});
+
+  constexpr int kSteps = 8;
+  std::vector<double> finals(8, 0.0);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor grads = Tensor::full({1 << 12}, DType::F32, 1.0, cluster.device(rank));
+    for (int step = 0; step < kSteps; ++step) {
+      if (cluster.faults().rank_lost(rank)) return;  // this process is dead
+      cluster.scheduler().sleep_for(300.0);
+      try {
+        // Survivors never see the loss here: cancelled collectives are
+        // replayed on the shrunk communicator inside the pipeline.
+        api.all_reduce("mv2-gdr", grads, ReduceOp::Sum);
+      } catch (const RankLostError&) {
+        return;  // the casualty itself unwinds through its cancelled op
+      }
+    }
+    api.synchronize();
+    finals[rank] = grads.get(0);
+  });
+
+  // Rebuild the process-group layout from the post-loss epoch state.
+  const fault::RecoveryManager& recovery = mcr.recovery();
+  const ShrunkGroups shrunk = shrink_process_groups(before, recovery.lost_ranks());
+  print_layout("== after", shrunk.groups);
+  std::printf("  tp %s, ep %s across the shrink\n",
+              shrunk.tp_preserved ? "preserved" : "collapsed",
+              shrunk.ep_preserved ? "preserved" : "collapsed");
+
+  std::printf("survivor finals:");
+  for (int r : shrunk.survivors) std::printf(" r%d=%.0f", r, finals[r]);
+  std::printf("\n");
+
+  // What the recovery layer did: ranks lost, epochs, quiesced + replayed ops.
+  std::printf("%s", mcr.failover()->report().to_string().c_str());
+  return 0;
+}

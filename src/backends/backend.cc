@@ -394,7 +394,15 @@ void Backend::synchronize(int rank) {
   // Work handles may enqueue more work while we drain, so swap out first.
   std::vector<Work> draining;
   draining.swap(pending);
-  for (auto& w : draining) w->synchronize();
+  for (auto& w : draining) {
+    try {
+      w->synchronize();
+    } catch (const RankLostError&) {
+      // The op was cancelled by a recovery quiesce. Its error already
+      // surfaced at the issue path (and the op was replayed on the shrunk
+      // communicator); a survivor's flush must not rethrow it again.
+    }
+  }
 }
 
 void Backend::track(int rank, const Work& work) {

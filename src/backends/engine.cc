@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/fault/recovery.h"
+
 namespace mcrdl::backends_detail {
 
 // ---------------------------------------------------------------------------
@@ -295,6 +297,20 @@ void Rendezvous::fail(std::exception_ptr err) {
   done_cond_.notify_all();
 }
 
+void Rendezvous::cancel(std::exception_ptr err) {
+  MCRDL_CHECK(err != nullptr);
+  if (done_ || error_) return;
+  error_ = std::move(err);
+  // The ncclCommAbort model: streams parked behind the collective's gates
+  // unwedge (no data was applied — the error is observed at the host sync
+  // points), so a survivor's communication stream is never left waiting on
+  // a dead rank forever.
+  for (auto& g : gates_) {
+    if (g) g->open();
+  }
+  done_cond_.notify_all();
+}
+
 std::vector<int> Rendezvous::posted_indices() const {
   std::vector<int> out;
   for (int i = 0; i < expected_; ++i) {
@@ -347,7 +363,31 @@ CollectiveEngine::CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_mo
       const fault::BetaScale s = faults->link_beta_scale(name, op);
       return net::FaultBetaScale{s.intra, s.inter};
     });
+    // Elastic recovery: when a rank is declared permanently lost, the
+    // quiesce phase drains this communicator's pending rendezvous.
+    drain_id_ = faults_->recovery().register_drain(
+        [this](const std::vector<int>& lost) { return drain_lost(lost); });
   }
+}
+
+CollectiveEngine::~CollectiveEngine() {
+  if (faults_ != nullptr && drain_id_ != 0) faults_->recovery().unregister_drain(drain_id_);
+}
+
+std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
+  std::vector<int> lost_members;
+  for (int g : global_ranks_) {
+    if (std::find(lost.begin(), lost.end(), g) != lost.end()) lost_members.push_back(g);
+  }
+  if (lost_members.empty()) return 0;
+  std::uint64_t cancelled = 0;
+  for (auto& [seq, rv] : pending_) {
+    if (rv->done() || rv->failed() || rv->started()) continue;
+    rv->cancel(std::make_exception_ptr(
+        RankLostError(fault::describe_rank_loss(rv->desc().op, backend_name_, lost_members))));
+    ++cancelled;
+  }
+  return cancelled;
 }
 
 std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
@@ -377,7 +417,14 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
       // The first-arriving rank classifies the rendezvous for everyone —
       // an injected failure fails the collective identically on all ranks,
       // keeping sequence numbers aligned for the retry/failover layer.
-      if (faults_->backend_unavailable(backend_name_)) {
+      if (const std::vector<int> lost = faults_->lost_members(global_ranks_); !lost.empty()) {
+        // Membership includes a permanently lost rank: doomed at creation so
+        // every surviving joiner unwinds immediately with a retriable error
+        // instead of waiting out a watchdog deadline that can never be met.
+        faults_->note_rank_loss_rejection();
+        rv->fail(std::make_exception_ptr(
+            RankLostError(fault::describe_rank_loss(d.op, backend_name_, lost))));
+      } else if (faults_->backend_unavailable(backend_name_)) {
         faults_->note_outage_rejection();
         rv->fail(std::make_exception_ptr(BackendUnavailable(
             "backend '" + backend_name_ + "' is out of service (injected outage); rejected " +
@@ -400,9 +447,20 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
                 arrived.push_back(global_ranks_[static_cast<std::size_t>(i)]);
               for (int i : strong->missing_indices())
                 missing.push_back(global_ranks_[static_cast<std::size_t>(i)]);
-              strong->fail(std::make_exception_ptr(
-                  TimeoutError(fault::describe_timeout(op, backend_name_, deadline, arrived,
-                                                       missing))));
+              // When everyone who failed to arrive is a permanently lost
+              // rank, the hang has a better name than "timeout": surface the
+              // retriable RankLostError so elastic recovery (or the caller)
+              // knows shrinking — not waiting — is the fix.
+              bool all_missing_lost = !missing.empty();
+              for (int r : missing) all_missing_lost = all_missing_lost && faults_->rank_lost(r);
+              if (all_missing_lost) {
+                strong->fail(std::make_exception_ptr(
+                    RankLostError(fault::describe_rank_loss(op, backend_name_, missing))));
+              } else {
+                strong->fail(std::make_exception_ptr(
+                    TimeoutError(fault::describe_timeout(op, backend_name_, deadline, arrived,
+                                                         missing))));
+              }
             });
         // Completion cancels the deadline; cancelled events are popped
         // without advancing virtual time, so a clean run with the watchdog
@@ -472,6 +530,14 @@ void P2pOp::doom(std::exception_ptr err) {
   done_cond_.notify_all();
 }
 
+void P2pOp::cancel(std::exception_ptr err) {
+  if (done_ || error_) return;
+  error_ = std::move(err);
+  send_gate_->open();
+  recv_gate_->open();
+  done_cond_.notify_all();
+}
+
 void P2pOp::maybe_finish() {
   if (!send_ready_ || !recv_ready_ || done_ || error_) return;
   const SimTime duration = duration_fn_();
@@ -518,7 +584,43 @@ P2pEngine::P2pEngine(sim::Scheduler* sched, net::CostModel cost_model,
       const fault::BetaScale s = faults->link_beta_scale(name, op);
       return net::FaultBetaScale{s.intra, s.inter};
     });
+    drain_id_ = faults_->recovery().register_drain(
+        [this](const std::vector<int>& lost) { return drain_lost(lost); });
   }
+}
+
+P2pEngine::~P2pEngine() {
+  if (faults_ != nullptr && drain_id_ != 0) faults_->recovery().unregister_drain(drain_id_);
+}
+
+std::uint64_t P2pEngine::drain_lost(const std::vector<int>& lost) {
+  const int size = static_cast<int>(global_ranks_.size());
+  const auto involved = [&](std::int64_t key) {
+    const int g_src = global_ranks_[static_cast<std::size_t>(key / size)];
+    const int g_dst = global_ranks_[static_cast<std::size_t>(key % size)];
+    return std::find(lost.begin(), lost.end(), g_src) != lost.end() ||
+           std::find(lost.begin(), lost.end(), g_dst) != lost.end();
+  };
+  std::uint64_t cancelled = 0;
+  for (auto* table : {&pending_sends_, &pending_recvs_}) {
+    for (auto& [key, queue] : *table) {
+      if (!involved(key)) continue;
+      for (auto& op : queue) {
+        if (op->done() || op->doomed()) continue;
+        std::vector<int> lost_endpoints;
+        const int g_src = global_ranks_[static_cast<std::size_t>(key / size)];
+        const int g_dst = global_ranks_[static_cast<std::size_t>(key % size)];
+        if (std::find(lost.begin(), lost.end(), g_src) != lost.end())
+          lost_endpoints.push_back(g_src);
+        if (g_dst != g_src && std::find(lost.begin(), lost.end(), g_dst) != lost.end())
+          lost_endpoints.push_back(g_dst);
+        op->cancel(std::make_exception_ptr(RankLostError(
+            fault::describe_rank_loss(OpType::Send, backend_name_, lost_endpoints))));
+        ++cancelled;
+      }
+    }
+  }
+  return cancelled;
 }
 
 std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::size_t bytes) {
@@ -539,7 +641,11 @@ std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::siz
     // Classified once per pair, by the first-arriving side; the doomed op
     // still enters the FIFO so the counterpart matches (and fails) the same
     // attempt. Transient specs match p2p pairs through OpType::Send.
-    if (faults_->backend_unavailable(backend_name_)) {
+    if (const std::vector<int> lost = faults_->lost_members({g_src, g_dst}); !lost.empty()) {
+      faults_->note_rank_loss_rejection();
+      op->doom(std::make_exception_ptr(
+          RankLostError(fault::describe_rank_loss(OpType::Send, backend_name_, lost))));
+    } else if (faults_->backend_unavailable(backend_name_)) {
       faults_->note_outage_rejection();
       op->doom(std::make_exception_ptr(BackendUnavailable(
           "backend '" + backend_name_ + "' is out of service (injected outage); rejected " +

@@ -103,6 +103,15 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   // timed-event callback (never throws; gates stay closed; no data effects
   // are applied). No-op once done or already failed.
   void fail(std::exception_ptr err);
+  // Like fail(), but also opens every already-created stream gate — the
+  // ncclCommAbort model used by the elastic-recovery quiesce: parked
+  // communication streams unwedge while host waiters still observe the
+  // error. No data effects are applied.
+  void cancel(std::exception_ptr err);
+  // True once every participant has signalled readiness — the wire phase
+  // has begun and completion is already scheduled. Quiesce drains skip
+  // started rendezvous: packets in flight deliver, consistently everywhere.
+  bool started() const { return ready_ >= expected_; }
   bool failed() const { return error_ != nullptr; }
   std::exception_ptr error() const { return error_; }
   int posted_count() const { return posted_; }
@@ -148,6 +157,9 @@ class CollectiveEngine {
   CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model, net::CommShape shape,
                    int size, std::vector<int> global_ranks = {},
                    fault::FaultInjector* faults = nullptr, std::string backend_name = "");
+  ~CollectiveEngine();  // unregisters the recovery drain hook
+  CollectiveEngine(const CollectiveEngine&) = delete;
+  CollectiveEngine& operator=(const CollectiveEngine&) = delete;
 
   // Joins rank idx's next collective; creates the rendezvous on first
   // arrival and validates the descriptor on subsequent ones. Throws the
@@ -160,6 +172,11 @@ class CollectiveEngine {
   int size() const { return size_; }
 
  private:
+  // Recovery quiesce hook: cancels pending rendezvous whose membership
+  // includes a lost rank (unless their wire phase already started). Returns
+  // the number of rendezvous cancelled.
+  std::uint64_t drain_lost(const std::vector<int>& lost);
+
   sim::Scheduler* sched_;
   net::CostModel cost_model_;
   net::CommShape shape_;
@@ -170,6 +187,7 @@ class CollectiveEngine {
   std::vector<std::uint64_t> next_seq_;
   std::map<std::uint64_t, std::shared_ptr<Rendezvous>> pending_;
   SimTime channel_busy_until_ = 0.0;
+  std::uint64_t drain_id_ = 0;
 };
 
 // A matched send/recv pair (two-party rendezvous).
@@ -195,6 +213,9 @@ class P2pOp : public std::enable_shared_from_this<P2pOp> {
   // sides of the pair must observe the same failed attempt) but never
   // transfers data; post_send/post_recv rethrow its error.
   void doom(std::exception_ptr err);
+  // Like doom(), but opens both gates so a stream parked behind the pair
+  // unwedges (recovery quiesce; see Rendezvous::cancel).
+  void cancel(std::exception_ptr err);
   bool doomed() const { return error_ != nullptr; }
   std::exception_ptr error() const { return error_; }
 
@@ -224,6 +245,9 @@ class P2pEngine {
  public:
   P2pEngine(sim::Scheduler* sched, net::CostModel cost_model, std::vector<int> global_ranks,
             fault::FaultInjector* faults = nullptr, std::string backend_name = "");
+  ~P2pEngine();  // unregisters the recovery drain hook
+  P2pEngine(const P2pEngine&) = delete;
+  P2pEngine& operator=(const P2pEngine&) = delete;
 
   // src/dst are group-rank indices. Returns the matched (or newly created)
   // pairwise operation; caller wires readiness signals and tensors.
@@ -232,6 +256,9 @@ class P2pEngine {
 
  private:
   std::shared_ptr<P2pOp> match(int src, int dst, bool is_send, std::size_t bytes);
+  // Recovery quiesce hook: cancels unmatched queued ops whose endpoint is a
+  // lost rank. Matched pairs are in flight and left to complete.
+  std::uint64_t drain_lost(const std::vector<int>& lost);
 
   sim::Scheduler* sched_;
   net::CostModel cost_model_;
@@ -241,6 +268,7 @@ class P2pEngine {
   // Key: src * size + dst. Queues of operations where only one side arrived.
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_sends_;
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_recvs_;
+  std::uint64_t drain_id_ = 0;
 };
 
 }  // namespace mcrdl::backends_detail

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,12 @@ struct OpRequest {
   ReduceOp rop = ReduceOp::Sum;
   std::vector<int> send_counts, send_displs;
   std::vector<int> recv_counts, recv_displs;
+  // Recovery epoch the request was issued under (stamped by the pipeline's
+  // `recover` stage). After an elastic shrink the issue stage rejects
+  // requests stamped with an older epoch, so stragglers from before the
+  // shrink are bounced back for replay instead of deadlocking the new
+  // communicators. Stays 0 for the whole run unless a rank is lost.
+  std::uint64_t epoch = 0;
 
   // The payload size used for tuning lookups, cost attribution and logging
   // (per-rank bytes, PyTorch convention — matches what each Comm entry point

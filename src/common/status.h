@@ -81,6 +81,17 @@ class TransientFault : public Error {
   explicit TransientFault(const std::string& what) : Error(what) {}
 };
 
+// Raised when a collective or p2p operation involves a rank that is
+// permanently gone (injected rank_loss fault). Unlike TimeoutError this is
+// retriable *across an epoch boundary*: the elastic recovery layer
+// (src/fault/recovery.h) catches it, waits for the cluster to shrink to the
+// survivors, and replays the operation on the new communicator. Without
+// recovery armed it surfaces to the application as a permanent failure.
+class RankLostError : public Error {
+ public:
+  explicit RankLostError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 // Stream-style message builder used by the CHECK macros below.

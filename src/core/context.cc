@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/op_pipeline.h"
+#include "src/fault/recovery.h"
 
 namespace mcrdl {
 
@@ -32,6 +33,11 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
     failover_ = std::make_unique<fault::FailoverRouter>(
         &cluster_->faults(), options_.fault.retry, options_.fault.breaker_threshold,
         options_.fault.failover);
+    // Arm elastic recovery (no-op when the plan has no rank_loss specs), then
+    // bind the resilience report so recovery counters surface in it. Order
+    // matters: arm() re-disarms first, which clears any previous binding.
+    cluster_->faults().recovery().arm(cluster_->world_size());
+    cluster_->faults().recovery().bind_report(&failover_->report());
   }
   for (const auto& name : backend_names) {
     if (backends_.count(name) > 0) {
@@ -56,6 +62,8 @@ void McrDl::finalize() {
   }
   initialized_ = false;
 }
+
+fault::RecoveryManager& McrDl::recovery() const { return cluster_->faults().recovery(); }
 
 std::vector<std::string> McrDl::get_backends() const { return backend_order_; }
 

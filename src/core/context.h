@@ -86,6 +86,10 @@ class McrDl {
   // Health-aware routing; non-null only when options.fault.enabled.
   fault::FailoverRouter* failover() const { return failover_.get(); }
 
+  // Elastic rank-loss recovery (quiesce -> shrink -> resume). Armed by init()
+  // when the fault plan contains rank_loss specs; disarmed otherwise.
+  fault::RecoveryManager& recovery() const;
+
   // The operation pipeline every Api call executes through. Exposed so
   // callers can inspect the stage order or insert custom stages.
   OpPipeline& pipeline() { return *pipeline_; }

@@ -5,6 +5,7 @@
 // reduction).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
@@ -28,7 +29,11 @@ struct CommRecord {
   int attempts = 1;               // issue attempts, including retries
   bool rerouted = false;          // completed on a different backend than requested
   std::string requested_backend;  // original routing choice when rerouted
-  std::string fault;              // last injected failure seen: "", "transient", "unavailable"
+  std::string fault;              // last injected failure seen: "", "transient",
+                                  // "unavailable", "rank_lost"
+  // --- elastic recovery (src/fault/recovery.h) ------------------------------
+  std::uint64_t epoch = 0;  // recovery epoch the op finally completed under
+  bool recovered = false;   // replayed on a shrunk communicator after rank loss
 };
 
 class CommLogger {

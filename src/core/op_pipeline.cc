@@ -1,10 +1,12 @@
 #include "src/core/op_pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/core/context.h"
 #include "src/core/emulation.h"
+#include "src/fault/recovery.h"
 
 namespace mcrdl {
 
@@ -102,6 +104,8 @@ class FinishStage : public OpStage {
       // traces never carry stale routing info.
       rec.requested_backend = c.requested;
       rec.fault = c.fault;
+      rec.epoch = c.req.epoch;
+      rec.recovered = c.recovered;
       // Capturing the shared handle keeps it alive until completion; the
       // callback list is cleared when it fires, breaking the cycle.
       w->on_complete([logger, rec, w]() mutable {
@@ -113,6 +117,139 @@ class FinishStage : public OpStage {
       });
     }
     return w;
+  }
+};
+
+// --- recover: elastic rank-loss recovery (src/fault/recovery.h) -------------
+//
+// Listed between `finish` and `route` so that, on the unwinding completion
+// path, the logging stage sees the final outcome of the replay loop. Each
+// pass stamps the request with the current recovery epoch and lets the rest
+// of the pipeline run; when a permanent rank loss surfaces as RankLostError,
+// the call parks until the epoch advances (quiesce -> shrink has completed),
+// remaps its communicator/root/peer onto the survivors and replays. With
+// recovery disarmed the stage is a pure pass-through — no scheduler
+// interaction, no allocation — so fault-free runs stay byte-identical.
+
+class RecoverStage : public OpStage {
+ public:
+  const char* name() const override { return "recover"; }
+  Work run(OpCall& c, const OpNext& next) override {
+    fault::FaultInjector& faults = c.ctx->cluster()->faults();
+    fault::RecoveryManager& rec = faults.recovery();
+    if (!rec.armed()) return next();
+    // The caller's group/root/peer index the membership it was issued under;
+    // every replay remaps them from these originals onto the survivors, so
+    // repeated losses compose (epoch 2 remaps from the epoch-0 view, not the
+    // epoch-1 one).
+    const std::vector<int> original_group = c.group;
+    const int original_root = c.req.root;
+    const int original_peer = c.req.peer;
+    int prior_attempts = 0;
+    for (;;) {
+      const std::uint64_t epoch = rec.epoch();
+      c.req.epoch = epoch;
+      if (epoch > 0) remap(c, rec, original_group, original_root, original_peer);
+      try {
+        Work w = next();
+        c.attempts += prior_attempts;
+        if (c.recovered) rec.note_recovered();
+        return w;
+      } catch (const RankLostError&) {
+        // The casualty itself never replays: let the loss surface to the
+        // workload so the dying rank's actor unwinds.
+        if (faults.rank_lost(c.rank)) throw;
+        prior_attempts += c.attempts;
+        c.recovered = true;
+        c.fault = "rank_lost";
+        // Park until the cluster moved past the epoch this attempt ran
+        // under; replaying at the same epoch would be doomed immediately
+        // (the loss event may not even have fired yet — the join was doomed
+        // from the fault plan).
+        rec.wait_epoch_past(epoch);
+      }
+    }
+  }
+
+ private:
+  // Collectives whose buffer layout is a function of the communicator size.
+  // Their outputs were sized for the old world, so a replay on a smaller
+  // group cannot produce what the caller allocated for — the loss is
+  // unrecoverable at this layer and surfaces as RankLostError.
+  static bool shape_coupled(OpType op) {
+    switch (op) {
+      case OpType::AllGather:
+      case OpType::AllGatherV:
+      case OpType::Gather:
+      case OpType::GatherV:
+      case OpType::Scatter:
+      case OpType::ScatterV:
+      case OpType::ReduceScatter:
+      case OpType::AllToAllSingle:
+      case OpType::AllToAll:
+      case OpType::AllToAllV:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static void remap(OpCall& c, fault::RecoveryManager& rec,
+                    const std::vector<int>& original_group, int original_root,
+                    int original_peer) {
+    std::vector<int> members = original_group;
+    if (members.empty()) {
+      const int world = c.ctx->cluster()->world_size();
+      members.reserve(static_cast<std::size_t>(world));
+      for (int r = 0; r < world; ++r) members.push_back(r);
+    }
+    const std::vector<int> shrunk = rec.shrink_group(members);
+    if (shrunk.empty()) {
+      throw RankLostError(std::string("cannot replay ") + op_name(c.req.op) +
+                          ": every member of its communicator was permanently lost");
+    }
+    if (shrunk.size() != members.size() && shape_coupled(c.req.op)) {
+      throw RankLostError(std::string(op_name(c.req.op)) +
+                          " buffers are laid out for the pre-loss communicator size; not "
+                          "replayable across a shrink — reshard and reissue");
+    }
+    const auto remap_index = [&](int index, const char* role) {
+      MCRDL_CHECK(index >= 0 && index < static_cast<int>(members.size()))
+          << role << " index " << index << " out of range for group of " << members.size();
+      const int global = members[static_cast<std::size_t>(index)];
+      const auto it = std::find(shrunk.begin(), shrunk.end(), global);
+      if (it == shrunk.end()) {
+        throw RankLostError(std::string(role) + " rank " + std::to_string(global) + " of " +
+                            op_name(c.req.op) + " was permanently lost; unrecoverable");
+      }
+      return static_cast<int>(it - shrunk.begin());
+    };
+    switch (c.req.op) {
+      case OpType::Broadcast:
+      case OpType::Reduce:
+      case OpType::Gather:
+      case OpType::GatherV:
+      case OpType::Scatter:
+      case OpType::ScatterV:
+        c.req.root = remap_index(original_root, "root");
+        break;
+      case OpType::Send:
+      case OpType::Recv:
+        c.req.peer = remap_index(original_peer, "peer");
+        break;
+      default:
+        break;
+    }
+    c.group = shrunk;
+    // Re-resolve for the shrunk world: tuning tables are keyed on message
+    // size *and* world size, so "auto" may legitimately pick a different
+    // backend after the shrink.
+    if (c.req.op == OpType::Send || c.req.op == OpType::Recv) {
+      c.resolved = c.ctx->backend(c.req.backend);
+    } else {
+      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size());
+    }
+    c.requested = c.resolved->name();
   }
 };
 
@@ -149,6 +286,7 @@ class RouteStage : public OpStage {
       c.rerouted = true;
       c.fault = "unavailable";
       router->report().rerouted++;
+      router->report().by_backend[c.requested].rerouted++;
     }
 
     c.attempts = 0;
@@ -177,14 +315,17 @@ class RouteStage : public OpStage {
         }
         // Retries exhausted (or breaker opened mid-retry): move on if we can,
         // otherwise surface the original fault as the operation's failure.
+        std::string failed_backend = current;
         try {
           current = router->next_healthy(current, order, c.rank);
         } catch (const BackendUnavailable&) {
           router->report().failed++;
+          router->report().by_backend[failed_backend].failed++;
           throw tf;
         }
         c.rerouted = true;
         router->report().rerouted++;
+        router->report().by_backend[failed_backend].rerouted++;
         attempts_on_current = 0;
       } catch (const BackendUnavailable&) {
         c.fault = "unavailable";
@@ -194,17 +335,20 @@ class RouteStage : public OpStage {
           next_backend = router->next_healthy(current, order, c.rank);
         } catch (const BackendUnavailable&) {
           router->report().failed++;
+          router->report().by_backend[current].failed++;
           throw;
         }
-        current = next_backend;
         c.rerouted = true;
         router->report().rerouted++;
+        router->report().by_backend[current].rerouted++;
+        current = next_backend;
         attempts_on_current = 0;
       } catch (const TimeoutError&) {
         // A watchdog timeout means peers are wedged mid-collective; re-routing
         // one rank alone cannot realign the group, so it is always fatal.
         router->record_failure(current, c.rank);
         router->report().failed++;
+        router->report().by_backend[current].failed++;
         throw;
       }
     }
@@ -221,6 +365,18 @@ class IssueStage : public OpStage {
  public:
   const char* name() const override { return "issue"; }
   Work run(OpCall& c, const OpNext&) override {
+    // Stale-epoch guard: after an elastic shrink every live communicator was
+    // rebuilt over the survivors. An op still stamped with an older epoch
+    // would rendezvous against torn-down state and deadlock the new groups —
+    // reject it here so the recover stage replays it instead.
+    fault::RecoveryManager& recovery = c.ctx->cluster()->faults().recovery();
+    if (recovery.armed() && c.req.epoch != recovery.epoch()) {
+      recovery.note_stale_rejection();
+      throw RankLostError("stale-epoch operation rejected: " + std::string(op_name(c.req.op)) +
+                          " was stamped epoch " + std::to_string(c.req.epoch) +
+                          " but the cluster is at epoch " + std::to_string(recovery.epoch()) +
+                          " after rank loss; replay on the shrunk communicator");
+    }
     Backend* b = c.attempt_backend;
     Comm* comm = c.comm_for(b);
     c.fused = false;
@@ -261,6 +417,7 @@ OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
   stages_.push_back(std::make_unique<FusionStage>());
   stages_.push_back(std::make_unique<CompressionStage>());
   stages_.push_back(std::make_unique<FinishStage>());
+  stages_.push_back(std::make_unique<RecoverStage>());
   stages_.push_back(std::make_unique<RouteStage>());
   stages_.push_back(std::make_unique<IssueStage>());
 }

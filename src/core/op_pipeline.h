@@ -16,6 +16,7 @@
 //   fusion       fusion admission for small all_reduce tensors (V-C)
 //   compression  compression admission by op/dtype/size (V-E)
 //   finish       attaches the CommLogger record on completion (V-D)
+//   recover      elastic rank-loss recovery: epoch stamp + replay (src/fault/)
 //   route        fault-aware retry/backoff/failover (src/fault/)
 //   issue        terminal: fused / compressed / native / emulated issue (V-B)
 //
@@ -59,8 +60,13 @@ struct OpCall {
   Backend* attempt_backend = nullptr;  // backend for the current attempt
   int attempts = 1;
   bool rerouted = false;
-  std::string fault;             // last injected failure: "", "transient", "unavailable"
+  std::string fault;             // last injected failure: "", "transient",
+                                 // "unavailable", "rank_lost"
   std::string completed_on;      // backend name the op finally completed on
+
+  // Maintained by the recover stage: true once the op was replayed on a
+  // shrunk communicator after a rank loss (req.epoch carries the epoch).
+  bool recovered = false;
 
   // Outcome of the current issue attempt (reset by the issue stage).
   bool fused = false;

@@ -54,4 +54,31 @@ std::vector<std::vector<int>> ProcessGroups::all_dp_groups() const {
   return out;
 }
 
+ShrunkGroups shrink_process_groups(const ProcessGroups& old, const std::vector<int>& lost) {
+  std::vector<bool> is_lost(static_cast<std::size_t>(old.world()), false);
+  for (int r : lost) {
+    MCRDL_REQUIRE(r >= 0 && r < old.world(), "lost rank out of range");
+    is_lost[static_cast<std::size_t>(r)] = true;
+  }
+  std::vector<int> survivors;
+  std::vector<int> old_to_new(static_cast<std::size_t>(old.world()), -1);
+  for (int r = 0; r < old.world(); ++r) {
+    if (is_lost[static_cast<std::size_t>(r)]) continue;
+    old_to_new[static_cast<std::size_t>(r)] = static_cast<int>(survivors.size());
+    survivors.push_back(r);
+  }
+  MCRDL_REQUIRE(!survivors.empty(), "cannot shrink process groups: every rank was lost");
+
+  const int new_world = static_cast<int>(survivors.size());
+  const bool tp_ok = new_world % old.tensor_parallel() == 0;
+  const int new_tp = tp_ok ? old.tensor_parallel() : 1;
+  const int new_dp = new_world / new_tp;
+  const bool ep_ok = new_dp % old.expert_parallel() == 0;
+  const int new_ep = ep_ok ? old.expert_parallel() : 1;
+
+  ShrunkGroups out{ProcessGroups(new_world, new_tp, new_ep), std::move(survivors),
+                   std::move(old_to_new), tp_ok, ep_ok};
+  return out;
+}
+
 }  // namespace mcrdl

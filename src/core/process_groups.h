@@ -42,4 +42,22 @@ class ProcessGroups {
   int ep_;
 };
 
+// Result of rebuilding a hybrid-parallel layout after permanent rank loss
+// (src/fault/recovery.h): the survivors renumbered densely into a smaller
+// world, with flags recording which parallelism dimensions survived intact.
+struct ShrunkGroups {
+  ProcessGroups groups;          // layout over the shrunk world
+  std::vector<int> survivors;    // old global rank per new rank (ascending)
+  std::vector<int> old_to_new;   // old global rank -> new rank, -1 if lost
+  bool tp_preserved = true;      // old TP degree still divides the new world
+  bool ep_preserved = true;      // old EP degree still divides the new DP
+};
+
+// Shrinks `old` to the ranks not listed in `lost`. The old tensor-parallel
+// degree is kept when the surviving world is still divisible by it, else TP
+// collapses to 1 (a lost rank tears a hole in some TP block, so block-local
+// groups cannot be preserved in general); likewise EP against the new DP
+// degree. Requires at least one survivor.
+ShrunkGroups shrink_process_groups(const ProcessGroups& old, const std::vector<int>& lost);
+
 }  // namespace mcrdl

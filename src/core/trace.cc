@@ -35,9 +35,11 @@ std::string to_chrome_trace(const CommLogger& logger) {
     out << "{\"name\":\"" << json_escape(op_name(r.op)) << "\",\"cat\":\"comm\","
         << "\"ph\":\"X\",\"ts\":" << r.start << ",\"dur\":" << (r.end - r.start)
         << ",\"pid\":" << r.rank << ",\"tid\":\"" << json_escape(r.backend) << "\",";
-    // Rerouted/retried operations stand out: a distinct color name plus the
-    // failover metadata in args, so chaos traces show where traffic moved.
-    if (r.rerouted) out << "\"cname\":\"terrible\",";
+    // Recovered/rerouted/retried operations stand out: a distinct color name
+    // plus the resilience metadata in args, so chaos traces show where
+    // traffic moved and which ops were replayed after a rank loss.
+    if (r.recovered) out << "\"cname\":\"olive\",";
+    else if (r.rerouted) out << "\"cname\":\"terrible\",";
     else if (r.attempts > 1) out << "\"cname\":\"bad\",";
     out << "\"args\":{\"bytes\":" << r.bytes << ",\"fused\":" << (r.fused ? "true" : "false")
         << ",\"compressed\":" << (r.compressed ? "true" : "false");
@@ -46,6 +48,8 @@ std::string to_chrome_trace(const CommLogger& logger) {
       out << ",\"rerouted\":true,\"requested_backend\":\"" << json_escape(r.requested_backend)
           << "\"";
     }
+    if (r.epoch > 0) out << ",\"epoch\":" << r.epoch;
+    if (r.recovered) out << ",\"recovered\":true";
     if (!r.fault.empty()) out << ",\"fault\":\"" << json_escape(r.fault) << "\"";
     out << "}}";
   }

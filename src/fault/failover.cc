@@ -16,6 +16,23 @@ std::string ResilienceReport::to_string() const {
       << "  failed permanently   : " << failed << "\n"
       << "  breakers tripped     : " << breakers_tripped << "\n"
       << "  backoff virtual time : " << backoff_time_us << " us\n";
+  // Elastic-recovery block only when a rank was actually lost, so transient
+  // and outage reports keep the exact format they always had.
+  if (ranks_lost > 0 || epochs > 0 || recovered > 0) {
+    out << "  ranks lost           : " << ranks_lost << "\n"
+        << "  recovery epochs      : " << epochs << "\n"
+        << "  recovered ops        : " << recovered << "\n"
+        << "  stale-epoch rejects  : " << stale_rejections << "\n";
+  }
+  if (!by_backend.empty()) {
+    std::size_t width = 0;
+    for (const auto& [name, counters] : by_backend) width = std::max(width, name.size());
+    out << "  per-backend:\n";
+    for (const auto& [name, counters] : by_backend) {
+      out << "    " << name << std::string(width - name.size(), ' ') << " : failed "
+          << counters.failed << ", rerouted away " << counters.rerouted << "\n";
+    }
+  }
   return out.str();
 }
 

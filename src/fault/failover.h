@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -34,6 +35,21 @@ struct ResilienceReport {
   std::uint64_t failed = 0;          // operations that exhausted every option
   std::uint64_t breakers_tripped = 0;
   SimTime backoff_time_us = 0.0;     // virtual time charged to retry backoff
+
+  // --- elastic recovery (src/fault/recovery.h) ------------------------------
+  // Mirrored from RecoveryStats by the bound RecoveryManager; all zero (and
+  // omitted from to_string) when no rank_loss fault is in play.
+  std::uint64_t ranks_lost = 0;        // ranks permanently lost
+  std::uint64_t epochs = 0;            // recovery epochs completed
+  std::uint64_t recovered = 0;         // ops replayed onto a shrunk communicator
+  std::uint64_t stale_rejections = 0;  // old-epoch ops bounced before issue
+
+  // Per-backend failure/reroute breakdown, filled by the route stage.
+  struct BackendCounters {
+    std::uint64_t failed = 0;    // attempts that errored on this backend
+    std::uint64_t rerouted = 0;  // ops moved *away* from this backend
+  };
+  std::map<std::string, BackendCounters> by_backend;
 
   std::string to_string() const;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/status.h"
+#include "src/fault/recovery.h"
 
 namespace mcrdl::fault {
 
@@ -15,6 +16,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::LinkDegradation: return "degrade";
     case FaultKind::RankSlowdown: return "slowdown";
     case FaultKind::Straggler: return "straggler";
+    case FaultKind::RankLoss: return "rank_loss";
   }
   return "?";
 }
@@ -94,6 +96,16 @@ FaultSpec FaultSpec::straggler(int rank, SimTime delay_us, SimTime from_us, SimT
   return s;
 }
 
+FaultSpec FaultSpec::lose_rank(int rank, SimTime at_us) {
+  MCRDL_REQUIRE(rank >= 0, "rank_loss must name a concrete rank");
+  MCRDL_REQUIRE(at_us >= 0.0, "rank_loss instant must be >= 0");
+  FaultSpec s;
+  s.kind = FaultKind::RankLoss;
+  s.rank = rank;
+  s.from_us = at_us;
+  return s;
+}
+
 // --- FaultPlan text format ---------------------------------------------------
 
 namespace {
@@ -149,6 +161,9 @@ std::string FaultPlan::serialize() const {
       case FaultKind::Straggler:
         out << "straggler " << s.rank << " " << s.delay_us << " " << time_token(s.from_us) << " "
             << time_token(s.until_us) << "\n";
+        break;
+      case FaultKind::RankLoss:
+        out << "rank_loss " << s.rank << " " << s.from_us << "\n";
         break;
     }
   }
@@ -223,6 +238,9 @@ FaultPlan FaultPlan::parse(const std::string& text) {
         FaultSpec s = FaultSpec::straggler(std::stoi(toks[0]), std::stod(toks[1]));
         window(2, s);
         plan.specs.push_back(std::move(s));
+      } else if (verb == "rank_loss") {
+        if (toks.size() != 2) parse_fail(line_no, line, "expected: rank_loss <rank> <at_us>");
+        plan.specs.push_back(FaultSpec::lose_rank(std::stoi(toks[0]), std::stod(toks[1])));
       } else {
         parse_fail(line_no, line, "unknown directive \"" + verb + "\"");
       }
@@ -253,19 +271,26 @@ FaultPlan FaultPlan::load(const std::string& path) {
 
 FaultInjector::FaultInjector(sim::Scheduler* sched) : sched_(sched) {
   MCRDL_CHECK(sched_ != nullptr) << "FaultInjector needs a scheduler for virtual time";
+  recovery_ = std::make_unique<RecoveryManager>(sched_, this);
 }
+
+FaultInjector::~FaultInjector() = default;
 
 void FaultInjector::configure(FaultPlan plan) {
   plan_ = std::move(plan);
   rng_ = Rng(plan_.seed);
   stats_ = InjectionStats{};
   enabled_ = true;
+  // A new plan starts recovery from scratch; McrDl::init re-arms it when the
+  // plan declares rank losses.
+  recovery_->disarm();
 }
 
 void FaultInjector::reset() {
   plan_ = FaultPlan{};
   stats_ = InjectionStats{};
   enabled_ = false;
+  recovery_->disarm();
 }
 
 bool FaultInjector::backend_unavailable(const std::string& backend) const {
@@ -321,6 +346,32 @@ double FaultInjector::rank_launch_scale(int global_rank) const {
     scale *= s.factor;
   }
   return scale;
+}
+
+bool FaultInjector::rank_lost(int global_rank) const {
+  if (!enabled_) return false;
+  const SimTime t = now();
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::RankLoss && s.rank == global_rank && t >= s.from_us) return true;
+  }
+  return false;
+}
+
+std::vector<int> FaultInjector::lost_members(const std::vector<int>& global_ranks) const {
+  std::vector<int> out;
+  if (!enabled_) return out;
+  for (int r : global_ranks) {
+    if (rank_lost(r)) out.push_back(r);
+  }
+  return out;
+}
+
+bool FaultInjector::has_rank_loss() const {
+  if (!enabled_) return false;
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::RankLoss) return true;
+  }
+  return false;
 }
 
 SimTime FaultInjector::rank_delay(int global_rank) const {

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@ enum class FaultKind {
   LinkDegradation,   // β on matching links multiplied by `factor` (> 1 = slower)
   RankSlowdown,      // one rank's launch latency scaled by `factor` (> 1)
   Straggler,         // one rank delayed by `delay_us` per operation
+  RankLoss,          // rank permanently gone from `from_us` (elastic recovery)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -84,6 +86,9 @@ struct FaultSpec {
                              SimTime until_us = kNoEnd);
   static FaultSpec straggler(int rank, SimTime delay_us, SimTime from_us = 0.0,
                              SimTime until_us = kNoEnd);
+  // Permanent loss of one rank at a virtual-time instant. Several specs with
+  // the same `at_us` model a node going down and are recovered as one epoch.
+  static FaultSpec lose_rank(int rank, SimTime at_us);
 };
 
 // A complete chaos scenario: the specs plus the seed that makes transient
@@ -98,6 +103,7 @@ struct FaultSpec {
 //   degrade <backend|*> <all|intra|inter> <beta_factor> [from] [until]
 //   slowdown <rank> <scale> [from] [until]
 //   straggler <rank> <delay_us> [from] [until]
+//   rank_loss <rank> <at_us>
 struct FaultPlan {
   std::uint64_t seed = 0x5eedf00dULL;
   SimTime watchdog_deadline_us = 0.0;
@@ -125,14 +131,20 @@ struct InjectionStats {
   std::uint64_t watchdog_timeouts = 0;    // rendezvous deadlines fired
   std::uint64_t straggler_delays = 0;     // per-rank submit delays applied
   SimTime delay_injected_us = 0.0;        // total straggler/slowdown time
+  std::uint64_t rank_loss_rejections = 0; // ops doomed for involving a lost rank
 };
 
 // The per-cluster decision engine. Lives on ClusterContext (always present,
 // disabled by default) so engines and cost models can hold a stable pointer
 // regardless of when — or whether — a plan is installed.
+class RecoveryManager;
+
 class FaultInjector {
  public:
   explicit FaultInjector(sim::Scheduler* sched);
+  ~FaultInjector();  // out-of-line: RecoveryManager is incomplete here
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Installs a plan (resets the rng stream and stats). An empty plan with a
   // watchdog deadline still enables the watchdog.
@@ -155,6 +167,16 @@ class FaultInjector {
   // Fixed straggler delay charged to `rank` at operation submit.
   SimTime rank_delay(int global_rank) const;
   SimTime watchdog_deadline_us() const { return enabled_ ? plan_.watchdog_deadline_us : 0.0; }
+  // True once a matching RankLoss spec's instant has passed — the rank is
+  // permanently gone from the plan's point of view, even if the recovery
+  // event for that instant has not been dispatched yet. Engines classify
+  // rendezvous against this so every joiner observes the loss identically.
+  bool rank_lost(int global_rank) const;
+  // The subset of `global_ranks` that is lost at the current instant.
+  std::vector<int> lost_members(const std::vector<int>& global_ranks) const;
+  // Whether the installed plan declares any permanent rank losses at all
+  // (time-independent; used by tooling to pick the elastic code path).
+  bool has_rank_loss() const;
 
   // Bookkeeping from the injection points.
   void note_transient() { ++stats_.transient_injected; }
@@ -164,10 +186,15 @@ class FaultInjector {
     ++stats_.straggler_delays;
     stats_.delay_injected_us += us;
   }
+  void note_rank_loss_rejection() { ++stats_.rank_loss_rejections; }
 
   const InjectionStats& stats() const { return stats_; }
   sim::Scheduler* scheduler() const { return sched_; }
   Watchdog& watchdog() { return watchdog_; }
+  // The elastic-recovery state machine for this cluster (src/fault/recovery.h).
+  // Always present; disarmed (and zero-cost) until a plan with rank_loss
+  // specs is installed and armed by McrDl::init.
+  RecoveryManager& recovery() { return *recovery_; }
 
  private:
   SimTime now() const { return sched_->now(); }
@@ -178,6 +205,7 @@ class FaultInjector {
   Rng rng_;
   InjectionStats stats_;
   Watchdog watchdog_{sched_};
+  std::unique_ptr<RecoveryManager> recovery_;
 };
 
 }  // namespace mcrdl::fault

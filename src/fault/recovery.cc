@@ -1,0 +1,154 @@
+#include "src/fault/recovery.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/status.h"
+#include "src/fault/injector.h"
+
+namespace mcrdl::fault {
+
+const char* recovery_phase_name(RecoveryPhase phase) {
+  switch (phase) {
+    case RecoveryPhase::Idle: return "idle";
+    case RecoveryPhase::Quiesce: return "quiesce";
+    case RecoveryPhase::Shrink: return "shrink";
+    case RecoveryPhase::Resume: return "resume";
+  }
+  return "?";
+}
+
+std::string describe_rank_loss(OpType op, const std::string& backend,
+                               const std::vector<int>& lost_global) {
+  std::ostringstream out;
+  out << "rank loss: " << op_name(op) << " on backend '" << backend
+      << "' involves permanently lost ranks: [";
+  for (std::size_t i = 0; i < lost_global.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << lost_global[i];
+  }
+  out << "]; retriable on the shrunk communicator once recovery completes";
+  return out.str();
+}
+
+RecoveryManager::RecoveryManager(sim::Scheduler* sched, FaultInjector* injector)
+    : sched_(sched), injector_(injector), epoch_cond_(sched) {
+  MCRDL_CHECK(sched_ != nullptr) << "RecoveryManager needs a scheduler";
+  MCRDL_CHECK(injector_ != nullptr) << "RecoveryManager needs its owning injector";
+}
+
+void RecoveryManager::arm(int world_size) {
+  disarm();
+  MCRDL_REQUIRE(world_size >= 1, "recovery world size must be >= 1");
+  world_size_ = world_size;
+  survivors_.clear();
+  for (int r = 0; r < world_size_; ++r) survivors_.push_back(r);
+  lost_.clear();
+  epoch_ = 0;
+  stats_ = RecoveryStats{};
+  // Group the plan's rank_loss specs by instant: every spec sharing a
+  // from_us is one loss event (a node dying takes all its ranks at once and
+  // costs one epoch, not one per rank).
+  std::map<SimTime, std::vector<int>> by_instant;
+  for (const FaultSpec& s : injector_->plan().specs) {
+    if (s.kind != FaultKind::RankLoss) continue;
+    MCRDL_REQUIRE(s.rank >= 0 && s.rank < world_size_, "rank_loss rank out of range");
+    by_instant[s.from_us].push_back(s.rank);
+  }
+  if (by_instant.empty()) return;  // nothing permanent planned: stay disarmed
+  armed_ = true;
+  for (auto& [at, ranks] : by_instant) {
+    loss_events_.push_back(
+        sched_->schedule_at(at, [this, ranks = ranks] { on_rank_loss(ranks); }));
+  }
+  push_report();
+}
+
+void RecoveryManager::disarm() {
+  for (std::uint64_t id : loss_events_) sched_->cancel(id);
+  loss_events_.clear();
+  armed_ = false;
+  phase_ = RecoveryPhase::Idle;
+  epoch_ = 0;
+  lost_.clear();
+  survivors_.clear();
+  world_size_ = 0;
+  report_ = nullptr;
+  // drains_ survives: engines register for their own lifetime, not a plan's.
+}
+
+std::vector<int> RecoveryManager::shrink_group(const std::vector<int>& members) const {
+  std::vector<int> out;
+  out.reserve(members.size());
+  for (int r : members) {
+    if (lost_.count(r) == 0) out.push_back(r);
+  }
+  return out;
+}
+
+std::uint64_t RecoveryManager::register_drain(DrainFn fn) {
+  MCRDL_CHECK(fn != nullptr);
+  const std::uint64_t id = next_drain_id_++;
+  drains_[id] = std::move(fn);
+  return id;
+}
+
+void RecoveryManager::unregister_drain(std::uint64_t id) { drains_.erase(id); }
+
+void RecoveryManager::on_rank_loss(const std::vector<int>& ranks) {
+  std::vector<int> newly;
+  for (int r : ranks) {
+    if (lost_.count(r) == 0) newly.push_back(r);
+  }
+  if (newly.empty()) return;
+  // Quiesce: drain against the *cumulative* lost set, so an op straddling
+  // two loss instants is cancelled even if only the earlier casualty is in
+  // its membership.
+  std::vector<int> all_lost(lost_.begin(), lost_.end());
+  all_lost.insert(all_lost.end(), newly.begin(), newly.end());
+  std::sort(all_lost.begin(), all_lost.end());
+  phase_ = RecoveryPhase::Quiesce;
+  for (auto& [id, fn] : drains_) stats_.quiesced_ops += fn(all_lost);
+  // Shrink: survivors and the epoch advance atomically (under the baton).
+  phase_ = RecoveryPhase::Shrink;
+  for (int r : newly) lost_.insert(r);
+  survivors_.erase(std::remove_if(survivors_.begin(), survivors_.end(),
+                                  [&](int r) { return lost_.count(r) > 0; }),
+                   survivors_.end());
+  stats_.ranks_lost += newly.size();
+  ++epoch_;
+  ++stats_.epochs;
+  // Resume: epoch waiters (parked replays) wake into the new epoch.
+  phase_ = RecoveryPhase::Resume;
+  push_report();
+  epoch_cond_.notify_all();
+}
+
+void RecoveryManager::wait_epoch_past(std::uint64_t epoch) {
+  epoch_cond_.wait([&] { return epoch_ > epoch; });
+}
+
+void RecoveryManager::note_recovered() {
+  ++stats_.recovered_ops;
+  push_report();
+}
+
+void RecoveryManager::note_stale_rejection() {
+  ++stats_.stale_rejections;
+  push_report();
+}
+
+void RecoveryManager::bind_report(ResilienceReport* report) {
+  report_ = report;
+  push_report();
+}
+
+void RecoveryManager::push_report() {
+  if (report_ == nullptr) return;
+  report_->ranks_lost = stats_.ranks_lost;
+  report_->epochs = stats_.epochs;
+  report_->recovered = stats_.recovered_ops;
+  report_->stale_rejections = stats_.stale_rejections;
+}
+
+}  // namespace mcrdl::fault

@@ -176,7 +176,8 @@ fault::FaultPlan chaos_plan() {
 
 // Runs the workload on a fresh 2-node Lassen cluster and serialises the
 // resulting trace. `fault_mode`: 0 = subsystem off, 1 = enabled with an
-// empty plan, 2 = enabled with the chaos plan.
+// empty plan, 2 = enabled with the chaos plan, 3 = enabled with elastic
+// recovery armed but a loss instant beyond the end of the run.
 std::string run_scenario(int fault_mode) {
   McrDlOptions opts = base_options();
   if (fault_mode == 1) opts.fault.enabled = true;
@@ -186,6 +187,10 @@ std::string run_scenario(int fault_mode) {
     // Fusion flushes can fire from timer context, where injected straggler
     // delays cannot suspend; the fused path is pinned by the no-fault golden.
     opts.fusion.enabled = false;
+  }
+  if (fault_mode == 3) {
+    opts.fault.enabled = true;
+    opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(0, 1e12));
   }
   ClusterContext cluster(net::SystemConfig::lassen(2));
   McrDl mcr(&cluster, opts);
@@ -245,6 +250,14 @@ TEST(GoldenTrace, ChaosPlanReplaysIdentically) {
 // bit-identical to running without it — same records, same virtual times.
 TEST(GoldenTrace, EmptyFaultPlanIsBitIdenticalToDisabled) {
   EXPECT_EQ(run_scenario(0), run_scenario(1));
+}
+
+// Elastic-recovery invariant: arming recovery (a rank_loss spec whose
+// instant lies beyond the end of the run, so the loss event never fires)
+// must not move a single virtual-time stamp either — the recover stage at
+// epoch 0 is a pure pass-through.
+TEST(GoldenTrace, ArmedRecoveryWithNoLossIsBitIdenticalToDisabled) {
+  EXPECT_EQ(run_scenario(0), run_scenario(3));
 }
 
 }  // namespace

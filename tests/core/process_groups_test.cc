@@ -66,6 +66,51 @@ TEST(ProcessGroups, InvalidConfigurationsRejected) {
   EXPECT_THROW(pg.dp_group(-1), InvalidArgument);
 }
 
+TEST(ShrinkProcessGroups, PreservesTpWhenTheNewWorldStillDivides) {
+  // 8 ranks, tp=2. Losing a whole TP pair (ranks 4,5) keeps the TP degree.
+  ProcessGroups pg(8, 2);
+  const ShrunkGroups s = shrink_process_groups(pg, {4, 5});
+  EXPECT_EQ(s.groups.world(), 6);
+  EXPECT_EQ(s.groups.tensor_parallel(), 2);
+  EXPECT_TRUE(s.tp_preserved);
+  EXPECT_EQ(s.survivors, (std::vector<int>{0, 1, 2, 3, 6, 7}));
+  EXPECT_EQ(s.old_to_new, (std::vector<int>{0, 1, 2, 3, -1, -1, 4, 5}));
+}
+
+TEST(ShrinkProcessGroups, CollapsesTpWhenALossTearsABlock) {
+  // Losing one rank of a TP pair leaves 7 survivors: 7 % 2 != 0, so TP
+  // collapses to 1 and every survivor becomes data-parallel.
+  ProcessGroups pg(8, 2);
+  const ShrunkGroups s = shrink_process_groups(pg, {3});
+  EXPECT_EQ(s.groups.world(), 7);
+  EXPECT_EQ(s.groups.tensor_parallel(), 1);
+  EXPECT_FALSE(s.tp_preserved);
+  EXPECT_EQ(s.groups.data_parallel(), 7);
+  EXPECT_EQ(s.old_to_new[3], -1);
+  EXPECT_EQ(s.old_to_new[7], 6);
+}
+
+TEST(ShrinkProcessGroups, CollapsesEpAgainstTheNewDpDegree) {
+  // 16 ranks, tp=4, ep=2 (dp=4). Losing one TP block of 4 leaves dp=3,
+  // which 2 does not divide: EP collapses while TP survives.
+  ProcessGroups pg(16, 4, 2);
+  const ShrunkGroups s = shrink_process_groups(pg, {8, 9, 10, 11});
+  EXPECT_EQ(s.groups.world(), 12);
+  EXPECT_EQ(s.groups.tensor_parallel(), 4);
+  EXPECT_TRUE(s.tp_preserved);
+  EXPECT_EQ(s.groups.expert_parallel(), 1);
+  EXPECT_FALSE(s.ep_preserved);
+}
+
+TEST(ShrinkProcessGroups, RejectsTotalLossAndOutOfRangeRanks) {
+  ProcessGroups pg(2, 1);
+  EXPECT_THROW(shrink_process_groups(pg, {0, 1}), InvalidArgument);
+  EXPECT_THROW(shrink_process_groups(pg, {2}), InvalidArgument);
+  // Duplicate losses are tolerated (a rank can only die once).
+  const ShrunkGroups s = shrink_process_groups(pg, {1, 1});
+  EXPECT_EQ(s.survivors, (std::vector<int>{0}));
+}
+
 TEST(ProcessGroups, DriveRealCollectivesPerGroup) {
   // TP allreduce within pairs + DP allreduce across them — the Megatron
   // pattern — built from the helpers, verified for data correctness.

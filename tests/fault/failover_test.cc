@@ -69,6 +69,84 @@ TEST(FailoverRouter, DisabledFailoverRefusesToReroute) {
   EXPECT_THROW(router.next_healthy("nccl", kOrder, 0), BackendUnavailable);
 }
 
+// --- report formatting ------------------------------------------------------
+//
+// The report string is parsed by tools/ci.sh (it greps the recovered-ops
+// line), so the format is pinned exactly here: changing it is an interface
+// change, not a cosmetic one.
+
+TEST(ResilienceReportFormat, BaseReportOmitsRecoveryAndPerBackendBlocks) {
+  ResilienceReport report;
+  report.attempted = 12;
+  report.succeeded = 10;
+  report.retried = 3;
+  report.rerouted = 2;
+  report.failed = 1;
+  report.breakers_tripped = 1;
+  report.backoff_time_us = 450.5;
+  EXPECT_EQ(report.to_string(),
+            "resilience report:\n"
+            "  operations succeeded : 10\n"
+            "  issue attempts       : 12\n"
+            "  retries (transient)  : 3\n"
+            "  rerouted (failover)  : 2\n"
+            "  failed permanently   : 1\n"
+            "  breakers tripped     : 1\n"
+            "  backoff virtual time : 450.5 us\n");
+}
+
+TEST(ResilienceReportFormat, RecoveryAndPerBackendBlocksPinTheirLayout) {
+  ResilienceReport report;
+  report.attempted = 9;
+  report.succeeded = 9;
+  report.ranks_lost = 2;
+  report.epochs = 1;
+  report.recovered = 6;
+  report.stale_rejections = 3;
+  report.by_backend["nccl"].failed = 1;
+  report.by_backend["nccl"].rerouted = 4;
+  report.by_backend["mv2-gdr"].rerouted = 0;
+  EXPECT_EQ(report.to_string(),
+            "resilience report:\n"
+            "  operations succeeded : 9\n"
+            "  issue attempts       : 9\n"
+            "  retries (transient)  : 0\n"
+            "  rerouted (failover)  : 0\n"
+            "  failed permanently   : 0\n"
+            "  breakers tripped     : 0\n"
+            "  backoff virtual time : 0 us\n"
+            "  ranks lost           : 2\n"
+            "  recovery epochs      : 1\n"
+            "  recovered ops        : 6\n"
+            "  stale-epoch rejects  : 3\n"
+            "  per-backend:\n"
+            "    mv2-gdr : failed 0, rerouted away 0\n"
+            "    nccl    : failed 1, rerouted away 4\n");
+}
+
+TEST(ResilienceReportFormat, PerBackendCountersFillFromEndToEndFailover) {
+  // The by_backend breakdown is populated by the route stage: the backend
+  // traffic was rerouted *away from* gets the credit.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.fault.enabled = true;
+  opts.fault.plan.specs.push_back(FaultSpec::outage("nccl", 0.0));
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl", "mv2-gdr"});
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({16}, DType::F32, 1.0, cluster.device(rank));
+    api.all_reduce("nccl", t, ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(t.get(0), 4.0);
+  });
+  const ResilienceReport& report = mcr.failover()->report();
+  ASSERT_EQ(report.by_backend.count("nccl"), 1u);
+  EXPECT_GT(report.by_backend.at("nccl").rerouted, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_NE(report.to_string().find("per-backend:"), std::string::npos);
+  EXPECT_NE(report.to_string().find("rerouted away"), std::string::npos);
+}
+
 // --- end-to-end chaos runs --------------------------------------------------
 
 // Runs `iters` allreduces on the requested backend and returns each rank's

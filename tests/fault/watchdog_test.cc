@@ -50,6 +50,53 @@ TEST(Watchdog, DisarmedTimerNeverFiresNorAdvancesTime) {
   EXPECT_DOUBLE_EQ(cluster.scheduler().now(), 20.0);
 }
 
+TEST(Watchdog, DisarmAfterFireIsSafeAndCountsOneFiring) {
+  // Engines disarm their watchdog when the rendezvous completes — which may
+  // be after the timer already fired (the callback failed the rendezvous,
+  // the waiters unwound, and the completion path still runs its cleanup).
+  // Cancelling the spent timer must be a no-op, not a crash or a re-fire.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  int fired = 0;
+  cluster.run_spmd(1, [&](int) {
+    const std::uint64_t id = cluster.faults().watchdog().arm(10.0, [&] { ++fired; });
+    cluster.scheduler().sleep_for(20.0);  // sleeps past the deadline
+    cluster.faults().watchdog().disarm(id);
+    cluster.scheduler().sleep_for(20.0);
+  });
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(cluster.faults().watchdog().fired(), 1u);
+}
+
+TEST(Watchdog, ReArmAfterDisarmFiresTheNewDeadline) {
+  // Re-arming the same logical rendezvous (disarm, then arm again — the
+  // retry path after a transient fault) must run the new deadline only.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  int first = 0, second = 0;
+  cluster.run_spmd(1, [&](int) {
+    const std::uint64_t id = cluster.faults().watchdog().arm(1e6, [&] { ++first; });
+    cluster.faults().watchdog().disarm(id);
+    cluster.faults().watchdog().arm(10.0, [&] { ++second; });
+    cluster.scheduler().sleep_for(20.0);
+  });
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(cluster.faults().watchdog().fired(), 1u);
+}
+
+TEST(Watchdog, ZeroDeadlineFiresImmediatelyWithoutAdvancingTime) {
+  // A zero-timeout deadline is degenerate but legal: it fires as soon as the
+  // arming actor blocks, at the same virtual instant it was armed.
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  SimTime fired_at = -1.0;
+  cluster.run_spmd(1, [&](int) {
+    cluster.scheduler().sleep_for(5.0);
+    cluster.faults().watchdog().arm(0.0, [&] { fired_at = cluster.scheduler().now(); });
+    cluster.scheduler().sleep_for(1.0);
+  });
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_EQ(cluster.faults().watchdog().fired(), 1u);
+}
+
 TEST(WatchdogEndToEnd, AbsentRankTimesOutNamingTheMissingRank) {
   ClusterContext cluster(net::SystemConfig::lassen(1));
   McrDlOptions opts;

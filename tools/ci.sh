@@ -25,4 +25,19 @@ ctest --output-on-failure -j "${jobs}"
 # it by label too so a labelling regression is caught even if test names move.
 ctest --output-on-failure -j "${jobs}" -L fault
 
+# Chaos-differential smoke: kill rank 3 at t=2500us mid-run and require a
+# clean elastic recovery — exit 0 (planned casualty only, survivors agree)
+# AND at least one op actually quiesced and replayed on the shrunk
+# communicator. mv2-gdr is host-synchronous, so the replay is observable in
+# `recovered ops` (stream backends surface cancels at synchronize instead).
+echo "== chaos smoke: rank_loss recovery =="
+chaos_out="$("${build_dir}/tools/mcrdl_chaos" --scenario=rank_loss --rank=3 --at=2500 \
+    --watchdog=100000 --backends=mv2-gdr --size=64k)"
+echo "${chaos_out}"
+recovered="$(sed -n 's/.*recovered ops *: *//p' <<<"${chaos_out}")"
+if [ -z "${recovered}" ] || [ "${recovered}" -le 0 ]; then
+  echo "chaos smoke FAILED: expected recovered ops > 0, got '${recovered:-none}'" >&2
+  exit 1
+fi
+
 echo "== CI passed =="

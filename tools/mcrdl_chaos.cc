@@ -9,10 +9,17 @@
 // did: injections, retries, breaker trips, reroutes, and the virtual-time
 // cost of surviving.
 //
+// Scenarios with a permanent rank loss (`rank_loss`, or a plan file with
+// rank_loss specs) flip the differential to elastic mode: the dead rank
+// cannot match the baseline, so the check becomes "the planned ranks died,
+// every survivor finished, and all survivors agree with each other".
+//
 //   ./tools/mcrdl_chaos --scenario=outage --at=2000            # kill nccl mid-run
 //   ./tools/mcrdl_chaos --scenario=transient --p=0.3
 //   ./tools/mcrdl_chaos --scenario=degrade --factor=8
+//   ./tools/mcrdl_chaos --scenario=rank_loss --rank=3 --at=2500 --watchdog=100000
 //   ./tools/mcrdl_chaos --plan=my_chaos.txt --trace=chaos.json
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,24 +33,38 @@ using namespace mcrdl;
 namespace {
 
 struct RunResult {
-  std::vector<double> finals;  // per-rank final tensor value
+  std::vector<double> finals;  // per-rank final tensor value (0 if it died)
+  std::vector<bool> died;      // rank exited before finishing the loop
   SimTime end_time_us = 0.0;
   SimTime comm_time_us = 0.0;  // rank 0's communication time
 };
 
 // The workload: `iters` spaced allreduces on the preferred backend. Every
 // iteration multiplies the data by the world size, so any dropped or
-// double-applied collective shows up in the differential check.
+// double-applied collective shows up in the differential check. A rank whose
+// permanent loss instant has passed exits at the loop top; one whose
+// collective surfaces RankLostError (the casualty itself — survivors get the
+// op replayed transparently) exits through the catch.
 RunResult run_workload(ClusterContext& cluster, McrDl& mcr, const std::string& backend,
                        int iters, std::size_t elems, SimTime interval_us) {
   RunResult out;
   out.finals.assign(cluster.world_size(), 0.0);
+  out.died.assign(cluster.world_size(), false);
   cluster.run_spmd([&](int rank) {
     Api api = mcr.on(rank);
     Tensor t = Tensor::full({static_cast<long long>(elems)}, DType::F32, 1.0,
                             cluster.device(rank));
     for (int i = 0; i < iters; ++i) {
-      api.all_reduce(backend, t, ReduceOp::Sum);
+      if (cluster.faults().rank_lost(rank)) {
+        out.died[rank] = true;
+        return;
+      }
+      try {
+        api.all_reduce(backend, t, ReduceOp::Sum);
+      } catch (const RankLostError&) {
+        out.died[rank] = true;
+        return;
+      }
       if (interval_us > 0.0) cluster.scheduler().sleep_for(interval_us);
     }
     api.synchronize();
@@ -71,11 +92,28 @@ fault::FaultPlan build_plan(const Flags& flags, const std::string& primary) {
   } else if (scenario == "straggler") {
     plan.specs.push_back(
         fault::FaultSpec::straggler(flags.get_int("rank"), flags.get_double("delay")));
+  } else if (scenario == "rank_loss") {
+    // Kill-at-virtual-time-T: the rank goes silent shortly before T (a
+    // window wide enough to be sure the survivors are parked in a pending
+    // rendezvous with it when the loss event fires — the state quiesce
+    // drains), then is declared permanently lost at T.
+    const int rank = flags.get_int("rank");
+    const SimTime at = flags.get_double("at");
+    const SimTime silent_from = std::max(0.0, at - 2.0 * flags.get_double("interval"));
+    plan.specs.push_back(fault::FaultSpec::straggler(rank, 10.0 * at + 1000.0, silent_from));
+    plan.specs.push_back(fault::FaultSpec::lose_rank(rank, at));
   } else if (scenario != "none") {
     throw InvalidArgument("unknown scenario: " + scenario +
-                          " (want outage|transient|degrade|straggler|none)");
+                          " (want outage|transient|degrade|straggler|rank_loss|none)");
   }
   return plan;
+}
+
+bool plan_has_rank_loss(const fault::FaultPlan& plan) {
+  for (const fault::FaultSpec& s : plan.specs) {
+    if (s.kind == fault::FaultKind::RankLoss) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -88,11 +126,12 @@ int main(int argc, char** argv) {
   flags.define("iterations", "12", "allreduce iterations");
   flags.define("size", "4m", "message size per allreduce");
   flags.define("interval", "200", "virtual us between iterations");
-  flags.define("scenario", "outage", "built-in plan: outage|transient|degrade|straggler|none");
-  flags.define("at", "1000", "outage instant in virtual us (scenario=outage)");
+  flags.define("scenario", "outage",
+               "built-in plan: outage|transient|degrade|straggler|rank_loss|none");
+  flags.define("at", "1000", "fault instant in virtual us (scenario=outage|rank_loss)");
   flags.define("p", "0.3", "per-attempt failure probability (scenario=transient)");
   flags.define("factor", "4", "inter-node beta multiplier (scenario=degrade)");
-  flags.define("rank", "1", "delayed rank (scenario=straggler)");
+  flags.define("rank", "1", "delayed or killed rank (scenario=straggler|rank_loss)");
   flags.define("delay", "500", "per-op straggler delay in us (scenario=straggler)");
   flags.define("watchdog", "0", "rendezvous watchdog deadline in us (0 = off)");
   flags.define("seed", "42", "fault-decision seed");
@@ -136,9 +175,33 @@ int main(int argc, char** argv) {
     const RunResult chaos = run_workload(cluster, mcr, primary, iters, elems, interval);
 
     // --- differential check ----------------------------------------------
+    // Plans with a permanent rank loss use the elastic check: the planned
+    // casualties must die (and nobody else), and every survivor must agree
+    // with every other survivor — the baseline's full-world values are
+    // unreachable after a shrink.
+    const bool elastic = plan_has_rank_loss(plan);
     int wrong = 0;
-    for (int r = 0; r < world; ++r) {
-      if (chaos.finals[r] != base.finals[r]) ++wrong;
+    if (elastic) {
+      std::vector<int> died, survivors;
+      for (int r = 0; r < world; ++r) (chaos.died[r] ? died : survivors).push_back(r);
+      for (int r = 0; r < world; ++r) {
+        const bool planned = cluster.faults().rank_lost(r);
+        if (chaos.died[r] != planned) ++wrong;                      // wrong casualty set
+      }
+      if (survivors.empty()) ++wrong;                               // nobody finished
+      for (int r : survivors) {
+        if (chaos.finals[r] != chaos.finals[survivors.front()]) ++wrong;
+        if (chaos.finals[r] == 0.0) ++wrong;                        // survivor lost its data
+      }
+      std::printf("ranks lost:");
+      for (int r : died) std::printf(" %d", r);
+      std::printf(" | survivors:");
+      for (int r : survivors) std::printf(" %d", r);
+      std::printf("\n");
+    } else {
+      for (int r = 0; r < world; ++r) {
+        if (chaos.finals[r] != base.finals[r]) ++wrong;
+      }
     }
 
     const fault::ResilienceReport& report = mcr.failover()->report();
@@ -181,9 +244,15 @@ int main(int argc, char** argv) {
                   flags.get("trace").c_str());
     }
 
-    std::printf("differential check: %s\n",
-                wrong == 0 ? "PASS — all ranks match the fault-free run"
-                           : "FAIL — ranks diverged from the fault-free run");
+    if (elastic) {
+      std::printf("differential check: %s\n",
+                  wrong == 0 ? "PASS — planned ranks died, all survivors agree"
+                             : "FAIL — wrong casualty set or survivors diverged");
+    } else {
+      std::printf("differential check: %s\n",
+                  wrong == 0 ? "PASS — all ranks match the fault-free run"
+                             : "FAIL — ranks diverged from the fault-free run");
+    }
     return wrong == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
