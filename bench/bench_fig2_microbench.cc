@@ -1,37 +1,32 @@
 // Figure 2 reproduction: collective micro-benchmark comparison of the four
 // communication backends on 64 GPUs (16 Lassen nodes x 4 ppn) —
 // (a) non-blocking Allreduce and (b) Alltoall latency across message sizes.
+//
+// The sweep itself lives in bench/experiments.cc (shared with the
+// `bench_export` tool); this binary renders it for humans.
 #include "bench/bench_util.h"
-#include "src/core/tuning.h"
-#include "src/net/cost.h"
+#include "bench/experiments.h"
+#include "src/net/comm_types.h"
 
 using namespace mcrdl;
 
 int main(int argc, char** argv) {
-  const std::vector<std::size_t> sizes = {1u << 10, 4u << 10, 16u << 10, 64u << 10,
-                                          256u << 10, 1u << 20, 4u << 20, 16u << 20,
-                                          64u << 20};
+  const bench::Fig2Options options;  // the paper's grid
+  const bench::BenchReport report = bench::run_fig2(options);
   const std::vector<std::string> backends = {"mv2-gdr", "ompi", "nccl", "sccl"};
-
-  TuningSuite suite(net::SystemConfig::lassen(16));  // 64 GPUs
-  TuningConfig cfg;
-  cfg.backends = backends;
-  cfg.ops = {OpType::AllReduce, OpType::AllToAllSingle};
-  cfg.sizes = sizes;
-  cfg.world_sizes = {64};
-  cfg.iterations = 2;
-  cfg.warmup = 1;
-  (void)suite.generate(cfg);
 
   auto print_sweep = [&](OpType op, const std::string& title) {
     bench::print_header(title);
     std::vector<std::string> headers = {"Message size"};
     for (const auto& b : backends) headers.push_back(b);
     TextTable t(headers);
-    for (std::size_t bytes : sizes) {
+    const bench::BenchSeries* first =
+        report.find(std::string(op_name(op)) + "/" + backends.front());
+    for (std::size_t i = 0; i < first->points.size(); ++i) {
+      const std::size_t bytes = first->points[i].bytes;
       std::vector<std::string> row = {format_bytes(bytes)};
       for (const auto& b : backends) {
-        const double us = suite.measured(b, op, 64, bytes);
+        const double us = report.find(std::string(op_name(op)) + "/" + b)->points[i].virtual_us;
         row.push_back(format_time_us(us));
         bench::register_result(std::string("fig2/") + op_name(op) + "/" + b + "/" +
                                    format_bytes(bytes),

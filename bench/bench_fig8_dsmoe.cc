@@ -3,60 +3,35 @@
 // coarse-grained mixed backends (MCR-DL) and tuned fine-grained mixing
 // (MCR-DL-T), from 16 to 256 GPUs. Paper headline: +31% over pure
 // MVAPICH2-GDR and +35% over pure NCCL at 256 GPUs, 81% scaling efficiency.
-#include <map>
+//
+// The sweep lives in bench/experiments.cc (shared with `bench_export`).
+#include <algorithm>
 
 #include "bench/bench_util.h"
-#include "src/models/moe.h"
+#include "bench/experiments.h"
 
 using namespace mcrdl;
-using namespace mcrdl::models;
 
 int main(int argc, char** argv) {
   const std::vector<int> scales = {16, 32, 64, 128, 256};
-  const std::vector<CommPlan> plans = {CommPlan::pure("mv2-gdr", "Pure MVAPICH2-GDR"),
-                                       CommPlan::pure("nccl", "Pure NCCL"),
-                                       CommPlan::mcr_dl_mixed(), CommPlan::mcr_dl_tuned()};
-  HarnessOptions opts;
-  opts.warmup_steps = 1;
-  opts.measured_steps = 2;
-
-  std::map<std::string, std::map<int, RunResult>> results;
-  for (int gpus : scales) {
-    net::SystemConfig sys = net::SystemConfig::lassen(gpus / 4);
-    TrainingHarness harness(sys);
-    DSMoEModel model(DSMoEConfig{}, sys);
-
-    // MCR-DL-T consumes a tuning table generated at this scale for the ops
-    // and message range the model actually uses.
-    TuningSuite suite(sys);
-    TuningConfig tcfg;
-    tcfg.backends = {"nccl", "mv2-gdr"};
-    tcfg.ops = {OpType::AllReduce, OpType::AllToAllSingle, OpType::Barrier};
-    tcfg.sizes = {64u << 10, 1u << 20, 4u << 20, 16u << 20, 32u << 20};
-    tcfg.world_sizes = {gpus};
-    tcfg.iterations = 1;
-    TuningTable table = suite.generate(tcfg);
-
-    for (const auto& plan : plans) {
-      results[plan.name][gpus] =
-          harness.run(model, plan, FrameworkModel::raw(), opts, plan.use_auto ? &table : nullptr);
-    }
-  }
+  const bench::BenchReport report = bench::run_fig8();
+  std::vector<std::string> plan_names;
+  for (const auto& s : report.series) plan_names.push_back(s.name);
 
   bench::print_header("Figure 8(a): DS-MoE throughput (samples/s) on Lassen V100s");
   {
     std::vector<std::string> headers = {"GPUs"};
-    for (const auto& plan : plans) headers.push_back(plan.name);
+    for (const auto& name : plan_names) headers.push_back(name);
     TextTable t(headers);
     for (int gpus : scales) {
       std::vector<std::string> row = {std::to_string(gpus)};
-      for (const auto& plan : plans) {
+      for (const auto& name : plan_names) {
+        const bench::BenchPoint& p = report.at(name, gpus);
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.1f", results[plan.name][gpus].throughput);
+        std::snprintf(buf, sizeof(buf), "%.1f", p.items_per_s);
         row.push_back(buf);
-        bench::register_result("fig8/" + plan.name + "/" + std::to_string(gpus) + "gpus",
-                               results[plan.name][gpus].step_time_us,
-                               results[plan.name][gpus].throughput);
+        bench::register_result("fig8/" + name + "/" + std::to_string(gpus) + "gpus",
+                               p.virtual_us, p.items_per_s);
       }
       t.add_row(std::move(row));
     }
@@ -66,25 +41,28 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 8(b): DS-MoE scaling efficiency (vs 16 GPUs)");
   {
     std::vector<std::string> headers = {"GPUs"};
-    for (const auto& plan : plans) headers.push_back(plan.name);
+    for (const auto& name : plan_names) headers.push_back(name);
     TextTable t(headers);
     for (int gpus : scales) {
       std::vector<std::string> row = {std::to_string(gpus)};
-      for (const auto& plan : plans) {
-        row.push_back(format_percent(
-            scaling_efficiency(results[plan.name][gpus], results[plan.name][scales.front()])));
+      for (const auto& name : plan_names) {
+        // Weak-scaling efficiency: per-GPU throughput vs the 16-GPU run.
+        const bench::BenchPoint& p = report.at(name, gpus);
+        const bench::BenchPoint& p0 = report.at(name, scales.front());
+        const double eff = (p.items_per_s / gpus) / (p0.items_per_s / scales.front());
+        row.push_back(format_percent(eff));
       }
       t.add_row(std::move(row));
     }
     std::printf("%s", t.to_string().c_str());
   }
 
-  const double best_tuned =
-      std::max(results["MCR-DL"][256].throughput, results["MCR-DL-T"][256].throughput);
+  const double best_tuned = std::max(report.at("MCR-DL", 256).items_per_s,
+                                     report.at("MCR-DL-T", 256).items_per_s);
   std::printf(
       "\nAt 256 GPUs: MCR-DL improves throughput by %s over pure MVAPICH2-GDR and %s over "
       "pure NCCL (paper: 31%% and 35%%).\n",
-      format_percent(best_tuned / results["Pure MVAPICH2-GDR"][256].throughput - 1.0).c_str(),
-      format_percent(best_tuned / results["Pure NCCL"][256].throughput - 1.0).c_str());
+      format_percent(best_tuned / report.at("Pure MVAPICH2-GDR", 256).items_per_s - 1.0).c_str(),
+      format_percent(best_tuned / report.at("Pure NCCL", 256).items_per_s - 1.0).c_str());
   return bench::run_registered(argc, argv);
 }

@@ -2,58 +2,35 @@
 // ThetaGPU A100s for pure NCCL, pure MVAPICH2-GDR, MCR-DL and MCR-DL-T,
 // from 8 to 32 GPUs. Paper headline: +25% over pure MVAPICH2-GDR and +30%
 // over pure NCCL at 32 GPUs, 75% scaling efficiency.
-#include <map>
+//
+// The sweep lives in bench/experiments.cc (shared with `bench_export`).
+#include <algorithm>
 
 #include "bench/bench_util.h"
-#include "src/models/dlrm.h"
+#include "bench/experiments.h"
 
 using namespace mcrdl;
-using namespace mcrdl::models;
 
 int main(int argc, char** argv) {
   const std::vector<int> scales = {8, 16, 32};
-  const std::vector<CommPlan> plans = {CommPlan::pure("mv2-gdr", "Pure MVAPICH2-GDR"),
-                                       CommPlan::pure("nccl", "Pure NCCL"),
-                                       CommPlan::mcr_dl_mixed(), CommPlan::mcr_dl_tuned()};
-  HarnessOptions opts;
-  opts.warmup_steps = 2;
-  opts.measured_steps = 6;
-
-  std::map<std::string, std::map<int, RunResult>> results;
-  for (int gpus : scales) {
-    net::SystemConfig sys = net::SystemConfig::theta_gpu(gpus / 8);
-    TrainingHarness harness(sys);
-    DLRMModel model(DLRMConfig{}, sys);
-
-    TuningSuite suite(sys);
-    TuningConfig tcfg;
-    tcfg.backends = {"nccl", "mv2-gdr"};
-    tcfg.ops = {OpType::AllReduce, OpType::AllToAllSingle, OpType::Barrier};
-    tcfg.sizes = {256u << 10, 1u << 20, 4u << 20, 8u << 20, 16u << 20};
-    tcfg.world_sizes = {gpus};
-    tcfg.iterations = 1;
-    TuningTable table = suite.generate(tcfg);
-
-    for (const auto& plan : plans) {
-      results[plan.name][gpus] =
-          harness.run(model, plan, FrameworkModel::raw(), opts, plan.use_auto ? &table : nullptr);
-    }
-  }
+  const bench::BenchReport report = bench::run_fig9();
+  std::vector<std::string> plan_names;
+  for (const auto& s : report.series) plan_names.push_back(s.name);
 
   bench::print_header("Figure 9(a): DLRM throughput (samples/s) on ThetaGPU A100s");
   {
     std::vector<std::string> headers = {"GPUs"};
-    for (const auto& plan : plans) headers.push_back(plan.name);
+    for (const auto& name : plan_names) headers.push_back(name);
     TextTable t(headers);
     for (int gpus : scales) {
       std::vector<std::string> row = {std::to_string(gpus)};
-      for (const auto& plan : plans) {
+      for (const auto& name : plan_names) {
+        const bench::BenchPoint& p = report.at(name, gpus);
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.2fM", results[plan.name][gpus].throughput / 1e6);
+        std::snprintf(buf, sizeof(buf), "%.2fM", p.items_per_s / 1e6);
         row.push_back(buf);
-        bench::register_result("fig9/" + plan.name + "/" + std::to_string(gpus) + "gpus",
-                               results[plan.name][gpus].step_time_us,
-                               results[plan.name][gpus].throughput);
+        bench::register_result("fig9/" + name + "/" + std::to_string(gpus) + "gpus",
+                               p.virtual_us, p.items_per_s);
       }
       t.add_row(std::move(row));
     }
@@ -63,15 +40,15 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 9(b): DLRM scaling efficiency (vs 8 GPUs)");
   {
     std::vector<std::string> headers = {"GPUs"};
-    for (const auto& plan : plans) headers.push_back(plan.name);
+    for (const auto& name : plan_names) headers.push_back(name);
     TextTable t(headers);
     for (int gpus : scales) {
       std::vector<std::string> row = {std::to_string(gpus)};
-      for (const auto& plan : plans) {
+      for (const auto& name : plan_names) {
         // DLRM strong-scales a fixed global batch; efficiency compares
         // per-step speedup against the ideal P/P0.
-        const double speedup = results[plan.name][scales.front()].step_time_us /
-                               results[plan.name][gpus].step_time_us;
+        const double speedup =
+            report.at(name, scales.front()).virtual_us / report.at(name, gpus).virtual_us;
         const double ideal = static_cast<double>(gpus) / scales.front();
         row.push_back(format_percent(speedup / ideal));
       }
@@ -81,11 +58,11 @@ int main(int argc, char** argv) {
   }
 
   const double best_tuned =
-      std::max(results["MCR-DL"][32].throughput, results["MCR-DL-T"][32].throughput);
+      std::max(report.at("MCR-DL", 32).items_per_s, report.at("MCR-DL-T", 32).items_per_s);
   std::printf(
       "\nAt 32 GPUs: MCR-DL improves throughput by %s over pure MVAPICH2-GDR and %s over pure "
       "NCCL (paper: 25%% and 30%%).\n",
-      format_percent(best_tuned / results["Pure MVAPICH2-GDR"][32].throughput - 1.0).c_str(),
-      format_percent(best_tuned / results["Pure NCCL"][32].throughput - 1.0).c_str());
+      format_percent(best_tuned / report.at("Pure MVAPICH2-GDR", 32).items_per_s - 1.0).c_str(),
+      format_percent(best_tuned / report.at("Pure NCCL", 32).items_per_s - 1.0).c_str());
   return bench::run_registered(argc, argv);
 }

@@ -1,0 +1,220 @@
+#include "bench/experiments.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/status.h"
+#include "src/core/tuning.h"
+#include "src/models/dlrm.h"
+#include "src/models/moe.h"
+#include "src/models/workload.h"
+#include "src/net/cost.h"
+#include "src/net/topology.h"
+#include "src/obs/json.h"
+
+namespace mcrdl::bench {
+
+const BenchSeries* BenchReport::find(const std::string& name) const {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const BenchPoint& BenchReport::at(const std::string& name, int world) const {
+  const BenchSeries* s = find(name);
+  if (s != nullptr) {
+    for (const auto& p : s->points) {
+      if (p.world == world) return p;
+    }
+  }
+  throw InvalidArgument("no bench point for series '" + name + "' at world " +
+                        std::to_string(world));
+}
+
+namespace {
+
+void append_number(std::ostringstream& out, double v) {
+  std::ostringstream num;
+  num.precision(12);
+  num << v;
+  out << num.str();
+}
+
+}  // namespace
+
+std::string to_bench_json(const BenchReport& report) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kBenchSchema << "\",\"experiment\":\""
+      << obs::json_escape(report.experiment) << "\",\"series\":[";
+  bool first_series = true;
+  for (const auto& s : report.series) {
+    if (!first_series) out << ",";
+    first_series = false;
+    out << "{\"name\":\"" << obs::json_escape(s.name) << "\",\"backend\":\""
+        << obs::json_escape(s.backend) << "\",\"points\":[";
+    bool first_point = true;
+    for (const auto& p : s.points) {
+      if (!first_point) out << ",";
+      first_point = false;
+      out << "{\"world\":" << p.world << ",\"bytes\":" << p.bytes << ",\"virtual_us\":";
+      append_number(out, p.virtual_us);
+      out << ",\"items_per_s\":";
+      append_number(out, p.items_per_s);
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// --- figure 2 ---------------------------------------------------------------
+
+BenchReport run_fig2(const Fig2Options& options) {
+  Fig2Options opts = options;
+  if (opts.sizes.empty()) {
+    opts.sizes = {1u << 10,   4u << 10, 16u << 10, 64u << 10, 256u << 10,
+                  1u << 20, 4u << 20, 16u << 20,  64u << 20};
+  }
+  if (opts.backends.empty()) opts.backends = {"mv2-gdr", "ompi", "nccl", "sccl"};
+  if (opts.quick) {
+    // CI smoke grid: two backends, four sizes, one iteration.
+    opts.backends.resize(std::min<std::size_t>(opts.backends.size(), 2));
+    std::vector<std::size_t> trimmed;
+    for (std::size_t i = 0; i < opts.sizes.size() && trimmed.size() < 4; i += 2) {
+      trimmed.push_back(opts.sizes[i]);
+    }
+    opts.sizes = trimmed;
+    opts.iterations = 1;
+    opts.warmup = 0;
+  }
+  MCRDL_REQUIRE(opts.world % 4 == 0, "fig2 runs on Lassen (4 GPUs per node)");
+
+  TuningSuite suite(net::SystemConfig::lassen(opts.world / 4));
+  TuningConfig cfg;
+  cfg.backends = opts.backends;
+  cfg.ops = {OpType::AllReduce, OpType::AllToAllSingle};
+  cfg.sizes = opts.sizes;
+  cfg.world_sizes = {opts.world};
+  cfg.iterations = opts.iterations;
+  cfg.warmup = opts.warmup;
+  (void)suite.generate(cfg);
+
+  BenchReport report;
+  report.experiment = "fig2";
+  for (OpType op : cfg.ops) {
+    for (const auto& backend : opts.backends) {
+      BenchSeries series;
+      series.name = std::string(op_name(op)) + "/" + backend;
+      series.backend = backend;
+      for (std::size_t bytes : opts.sizes) {
+        BenchPoint p;
+        p.world = opts.world;
+        p.bytes = bytes;
+        p.virtual_us = suite.measured(backend, op, opts.world, bytes);
+        series.points.push_back(p);
+      }
+      report.series.push_back(std::move(series));
+    }
+  }
+  return report;
+}
+
+// --- figures 8 and 9 --------------------------------------------------------
+
+namespace {
+
+// The label recorded in the `backend` field: concrete name for pure plans,
+// "mixed" for coarse-grained plans, "auto" for the tuned plan.
+std::string plan_backend_label(const models::CommPlan& plan) {
+  if (plan.use_auto) return "auto";
+  if (!plan.per_op.empty()) return "mixed";
+  return plan.default_backend;
+}
+
+template <typename MakeModel>
+BenchReport run_scaling(const std::string& experiment, const ScalingOptions& options,
+                        const std::vector<int>& default_scales, int default_warmup,
+                        int default_measured, int gpus_per_node,
+                        net::SystemConfig (*make_system)(int),
+                        const std::vector<std::size_t>& tuning_sizes, MakeModel make_model) {
+  ScalingOptions opts = options;
+  if (opts.scales.empty()) opts.scales = default_scales;
+  if (opts.warmup_steps < 0) opts.warmup_steps = default_warmup;
+  if (opts.measured_steps < 0) opts.measured_steps = default_measured;
+  if (opts.quick) {
+    opts.scales.resize(std::min<std::size_t>(opts.scales.size(), 2));
+    opts.warmup_steps = 0;
+    opts.measured_steps = 1;
+  }
+
+  const std::vector<models::CommPlan> plans = {
+      models::CommPlan::pure("mv2-gdr", "Pure MVAPICH2-GDR"),
+      models::CommPlan::pure("nccl", "Pure NCCL"), models::CommPlan::mcr_dl_mixed(),
+      models::CommPlan::mcr_dl_tuned()};
+
+  models::HarnessOptions hopts;
+  hopts.warmup_steps = opts.warmup_steps;
+  hopts.measured_steps = opts.measured_steps;
+
+  BenchReport report;
+  report.experiment = experiment;
+  for (const auto& plan : plans) {
+    BenchSeries series;
+    series.name = plan.name;
+    series.backend = plan_backend_label(plan);
+    report.series.push_back(std::move(series));
+  }
+
+  for (int gpus : opts.scales) {
+    MCRDL_REQUIRE(gpus % gpus_per_node == 0, "scale must fill whole nodes");
+    net::SystemConfig sys = make_system(gpus / gpus_per_node);
+    models::TrainingHarness harness(sys);
+    auto model = make_model(sys);
+
+    // MCR-DL-T consumes a tuning table generated at this scale for the ops
+    // and message range the model actually uses.
+    TuningSuite suite(sys);
+    TuningConfig tcfg;
+    tcfg.backends = {"nccl", "mv2-gdr"};
+    tcfg.ops = {OpType::AllReduce, OpType::AllToAllSingle, OpType::Barrier};
+    tcfg.sizes = tuning_sizes;
+    tcfg.world_sizes = {gpus};
+    tcfg.iterations = 1;
+    TuningTable table = suite.generate(tcfg);
+
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const models::RunResult result = harness.run(
+          model, plans[i], models::FrameworkModel::raw(), hopts,
+          plans[i].use_auto ? &table : nullptr);
+      BenchPoint p;
+      p.world = gpus;
+      p.bytes = 0;  // whole-step measurement, not a message-size sweep
+      p.virtual_us = result.step_time_us;
+      p.items_per_s = result.throughput;
+      report.series[i].points.push_back(p);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+BenchReport run_fig8(const ScalingOptions& options) {
+  return run_scaling(
+      "fig8", options, {16, 32, 64, 128, 256}, /*warmup=*/1, /*measured=*/2,
+      /*gpus_per_node=*/4, &net::SystemConfig::lassen,
+      {64u << 10, 1u << 20, 4u << 20, 16u << 20, 32u << 20},
+      [](const net::SystemConfig& sys) { return models::DSMoEModel(models::DSMoEConfig{}, sys); });
+}
+
+BenchReport run_fig9(const ScalingOptions& options) {
+  return run_scaling(
+      "fig9", options, {8, 16, 32}, /*warmup=*/2, /*measured=*/6,
+      /*gpus_per_node=*/8, &net::SystemConfig::theta_gpu,
+      {256u << 10, 1u << 20, 4u << 20, 8u << 20, 16u << 20},
+      [](const net::SystemConfig& sys) { return models::DLRMModel(models::DLRMConfig{}, sys); });
+}
+
+}  // namespace mcrdl::bench

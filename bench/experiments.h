@@ -1,0 +1,76 @@
+// Reusable drivers for the paper's headline experiments (Figures 2, 8, 9)
+// plus the stable BENCH_*.json export schema.
+//
+// The figure binaries (bench_fig2_microbench, bench_fig8_dsmoe,
+// bench_fig9_dlrm) and the `bench_export` tool share these drivers: the
+// binaries render tables for humans, the tool writes machine-readable
+// perf-trajectory files CI can diff across commits.
+//
+// Schema (mcrdl-bench-v1):
+//   {"schema":"mcrdl-bench-v1","experiment":"fig2",
+//    "series":[{"name":"all_reduce/nccl","backend":"nccl",
+//               "points":[{"world":64,"bytes":1024,"virtual_us":12.3,
+//                          "items_per_s":0.0},...]},...]}
+// Microbench sweeps vary `bytes` (monotonically increasing within a
+// series); model-scaling sweeps vary `world` and report bytes=0 with
+// throughput in items_per_s.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcrdl::bench {
+
+inline constexpr const char* kBenchSchema = "mcrdl-bench-v1";
+
+struct BenchPoint {
+  int world = 0;
+  std::size_t bytes = 0;        // 0 for model sweeps (whole-step timing)
+  double virtual_us = 0.0;      // per-op latency or per-step time
+  double items_per_s = 0.0;     // throughput where the experiment has one
+};
+
+struct BenchSeries {
+  std::string name;             // "all_reduce/nccl", "MCR-DL-T", ...
+  std::string backend;          // backend or plan routing ("mixed", "auto")
+  std::vector<BenchPoint> points;
+};
+
+struct BenchReport {
+  std::string experiment;       // "fig2", "fig8", "fig9"
+  std::vector<BenchSeries> series;
+
+  const BenchSeries* find(const std::string& name) const;
+  // The point for `world` in `name`; throws InvalidArgument when absent.
+  const BenchPoint& at(const std::string& name, int world) const;
+};
+
+// Serialises a report in the mcrdl-bench-v1 schema (strictly valid JSON).
+std::string to_bench_json(const BenchReport& report);
+
+// --- experiment drivers -----------------------------------------------------
+
+// Figure 2: collective microbenchmark across backends on 64 Lassen GPUs.
+struct Fig2Options {
+  std::vector<std::size_t> sizes;       // empty = the paper's 1KB..64MB grid
+  std::vector<std::string> backends;    // empty = all four backends
+  int world = 64;
+  int iterations = 2;
+  int warmup = 1;
+  bool quick = false;                   // trim the grid for CI smoke runs
+};
+BenchReport run_fig2(const Fig2Options& options = {});
+
+// Figures 8/9: end-to-end model scaling sweeps (DS-MoE on Lassen, DLRM on
+// ThetaGPU) across the four communication plans.
+struct ScalingOptions {
+  std::vector<int> scales;              // empty = the figure's GPU counts
+  int warmup_steps = -1;                // -1 = the figure's defaults
+  int measured_steps = -1;
+  bool quick = false;                   // fewest scales/steps for CI
+};
+BenchReport run_fig8(const ScalingOptions& options = {});
+BenchReport run_fig9(const ScalingOptions& options = {});
+
+}  // namespace mcrdl::bench

@@ -27,18 +27,24 @@ net::CommShape shape_of_group(const net::Topology& topo, const std::vector<int>&
   return s;
 }
 
+// Every communicator's cost model feeds the cluster-wide link-usage
+// accumulator, so link-utilization gauges cover all backends and groups.
+net::CostModel instrumented_cost_model(Backend* backend) {
+  net::CostModel model(&backend->cluster()->topology(), backend->profile());
+  model.set_usage(&backend->cluster()->link_usage());
+  return model;
+}
+
 }  // namespace
 
 Comm::Comm(Backend* backend, std::vector<int> ranks)
     : backend_(backend),
       ranks_(std::move(ranks)),
-      engine_(&backend->cluster()->scheduler(),
-              net::CostModel(&backend->cluster()->topology(), backend->profile()),
+      engine_(&backend->cluster()->scheduler(), instrumented_cost_model(backend),
               shape_of_group(backend->cluster()->topology(), ranks_),
               static_cast<int>(ranks_.size()), ranks_, &backend->cluster()->faults(),
               backend->profile().name),
-      p2p_(&backend->cluster()->scheduler(),
-           net::CostModel(&backend->cluster()->topology(), backend->profile()), ranks_,
+      p2p_(&backend->cluster()->scheduler(), instrumented_cost_model(backend), ranks_,
            &backend->cluster()->faults(), backend->profile().name) {
   MCRDL_REQUIRE(!ranks_.empty(), "communicator needs at least one rank");
   std::set<int> seen;
@@ -303,6 +309,12 @@ Work Comm::send(int rank, Tensor tensor, int dst, bool async_op) {
 }
 
 Work Comm::issue(int rank, const OpRequest& req) {
+  // Per-backend traffic accounting: one increment per native issue attempt
+  // (retries and failover re-issues count — that is the point: the counters
+  // show where traffic actually went, not where it was asked to go).
+  obs::MetricsRegistry& metrics = backend_->cluster()->metrics();
+  metrics.counter("comm_ops", {{"backend", backend_->name()}, {"op", op_name(req.op)}}).inc();
+  metrics.counter("comm_bytes", {{"backend", backend_->name()}}).inc(req.payload_bytes());
   switch (req.op) {
     case OpType::AllReduce:
       return all_reduce(rank, req.tensor, req.rop, req.async_op);

@@ -28,4 +28,20 @@ void ClusterContext::run_spmd(int ranks, const std::function<void(int)>& fn) {
   sched_.run();
 }
 
+std::string ClusterContext::metrics_json() {
+  const SimTime now = sched_.now();
+  const auto sync = [&](const char* link, const net::LinkUsage::ClassUsage& u) {
+    const obs::Labels labels{{"link", link}};
+    metrics_.gauge("link_ops", labels).set(static_cast<double>(u.ops));
+    metrics_.gauge("link_bytes", labels).set(static_cast<double>(u.bytes));
+    metrics_.gauge("link_busy_us", labels).set(u.busy_us);
+    // Mean concurrent occupancy of the link class over the run so far; can
+    // exceed 1.0 when transfers overlap (many communicators in flight).
+    metrics_.gauge("link_utilization", labels).set(now > 0.0 ? u.busy_us / now : 0.0);
+  };
+  sync("intra", usage_.intra);
+  sync("inter", usage_.inter);
+  return metrics_.to_json();
+}
+
 }  // namespace mcrdl

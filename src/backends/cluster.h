@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "src/fault/injector.h"
+#include "src/net/cost.h"
 #include "src/net/topology.h"
+#include "src/obs/metrics.h"
 #include "src/sim/device.h"
 #include "src/sim/scheduler.h"
 
@@ -29,6 +31,18 @@ class ClusterContext {
   // — see src/fault/injector.h and McrDlOptions::fault.
   fault::FaultInjector& faults() { return faults_; }
 
+  // Always-on metrics registry (src/obs/metrics.h). Every layer records
+  // into it: the op pipeline (stage timings, op latencies), Comm::issue
+  // (per-backend ops/bytes), the failover path (retries/reroutes/breaker
+  // transitions) and the cost model (link usage, via link_usage()).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Link-class traffic accumulator the backends' cost models feed; mirrored
+  // into `link_*` gauges by metrics_json().
+  net::LinkUsage& link_usage() { return usage_; }
+  // Syncs the link-utilization gauges from link_usage(), then returns the
+  // registry's JSON snapshot.
+  std::string metrics_json();
+
   // Runs fn(rank) as one actor per rank and blocks until all complete.
   // Rethrows the first actor error (including DeadlockError).
   void run_spmd(const std::function<void(int)>& fn);
@@ -40,6 +54,8 @@ class ClusterContext {
   net::Topology topo_;
   std::vector<std::unique_ptr<sim::Device>> devices_;
   fault::FaultInjector faults_{&sched_};
+  obs::MetricsRegistry metrics_;
+  net::LinkUsage usage_;
 };
 
 }  // namespace mcrdl

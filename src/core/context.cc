@@ -30,9 +30,19 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
   // start at t=0 are visible to the very first operation.
   if (options_.fault.enabled) {
     cluster_->faults().configure(options_.fault.plan);
-    failover_ = std::make_unique<fault::FailoverRouter>(
-        &cluster_->faults(), options_.fault.retry, options_.fault.breaker_threshold,
-        options_.fault.failover);
+    failover_ = std::make_unique<fault::FailoverRouter>(&cluster_->faults(), options_.fault.retry,
+                                                        options_.fault.breaker_config(),
+                                                        options_.fault.failover);
+    // Surface breaker open/half-open/close events as metrics; the hook is
+    // purely observational, so routing decisions are untouched.
+    failover_->breaker().set_transition_hook(
+        [cluster = cluster_](const std::string& backend, int rank, fault::BreakerState to) {
+          (void)rank;  // per-backend cardinality; worlds are small and symmetric
+          cluster->metrics()
+              .counter("breaker_transitions",
+                       {{"backend", backend}, {"to", fault::breaker_state_name(to)}})
+              .inc();
+        });
     // Arm elastic recovery (no-op when the plan has no rank_loss specs), then
     // bind the resilience report so recovery counters surface in it. Order
     // matters: arm() re-disarms first, which clears any previous binding.

@@ -88,6 +88,17 @@ class FinishStage : public OpStage {
   const char* name() const override { return "finish"; }
   Work run(OpCall& c, const OpNext& next) override {
     Work w = next();
+    // Always-on metrics, independent of the (opt-in) CommLogger: one
+    // completion count per op/backend pair, plus an end-to-end latency
+    // histogram billed with the logger's convention (execution window when
+    // the backend reported one, posted-at otherwise).
+    obs::MetricsRegistry& metrics = c.ctx->cluster()->metrics();
+    const obs::Labels labels{{"backend", c.completed_on}, {"op", op_name(c.req.op)}};
+    metrics.counter("pipeline_ops", labels).inc();
+    obs::Histogram* latency = &metrics.histogram("op_latency_us", labels);
+    w->on_complete([latency, start = w->posted_at, w]() {
+      latency->observe(w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : start));
+    });
     if (c.ctx->logger().enabled()) {
       CommLogger* logger = &c.ctx->logger();
       CommRecord rec;
@@ -153,7 +164,10 @@ class RecoverStage : public OpStage {
       try {
         Work w = next();
         c.attempts += prior_attempts;
-        if (c.recovered) rec.note_recovered();
+        if (c.recovered) {
+          rec.note_recovered();
+          c.ctx->cluster()->metrics().counter("ops_recovered", {{"backend", c.completed_on}}).inc();
+        }
         return w;
       } catch (const RankLostError&) {
         // The casualty itself never replays: let the loss surface to the
@@ -281,12 +295,23 @@ class RouteStage : public OpStage {
       if (name != c.requested) order.push_back(name);
     }
 
+    obs::MetricsRegistry& metrics = c.ctx->cluster()->metrics();
+    // Age the preferred backend's breaker toward its half-open probe before
+    // selecting, so the op that crosses the probe threshold becomes the
+    // probe itself. Collectives only: every rank issues the same collective
+    // sequence, so the skip counts — and the resulting probe op — line up
+    // across ranks, which rank-asymmetric p2p traffic would break.
+    if (c.req.op != OpType::Send && c.req.op != OpType::Recv) {
+      router->age_breaker(c.requested, c.rank);
+    }
+
     std::string current = router->select(c.requested, order, c.rank);
     if (current != c.requested) {
       c.rerouted = true;
       c.fault = "unavailable";
       router->report().rerouted++;
       router->report().by_backend[c.requested].rerouted++;
+      metrics.counter("failover_reroutes", {{"backend", c.requested}}).inc();
     }
 
     c.attempts = 0;
@@ -310,6 +335,7 @@ class RouteStage : public OpStage {
           const SimTime backoff = router->retry().backoff(attempts_on_current);
           router->report().retried++;
           router->report().backoff_time_us += backoff;
+          metrics.counter("failover_retries", {{"backend", current}}).inc();
           c.ctx->cluster()->scheduler().sleep_for(backoff);
           continue;
         }
@@ -321,11 +347,13 @@ class RouteStage : public OpStage {
         } catch (const BackendUnavailable&) {
           router->report().failed++;
           router->report().by_backend[failed_backend].failed++;
+          metrics.counter("failover_failures", {{"backend", failed_backend}}).inc();
           throw tf;
         }
         c.rerouted = true;
         router->report().rerouted++;
         router->report().by_backend[failed_backend].rerouted++;
+        metrics.counter("failover_reroutes", {{"backend", failed_backend}}).inc();
         attempts_on_current = 0;
       } catch (const BackendUnavailable&) {
         c.fault = "unavailable";
@@ -336,11 +364,13 @@ class RouteStage : public OpStage {
         } catch (const BackendUnavailable&) {
           router->report().failed++;
           router->report().by_backend[current].failed++;
+          metrics.counter("failover_failures", {{"backend", current}}).inc();
           throw;
         }
         c.rerouted = true;
         router->report().rerouted++;
         router->report().by_backend[current].rerouted++;
+        metrics.counter("failover_reroutes", {{"backend", current}}).inc();
         current = next_backend;
         attempts_on_current = 0;
       } catch (const TimeoutError&) {
@@ -349,6 +379,7 @@ class RouteStage : public OpStage {
         router->record_failure(current, c.rank);
         router->report().failed++;
         router->report().by_backend[current].failed++;
+        metrics.counter("failover_failures", {{"backend", current}}).inc();
         throw;
       }
     }
@@ -430,12 +461,46 @@ Work OpPipeline::execute(int rank, const std::vector<int>& group, OpRequest req)
   call.rank = rank;
   call.group = group;
   call.req = std::move(req);
+  call.stage_child_us.assign(stages_.size(), 0.0);
   return invoke(0, call);
 }
 
+obs::Histogram& OpPipeline::stage_histogram(std::size_t index) {
+  if (stage_hist_.size() != stages_.size()) stage_hist_.assign(stages_.size(), nullptr);
+  if (stage_hist_[index] == nullptr) {
+    stage_hist_[index] = &ctx_->cluster()->metrics().histogram(
+        "pipeline_stage_us", {{"stage", stages_[index]->name()}});
+  }
+  return *stage_hist_[index];
+}
+
+// Each stage's histogram records its *exclusive* virtual time: the chain is
+// linear (stage i only invokes stage i+1, possibly several times for
+// retries), so exclusive time is this invocation's total minus the time its
+// child invocations accumulated into stage_child_us[index]. Reading now()
+// is side-effect-free, so the instrumentation cannot move a virtual-time
+// stamp — the golden-trace tests pin this.
 Work OpPipeline::invoke(std::size_t index, OpCall& call) {
   MCRDL_CHECK(index < stages_.size()) << "pipeline ran off the end — missing terminal stage?";
-  return stages_[index]->run(call, [this, index, &call]() { return invoke(index + 1, call); });
+  sim::Scheduler& sched = ctx_->cluster()->scheduler();
+  const SimTime start = sched.now();
+  const double child_before = call.stage_child_us[index];
+  const auto settle = [&]() {
+    const double total = sched.now() - start;
+    if (index > 0) call.stage_child_us[index - 1] += total;
+    return total - (call.stage_child_us[index] - child_before);
+  };
+  try {
+    Work w = stages_[index]->run(call, [this, index, &call]() { return invoke(index + 1, call); });
+    stage_histogram(index).observe(settle());
+    return w;
+  } catch (...) {
+    // Failed attempts still credit their time to the parent so the routing
+    // stage's exclusive time stays exact; only completed invocations are
+    // observed in the histogram.
+    settle();
+    throw;
+  }
 }
 
 std::vector<std::string> OpPipeline::stage_names() const {
@@ -455,12 +520,14 @@ std::size_t OpPipeline::index_of(const std::string& name) const {
 void OpPipeline::insert_before(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_before needs a stage");
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)), std::move(stage));
+  stage_hist_.clear();  // indices shifted; re-resolve lazily
 }
 
 void OpPipeline::insert_after(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_after needs a stage");
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)) + 1,
                  std::move(stage));
+  stage_hist_.clear();  // indices shifted; re-resolve lazily
 }
 
 }  // namespace mcrdl

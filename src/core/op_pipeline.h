@@ -32,6 +32,7 @@
 
 #include "src/backends/op_request.h"
 #include "src/backends/work.h"
+#include "src/obs/metrics.h"
 
 namespace mcrdl {
 
@@ -72,6 +73,11 @@ struct OpCall {
   bool fused = false;
   bool compressed = false;
 
+  // Virtual time spent inside downstream stages, indexed by stage; the
+  // pipeline uses it to compute each stage's *exclusive* time for the
+  // `pipeline_stage_us` histograms (sized by execute()).
+  std::vector<double> stage_child_us;
+
   // Size of the call's communicator (group or world).
   int world_size() const;
   // The group/world communicator of `b` for this call.
@@ -108,9 +114,13 @@ class OpPipeline {
  private:
   Work invoke(std::size_t index, OpCall& call);
   std::size_t index_of(const std::string& name) const;
+  obs::Histogram& stage_histogram(std::size_t index);
 
   McrDl* ctx_;
   std::vector<std::unique_ptr<OpStage>> stages_;
+  // Lazily resolved `pipeline_stage_us{stage=...}` histograms, parallel to
+  // stages_ (registry references are stable, so caching is safe).
+  std::vector<obs::Histogram*> stage_hist_;
 };
 
 }  // namespace mcrdl

@@ -5,23 +5,14 @@
 #include <sstream>
 
 #include "src/common/status.h"
+#include "src/obs/json.h"
 
 namespace mcrdl {
 
-namespace {
-
-// Minimal JSON string escaping for our controlled inputs.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
+// Full JSON string escaping (src/obs/json.h): fault descriptions and
+// backend names can carry quotes and control characters — a multi-line
+// fault string used to produce output Perfetto rejects.
+using obs::json_escape;
 
 std::string to_chrome_trace(const CommLogger& logger) {
   std::ostringstream out;

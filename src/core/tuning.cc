@@ -94,6 +94,13 @@ TuningTable TuningTable::parse(const std::string& text) {
       throw InvalidArgument("malformed tuning table line " + std::to_string(line_no) + ": " +
                             line);
     }
+    // Exactly four fields per line: trailing tokens are a corrupt or
+    // hand-mangled table, not something to silently accept.
+    std::string extra;
+    if (fields >> extra) {
+      throw InvalidArgument("trailing garbage '" + extra + "' on tuning table line " +
+                            std::to_string(line_no) + ": " + line);
+    }
     OpType op;
     if (!op_from_name(op_str, op)) {
       throw InvalidArgument("unknown operation '" + op_str + "' in tuning table line " +

@@ -36,12 +36,9 @@ std::string ResilienceReport::to_string() const {
   return out.str();
 }
 
-FailoverRouter::FailoverRouter(FaultInjector* injector, RetryPolicy retry, int breaker_threshold,
+FailoverRouter::FailoverRouter(FaultInjector* injector, RetryPolicy retry, BreakerConfig breaker,
                                bool failover_enabled)
-    : injector_(injector),
-      retry_(retry),
-      breaker_(breaker_threshold),
-      failover_(failover_enabled) {}
+    : injector_(injector), retry_(retry), breaker_(breaker), failover_(failover_enabled) {}
 
 bool FailoverRouter::healthy(const std::string& backend, int rank) const {
   return breaker_.healthy(backend, rank);
@@ -85,9 +82,14 @@ void FailoverRouter::record_success(const std::string& backend, int rank) {
 bool FailoverRouter::record_failure(const std::string& backend, int rank) {
   const bool tripped = breaker_.record_failure(backend, rank);
   // Every rank trips its own breaker (health is per-rank so routing stays
-  // sequence-aligned), but the report counts each backend's loss once.
+  // sequence-aligned), but the report counts each backend's loss once —
+  // re-trips after a failed half-open probe included.
   if (tripped && tripped_backends_.insert(backend).second) ++report_.breakers_tripped;
   return tripped;
+}
+
+void FailoverRouter::age_breaker(const std::string& backend, int rank) {
+  breaker_.note_skipped(backend, rank);
 }
 
 }  // namespace mcrdl::fault

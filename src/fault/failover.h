@@ -60,7 +60,15 @@ struct FaultOptions {
   FaultPlan plan;             // what to inject (may be empty: policies only)
   RetryPolicy retry;          // transient-fault retry schedule
   int breaker_threshold = 3;  // consecutive failures before a backend opens
+  int breaker_cooldown = 2;   // half-open successes before a backend closes
+  // Denied routes before an open breaker half-opens for a probe; <= 0
+  // keeps tripped breakers open for the life of the run.
+  int breaker_probe_after_ops = 8;
   bool failover = true;       // re-route on unhealthy backends ("auto" routing)
+
+  BreakerConfig breaker_config() const {
+    return BreakerConfig{breaker_threshold, breaker_cooldown, breaker_probe_after_ops};
+  }
 };
 
 // Health-aware routing over a fixed preference order. One instance per
@@ -68,8 +76,13 @@ struct FaultOptions {
 // access).
 class FailoverRouter {
  public:
-  FailoverRouter(FaultInjector* injector, RetryPolicy retry, int breaker_threshold,
+  FailoverRouter(FaultInjector* injector, RetryPolicy retry, BreakerConfig breaker,
                  bool failover_enabled);
+  // Legacy shape: default cooldown/probe cadence with an explicit threshold.
+  FailoverRouter(FaultInjector* injector, RetryPolicy retry, int breaker_threshold,
+                 bool failover_enabled)
+      : FailoverRouter(injector, retry, BreakerConfig{breaker_threshold, 2, 8},
+                       failover_enabled) {}
 
   // True when `rank` may still issue on `backend` (its breaker is closed).
   // Deliberately *not* a live outage check: outages are observed through
@@ -97,6 +110,13 @@ class FailoverRouter {
   void record_success(const std::string& backend, int rank);
   // Returns true if this failure tripped the backend's breaker.
   bool record_failure(const std::string& backend, int rank);
+
+  // An op preferring `backend` is about to route: ages the breaker toward
+  // its half-open probe when the backend is open (see CircuitBreaker::
+  // note_skipped). Called by the route stage for collectives only — p2p
+  // traffic is rank-asymmetric, and aging on it would desync the skip
+  // counts that keep probes aligned across ranks.
+  void age_breaker(const std::string& backend, int rank);
 
   const RetryPolicy& retry() const { return retry_; }
   bool failover_enabled() const { return failover_; }

@@ -4,27 +4,106 @@
 
 namespace mcrdl::fault {
 
-CircuitBreaker::CircuitBreaker(int threshold) : threshold_(threshold) {
-  MCRDL_REQUIRE(threshold >= 1, "circuit breaker threshold must be >= 1");
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  MCRDL_REQUIRE(config_.threshold >= 1, "circuit breaker threshold must be >= 1");
+  MCRDL_REQUIRE(config_.cooldown >= 1, "circuit breaker cooldown must be >= 1");
+}
+
+void CircuitBreaker::transition(const std::string& backend, int rank, Entry& entry,
+                                BreakerState to) {
+  entry.state = to;
+  if (hook_) hook_(backend, rank, to);
 }
 
 bool CircuitBreaker::record_failure(const std::string& backend, int rank) {
-  const int count = ++consecutive_[{backend, rank}];
-  if (count >= threshold_ && open_.count({backend, rank}) == 0) {
-    open_.insert({backend, rank});
-    return true;
+  Entry& entry = entries_[{backend, rank}];
+  ++entry.failures;
+  switch (entry.state) {
+    case BreakerState::Closed:
+      if (entry.failures >= config_.threshold) {
+        entry.skipped = 0;
+        transition(backend, rank, entry, BreakerState::Open);
+        return true;
+      }
+      return false;
+    case BreakerState::HalfOpen:
+      // A failed probe re-opens immediately: the backend proved it is still
+      // sick, so it goes back to aging toward the next probe window.
+      entry.skipped = 0;
+      entry.successes = 0;
+      transition(backend, rank, entry, BreakerState::Open);
+      return true;
+    case BreakerState::Open:
+      return false;
   }
   return false;
 }
 
 void CircuitBreaker::record_success(const std::string& backend, int rank) {
-  auto it = consecutive_.find({backend, rank});
-  if (it != consecutive_.end()) it->second = 0;
+  auto it = entries_.find({backend, rank});
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  switch (entry.state) {
+    case BreakerState::Closed:
+      entry.failures = 0;
+      break;
+    case BreakerState::HalfOpen:
+      if (++entry.successes >= config_.cooldown) {
+        entry.failures = 0;
+        entry.skipped = 0;
+        entry.successes = 0;
+        transition(backend, rank, entry, BreakerState::Closed);
+      }
+      break;
+    case BreakerState::Open:
+      // Successes cannot arrive for an open backend through routing; an
+      // out-of-band success does not close the breaker (probe first).
+      break;
+  }
+}
+
+void CircuitBreaker::note_skipped(const std::string& backend, int rank) {
+  auto it = entries_.find({backend, rank});
+  if (it == entries_.end() || it->second.state != BreakerState::Open) return;
+  if (config_.probe_after_ops <= 0) return;
+  Entry& entry = it->second;
+  if (++entry.skipped >= config_.probe_after_ops) {
+    entry.skipped = 0;
+    entry.successes = 0;
+    transition(backend, rank, entry, BreakerState::HalfOpen);
+  }
+}
+
+bool CircuitBreaker::allow_probe(const std::string& backend, int rank) {
+  auto it = entries_.find({backend, rank});
+  if (it == entries_.end() || it->second.state != BreakerState::Open) return false;
+  it->second.skipped = 0;
+  it->second.successes = 0;
+  transition(backend, rank, it->second, BreakerState::HalfOpen);
+  return true;
+}
+
+bool CircuitBreaker::healthy(const std::string& backend, int rank) const {
+  return state(backend, rank) != BreakerState::Open;
+}
+
+BreakerState CircuitBreaker::state(const std::string& backend, int rank) const {
+  auto it = entries_.find({backend, rank});
+  return it == entries_.end() ? BreakerState::Closed : it->second.state;
 }
 
 int CircuitBreaker::consecutive_failures(const std::string& backend, int rank) const {
-  auto it = consecutive_.find({backend, rank});
-  return it == consecutive_.end() ? 0 : it->second;
+  auto it = entries_.find({backend, rank});
+  return it == entries_.end() ? 0 : it->second.failures;
 }
 
 }  // namespace mcrdl::fault

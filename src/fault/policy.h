@@ -5,25 +5,38 @@
 //
 //   * RetryPolicy — bounded retry with exponential backoff for
 //     TransientFault. Backoff is charged to virtual time by the caller
-//     (Api::routed sleeps on the scheduler), so retries are visible in the
-//     simulated timeline exactly like they would be on a wall clock.
-//   * CircuitBreaker — N *consecutive* failures on a backend mark it
-//     unhealthy. Both the counts and the resulting health are tracked per
-//     (backend, rank): a rank's routing decisions must depend only on the
-//     fault verdicts *it* has observed, which are identical across ranks at
-//     the same logical operation (one verdict per rendezvous). Global
-//     health would let a fast rank's trip — recorded while retrying a
-//     *later* op — leak into a straggling rank's retry of an earlier op,
-//     desyncing the per-communicator sequence numbers the engines key
-//     rendezvous on (observed as a virtual-time deadlock). Once open, a
-//     breaker stays open: reopening mid-run would desync sequences the
-//     same way.
+//     (the route stage sleeps on the scheduler), so retries are visible in
+//     the simulated timeline exactly like they would be on a wall clock.
+//   * CircuitBreaker — a per-(backend, rank) three-state machine:
+//
+//         Closed ──threshold consecutive failures──▶ Open
+//         Open ──probe_after_ops denied routes / allow_probe()──▶ HalfOpen
+//         HalfOpen ──cooldown consecutive successes──▶ Closed
+//         HalfOpen ──any failure──▶ Open  (skip count restarts)
+//
+//     Both the counts and the health are tracked per (backend, rank): a
+//     rank's routing decisions must depend only on the fault verdicts *it*
+//     has observed, which are identical across ranks at the same logical
+//     operation (one verdict per rendezvous). Global health would let a
+//     fast rank's trip — recorded while retrying a *later* op — leak into
+//     a straggling rank's retry of an earlier op, desyncing the
+//     per-communicator sequence numbers the engines key rendezvous on
+//     (observed as a virtual-time deadlock).
+//
+//     Probe admission follows the same rule: it is driven by the count of
+//     operations that *preferred* the open backend and were routed away
+//     (note_skipped), never by raw virtual time. Every rank resolves the
+//     same preferred backend for the same logical op, so skip counts — and
+//     therefore the Open→HalfOpen transition — line up across ranks, while
+//     a wall-clock cooldown would let a straggler probe a different
+//     logical op than its peers and desync sequences.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 
 #include "src/common/units.h"
 
@@ -44,30 +57,77 @@ struct RetryPolicy {
   }
 };
 
-// Per-backend consecutive-failure tracker. Deterministic and allocation-light;
-// shared by every rank of a cluster (the simulator is single-batoned, so no
-// locking is needed beyond the scheduler's own serialisation).
+enum class BreakerState { Closed, Open, HalfOpen };
+
+// Human-readable state name ("closed" / "open" / "half_open"); used as a
+// metrics label by the transition hook installed in McrDl::init.
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  int threshold = 3;        // consecutive failures before Closed -> Open
+  int cooldown = 2;         // consecutive half-open successes before -> Closed
+  // Denied routes (ops that preferred this backend while open) before an
+  // automatic Open -> HalfOpen probe; <= 0 disables automatic probing
+  // (allow_probe() remains available).
+  int probe_after_ops = 8;
+};
+
+// Invoked on every state transition, after the state changed. Purely
+// observational — the obs layer counts open/half-open/close events with it.
+using BreakerTransitionHook =
+    std::function<void(const std::string& backend, int rank, BreakerState to)>;
+
+// Per-(backend, rank) three-state breaker. Deterministic and
+// allocation-light; shared by every rank of a cluster (the simulator is
+// single-batoned, so no locking is needed beyond the scheduler's own
+// serialisation).
 class CircuitBreaker {
  public:
-  explicit CircuitBreaker(int threshold = 3);
+  explicit CircuitBreaker(int threshold = 3) : CircuitBreaker(BreakerConfig{threshold, 2, 8}) {}
+  explicit CircuitBreaker(BreakerConfig config);
 
   // Records one failed attempt by `rank` on `backend`. Returns true if this
-  // failure tripped the breaker (backend newly unhealthy for `rank`).
+  // failure tripped the breaker (Closed reaching the threshold, or a failed
+  // half-open probe re-opening it).
   bool record_failure(const std::string& backend, int rank);
-  // A successful attempt resets `rank`'s consecutive count for `backend`.
+  // A successful attempt: resets the consecutive-failure count when Closed;
+  // when HalfOpen, counts toward `cooldown` and closes the breaker once
+  // enough consecutive probes succeeded.
   void record_success(const std::string& backend, int rank);
 
-  bool healthy(const std::string& backend, int rank) const {
-    return open_.count({backend, rank}) == 0;
-  }
-  int threshold() const { return threshold_; }
+  // An operation preferring `backend` was routed elsewhere while the
+  // breaker was open. After `probe_after_ops` such denials the breaker
+  // moves to HalfOpen, so the next preferring op becomes the probe. No-op
+  // unless Open.
+  void note_skipped(const std::string& backend, int rank);
+  // Explicit Open -> HalfOpen transition; returns false (and does nothing)
+  // unless the breaker is currently Open.
+  bool allow_probe(const std::string& backend, int rank);
+
+  // True unless Open: half-open breakers admit traffic (the probe).
+  bool healthy(const std::string& backend, int rank) const;
+  BreakerState state(const std::string& backend, int rank) const;
+
+  int threshold() const { return config_.threshold; }
+  const BreakerConfig& config() const { return config_; }
   // Consecutive failures recorded for (backend, rank); for introspection.
   int consecutive_failures(const std::string& backend, int rank) const;
 
+  void set_transition_hook(BreakerTransitionHook hook) { hook_ = std::move(hook); }
+
  private:
-  int threshold_;
-  std::map<std::pair<std::string, int>, int> consecutive_;
-  std::set<std::pair<std::string, int>> open_;
+  struct Entry {
+    BreakerState state = BreakerState::Closed;
+    int failures = 0;   // consecutive failures (Closed) / last streak (Open)
+    int skipped = 0;    // denied routes since the breaker opened
+    int successes = 0;  // consecutive half-open probe successes
+  };
+
+  void transition(const std::string& backend, int rank, Entry& entry, BreakerState to);
+
+  BreakerConfig config_;
+  std::map<std::pair<std::string, int>, Entry> entries_;
+  BreakerTransitionHook hook_;
 };
 
 }  // namespace mcrdl::fault

@@ -130,7 +130,14 @@ SimTime CostModel::collective_cost(OpType op, std::size_t bytes, const CommShape
   }
   MCRDL_CHECK(cost != kInf) << "no applicable algorithm for " << op_name(op) << " in backend "
                             << profile_.name;
-  return profile_.launch_overhead_us + cost;
+  const SimTime total = profile_.launch_overhead_us + cost;
+  if (usage_ != nullptr) {
+    LinkUsage::ClassUsage& u = shape.nodes > 1 ? usage_->inter : usage_->intra;
+    ++u.ops;
+    u.bytes += bytes;
+    u.busy_us += total;
+  }
+  return total;
 }
 
 SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
@@ -145,6 +152,12 @@ SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
   double cost = profile_.launch_overhead_us * 0.5 + profile_.p2p_latency_us +
                 link.latency_us + static_cast<double>(bytes) / bw;
   if (bytes > profile_.eager_threshold) cost += profile_.rendezvous_overhead_us;
+  if (usage_ != nullptr) {
+    LinkUsage::ClassUsage& u = topo_->same_node(src, dst) ? usage_->intra : usage_->inter;
+    ++u.ops;
+    u.bytes += bytes;
+    u.busy_us += cost;
+  }
   return cost;
 }
 

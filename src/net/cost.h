@@ -11,6 +11,7 @@
 // models; `tests/net/calibration_test.cc` pins the orderings.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -109,6 +110,22 @@ struct FaultBetaScale {
 // backend this model belongs to (src/fault/injector.h).
 using FaultScaleFn = std::function<FaultBetaScale(OpType)>;
 
+// Aggregate traffic per link class, accumulated by every CostModel the
+// owning cluster hands out (see CostModel::set_usage). A plain struct so
+// src/net stays free of the obs layer; ClusterContext mirrors it into
+// link-utilization gauges at snapshot time. `ops` counts cost-model
+// evaluations (one per collective rendezvous or p2p transfer), `busy_us`
+// the virtual time those transfers occupied the link class.
+struct LinkUsage {
+  struct ClassUsage {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    double busy_us = 0.0;
+  };
+  ClassUsage intra;  // NVLink traffic within a node
+  ClassUsage inter;  // NIC traffic crossing nodes
+};
+
 // Evaluates operation costs for one backend over one topology.
 class CostModel {
  public:
@@ -130,6 +147,11 @@ class CostModel {
   // the default — the cost formulas are untouched, keeping fault-free runs
   // bit-identical to a build without the fault subsystem.
   void set_fault_scale(FaultScaleFn fn) { fault_scale_ = std::move(fn); }
+
+  // Installs the link-usage accumulator (cluster-owned; must outlive the
+  // model). Purely observational: recording never changes the returned
+  // costs, so attaching it cannot move a virtual-time stamp.
+  void set_usage(LinkUsage* usage) { usage_ = usage; }
 
  private:
   // Derived per-shape link terms (bytes/µs and µs).
@@ -159,6 +181,7 @@ class CostModel {
   const Topology* topo_;
   BackendProfile profile_;
   FaultScaleFn fault_scale_;
+  LinkUsage* usage_ = nullptr;  // optional, not owned
 };
 
 // ceil(log2(n)) with log2(1) == 0; shared by the algorithm formulas.

@@ -1,0 +1,53 @@
+// Minimal JSON support for the observability layer: escaping for the
+// writers (metrics snapshots, Chrome traces, BENCH_*.json) and a strict
+// recursive-descent parser for the readers (tests and `bench_export
+// --check`). Strict means strict: trailing garbage, unescaped control
+// characters, bad \u sequences, lone surrogates and malformed numbers all
+// throw InvalidArgument with the byte offset of the problem, so a writer
+// regression fails loudly instead of producing a file Perfetto (or a future
+// CI gate) silently rejects.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcrdl::obs {
+
+// Escapes `s` for embedding inside a JSON string literal: quote, backslash,
+// and every control byte < 0x20 (named escapes for \b \t \n \f \r, \u00XX
+// for the rest). Everything else passes through untouched.
+std::string json_escape(const std::string& s);
+
+// One parsed JSON value. A tagged struct rather than a variant tree: the
+// consumers are tests and schema checks, which want cheap field access, not
+// a DOM API.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  // Object member lookup; nullptr when absent (or when not an object).
+  const JsonValue* find(const std::string& key) const;
+  // As find(), but throws InvalidArgument naming the missing key.
+  const JsonValue& at(const std::string& key) const;
+};
+
+// Parses exactly one JSON document covering the whole input; anything after
+// the document besides whitespace is an error. Throws InvalidArgument.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace mcrdl::obs

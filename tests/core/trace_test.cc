@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "src/core/mcr_dl.h"
+#include "src/obs/json.h"
 
 namespace mcrdl {
 namespace {
@@ -93,6 +94,59 @@ TEST(Trace, CleanRecordsCarryNoResilienceArgs) {
   EXPECT_EQ(json.find(R"("cname")"), std::string::npos);
   EXPECT_EQ(json.find(R"("attempts")"), std::string::npos);
   EXPECT_EQ(json.find(R"("fault")"), std::string::npos);
+}
+
+TEST(Trace, ControlCharactersInStringsAreEscaped) {
+  // Regression: fault descriptions and backend names can carry newlines,
+  // tabs and quotes; the exporter used to pass control characters through
+  // raw, producing JSON that Perfetto (and any strict parser) rejects.
+  CommLogger log;
+  log.set_enabled(true);
+  CommRecord r = rec(0, OpType::AllReduce, "nccl\tfast", 0.0, 1.0);
+  r.attempts = 2;
+  r.fault = "line1\nline2\r\"quoted\\path\"\x01" "end";
+  log.record(r);
+  const std::string json = to_chrome_trace(log);
+
+  // No raw control bytes survive in the output.
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_NE(json.find(R"(nccl\tfast)"), std::string::npos);
+  EXPECT_NE(json.find(R"(line1\nline2\r\"quoted\\path\"\u0001end)"), std::string::npos);
+
+  // A strict parser accepts the document and round-trips the raw strings.
+  const obs::JsonValue doc = obs::parse_json(json);
+  const obs::JsonValue& ev = doc.at("traceEvents").array.at(0);
+  EXPECT_EQ(ev.at("tid").str, "nccl\tfast");
+  EXPECT_EQ(ev.at("args").at("fault").str,
+            "line1\nline2\r\"quoted\\path\"\x01" "end");
+}
+
+TEST(Trace, ChaosTraceParsesStrictly) {
+  // Every exporter code path (clean, retried, rerouted, recovered args and
+  // the rank metadata events) must yield strictly valid JSON.
+  CommLogger log;
+  log.set_enabled(true);
+  log.record(rec(0, OpType::AllReduce, "nccl", 0.0, 1.0));
+  CommRecord retried = rec(1, OpType::Broadcast, "sccl", 1.0, 2.0);
+  retried.attempts = 3;
+  retried.fault = "transient";
+  log.record(retried);
+  CommRecord rerouted = rec(2, OpType::AllGather, "mv2-gdr", 2.0, 3.0);
+  rerouted.rerouted = true;
+  rerouted.requested_backend = "nccl";
+  rerouted.fault = "unavailable";
+  log.record(rerouted);
+  CommRecord recovered = rec(3, OpType::AllReduce, "ompi", 3.0, 4.0);
+  recovered.recovered = true;
+  recovered.epoch = 2;
+  log.record(recovered);
+
+  const obs::JsonValue doc = obs::parse_json(to_chrome_trace(log));
+  const auto& events = doc.at("traceEvents").array;
+  // 4 complete events + 4 rank-metadata events.
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.at(2).at("args").at("requested_backend").str, "nccl");
+  EXPECT_TRUE(events.at(3).at("args").at("recovered").boolean);
 }
 
 TEST(Trace, WriteToFileRoundTrips) {

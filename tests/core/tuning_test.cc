@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "src/core/tuning.h"
 #include "src/net/cost.h"
@@ -83,6 +85,47 @@ TEST(TuningTable, SaveLoadRoundTrip) {
 TEST(TuningTable, ParseRejectsGarbage) {
   EXPECT_THROW(TuningTable::parse("all_reduce not_a_number 12 nccl\n"), InvalidArgument);
   EXPECT_THROW(TuningTable::parse("frobnicate 8 1024 nccl\n"), InvalidArgument);
+}
+
+TEST(TuningTable, ParseRejectsTrailingGarbageWithLineNumber) {
+  // Regression: the parser used to read exactly four fields and silently
+  // drop the rest of the line, so a table damaged by a bad merge ("nccl
+  // nccl") or a stray column loaded as if it were fine.
+  const std::string text =
+      "# header\n"
+      "all_reduce 8 1024 nccl\n"
+      "all_gather 8 2048 mv2-gdr extra-token\n";
+  try {
+    TuningTable::parse(text);
+    FAIL() << "trailing garbage accepted";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trailing garbage"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("extra-token"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(TuningTable, RoundTripThenDamagedCopyIsRejected) {
+  // serialize() output must parse, and any single line with an appended
+  // token must not.
+  TuningTable t;
+  t.set(OpType::AllGather, 64, 2048, "mv2-gdr");
+  t.set(OpType::AllToAllSingle, 32, 1 << 20, "nccl");
+  const std::string clean = t.serialize();
+  EXPECT_EQ(TuningTable::parse(clean).num_entries(), 2u);
+  std::istringstream in(clean);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::string damaged = clean;
+    const std::size_t pos = damaged.find(line);
+    damaged.insert(pos + line.size(), " 999");
+    EXPECT_THROW(TuningTable::parse(damaged), InvalidArgument)
+        << "line " << line_no << " accepted trailing garbage";
+  }
 }
 
 TEST(TuningTable, ParseSkipsCommentsAndBlankLines) {

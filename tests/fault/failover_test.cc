@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/mcr_dl.h"
+#include "src/obs/metrics.h"
 
 namespace mcrdl::fault {
 namespace {
@@ -280,6 +283,64 @@ TEST(FailoverEndToEnd, PersistentTransientsTripTheBreakerAndReroute) {
     EXPECT_FALSE(mcr.failover()->healthy("nccl", rank));
     EXPECT_TRUE(mcr.failover()->healthy("mv2-gdr", rank));
   }
+}
+
+TEST(FailoverEndToEnd, BreakerClosesAfterOutageEndsAndTrafficReturns) {
+  // A *windowed* fault: nccl fails every attempt until t=250us, then is
+  // fine. The breaker must trip during the window, age open→half-open on the
+  // denied ops that follow, probe nccl once the window has passed, close,
+  // and route the tail of the run back to the preferred backend — with the
+  // data still identical to a fault-free run.
+  ClusterContext base_cluster(net::SystemConfig::lassen(1));
+  McrDl base(&base_cluster);
+  base.init({"nccl", "mv2-gdr"});
+  const std::vector<double> expected = run_workload(base, base_cluster, 10);
+
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDlOptions opts;
+  opts.logging_enabled = true;
+  opts.fault.enabled = true;
+  opts.fault.plan.specs.push_back(FaultSpec::transient("nccl", 1.0, 0.0, 250.0));
+  opts.fault.breaker_threshold = 3;  // trips inside the first op's retry ladder
+  opts.fault.breaker_probe_after_ops = 2;
+  opts.fault.breaker_cooldown = 1;
+  McrDl mcr(&cluster, opts);
+  mcr.init({"nccl", "mv2-gdr"});
+  const std::vector<double> got = run_workload(mcr, cluster, 10);
+
+  EXPECT_EQ(got, expected);  // zero wrong results through trip + recovery
+  const ResilienceReport& report = mcr.failover()->report();
+  EXPECT_GT(report.breakers_tripped, 0u);
+  EXPECT_GT(report.rerouted, 0u);
+  EXPECT_EQ(report.failed, 0u);
+
+  // Every rank's breaker ended the run closed: the probe succeeded.
+  for (int rank = 0; rank < cluster.world_size(); ++rank) {
+    EXPECT_TRUE(mcr.failover()->healthy("nccl", rank)) << "rank " << rank;
+  }
+
+  // Traffic returned: each rank's final logged op ran on nccl, un-rerouted.
+  std::map<int, const CommRecord*> last;
+  for (const auto& r : mcr.logger().records()) last[r.rank] = &r;
+  ASSERT_EQ(last.size(), static_cast<std::size_t>(cluster.world_size()));
+  for (const auto& [rank, r] : last) {
+    EXPECT_EQ(r->backend, "nccl") << "rank " << rank;
+    EXPECT_FALSE(r->rerouted) << "rank " << rank;
+  }
+
+  // The full open → half-open → closed cycle surfaced as metrics events,
+  // once per rank.
+  const auto world = static_cast<std::uint64_t>(cluster.world_size());
+  obs::MetricsRegistry& metrics = cluster.metrics();
+  EXPECT_EQ(metrics.counter_value("breaker_transitions",
+                                  {{"backend", "nccl"}, {"to", "open"}}),
+            world);
+  EXPECT_EQ(metrics.counter_value("breaker_transitions",
+                                  {{"backend", "nccl"}, {"to", "half_open"}}),
+            world);
+  EXPECT_EQ(metrics.counter_value("breaker_transitions",
+                                  {{"backend", "nccl"}, {"to", "closed"}}),
+            world);
 }
 
 TEST(FailoverEndToEnd, PointToPointRetriesStayPaired) {

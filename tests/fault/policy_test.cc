@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace mcrdl::fault {
 namespace {
 
@@ -62,14 +65,101 @@ TEST(CircuitBreaker, BackendsAreIndependent) {
   EXPECT_TRUE(cb.healthy("mv2-gdr", 0));
 }
 
-TEST(CircuitBreaker, StaysOpenOnceTripped) {
-  // Reopening mid-run would desync communicator sequence numbers across
-  // ranks, so a tripped breaker is permanent for the life of the run.
+TEST(CircuitBreaker, SuccessWhileOpenDoesNotClose) {
+  // An open breaker routes nothing, so successes recorded against it (e.g.
+  // from a stale in-flight op) must not silently close it; recovery goes
+  // through the half-open probe path.
   CircuitBreaker cb(1);
   EXPECT_TRUE(cb.record_failure("nccl", 0));
   cb.record_success("nccl", 0);
   EXPECT_FALSE(cb.healthy("nccl", 0));
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Open);
   EXPECT_FALSE(cb.record_failure("nccl", 0));  // not a *new* trip
+}
+
+TEST(CircuitBreaker, OpenToHalfOpenAfterEnoughSkippedOps) {
+  // probe_after_ops denied routes age the breaker into HalfOpen, which
+  // admits traffic again (healthy) — the next op becomes the probe.
+  CircuitBreaker cb(BreakerConfig{1, 2, 3});
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Open);
+  cb.note_skipped("nccl", 0);
+  cb.note_skipped("nccl", 0);
+  EXPECT_FALSE(cb.healthy("nccl", 0));  // 2 < 3: still open
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+  EXPECT_TRUE(cb.healthy("nccl", 0));
+}
+
+TEST(CircuitBreaker, HalfOpenClosesAfterCooldownSuccesses) {
+  CircuitBreaker cb(BreakerConfig{1, 2, 1});
+  cb.record_failure("nccl", 0);
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+  cb.record_success("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);  // 1 < 2 successes
+  cb.record_success("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Closed);
+  // Fully reset: the next trip needs a fresh failure streak.
+  EXPECT_EQ(cb.consecutive_failures("nccl", 0), 0);
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreaker cb(BreakerConfig{2, 2, 1});
+  cb.record_failure("nccl", 0);
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+  cb.record_success("nccl", 0);  // one good probe...
+  // ...but a single failure in HalfOpen re-opens without a fresh streak,
+  // and it counts as a new trip (return true).
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Open);
+  // The re-opened breaker needs a full round of skips before the next probe.
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreaker, AllowProbeForcesHalfOpen) {
+  CircuitBreaker cb(BreakerConfig{1, 1, 0});  // probing by op count disabled
+  cb.record_failure("nccl", 0);
+  cb.note_skipped("nccl", 0);
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Open);  // skips ignored
+  EXPECT_TRUE(cb.allow_probe("nccl", 0));   // explicit admission
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+  EXPECT_FALSE(cb.allow_probe("nccl", 0));  // only meaningful while open
+  cb.record_success("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, SkipsOnlyAgeOpenBreakers) {
+  CircuitBreaker cb(BreakerConfig{2, 1, 1});
+  cb.note_skipped("nccl", 0);  // closed: no-op
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::Closed);
+  cb.record_failure("nccl", 0);
+  cb.note_skipped("nccl", 0);  // still closed (1 < 2 failures): no-op
+  EXPECT_TRUE(cb.record_failure("nccl", 0));
+  cb.note_skipped("nccl", 0);
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+  cb.note_skipped("nccl", 0);  // half-open: no-op, probes are in flight
+  EXPECT_EQ(cb.state("nccl", 0), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreaker, TransitionHookSeesEveryStateChange) {
+  CircuitBreaker cb(BreakerConfig{1, 1, 1});
+  std::vector<std::string> events;
+  cb.set_transition_hook([&](const std::string& backend, int rank, BreakerState to) {
+    events.push_back(backend + "/" + std::to_string(rank) + ":" + breaker_state_name(to));
+  });
+  cb.record_failure("nccl", 3);
+  cb.note_skipped("nccl", 3);
+  cb.record_success("nccl", 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "nccl/3:open");
+  EXPECT_EQ(events[1], "nccl/3:half_open");
+  EXPECT_EQ(events[2], "nccl/3:closed");
 }
 
 }  // namespace

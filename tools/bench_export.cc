@@ -1,0 +1,157 @@
+// bench_export — runs a paper experiment and writes its results as a
+// machine-readable BENCH_<experiment>.json perf-trajectory file (schema
+// mcrdl-bench-v1, documented in bench/experiments.h and DESIGN.md §8).
+//
+//   bench_export --experiment fig2 [--out DIR] [--quick]
+//   bench_export --check BENCH_fig2.json
+//
+// --quick trims the sweep for CI smoke runs. --check parses an existing
+// file with the strict JSON parser and validates the schema; for fig2 it
+// additionally requires at least one series whose points sweep strictly
+// increasing message sizes, so a truncated or reordered export fails CI.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/experiments.h"
+#include "src/common/status.h"
+#include "src/obs/json.h"
+
+using namespace mcrdl;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --experiment fig2|fig8|fig9 [--out DIR] [--quick]\n"
+               "       %s --check FILE\n",
+               argv0, argv0);
+  return 2;
+}
+
+// Validates the mcrdl-bench-v1 schema; throws InvalidArgument on violation.
+void check_schema(const obs::JsonValue& doc) {
+  if (doc.at("schema").str != bench::kBenchSchema) {
+    throw InvalidArgument("unexpected schema tag: " + doc.at("schema").str);
+  }
+  const std::string experiment = doc.at("experiment").str;
+  const auto& series = doc.at("series");
+  if (!series.is_array() || series.array.empty()) {
+    throw InvalidArgument("bench file has no series");
+  }
+  bool has_increasing_bytes_sweep = false;
+  for (const auto& s : series.array) {
+    if (!s.at("name").is_string() || !s.at("backend").is_string()) {
+      throw InvalidArgument("series needs string name and backend");
+    }
+    const auto& points = s.at("points");
+    if (!points.is_array()) throw InvalidArgument("series.points must be an array");
+    double prev_bytes = -1.0;
+    bool increasing = points.array.size() >= 2;
+    for (const auto& p : points.array) {
+      for (const char* field : {"world", "bytes", "virtual_us", "items_per_s"}) {
+        if (!p.at(field).is_number()) {
+          throw InvalidArgument(std::string("point field is not a number: ") + field);
+        }
+      }
+      if (p.at("virtual_us").number < 0.0) throw InvalidArgument("negative virtual_us");
+      if (p.at("bytes").number <= prev_bytes) increasing = false;
+      prev_bytes = p.at("bytes").number;
+    }
+    if (increasing) has_increasing_bytes_sweep = true;
+  }
+  // Microbench exports must contain a real message-size sweep; a report
+  // with one point per series (or shuffled sizes) is a broken export.
+  if (experiment == "fig2" && !has_increasing_bytes_sweep) {
+    throw InvalidArgument(
+        "fig2 export has no series with >= 2 points of strictly increasing bytes");
+  }
+}
+
+int check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "bench_export: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    check_schema(obs::parse_json(buf.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_export: %s failed validation: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: valid %s file\n", path.c_str(), bench::kBenchSchema);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string experiment;
+  std::string out_dir = ".";
+  std::string check_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--experiment" && i + 1 < argc) {
+      experiment = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!check_path.empty()) return check_file(check_path);
+  if (experiment.empty()) return usage(argv[0]);
+
+  bench::BenchReport report;
+  try {
+    if (experiment == "fig2") {
+      bench::Fig2Options options;
+      options.quick = quick;
+      report = bench::run_fig2(options);
+    } else if (experiment == "fig8") {
+      bench::ScalingOptions options;
+      options.quick = quick;
+      report = bench::run_fig8(options);
+    } else if (experiment == "fig9") {
+      bench::ScalingOptions options;
+      options.quick = quick;
+      report = bench::run_fig9(options);
+    } else {
+      std::fprintf(stderr, "bench_export: unknown experiment '%s'\n", experiment.c_str());
+      return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_export: experiment failed: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string json = bench::to_bench_json(report);
+  // The writer eats its own dog food: a file that would fail --check is
+  // never written.
+  check_schema(obs::parse_json(json));
+
+  const std::string path = out_dir + "/BENCH_" + experiment + ".json";
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "bench_export: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json << "\n";
+  out.close();
+  std::size_t points = 0;
+  for (const auto& s : report.series) points += s.points.size();
+  std::printf("wrote %s (%zu series, %zu points%s)\n", path.c_str(), report.series.size(),
+              points, quick ? ", quick grid" : "");
+  return 0;
+}

@@ -24,6 +24,9 @@ ctest --output-on-failure -j "${jobs}"
 # The fault/chaos suite guards the failover invariants (DESIGN.md §7); run
 # it by label too so a labelling regression is caught even if test names move.
 ctest --output-on-failure -j "${jobs}" -L fault
+# Same for the observability suite (DESIGN.md §8): metrics, strict JSON, and
+# the golden-trace byte-identity that keeps instrumentation passive.
+ctest --output-on-failure -j "${jobs}" -L obs
 
 # Chaos-differential smoke: kill rank 3 at t=2500us mid-run and require a
 # clean elastic recovery — exit 0 (planned casualty only, survivors agree)
@@ -39,5 +42,14 @@ if [ -z "${recovered}" ] || [ "${recovered}" -le 0 ]; then
   echo "chaos smoke FAILED: expected recovered ops > 0, got '${recovered:-none}'" >&2
   exit 1
 fi
+
+# Perf-trajectory smoke: export the Figure 2 microbenchmark on the quick
+# grid and validate the BENCH file — the strict parser must accept it and at
+# least one series must sweep monotonically increasing message sizes.
+echo "== bench_export smoke: fig2 perf trajectory =="
+bench_dir="${build_dir}/bench-export"
+mkdir -p "${bench_dir}"
+"${build_dir}/tools/bench_export" --experiment fig2 --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_fig2.json"
 
 echo "== CI passed =="
