@@ -4,7 +4,7 @@
 // architecture (e.g. MVAPICH2-GDR consistently performs the best for small
 // messages)." We generate the same table on Lassen and ThetaGPU and diff.
 #include "bench/bench_util.h"
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
 
 using namespace mcrdl;
 

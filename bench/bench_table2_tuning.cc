@@ -3,7 +3,7 @@
 // Lassen). The paper's pattern: MVAPICH2-GDR for small messages, NCCL for
 // the 4-8 KiB band, SCCL for 16 KiB and above.
 #include "bench/bench_util.h"
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
 #include "src/net/cost.h"
 
 using namespace mcrdl;

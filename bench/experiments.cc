@@ -1,10 +1,13 @@
 #include "bench/experiments.h"
 
 #include <algorithm>
+#include <functional>
+#include <map>
 #include <sstream>
 
 #include "src/common/status.h"
-#include "src/core/tuning.h"
+#include "src/tune/online_tuner.h"
+#include "src/tune/tuning.h"
 #include "src/models/dlrm.h"
 #include "src/models/moe.h"
 #include "src/models/workload.h"
@@ -215,6 +218,154 @@ BenchReport run_fig9(const ScalingOptions& options) {
       /*gpus_per_node=*/8, &net::SystemConfig::theta_gpu,
       {256u << 10, 1u << 20, 4u << 20, 8u << 20, 16u << 20},
       [](const net::SystemConfig& sys) { return models::DLRMModel(models::DLRMConfig{}, sys); });
+}
+
+// --- online adaptation ------------------------------------------------------
+
+namespace {
+
+// One blocking all_reduce loop through the full facade; returns rank 0's
+// per-step durations. `mutate_options` tweaks the McrDlOptions (fault plan,
+// online tuner); `after_run` sees the McrDl before finalize (tuner counters).
+std::vector<double> run_auto_loop(const net::SystemConfig& sys, const AdaptOptions& opts,
+                                  const std::vector<std::string>& backends,
+                                  const std::string& backend_string, const TuningTable* table,
+                                  const std::function<void(McrDlOptions&)>& mutate_options,
+                                  const std::function<void(McrDl&)>& after_run) {
+  ClusterContext cluster(sys);
+  McrDlOptions mopts;
+  if (mutate_options) mutate_options(mopts);
+  McrDl mcr(&cluster, mopts);
+  mcr.init(backends);
+  if (table != nullptr) mcr.set_tuning_table(*table);
+  std::vector<double> step_us(static_cast<std::size_t>(opts.steps), 0.0);
+  const std::int64_t numel =
+      std::max<std::int64_t>(static_cast<std::int64_t>(opts.bytes / 4), 1);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    for (int s = 0; s < opts.steps; ++s) {
+      const SimTime start = cluster.scheduler().now();
+      Tensor t = Tensor::phantom({numel}, DType::F32, dev);
+      api.all_reduce(backend_string, t, ReduceOp::Sum, /*async_op=*/false);
+      api.synchronize();
+      if (rank == 0) step_us[static_cast<std::size_t>(s)] = cluster.scheduler().now() - start;
+    }
+  });
+  if (after_run) after_run(mcr);
+  mcr.finalize();
+  return step_us;
+}
+
+double median_of(std::vector<double> v) {
+  MCRDL_REQUIRE(!v.empty(), "median of an empty window");
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// Median step time of the run's final window — robust to the occasional
+// re-probe of the quarantined backend, which is exploration cost rather
+// than steady-state routing.
+double last_window_median(const std::vector<double>& steps, int window) {
+  const std::size_t w = static_cast<std::size_t>(window);
+  return median_of(std::vector<double>(steps.end() - static_cast<std::ptrdiff_t>(w), steps.end()));
+}
+
+BenchSeries windowed_series(const std::string& name, const std::string& backend,
+                            const std::vector<double>& steps, const AdaptOptions& opts) {
+  BenchSeries series;
+  series.name = name;
+  series.backend = backend;
+  for (int s = 0; s + opts.window <= static_cast<int>(steps.size()); s += opts.window) {
+    double sum = 0.0;
+    for (int i = s; i < s + opts.window; ++i) sum += steps[static_cast<std::size_t>(i)];
+    BenchPoint p;
+    p.world = opts.world;
+    p.bytes = static_cast<std::size_t>(s);  // window start step — the time axis
+    p.virtual_us = sum / opts.window;
+    p.items_per_s = p.virtual_us > 0.0 ? 1e6 / p.virtual_us : 0.0;
+    series.points.push_back(p);
+  }
+  return series;
+}
+
+}  // namespace
+
+AdaptReport run_adapt(const AdaptOptions& options) {
+  AdaptOptions opts = options;
+  if (opts.quick) {
+    opts.steps = 96;
+    opts.window = 12;
+  }
+  MCRDL_REQUIRE(opts.world % 4 == 0, "adapt runs on Lassen (4 GPUs per node)");
+  MCRDL_REQUIRE(opts.steps >= 3 * opts.window, "adapt needs >= 3 windows of steps");
+  const net::SystemConfig sys = net::SystemConfig::lassen(opts.world / 4);
+  const std::vector<std::string> backends = {"nccl", "mv2-gdr"};
+
+  // Calibrate: a short clean loop per backend finds the static winner (the
+  // backend to degrade) and the best undegraded alternative.
+  AdaptOptions calib = opts;
+  calib.steps = 8;
+  std::map<std::string, double> calib_us;
+  for (const auto& name : backends) {
+    calib_us[name] = median_of(
+        run_auto_loop(sys, calib, backends, name, nullptr, nullptr, nullptr));
+  }
+  std::string winner = backends.front();
+  for (const auto& name : backends) {
+    if (calib_us[name] < calib_us[winner]) winner = name;
+  }
+  std::string alt = backends.front() == winner ? backends[1] : backends.front();
+  for (const auto& name : backends) {
+    if (name != winner && calib_us[name] < calib_us[alt]) alt = name;
+  }
+
+  // The static table the paper's workflow would have produced: the winner at
+  // this grid point. It doubles as the online tuner's prior.
+  TuningTable table;
+  table.set(OpType::AllReduce, opts.world, tune::OnlineTuner::bucket(opts.bytes), winner);
+
+  // Degrade the winner's links after the first third of the run (paced by
+  // its own calibrated step time, so the instant scales with the grid).
+  const double degrade_from_us = calib_us[winner] * (opts.steps / 3.0);
+  const auto degraded = [&](McrDlOptions& m) {
+    m.fault.enabled = true;
+    m.fault.plan.specs.push_back(fault::FaultSpec::degrade_links(
+        winner, opts.degrade_factor, fault::LinkScope::All, degrade_from_us));
+  };
+
+  AdaptReport report;
+  report.degraded_backend = winner;
+  report.adapted_backend = alt;
+  report.degrade_from_us = degrade_from_us;
+  report.bench.experiment = "adapt";
+
+  const std::vector<double> static_steps =
+      run_auto_loop(sys, opts, backends, "auto", &table, degraded, nullptr);
+  const std::vector<double> online_steps = run_auto_loop(
+      sys, opts, backends, "auto", &table,
+      [&](McrDlOptions& m) {
+        degraded(m);
+        m.online_tuning.enabled = true;
+        m.online_tuning.seed = opts.seed;
+      },
+      [&](McrDl& mcr) {
+        const tune::OnlineTuner* tuner = mcr.online_tuner();
+        report.switches = tuner->switches();
+        report.quarantines = tuner->quarantines();
+        report.learned_table = mcr.online_tuner()->to_table().serialize();
+      });
+  const std::vector<double> alt_steps =
+      run_auto_loop(sys, opts, backends, alt, nullptr, nullptr, nullptr);
+
+  report.bench.series.push_back(windowed_series("static", "auto", static_steps, opts));
+  report.bench.series.push_back(windowed_series("online", "auto", online_steps, opts));
+  report.bench.series.push_back(windowed_series("alt-best", alt, alt_steps, opts));
+  report.static_post_us = last_window_median(static_steps, opts.window);
+  report.online_post_us = last_window_median(online_steps, opts.window);
+  report.alt_best_us = last_window_median(alt_steps, opts.window);
+  return report;
 }
 
 }  // namespace mcrdl::bench

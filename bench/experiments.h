@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,5 +73,41 @@ struct ScalingOptions {
 };
 BenchReport run_fig8(const ScalingOptions& options = {});
 BenchReport run_fig9(const ScalingOptions& options = {});
+
+// Online-adaptation experiment (DESIGN.md §9): a fixed-size all_reduce loop
+// dispatched on "auto" while the statically-best backend's links degrade
+// mid-run. Three series show the contrast:
+//
+//   "static"   — static-table resolution only; throughput never recovers
+//   "online"   — the online tuner quarantines the degraded backend and
+//                re-routes; throughput recovers to the best alternative
+//   "alt-best" — the best undegraded backend, run clean, as the target line
+//
+// Unlike the other experiments the sweep axis is *time*: each point is one
+// window of `window` steps, `bytes` holds the window's first step index and
+// `virtual_us` the window's mean step time (items_per_s = steps/second).
+struct AdaptOptions {
+  int world = 8;                   // Lassen, world/4 nodes
+  std::size_t bytes = 256u << 10;  // all_reduce payload
+  int steps = 240;                 // loop length per series
+  int window = 20;                 // steps per reported point
+  double degrade_factor = 8.0;     // beta multiplier injected on the winner
+  std::uint64_t seed = 42;         // online-tuner seed
+  bool quick = false;              // trim for CI smoke runs
+};
+
+struct AdaptReport {
+  BenchReport bench;
+  std::string degraded_backend;    // statically-best backend (the casualty)
+  std::string adapted_backend;     // best undegraded alternative
+  std::uint64_t switches = 0;      // online-tuner incumbent switches
+  std::uint64_t quarantines = 0;   // drift quarantines
+  double degrade_from_us = 0.0;    // virtual instant the degrade starts
+  double online_post_us = 0.0;     // median step time, last window, online
+  double static_post_us = 0.0;     // same for the static-table run
+  double alt_best_us = 0.0;        // same for the clean alternative run
+  std::string learned_table;       // tuner's learned table (text format)
+};
+AdaptReport run_adapt(const AdaptOptions& options = {});
 
 }  // namespace mcrdl::bench

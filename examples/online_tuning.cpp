@@ -1,0 +1,79 @@
+// Online adaptive tuning: "auto" that keeps learning after the static
+// tuning suite ran (DESIGN.md §9).
+//
+// A training loop dispatches its allreduce on "auto" with the online tuner
+// enabled. The static table (the paper's Section V-F artifact) seeds the
+// tuner's prior, so routing starts exactly where the table says — then a
+// fault plan degrades that backend's links mid-run, the tuner's drift
+// detector quarantines it, and traffic re-routes to the measured-best
+// alternative. The learned table is saved at the end: the next run can
+// warm-start from it instead of the stale static table.
+//
+//   ./examples/online_tuning
+#include <cstdio>
+
+#include "src/core/mcr_dl.h"
+
+using namespace mcrdl;
+
+int main() {
+  net::SystemConfig sys = net::SystemConfig::lassen(2);  // 8 GPUs
+  constexpr int kSteps = 120;
+  constexpr std::int64_t kNumel = 64 << 10;  // 256 KiB gradients
+
+  // The static prior: pretend the tuning suite picked NCCL for this grid
+  // point (on a healthy system it does — see examples/tuning_workflow.cpp).
+  TuningTable table;
+  table.set(OpType::AllReduce, 8, 1u << 20, "nccl");
+
+  McrDlOptions options;
+  options.online_tuning.enabled = true;
+  options.online_tuning.seed = 7;
+  // Mid-run, NCCL's links get 8x slower (a flaky switch, a misrouted rail —
+  // anything the static table cannot see).
+  options.fault.enabled = true;
+  options.fault.plan.specs.push_back(
+      fault::FaultSpec::degrade_links("nccl", 8.0, fault::LinkScope::All, /*from_us=*/2500.0));
+
+  ClusterContext cluster(sys);
+  McrDl mcr(&cluster, options);
+  mcr.init({"nccl", "mv2-gdr"});
+  mcr.set_tuning_table(table);
+
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    double window_start = cluster.scheduler().now();
+    for (int s = 0; s < kSteps; ++s) {
+      Tensor grads = Tensor::phantom({kNumel}, DType::F32, dev);
+      api.all_reduce("auto", grads, ReduceOp::Sum, /*async_op=*/false);
+      api.synchronize();
+      if (rank == 0 && (s + 1) % 20 == 0) {
+        const double now = cluster.scheduler().now();
+        std::printf("steps %3d-%3d: %7.2f us/step\n", s - 19, s,
+                    (now - window_start) / 20.0);
+        window_start = now;
+      }
+    }
+  });
+
+  const tune::OnlineTuner* tuner = mcr.online_tuner();
+  std::printf("\ntuner: %llu decisions, %llu explorations, %llu switches, %llu quarantines\n",
+              static_cast<unsigned long long>(tuner->decisions()),
+              static_cast<unsigned long long>(tuner->explorations()),
+              static_cast<unsigned long long>(tuner->switches()),
+              static_cast<unsigned long long>(tuner->quarantines()));
+  for (const auto& arm : tuner->arms()) {
+    std::printf("  %s world=%d <=%zuB %-8s ewma=%8.2fus samples=%llu%s%s\n", op_name(arm.op),
+                arm.world, arm.bucket, arm.backend.c_str(), arm.ewma_us,
+                static_cast<unsigned long long>(arm.samples),
+                arm.incumbent ? "  [incumbent]" : "", arm.quarantined ? "  [quarantined]" : "");
+  }
+
+  const std::string path = "/tmp/mcrdl_example_learned.tuning";
+  tuner->to_table().save(path);
+  std::printf("learned table saved to %s (warm-start a later run with "
+              "TuningTable::load)\n", path.c_str());
+  mcr.finalize();
+  return 0;
+}

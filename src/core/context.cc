@@ -58,6 +58,12 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
     backend_order_.push_back(name);
     backends_[name] = std::move(b);
   }
+  // The online tuner becomes the resolution authority behind "auto"; the
+  // static table (whenever it is installed) seeds its per-key incumbents.
+  if (options_.online_tuning.enabled) {
+    tuner_ = std::make_unique<tune::OnlineTuner>(options_.online_tuning, &cluster_->metrics());
+    if (tuning_table_.has_value()) tuner_->seed_prior(*tuning_table_);
+  }
   initialized_ = true;
 }
 
@@ -70,6 +76,7 @@ void McrDl::finalize() {
     failover_.reset();
     cluster_->faults().reset();
   }
+  tuner_.reset();
   initialized_ = false;
 }
 
@@ -87,13 +94,29 @@ Backend* McrDl::backend(const std::string& name) const {
   return it->second.get();
 }
 
-Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, int world) const {
+Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, int world,
+                        int rank) const {
   MCRDL_CHECK(initialized_) << "MCR-DL is not initialised";
   if (name != "auto") return backend(name);
+  // Online tuner enabled: it owns "auto". It works from a cold start too, so
+  // a static table is optional on this path.
+  if (tuner_ != nullptr) {
+    return backend(tuner_->select(op, world, bytes, rank, backend_order_));
+  }
   if (!tuning_table_.has_value()) {
     throw InvalidArgument(
         "backend 'auto' requires a tuning table — run TuningSuite::generate and "
         "set_tuning_table first");
+  }
+  // An op the suite never tuned must not kill the run: resolution falls back
+  // to the default (first initialised) backend with a warning and a counter;
+  // only direct TuningTable::lookup callers still get the throw.
+  if (!tuning_table_->has(op)) {
+    cluster_->metrics().counter("tune.fallback", {{"op", op_name(op)}}).inc();
+    MCRDL_LOG_WARN << "backend 'auto' requested for " << op_name(op)
+                   << " but the tuning table has no entries for it; falling back to '"
+                   << backend_order_.front() << "'";
+    return backend(backend_order_.front());
   }
   const std::string& best = tuning_table_->lookup(op, world, bytes);
   if (auto it = backends_.find(best); it != backends_.end()) return it->second.get();

@@ -35,8 +35,9 @@
 #include "src/core/compression.h"
 #include "src/core/fusion.h"
 #include "src/core/logger.h"
-#include "src/core/tuning.h"
 #include "src/fault/failover.h"
+#include "src/tune/online_tuner.h"
+#include "src/tune/tuning.h"
 
 namespace mcrdl {
 
@@ -51,6 +52,12 @@ struct McrDlOptions {
   // by default: no plan is installed and every operation issues exactly once
   // on its resolved backend, bit-identical to a build without the subsystem.
   fault::FaultOptions fault;
+  // Opt-in online adaptive tuning (src/tune/online_tuner.h). Disabled by
+  // default: "auto" resolves through the static table exactly as before —
+  // the golden traces pin that the disabled tuner is byte-identical. When
+  // enabled, the tuner becomes the resolution authority behind "auto",
+  // seeded by the static table as a prior and fed by observed latencies.
+  tune::OnlineTunerConfig online_tuning;
 };
 
 class Api;
@@ -72,10 +79,23 @@ class McrDl {
   bool has_backend(const std::string& name) const;
 
   // --- tuning ("auto" backend) ----------------------------------------------
-  void set_tuning_table(TuningTable table) { tuning_table_ = std::move(table); }
+  void set_tuning_table(TuningTable table) {
+    tuning_table_ = std::move(table);
+    // The static table is the online tuner's prior regardless of whether it
+    // was installed before or after init().
+    if (tuner_ != nullptr) tuner_->seed_prior(*tuning_table_);
+  }
   const std::optional<TuningTable>& tuning_table() const { return tuning_table_; }
-  // Resolves a backend string, dispatching "auto" through the tuning table.
-  Backend* resolve(const std::string& name, OpType op, std::size_t bytes, int world) const;
+  // Resolves a backend string, dispatching "auto" through the online tuner
+  // when enabled, else the static tuning table. `rank` is the caller's
+  // global rank (the tuner aligns its per-key decision sequence across
+  // ranks with it; irrelevant for static resolution).
+  Backend* resolve(const std::string& name, OpType op, std::size_t bytes, int world,
+                   int rank = 0) const;
+
+  // Measurement-driven "auto" resolution; non-null only when
+  // options.online_tuning.enabled (created by init()).
+  tune::OnlineTuner* online_tuner() const { return tuner_.get(); }
 
   // --- optimisation layers ----------------------------------------------------
   CommLogger& logger() { return logger_; }
@@ -108,6 +128,7 @@ class McrDl {
   std::vector<std::string> backend_order_;
   std::map<std::string, std::unique_ptr<Backend>> backends_;
   std::optional<TuningTable> tuning_table_;
+  std::unique_ptr<tune::OnlineTuner> tuner_;
   CommLogger logger_;
   std::unique_ptr<FusionManager> fusion_;
   std::unique_ptr<CompressionLayer> compression_;

@@ -25,8 +25,9 @@
 #include "src/core/persistent.h"
 #include "src/core/process_groups.h"
 #include "src/core/trace.h"
-#include "src/core/tuning.h"
 #include "src/net/comm_types.h"
 #include "src/net/cost.h"
 #include "src/net/topology.h"
 #include "src/tensor/tensor.h"
+#include "src/tune/online_tuner.h"
+#include "src/tune/tuning.h"

@@ -7,6 +7,7 @@
 #include "src/core/context.h"
 #include "src/core/emulation.h"
 #include "src/fault/recovery.h"
+#include "src/tune/online_tuner.h"
 
 namespace mcrdl {
 
@@ -44,7 +45,7 @@ class ResolveStage : public OpStage {
       // "auto" is collective-only; p2p resolves the literal name.
       c.resolved = c.ctx->backend(c.req.backend);
     } else {
-      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size());
+      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size(), c.rank);
     }
     c.requested = c.resolved->name();
     return next();
@@ -99,6 +100,21 @@ class FinishStage : public OpStage {
     w->on_complete([latency, start = w->posted_at, w]() {
       latency->observe(w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : start));
     });
+    // Online-tuner feedback: every plain collective completion — whatever
+    // backend string the caller passed — teaches the tuner about the backend
+    // it actually completed on. Fused/compressed completions are skipped
+    // (their latency reflects the optimisation, not the backend), as is p2p
+    // ("auto" is collective-only). Pure observation: nothing moves in
+    // virtual time, and with the tuner disabled this block is dead code.
+    if (tune::OnlineTuner* tuner = c.ctx->online_tuner();
+        tuner != nullptr && c.req.op != OpType::Send && c.req.op != OpType::Recv && !c.fused &&
+        !c.compressed) {
+      w->on_complete([tuner, op = c.req.op, world = c.world_size(), bytes = c.bytes,
+                      backend = c.completed_on, start = w->posted_at, w]() {
+        tuner->observe(op, world, bytes, backend,
+                       w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : start));
+      });
+    }
     if (c.ctx->logger().enabled()) {
       CommLogger* logger = &c.ctx->logger();
       CommRecord rec;
@@ -261,7 +277,7 @@ class RecoverStage : public OpStage {
     if (c.req.op == OpType::Send || c.req.op == OpType::Recv) {
       c.resolved = c.ctx->backend(c.req.backend);
     } else {
-      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size());
+      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size(), c.rank);
     }
     c.requested = c.resolved->name();
   }

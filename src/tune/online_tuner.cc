@@ -1,0 +1,276 @@
+#include "src/tune/online_tuner.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace mcrdl::tune {
+
+namespace {
+
+constexpr double kUnmeasured = std::numeric_limits<double>::infinity();
+
+// A stable per-key salt so every key gets its own explore-schedule phase
+// from the one master seed, independent of key creation order.
+std::uint64_t key_salt(OpType op, int world, std::size_t bucket) {
+  std::uint64_t h = static_cast<std::uint64_t>(op) + 1;
+  h = h * 0x100000001b3ull ^ static_cast<std::uint64_t>(world);
+  h = h * 0x100000001b3ull ^ static_cast<std::uint64_t>(bucket);
+  return h;
+}
+
+}  // namespace
+
+OnlineTuner::OnlineTuner(OnlineTunerConfig config, obs::MetricsRegistry* metrics)
+    : cfg_(std::move(config)), metrics_(metrics), rng_(cfg_.seed) {
+  MCRDL_REQUIRE(cfg_.explore_period >= 2, "explore_period must be >= 2");
+  MCRDL_REQUIRE(cfg_.min_samples >= 1, "min_samples must be >= 1");
+  MCRDL_REQUIRE(cfg_.baseline_samples >= 1, "baseline_samples must be >= 1");
+  MCRDL_REQUIRE(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0, "ewma_alpha must be in (0, 1]");
+  MCRDL_REQUIRE(cfg_.drift_threshold > 1.0, "drift_threshold must be > 1");
+  MCRDL_REQUIRE(cfg_.quarantine_period >= 1, "quarantine_period must be >= 1");
+  MCRDL_REQUIRE(cfg_.hysteresis >= 0.0 && cfg_.hysteresis < 1.0, "hysteresis must be in [0, 1)");
+}
+
+void OnlineTuner::seed_prior(TuningTable table) { prior_ = std::move(table); }
+
+std::size_t OnlineTuner::bucket(std::size_t bytes) {
+  std::size_t b = 256;
+  while (b < bytes) b <<= 1;
+  return b;
+}
+
+OnlineTuner::KeyState& OnlineTuner::key_state(OpType op, int world, std::size_t bytes) {
+  const std::size_t bkt = bucket(bytes);
+  const Key key{op, world, bkt};
+  auto it = keys_.find(key);
+  if (it != keys_.end()) return it->second;
+  KeyState k;
+  // The seeded phase de-correlates explore schedules across keys; derived
+  // from the key itself so creation order cannot perturb it.
+  k.explore_offset = rng_.split(key_salt(op, world, bkt))
+                         .next_below(static_cast<std::uint64_t>(cfg_.explore_period));
+  return keys_.emplace(key, std::move(k)).first->second;
+}
+
+const std::string& OnlineTuner::select(OpType op, int world, std::size_t bytes, int rank,
+                                       const std::vector<std::string>& candidates) {
+  MCRDL_REQUIRE(!candidates.empty(), "online tuner needs at least one candidate backend");
+  KeyState& k = key_state(op, world, bytes);
+  if (!k.routed) {
+    // First routed decision on this key: adopt the caller's preference order
+    // and seed the incumbent from the static prior (the paper's winner for
+    // this grid point), so the tuner starts from table behaviour and departs
+    // from it only on measured evidence. Observe-only traffic may already
+    // have populated arms; their samples are kept.
+    k.candidates = candidates;
+    k.incumbent = candidates.front();
+    if (prior_.has_value() && prior_->has(op)) {
+      const std::string& winner = prior_->lookup(op, world, bytes);
+      if (std::find(candidates.begin(), candidates.end(), winner) != candidates.end()) {
+        k.incumbent = winner;
+      }
+    }
+    for (const auto& name : candidates) k.arms[name];
+    k.routed = true;
+  } else {
+    for (const auto& name : candidates) {
+      if (std::find(k.candidates.begin(), k.candidates.end(), name) == k.candidates.end()) {
+        k.candidates.push_back(name);
+        k.arms[name];
+      }
+    }
+  }
+  std::size_t& cursor = k.rank_cursor[rank];
+  const std::size_t index = cursor++;
+  // Another rank already reached this logical decision: replay its choice so
+  // the collective stays on one backend across the whole group.
+  if (index < k.log.size()) return k.log[index];
+  MCRDL_CHECK(index == k.log.size()) << "online tuner decision log skipped an index";
+  return decide(k, op);
+}
+
+const std::string& OnlineTuner::decide(KeyState& k, OpType op) {
+  const std::uint64_t index = static_cast<std::uint64_t>(k.log.size());
+  ++decisions_;
+
+  // Release arms whose quarantine has expired: they owe a single probe. The
+  // healthy-era baseline is kept, so one slow probe re-quarantines the arm
+  // immediately instead of costing baseline_samples slow operations.
+  for (auto& [name, arm] : k.arms) {
+    if (arm.quarantined_until != 0 && index >= arm.quarantined_until) {
+      arm.quarantined_until = 0;
+      arm.needs_probe = true;
+      arm.count = 0;
+      arm.ewma_us = 0.0;
+    }
+  }
+
+  const auto quarantined = [&](const std::string& name) {
+    return k.arms[name].quarantined_until != 0;
+  };
+  const auto measured_ewma = [&](const std::string& name) {
+    const Arm& a = k.arms[name];
+    return a.count >= static_cast<std::uint64_t>(cfg_.min_samples) ? a.ewma_us : kUnmeasured;
+  };
+
+  // Viable = not quarantined (everything, if the whole key is quarantined —
+  // routing must still pick something).
+  std::vector<const std::string*> viable;
+  for (const auto& name : k.candidates) {
+    if (!quarantined(name)) viable.push_back(&name);
+  }
+  if (viable.empty()) {
+    for (const auto& name : k.candidates) viable.push_back(&name);
+  }
+
+  // Measured-best viable arm (candidate order breaks ties).
+  const std::string* best = nullptr;
+  for (const std::string* name : viable) {
+    if (measured_ewma(*name) == kUnmeasured) continue;
+    if (best == nullptr || measured_ewma(*name) < measured_ewma(*best)) best = name;
+  }
+
+  const std::string* chosen = nullptr;
+  bool explored = false;
+
+  // Probes owed from quarantine expiry take priority; then the periodic
+  // count-based exploration slot probes the least-sampled viable arm.
+  for (const std::string* name : viable) {
+    if (k.arms[*name].needs_probe) {
+      chosen = name;
+      break;
+    }
+  }
+  if (chosen == nullptr && viable.size() > 1 &&
+      index % static_cast<std::uint64_t>(cfg_.explore_period) == k.explore_offset) {
+    const std::string* least = viable.front();
+    for (const std::string* name : viable) {
+      if (k.arms[*name].count < k.arms[*least].count) least = name;
+    }
+    // Exploring the incumbent teaches nothing the exploit path would not.
+    if (*least != k.incumbent) chosen = least;
+  }
+
+  if (chosen != nullptr) {
+    explored = true;
+    k.arms[*chosen].needs_probe = false;
+    ++explorations_;
+  } else {
+    // Exploit. The incumbent survives unless it is quarantined/unviable (a
+    // forced switch) or a challenger clears the hysteresis margin.
+    bool incumbent_viable = false;
+    for (const std::string* name : viable) incumbent_viable |= (*name == k.incumbent);
+    const std::string* next_incumbent = &k.incumbent;
+    if (!incumbent_viable) {
+      next_incumbent = best != nullptr ? best : viable.front();
+    } else if (best != nullptr && *best != k.incumbent) {
+      const double inc = measured_ewma(k.incumbent);
+      if (measured_ewma(*best) < inc * (1.0 - cfg_.hysteresis)) next_incumbent = best;
+    }
+    if (*next_incumbent != k.incumbent) {
+      ++switches_;
+      if (metrics_ != nullptr) {
+        metrics_->counter("tune_switches", {{"op", op_name(op)}, {"to", *next_incumbent}}).inc();
+      }
+      k.incumbent = *next_incumbent;
+    }
+    chosen = &k.incumbent;
+  }
+
+  // Regret bookkeeping: how much slower than the measured-best arm this
+  // decision is expected to be (0 when either side is unmeasured).
+  if (best != nullptr && measured_ewma(*chosen) != kUnmeasured) {
+    regret_us_ += std::max(0.0, measured_ewma(*chosen) - measured_ewma(*best));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("tune_decisions", {{"mode", explored ? "explore" : "exploit"}}).inc();
+    metrics_->gauge("tune_regret_us").set(regret_us_);
+  }
+
+  k.log.push_back(*chosen);
+  return k.log.back();
+}
+
+void OnlineTuner::observe(OpType op, int world, std::size_t bytes, const std::string& backend,
+                          double latency_us) {
+  if (latency_us < 0.0 || backend.empty()) return;
+  KeyState& k = key_state(op, world, bytes);
+  if (std::find(k.candidates.begin(), k.candidates.end(), backend) == k.candidates.end()) {
+    k.candidates.push_back(backend);
+  }
+  Arm& arm = k.arms[backend];
+  ++arm.count;
+  arm.ewma_us = arm.count == 1
+                    ? latency_us
+                    : cfg_.ewma_alpha * latency_us + (1.0 - cfg_.ewma_alpha) * arm.ewma_us;
+  if (arm.baseline_count < static_cast<std::uint64_t>(cfg_.baseline_samples)) {
+    arm.baseline_sum += latency_us;
+    if (++arm.baseline_count == static_cast<std::uint64_t>(cfg_.baseline_samples)) {
+      arm.baseline_us = arm.baseline_sum / static_cast<double>(cfg_.baseline_samples);
+    }
+  }
+  maybe_quarantine(k, backend, arm);
+}
+
+void OnlineTuner::maybe_quarantine(KeyState& k, const std::string& backend, Arm& arm) {
+  if (arm.quarantined_until != 0 || arm.baseline_us <= 0.0) return;
+  if (arm.ewma_us <= arm.baseline_us * cfg_.drift_threshold) return;
+  arm.quarantined_until =
+      static_cast<std::uint64_t>(k.log.size()) + static_cast<std::uint64_t>(cfg_.quarantine_period);
+  arm.needs_probe = false;
+  ++quarantines_;
+  MCRDL_LOG_WARN << "online tuner quarantined backend '" << backend << "': observed EWMA "
+                 << arm.ewma_us << "us drifted past " << cfg_.drift_threshold << "x its baseline "
+                 << arm.baseline_us << "us";
+  if (metrics_ != nullptr) {
+    metrics_->counter("tune_quarantines", {{"backend", backend}}).inc();
+  }
+}
+
+TuningTable OnlineTuner::to_table() const {
+  TuningTable table;
+  for (const auto& [key, k] : keys_) {
+    const auto& [op, world, bkt] = key;
+    const std::string* winner = nullptr;
+    double winner_ewma = kUnmeasured;
+    for (const auto& name : k.candidates) {
+      const auto it = k.arms.find(name);
+      if (it == k.arms.end() || it->second.count == 0) continue;
+      if (winner == nullptr || it->second.ewma_us < winner_ewma) {
+        winner = &name;
+        winner_ewma = it->second.ewma_us;
+      }
+    }
+    if (winner == nullptr && k.incumbent.empty()) continue;
+    table.set(op, world, bkt, winner != nullptr ? *winner : k.incumbent);
+  }
+  return table;
+}
+
+std::vector<OnlineTuner::ArmView> OnlineTuner::arms() const {
+  std::vector<ArmView> out;
+  for (const auto& [key, k] : keys_) {
+    const auto& [op, world, bkt] = key;
+    for (const auto& name : k.candidates) {
+      const auto it = k.arms.find(name);
+      if (it == k.arms.end()) continue;
+      ArmView v;
+      v.op = op;
+      v.world = world;
+      v.bucket = bkt;
+      v.backend = name;
+      v.samples = it->second.count;
+      v.ewma_us = it->second.ewma_us;
+      v.baseline_us = it->second.baseline_us;
+      v.quarantined = it->second.quarantined_until != 0;
+      v.incumbent = name == k.incumbent;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcrdl::tune

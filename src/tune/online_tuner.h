@@ -1,0 +1,160 @@
+// Online adaptive tuning — the measurement-driven half of the tuning story.
+//
+// The static TuningTable (src/tune/tuning.h) reproduces the paper's
+// Section V-F workflow: benchmark once, trust forever. That table is only
+// correct while the system behaves the way it did when the suite ran —
+// "Demystifying NCCL" shows algorithm/protocol crossover points move with
+// runtime conditions, and our own fault layer can degrade a backend's links
+// mid-run, silently inverting every winner the table recorded.
+//
+// OnlineTuner closes the loop. Each completed collective feeds its observed
+// latency back into a per-(op, world, size-bucket) arm table; the "auto"
+// resolution path then asks the tuner instead of the static table. The
+// policy is deliberately boring and *deterministic*:
+//
+//   * count-based epsilon-greedy — every explore_period-th decision on a key
+//     probes the least-sampled arm (offset per key from a seeded SplitMix64,
+//     never wall clock), all other decisions exploit;
+//   * hysteresis — the incumbent backend is only abandoned when a challenger
+//     beats its EWMA by more than `hysteresis`, so near-ties cannot flap;
+//   * the static table (when present) seeds each key's incumbent, so the
+//     tuner starts from the paper's behaviour and only departs from it on
+//     evidence;
+//   * EWMA drift detection — an arm whose fast EWMA diverges from the
+//     baseline frozen over its first healthy samples is quarantined for
+//     `quarantine_period` decisions and then re-probed once; if it is still
+//     slow, the single probe re-quarantines it immediately. This is what
+//     re-routes traffic when a fault::degrade/slowdown plan (or a real-world
+//     equivalent) hits a backend mid-run.
+//
+// Determinism contract: selections depend only on the sequence of select()/
+// observe() calls and the seed. SPMD ranks resolve the same logical op
+// independently, so the first rank to reach decision #i on a key computes it
+// and the choice is memoised — every other rank replays the identical
+// answer, keeping collectives on one backend per logical op (the same
+// alignment argument the failover router makes). No wall clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/comm_types.h"
+#include "src/obs/metrics.h"
+#include "src/tune/tuning.h"
+
+namespace mcrdl::tune {
+
+struct OnlineTunerConfig {
+  bool enabled = false;
+  // Every explore_period-th fresh decision per key probes instead of
+  // exploiting (count-based epsilon with epsilon = 1/explore_period).
+  int explore_period = 16;
+  // Samples before an arm's EWMA takes part in exploit comparisons.
+  int min_samples = 2;
+  double ewma_alpha = 0.5;
+  // Samples averaged into the frozen drift baseline.
+  int baseline_samples = 4;
+  // EWMA > baseline * drift_threshold quarantines the arm.
+  double drift_threshold = 2.0;
+  // Fresh decisions a quarantined arm sits out before its single re-probe.
+  int quarantine_period = 128;
+  // A challenger must beat the incumbent's EWMA by this fraction to win.
+  double hysteresis = 0.1;
+  std::uint64_t seed = 0xad4f70e1u;
+};
+
+class OnlineTuner {
+ public:
+  explicit OnlineTuner(OnlineTunerConfig config, obs::MetricsRegistry* metrics = nullptr);
+
+  // Installs the static table as the prior: a key's first incumbent is the
+  // table's winner for that grid point (when the table covers the op).
+  void seed_prior(TuningTable table);
+
+  // The backend rank `rank`'s next occurrence of (op, world, bytes) should
+  // use, drawn from `candidates` (the initialised backends, preference
+  // order). Deterministic and memoised per decision index — see the class
+  // comment. `candidates` must be identical on every rank.
+  const std::string& select(OpType op, int world, std::size_t bytes, int rank,
+                            const std::vector<std::string>& candidates);
+
+  // Feeds one completed operation's observed latency back into the arm it
+  // ran on. Purely observational: never touches the scheduler.
+  void observe(OpType op, int world, std::size_t bytes, const std::string& backend,
+               double latency_us);
+
+  // The learned table: per key, the measured-best arm (the incumbent when
+  // nothing is measured yet). Serialises through the standard text format,
+  // so online-produced tables warm-start later runs via seed_prior/load.
+  TuningTable to_table() const;
+
+  // Power-of-two size bucketing (>= 256 bytes) shared by select/observe.
+  static std::size_t bucket(std::size_t bytes);
+
+  // --- introspection (tests, CLI reports) ----------------------------------
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t explorations() const { return explorations_; }
+  std::uint64_t switches() const { return switches_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  // Cumulative EWMA regret: chosen-arm minus best-arm latency, summed over
+  // fresh decisions where both were measured.
+  double regret_us() const { return regret_us_; }
+
+  struct ArmView {
+    OpType op;
+    int world;
+    std::size_t bucket;
+    std::string backend;
+    std::uint64_t samples;
+    double ewma_us;
+    double baseline_us;  // 0 until frozen
+    bool quarantined;
+    bool incumbent;
+  };
+  std::vector<ArmView> arms() const;
+
+ private:
+  struct Arm {
+    std::uint64_t count = 0;
+    double ewma_us = 0.0;
+    double baseline_sum = 0.0;
+    std::uint64_t baseline_count = 0;
+    double baseline_us = 0.0;      // frozen mean of the first baseline_samples
+    std::uint64_t quarantined_until = 0;  // fresh-decision index; 0 = clear
+    bool needs_probe = false;      // re-probe owed after quarantine expiry
+  };
+
+  struct KeyState {
+    std::vector<std::string> candidates;
+    std::map<std::string, Arm> arms;
+    std::string incumbent;
+    bool routed = false;               // select() has installed candidates/prior
+    std::vector<std::string> log;      // memoised decisions by index
+    std::map<int, std::size_t> rank_cursor;
+    std::uint64_t explore_offset = 0;  // seeded phase of the explore schedule
+  };
+
+  using Key = std::tuple<OpType, int, std::size_t>;
+
+  KeyState& key_state(OpType op, int world, std::size_t bytes);
+  const std::string& decide(KeyState& k, OpType op);
+  void maybe_quarantine(KeyState& k, const std::string& backend, Arm& arm);
+
+  OnlineTunerConfig cfg_;
+  obs::MetricsRegistry* metrics_;
+  std::optional<TuningTable> prior_;
+  Rng rng_;
+  std::map<Key, KeyState> keys_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t explorations_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t quarantines_ = 0;
+  double regret_us_ = 0.0;
+};
+
+}  // namespace mcrdl::tune

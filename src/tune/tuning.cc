@@ -1,4 +1,4 @@
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
 
 #include <algorithm>
 #include <fstream>

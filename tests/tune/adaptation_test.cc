@@ -1,0 +1,51 @@
+// End-to-end adaptation: run the bench/experiments.h adapt experiment (a
+// fault::degrade_links plan hits the statically-best backend mid-run) and
+// assert the ISSUE acceptance bar — the online tuner switches backends, the
+// post-adaptation step time lands within 10% of the best undegraded
+// alternative, the static table never recovers, and the whole thing is
+// deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include "bench/experiments.h"
+#include "src/tune/tuning.h"
+
+namespace mcrdl {
+namespace {
+
+bench::AdaptOptions quick_options() {
+  bench::AdaptOptions opts;
+  opts.quick = true;
+  return opts;
+}
+
+TEST(Adaptation, OnlineTunerReroutesAndThroughputRecovers) {
+  const bench::AdaptReport report = bench::run_adapt(quick_options());
+  EXPECT_GE(report.switches, 1u) << "tuner never left the degraded incumbent";
+  EXPECT_GE(report.quarantines, 1u) << "drift detection never fired";
+  EXPECT_NE(report.degraded_backend, report.adapted_backend);
+  // Acceptance: post-adaptation median step time within 10% of the best
+  // undegraded backend's.
+  EXPECT_LE(report.online_post_us, 1.10 * report.alt_best_us);
+  // The static table keeps riding the degraded backend and stays visibly
+  // slower — the contrast that motivates the online tuner.
+  EXPECT_GT(report.static_post_us, 1.5 * report.alt_best_us);
+}
+
+TEST(Adaptation, LearnedTableRecordsTheRefugeBackend) {
+  const bench::AdaptReport report = bench::run_adapt(quick_options());
+  TuningTable learned = TuningTable::parse(report.learned_table);
+  ASSERT_GE(learned.num_entries(), 1u);
+  EXPECT_EQ(learned.lookup(OpType::AllReduce, 8, 256 << 10), report.adapted_backend);
+}
+
+TEST(Adaptation, DeterministicForAFixedSeed) {
+  const bench::AdaptReport a = bench::run_adapt(quick_options());
+  const bench::AdaptReport b = bench::run_adapt(quick_options());
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+  EXPECT_EQ(a.learned_table, b.learned_table);
+  EXPECT_EQ(bench::to_bench_json(a.bench), bench::to_bench_json(b.bench));
+}
+
+}  // namespace
+}  // namespace mcrdl

@@ -1,0 +1,199 @@
+// Unit tests for the online adaptive tuner (src/tune/online_tuner.h):
+// prior seeding, hysteresis, cross-rank decision replay, drift quarantine
+// with single-probe release, and the determinism contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/tune/online_tuner.h"
+
+namespace mcrdl {
+namespace {
+
+using tune::OnlineTuner;
+using tune::OnlineTunerConfig;
+
+const std::vector<std::string> kBackends = {"nccl", "mv2-gdr", "ompi"};
+
+OnlineTunerConfig test_config() {
+  OnlineTunerConfig cfg;
+  cfg.enabled = true;
+  cfg.min_samples = 1;
+  cfg.baseline_samples = 2;
+  cfg.quarantine_period = 8;
+  return cfg;
+}
+
+TEST(OnlineTuner, BucketIsPow2WithFloor) {
+  EXPECT_EQ(OnlineTuner::bucket(0), 256u);
+  EXPECT_EQ(OnlineTuner::bucket(1), 256u);
+  EXPECT_EQ(OnlineTuner::bucket(256), 256u);
+  EXPECT_EQ(OnlineTuner::bucket(257), 512u);
+  EXPECT_EQ(OnlineTuner::bucket(200 * 1000), 256u * 1024u);
+  EXPECT_EQ(OnlineTuner::bucket(1u << 20), 1u << 20);
+}
+
+TEST(OnlineTuner, StaticPriorSeedsTheIncumbent) {
+  TuningTable prior;
+  prior.set(OpType::AllReduce, 8, 1 << 20, "mv2-gdr");
+  OnlineTuner tuner(test_config());
+  tuner.seed_prior(prior);
+  tuner.select(OpType::AllReduce, 8, 4096, /*rank=*/0, kBackends);
+  tuner.select(OpType::AllGather, 8, 4096, /*rank=*/0, kBackends);
+  // The tuned op starts from the prior's winner; an op the prior does not
+  // cover starts from the candidate preference order. (The select() *return*
+  // can be an exploration probe, so assert the incumbents instead.)
+  for (const auto& arm : tuner.arms()) {
+    if (!arm.incumbent) continue;
+    EXPECT_EQ(arm.backend, arm.op == OpType::AllReduce ? "mv2-gdr" : "nccl");
+  }
+}
+
+TEST(OnlineTuner, HysteresisStopsNearTiesFromFlapping) {
+  OnlineTuner tuner(test_config());
+  // Challenger is 5% faster — inside the 10% hysteresis band.
+  for (int i = 0; i < 6; ++i) {
+    tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 100.0);
+    tuner.observe(OpType::AllReduce, 8, 4096, "mv2-gdr", 95.0);
+  }
+  EXPECT_EQ(tuner.switches(), 0u);
+}
+
+TEST(OnlineTuner, SwitchesWhenChallengerClearsTheMargin) {
+  OnlineTuner tuner(test_config());
+  for (int i = 0; i < 6; ++i) {
+    tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 100.0);
+    tuner.observe(OpType::AllReduce, 8, 4096, "mv2-gdr", 60.0);
+  }
+  EXPECT_EQ(tuner.switches(), 1u);
+  // Exploit decisions now return the new incumbent; run a few selections and
+  // require the winner to show up (an explore slot may pick someone else).
+  bool saw_winner = false;
+  for (int i = 0; i < 4; ++i) {
+    saw_winner |= tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends) == "mv2-gdr";
+  }
+  EXPECT_TRUE(saw_winner);
+}
+
+TEST(OnlineTuner, RanksReplayTheSameDecisionSequence) {
+  // Rank 0 races ahead, generating fresh decisions with observations in
+  // between; ranks 1..3 then replay the identical per-index choices — the
+  // property that keeps a collective on one backend across the group.
+  OnlineTuner tuner(test_config());
+  std::vector<std::string> rank0;
+  for (int i = 0; i < 12; ++i) {
+    rank0.push_back(tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends));
+    tuner.observe(OpType::AllReduce, 8, 4096, rank0.back(), 50.0 + i);
+  }
+  for (int rank = 1; rank < 4; ++rank) {
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_EQ(tuner.select(OpType::AllReduce, 8, 4096, rank, kBackends), rank0[i])
+          << "rank " << rank << " diverged at decision " << i;
+    }
+  }
+}
+
+TEST(OnlineTuner, DriftQuarantinesReprobesAndRequarantines) {
+  OnlineTunerConfig cfg = test_config();
+  cfg.explore_period = 64;  // keep periodic probes out of this short run
+  OnlineTuner tuner(cfg);
+  // Healthy era: freeze the incumbent's baseline at 50us.
+  for (int i = 0; i < 3; ++i) {
+    tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 50.0);
+  }
+  // Degrade: one 250us sample pushes the EWMA past 2x the 50us baseline.
+  tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 250.0);
+  EXPECT_EQ(tuner.quarantines(), 1u);
+  // The next decisions are forced off the quarantined incumbent — explores
+  // draw from the viable set, and the first exploit switches incumbents (two
+  // consecutive explore slots cannot happen, so two selects suffice).
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NE(tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends), "nccl");
+  }
+  EXPECT_EQ(tuner.switches(), 1u);
+  // Sit out the quarantine; feed the refuge arm so its EWMA stays defined.
+  bool reprobed = false;
+  for (int i = 0; i < cfg.quarantine_period + 2; ++i) {
+    const std::string pick = tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    if (pick == "nccl") {
+      reprobed = true;
+      // Still slow: the single probe must re-quarantine against the *kept*
+      // healthy baseline, not wait for a fresh baseline to accumulate.
+      tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 250.0);
+      break;
+    }
+    tuner.observe(OpType::AllReduce, 8, 4096, pick, 80.0);
+  }
+  EXPECT_TRUE(reprobed) << "quarantine expiry never produced the owed probe";
+  EXPECT_EQ(tuner.quarantines(), 2u);
+}
+
+TEST(OnlineTuner, ObserveBeforeSelectKeepsPriorAndCandidates) {
+  // Regression: observe-only traffic (explicit-backend ops) must not lock a
+  // key into a one-backend candidate list before "auto" traffic arrives.
+  TuningTable prior;
+  prior.set(OpType::AllReduce, 8, 1 << 20, "nccl");
+  OnlineTuner tuner(test_config());
+  tuner.seed_prior(prior);
+  tuner.observe(OpType::AllReduce, 8, 4096, "ompi", 10.0);
+  // Measured evidence beats the unmeasured prior, so this select may already
+  // ride "ompi" — the regression is about the *key state*: all of select()'s
+  // candidates must exist as arms, not just the one observe() saw first.
+  tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+  int key_arms = 0;
+  for (const auto& arm : tuner.arms()) {
+    if (arm.op == OpType::AllReduce) ++key_arms;
+  }
+  EXPECT_EQ(key_arms, 3) << "select() must merge its candidates into the key";
+  // And the un-observed candidates stay selectable: feed nccl faster samples
+  // and the tuner must be able to win it back (impossible with a locked
+  // one-backend candidate list).
+  bool nccl_back = false;
+  for (int i = 0; i < 8 && !nccl_back; ++i) {
+    tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 4.0);
+    nccl_back = tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends) == "nccl";
+  }
+  EXPECT_TRUE(nccl_back);
+}
+
+TEST(OnlineTuner, DeterministicAcrossInstancesWithSameSeed) {
+  const auto run = [](std::uint64_t seed) {
+    OnlineTunerConfig cfg = test_config();
+    cfg.seed = seed;
+    OnlineTuner tuner(cfg);
+    std::vector<std::string> picks;
+    for (int i = 0; i < 40; ++i) {
+      const std::string pick = tuner.select(OpType::AllReduce, 16, 64 << 10, i % 2, kBackends);
+      picks.push_back(pick);
+      tuner.observe(OpType::AllReduce, 16, 64 << 10, pick,
+                    pick == "mv2-gdr" ? 40.0 : 70.0 + (i % 5));
+    }
+    return picks;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(OnlineTuner, LearnedTablePicksMeasuredBestPerKey) {
+  OnlineTuner tuner(test_config());
+  for (int i = 0; i < 4; ++i) {
+    tuner.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    tuner.observe(OpType::AllReduce, 8, 4096, "nccl", 100.0);
+    tuner.observe(OpType::AllReduce, 8, 4096, "ompi", 30.0);
+    tuner.select(OpType::AllGather, 8, 1 << 20, 0, kBackends);
+    tuner.observe(OpType::AllGather, 8, 1 << 20, "mv2-gdr", 20.0);
+  }
+  TuningTable learned = tuner.to_table();
+  EXPECT_EQ(learned.lookup(OpType::AllReduce, 8, 4096), "ompi");
+  EXPECT_EQ(learned.lookup(OpType::AllGather, 8, 1 << 20), "mv2-gdr");
+  // A key with selections but no observations still records its incumbent.
+  OnlineTuner cold(test_config());
+  cold.select(OpType::Broadcast, 4, 1024, 0, kBackends);
+  EXPECT_EQ(cold.to_table().lookup(OpType::Broadcast, 4, 1024), "nccl");
+}
+
+}  // namespace
+}  // namespace mcrdl

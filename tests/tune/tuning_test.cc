@@ -7,7 +7,9 @@
 #include <sstream>
 #include <string>
 
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
+#include "src/core/mcr_dl.h"
+#include "src/tune/online_tuner.h"
 #include "src/net/cost.h"
 
 namespace mcrdl {
@@ -39,6 +41,56 @@ TEST(TuningTable, NearestWorldSizeResolution) {
   EXPECT_EQ(t.lookup(OpType::AllReduce, 32, 512), "a64");   // next size up
   EXPECT_EQ(t.lookup(OpType::AllReduce, 128, 512), "a64");  // beyond: largest
   EXPECT_EQ(t.lookup(OpType::AllReduce, 4, 512), "a16");
+}
+
+TEST(TuningTable, WorldBetweenTabulatedPointsPrefersNextUp) {
+  // Interpolation rule: an untabulated world resolves to the next tabulated
+  // world *up* (collective latency grows with scale, so the larger grid
+  // point's winner is the safe extrapolation), not the nearest neighbour.
+  TuningTable t;
+  t.set(OpType::AllGather, 8, 1024, "a8");
+  t.set(OpType::AllGather, 32, 1024, "a32");
+  t.set(OpType::AllGather, 128, 1024, "a128");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 9, 512), "a32");    // nearest is 8; up wins
+  EXPECT_EQ(t.lookup(OpType::AllGather, 31, 512), "a32");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 33, 512), "a128");
+  EXPECT_EQ(t.lookup(OpType::AllGather, 127, 512), "a128");
+}
+
+TEST(TuningTable, SingleEntryTableServesEveryQuery) {
+  // Degenerate but common during online warm-up: one grid point must cover
+  // every (world, bytes) query for its op without throwing.
+  TuningTable t;
+  t.set(OpType::AllReduce, 16, 4096, "nccl");
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 16, 4096), "nccl");
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 2, 1), "nccl");          // below on both axes
+  EXPECT_EQ(t.lookup(OpType::AllReduce, 1024, 64 << 20), "nccl");  // above on both axes
+  EXPECT_EQ(t.num_entries(), 1u);
+  // Round-trips through the text format like any other table.
+  EXPECT_EQ(TuningTable::parse(t.serialize()).lookup(OpType::AllReduce, 8, 123), "nccl");
+}
+
+TEST(TuningTable, OnlineLearnedTableRoundTrips) {
+  // An online-produced table (tune::OnlineTuner::to_table) uses pow2 size
+  // buckets the static suite never emits; it must still serialise, parse,
+  // and look up identically — that is the warm-start contract.
+  tune::OnlineTunerConfig cfg;
+  cfg.enabled = true;
+  tune::OnlineTuner tuner(cfg);
+  const std::vector<std::string> cands = {"nccl", "mv2-gdr"};
+  for (int i = 0; i < 8; ++i) {
+    tuner.select(OpType::AllReduce, 8, 200 * 1000, 0, cands);
+    tuner.observe(OpType::AllReduce, 8, 200 * 1000, "nccl", 50.0);
+    tuner.observe(OpType::AllReduce, 8, 200 * 1000, "mv2-gdr", 90.0);
+  }
+  TuningTable learned = tuner.to_table();
+  ASSERT_GE(learned.num_entries(), 1u);
+  TuningTable reparsed = TuningTable::parse(learned.serialize());
+  EXPECT_EQ(reparsed.num_entries(), learned.num_entries());
+  const std::size_t bucket = tune::OnlineTuner::bucket(200 * 1000);
+  EXPECT_EQ(reparsed.lookup(OpType::AllReduce, 8, bucket),
+            learned.lookup(OpType::AllReduce, 8, bucket));
+  EXPECT_EQ(reparsed.lookup(OpType::AllReduce, 8, bucket), "nccl");
 }
 
 TEST(TuningTable, MissingOpThrows) {
@@ -131,6 +183,36 @@ TEST(TuningTable, RoundTripThenDamagedCopyIsRejected) {
 TEST(TuningTable, ParseSkipsCommentsAndBlankLines) {
   TuningTable t = TuningTable::parse("# header\n\nall_reduce 8 1024 nccl\n");
   EXPECT_EQ(t.num_entries(), 1u);
+}
+
+TEST(AutoResolution, UntunedOpFallsBackInsteadOfThrowing) {
+  // Regression: "auto" for an op the table never tuned used to throw out of
+  // TuningTable::lookup mid-dispatch and kill the run. Resolution now falls
+  // back to the default backend with a warning and a tune.fallback counter;
+  // the throw is reserved for direct lookup() callers (tested above).
+  ClusterContext cluster(net::SystemConfig::lassen(1));
+  McrDl mcr(&cluster);
+  mcr.init({"nccl", "mv2-gdr"});
+  TuningTable table;
+  table.set(OpType::AllReduce, 4, 1 << 20, "mv2-gdr");
+  mcr.set_tuning_table(table);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    Tensor t = Tensor::full({256}, DType::F32, 1.0, dev);
+    Work tuned = api.all_reduce("auto", t, ReduceOp::Sum, true);
+    Tensor gathered = Tensor::zeros({256 * 4}, DType::F32, dev);
+    Work untuned = api.all_gather("auto", gathered, t, true);  // not in the table
+    tuned->synchronize();
+    untuned->synchronize();
+    if (rank == 0) {
+      EXPECT_EQ(tuned->backend_name, "mv2-gdr");
+      EXPECT_EQ(untuned->backend_name, "nccl");  // default = first initialised
+    }
+    api.synchronize();
+  });
+  EXPECT_GT(cluster.metrics().counter("tune.fallback", {{"op", "all_gather"}}).value(), 0u);
+  mcr.finalize();
 }
 
 TEST(TuningSuite, GeneratesTableMatchingCostModelOrderings) {

@@ -25,7 +25,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --experiment fig2|fig8|fig9 [--out DIR] [--quick]\n"
+               "usage: %s --experiment fig2|fig8|fig9|adapt [--out DIR] [--quick]\n"
                "       %s --check FILE\n",
                argv0, argv0);
   return 2;
@@ -127,6 +127,10 @@ int main(int argc, char** argv) {
       bench::ScalingOptions options;
       options.quick = quick;
       report = bench::run_fig9(options);
+    } else if (experiment == "adapt") {
+      bench::AdaptOptions options;
+      options.quick = quick;
+      report = bench::run_adapt(options).bench;
     } else {
       std::fprintf(stderr, "bench_export: unknown experiment '%s'\n", experiment.c_str());
       return usage(argv[0]);

@@ -27,6 +27,9 @@ ctest --output-on-failure -j "${jobs}" -L fault
 # Same for the observability suite (DESIGN.md §8): metrics, strict JSON, and
 # the golden-trace byte-identity that keeps instrumentation passive.
 ctest --output-on-failure -j "${jobs}" -L obs
+# And the tuning suite (DESIGN.md §9): static-table semantics plus the
+# online adaptive tuner's policy, quarantine, and determinism contracts.
+ctest --output-on-failure -j "${jobs}" -L tune
 
 # Chaos-differential smoke: kill rank 3 at t=2500us mid-run and require a
 # clean elastic recovery — exit 0 (planned casualty only, survivors agree)
@@ -51,5 +54,18 @@ bench_dir="${build_dir}/bench-export"
 mkdir -p "${bench_dir}"
 "${build_dir}/tools/bench_export" --experiment fig2 --quick --out "${bench_dir}"
 "${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_fig2.json"
+
+# Adaptation smoke: degrade the statically-best backend mid-run and require
+# the online tuner to re-route (switches > 0) and the post-adaptation step
+# time to land within 10% of the best undegraded alternative — the tool's
+# --assert-adapt exit code enforces both (DESIGN.md §9).
+echo "== adaptation smoke: mcrdl_tune --online =="
+adapt_out="$("${build_dir}/tools/mcrdl_tune" --online=true --quick=true --assert-adapt=true)"
+echo "${adapt_out}"
+switches="$(sed -n 's/^switches *: *//p' <<<"${adapt_out}")"
+if [ -z "${switches}" ] || [ "${switches}" -le 0 ]; then
+  echo "adaptation smoke FAILED: expected switches > 0, got '${switches:-none}'" >&2
+  exit 1
+fi
 
 echo "== CI passed =="

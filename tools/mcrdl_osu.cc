@@ -8,7 +8,7 @@
 #include "src/backends/backend.h"
 #include "src/common/flags.h"
 #include "src/common/format.h"
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
 
 using namespace mcrdl;
 

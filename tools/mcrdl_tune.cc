@@ -7,14 +7,92 @@
 //
 // The output file feeds McrDl::set_tuning_table / TuningTable::load and is
 // what the "auto" backend consults at runtime.
+//
+// --online runs the adaptation experiment instead (DESIGN.md §9): an "auto"
+// all_reduce loop where the statically-best backend's links are degraded
+// mid-run; the online tuner quarantines the casualty and re-routes, and the
+// per-window step-time table makes the recovery visible. --output then
+// saves the tuner's *learned* table (same text format — it warm-starts a
+// later run via TuningTable::load + set_tuning_table). --assert-adapt makes
+// the tool exit non-zero unless the tuner switched backends and the
+// post-adaptation median step time landed within 10% of the best
+// undegraded alternative — the CI smoke contract (tools/ci.sh).
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/experiments.h"
 #include "src/common/flags.h"
 #include "src/common/format.h"
-#include "src/core/tuning.h"
+#include "src/tune/tuning.h"
 
 using namespace mcrdl;
+
+namespace {
+
+int run_online(const Flags& flags) {
+  bench::AdaptOptions opts;
+  opts.world = flags.get_int("world");
+  opts.bytes = parse_size(flags.get("size"));
+  opts.steps = flags.get_int("steps");
+  opts.window = flags.get_int("window");
+  opts.degrade_factor = flags.get_double("degrade-factor");
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  opts.quick = flags.get_bool("quick");
+
+  std::printf("online adaptation: %d GPUs Lassen, %s all_reduce x %d steps, degrade x%.1f\n",
+              opts.world, format_bytes(opts.bytes).c_str(), opts.quick ? 96 : opts.steps,
+              opts.degrade_factor);
+  const bench::AdaptReport report = bench::run_adapt(opts);
+
+  std::printf("\nstatic winner (degraded mid-run): %s\n", report.degraded_backend.c_str());
+  std::printf("best undegraded alternative     : %s\n", report.adapted_backend.c_str());
+  std::printf("degrade instant                 : %s\n",
+              format_time_us(report.degrade_from_us).c_str());
+
+  TextTable t({"Window (steps)", "static auto", "online auto", report.adapted_backend});
+  const bench::BenchSeries* st = report.bench.find("static");
+  const bench::BenchSeries* on = report.bench.find("online");
+  const bench::BenchSeries* alt = report.bench.find("alt-best");
+  for (std::size_t i = 0; i < on->points.size(); ++i) {
+    t.add_row({std::to_string(on->points[i].bytes) + "+",
+               format_time_us(st->points[i].virtual_us),
+               format_time_us(on->points[i].virtual_us),
+               format_time_us(alt->points[i].virtual_us)});
+  }
+  std::printf("\nmean step time per window:\n%s", t.to_string().c_str());
+
+  std::printf("\nswitches    : %llu\n", static_cast<unsigned long long>(report.switches));
+  std::printf("quarantines : %llu\n", static_cast<unsigned long long>(report.quarantines));
+  std::printf("post-adaptation median step : %s (static %s, target %s)\n",
+              format_time_us(report.online_post_us).c_str(),
+              format_time_us(report.static_post_us).c_str(),
+              format_time_us(report.alt_best_us).c_str());
+
+  const std::string out = flags.get("output");
+  if (!out.empty()) {
+    TuningTable learned = TuningTable::parse(report.learned_table);
+    learned.save(out);
+    std::printf("wrote learned table (%zu entries) to %s\n", learned.num_entries(), out.c_str());
+  }
+
+  if (flags.get_bool("assert-adapt")) {
+    if (report.switches == 0) {
+      std::fprintf(stderr, "assert-adapt FAILED: tuner never switched backends\n");
+      return 1;
+    }
+    if (report.online_post_us > 1.10 * report.alt_best_us) {
+      std::fprintf(stderr,
+                   "assert-adapt FAILED: post-adaptation step %.3fus not within 10%% of the "
+                   "undegraded best %.3fus\n",
+                   report.online_post_us, report.alt_best_us);
+      return 1;
+    }
+    std::printf("assert-adapt OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -27,8 +105,19 @@ int main(int argc, char** argv) {
   flags.define("iterations", "3", "timed iterations per grid point");
   flags.define("warmup", "1", "warmup iterations per grid point");
   flags.define("output", "", "path for the generated tuning table (empty: stdout only)");
+  flags.define("online", "false", "run the online-adaptation experiment instead of the suite");
+  flags.define("world", "8", "--online: world size (multiple of 4, Lassen)");
+  flags.define("size", "256k", "--online: all_reduce payload size");
+  flags.define("steps", "240", "--online: loop steps");
+  flags.define("window", "20", "--online: steps per reported window");
+  flags.define("degrade-factor", "8", "--online: beta multiplier injected on the static winner");
+  flags.define("seed", "42", "--online: tuner seed");
+  flags.define("quick", "false", "--online: trimmed CI smoke grid");
+  flags.define("assert-adapt", "false",
+               "--online: exit non-zero unless the tuner re-routed and step time recovered");
   try {
     if (!flags.parse(argc, argv)) return 0;
+    if (flags.get_bool("online")) return run_online(flags);
 
     const std::string system = flags.get("system");
     MCRDL_REQUIRE(system == "lassen" || system == "theta-gpu",
