@@ -368,4 +368,56 @@ AdaptReport run_adapt(const AdaptOptions& options) {
   return report;
 }
 
+const std::vector<Experiment>& experiment_registry() {
+  static const std::vector<Experiment> registry = {
+      {"fig2", "collective microbenchmark across backends (paper Figure 2)",
+       [](const ExperimentOptions& o) {
+         Fig2Options options;
+         options.quick = o.quick;
+         return run_fig2(options);
+       }},
+      {"fig8", "DS-MoE scaling across communication plans (paper Figure 8)",
+       [](const ExperimentOptions& o) {
+         ScalingOptions options;
+         options.quick = o.quick;
+         return run_fig8(options);
+       }},
+      {"fig9", "DLRM scaling across communication plans (paper Figure 9)",
+       [](const ExperimentOptions& o) {
+         ScalingOptions options;
+         options.quick = o.quick;
+         return run_fig9(options);
+       }},
+      {"adapt", "online tuner rerouting around a mid-run degrade (DESIGN.md §9)",
+       [](const ExperimentOptions& o) {
+         AdaptOptions options;
+         options.quick = o.quick;
+         return run_adapt(options).bench;
+       }},
+      {"serve", "multi-tenant trace replay, clean vs chaos latency (DESIGN.md §10)",
+       [](const ExperimentOptions& o) {
+         ServeExperimentOptions options;
+         options.quick = o.quick;
+         return run_serve(options).bench;
+       }},
+  };
+  return registry;
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const Experiment& experiment : experiment_registry()) {
+    if (experiment.name == name) return &experiment;
+  }
+  return nullptr;
+}
+
+std::string experiment_names() {
+  std::string names;
+  for (const Experiment& experiment : experiment_registry()) {
+    if (!names.empty()) names += "|";
+    names += experiment.name;
+  }
+  return names;
+}
+
 }  // namespace mcrdl::bench

@@ -18,8 +18,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "src/sched/serve.h"
 
 namespace mcrdl::bench {
 
@@ -109,5 +112,50 @@ struct AdaptReport {
   std::string learned_table;       // tuner's learned table (text format)
 };
 AdaptReport run_adapt(const AdaptOptions& options = {});
+
+// Multi-tenant serving experiment (DESIGN.md §10): replay a seeded arrival
+// trace through the ServeScheduler twice — once clean, once with a chaos
+// window degrading the shared fabric mid-trace — and report job-latency
+// percentiles. The sweep axis is the *percentile rank*: each series carries
+// points at p50/p90/p99 (`bytes` holds the rank so the generic
+// increasing-bytes schema check applies), `virtual_us` the latency, and
+// `items_per_s` the run's completed-jobs-per-second. Series cover the
+// aggregate plus each QoS class, for the clean and chaos runs.
+struct ServeExperimentOptions {
+  int nodes = 16;                  // Lassen nodes shared by all tenants
+  int jobs = 1000;                 // trace length
+  std::uint64_t seed = 7;          // arrival-trace seed
+  double chaos_degrade = 8.0;      // fabric slowdown inside the window
+  bool quick = false;              // smaller trace/world for CI smoke runs
+};
+
+struct ServeBenchReport {
+  BenchReport bench;
+  sched::ServeResult clean;
+  sched::ServeResult chaos;
+};
+ServeBenchReport run_serve(const ServeExperimentOptions& options = {});
+
+// --- experiment registry ----------------------------------------------------
+//
+// Name -> runner table shared by bench_export (and anything else that runs
+// experiments by name); adding an experiment here is all it takes to make
+// `bench_export --experiment <name>` and `--list` know about it.
+struct ExperimentOptions {
+  bool quick = false;  // trim the sweep for CI smoke runs
+};
+
+struct Experiment {
+  std::string name;
+  std::string description;  // one line for --list
+  std::function<BenchReport(const ExperimentOptions&)> run;
+};
+
+// Registered experiments in a stable order (fig2, fig8, fig9, adapt, serve).
+const std::vector<Experiment>& experiment_registry();
+// The registry entry for `name`, or nullptr when unknown.
+const Experiment* find_experiment(const std::string& name);
+// "fig2|fig8|..." — the registry's names joined for usage strings.
+std::string experiment_names();
 
 }  // namespace mcrdl::bench

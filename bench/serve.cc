@@ -1,0 +1,104 @@
+// run_serve — the multi-tenant serving experiment (DESIGN.md §10).
+//
+// One seeded arrival trace, two replays on the same shared cluster: a clean
+// run and a chaos run whose mid-trace window degrades the inter-node fabric.
+// The report shows what multi-tenant contention and a degraded fabric do to
+// job-latency percentiles — the serving-layer counterpart of the paper's
+// single-job figures — and the chaos run's recovery is visible in the p50
+// staying far below the p99 (jobs outside the window are served normally).
+#include <cmath>
+
+#include "bench/experiments.h"
+#include "src/common/status.h"
+
+namespace mcrdl::bench {
+
+namespace {
+
+// Latencies of completed jobs, aggregate (qos == nullptr) or one class.
+std::vector<double> latencies_of(const sched::ServeResult& result,
+                                 const sched::QosClass* qos) {
+  std::vector<double> latencies;
+  for (const sched::JobRecord& job : result.jobs) {
+    if (job.state != sched::JobState::Completed) continue;
+    if (qos != nullptr && job.spec.qos != *qos) continue;
+    latencies.push_back(job.latency_us());
+  }
+  return latencies;
+}
+
+// One percentile-axis series: points at p50/p90/p99 with the rank in
+// `bytes` so the schema's strictly-increasing-bytes sweep check applies.
+BenchSeries percentile_series(const std::string& name, const std::string& plan,
+                              const std::vector<double>& latencies, int world,
+                              double jobs_per_s) {
+  BenchSeries series;
+  series.name = name;
+  series.backend = plan;
+  for (const double rank : {50.0, 90.0, 99.0}) {
+    BenchPoint point;
+    point.world = world;
+    point.bytes = static_cast<std::size_t>(rank);
+    point.virtual_us = sched::percentile(latencies, rank);
+    point.items_per_s = jobs_per_s;
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+void append_run_series(BenchReport& report, const std::string& label,
+                       const std::string& plan, const sched::ServeResult& result,
+                       int world) {
+  const double jobs_per_s = result.makespan_us > 0.0
+                                ? static_cast<double>(result.completed) /
+                                      (result.makespan_us / 1e6)
+                                : 0.0;
+  const std::vector<double> aggregate = latencies_of(result, nullptr);
+  MCRDL_REQUIRE(!aggregate.empty(), "serve run completed no jobs");
+  report.series.push_back(
+      percentile_series(label + "/aggregate", plan, aggregate, world, jobs_per_s));
+  for (const sched::QosClass qos : sched::all_qos_classes()) {
+    const std::vector<double> latencies = latencies_of(result, &qos);
+    if (latencies.empty()) continue;
+    report.series.push_back(percentile_series(label + "/" + sched::qos_name(qos), plan,
+                                              latencies, world, jobs_per_s));
+  }
+}
+
+}  // namespace
+
+ServeBenchReport run_serve(const ServeExperimentOptions& options) {
+  sched::TraceConfig trace_config;
+  trace_config.seed = options.seed;
+  trace_config.num_jobs = options.quick ? 150 : options.jobs;
+
+  sched::ServeConfig config;
+  config.system = net::SystemConfig::lassen(options.quick ? 8 : options.nodes);
+
+  const sched::ArrivalTrace trace = sched::generate_trace(trace_config);
+  const double horizon = trace.jobs.empty() ? 0.0 : trace.jobs.back().arrival_us;
+
+  ServeBenchReport report;
+  report.bench.experiment = "serve";
+
+  {
+    sched::ServeScheduler scheduler(config);
+    report.clean = scheduler.run(trace);
+  }
+  {
+    // One long fabric brown-out across the middle half of the arrivals; the
+    // tail before/after shows latency recovering once the window closes.
+    sched::ServeConfig chaos_config = config;
+    chaos_config.chaos.push_back(
+        sched::ChaosWindow{0.25 * horizon, 0.75 * horizon, options.chaos_degrade});
+    sched::ServeScheduler scheduler(chaos_config);
+    report.chaos = scheduler.run(trace);
+  }
+
+  const int world = config.system.world_size();
+  append_run_series(report.bench, "clean", config.plan, report.clean, world);
+  append_run_series(report.bench, "chaos", config.plan, report.chaos, world);
+  return report;
+}
+
+}  // namespace mcrdl::bench

@@ -28,10 +28,12 @@ net::CommShape shape_of_group(const net::Topology& topo, const std::vector<int>&
 }
 
 // Every communicator's cost model feeds the cluster-wide link-usage
-// accumulator, so link-utilization gauges cover all backends and groups.
+// accumulator (so link-utilization gauges cover all backends and groups)
+// and reads the cluster's shared tenant-contention state.
 net::CostModel instrumented_cost_model(Backend* backend) {
   net::CostModel model(&backend->cluster()->topology(), backend->profile());
   model.set_usage(&backend->cluster()->link_usage());
+  model.set_contention(&backend->cluster()->contention());
   return model;
 }
 

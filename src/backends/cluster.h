@@ -39,6 +39,12 @@ class ClusterContext {
   // Link-class traffic accumulator the backends' cost models feed; mirrored
   // into `link_*` gauges by metrics_json().
   net::LinkUsage& link_usage() { return usage_; }
+  // Shared tenant-contention state every backend's cost model reads
+  // (net::CostModel::set_contention). Identity by default, so a single-job
+  // cluster is byte-identical to a build without the serving layer; the
+  // multi-tenant scheduler (src/sched/) writes the QoS-weighted bandwidth
+  // shares here before measuring a job under load.
+  net::ContentionScale& contention() { return contention_; }
   // Syncs the link-utilization gauges from link_usage(), then returns the
   // registry's JSON snapshot.
   std::string metrics_json();
@@ -56,6 +62,7 @@ class ClusterContext {
   fault::FaultInjector faults_{&sched_};
   obs::MetricsRegistry metrics_;
   net::LinkUsage usage_;
+  net::ContentionScale contention_;
 };
 
 }  // namespace mcrdl

@@ -21,6 +21,7 @@ RunResult TrainingHarness::run(const Model& model, const CommPlan& plan,
   sys.num_nodes = (world + sys.gpus_per_node - 1) / sys.gpus_per_node;
 
   ClusterContext cluster(sys);
+  cluster.contention() = options.contention;
   McrDlOptions mcr_opts = options.mcr_options;
   mcr_opts.logging_enabled = true;
   if (!framework.supports_fusion) mcr_opts.fusion.enabled = false;

@@ -49,6 +49,10 @@ struct HarnessOptions {
   int warmup_steps = 1;
   int measured_steps = 3;
   McrDlOptions mcr_options;  // fusion/compression settings for the run
+  // Bandwidth-sharing factors from co-scheduled tenants, installed on the
+  // run's cluster before any operation issues (src/sched/ measures each job
+  // under the load the serving scheduler computed). Identity by default.
+  net::ContentionScale contention;
 };
 
 class TrainingHarness {

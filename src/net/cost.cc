@@ -63,6 +63,18 @@ CostModel::Terms CostModel::terms_for(const CommShape& shape, OpType op) const {
       t.fault_inter = fs.inter;
     }
   }
+  if (contention_ != nullptr && !contention_->is_identity()) {
+    // Tenant contention divides the bandwidth share exactly like injected
+    // link degradation, and stacks with it: a degraded link shared by two
+    // jobs is slower than either condition alone. fault_inter carries the
+    // combined divisor into the node-level (NIC) β used by two-level
+    // algorithms.
+    if (contention_->intra != 1.0) t.beta_intra /= contention_->intra;
+    if (contention_->inter != 1.0) {
+      t.beta_inter_gpu /= contention_->inter;
+      t.fault_inter *= contention_->inter;
+    }
+  }
   if (shape.nodes <= 1) {
     t.alpha_mixed = t.alpha_intra;
     t.beta_mixed = t.beta_intra;
@@ -148,6 +160,10 @@ SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
     const FaultBetaScale fs = fault_scale_(OpType::Send);
     const double f = topo_->same_node(src, dst) ? fs.intra : fs.inter;
     if (f != 1.0) bw /= f;
+  }
+  if (contention_ != nullptr && !contention_->is_identity()) {
+    const double c = topo_->same_node(src, dst) ? contention_->intra : contention_->inter;
+    if (c != 1.0) bw /= c;
   }
   double cost = profile_.launch_overhead_us * 0.5 + profile_.p2p_latency_us +
                 link.latency_us + static_cast<double>(bytes) / bw;

@@ -110,6 +110,22 @@ struct FaultBetaScale {
 // backend this model belongs to (src/fault/injector.h).
 using FaultScaleFn = std::function<FaultBetaScale(OpType)>;
 
+// Bandwidth-sharing state from concurrent tenants (src/sched/): when several
+// jobs' transfers occupy the same link class, each job sees only its share of
+// the bandwidth. A factor of k divides the link class's achievable β by k —
+// the serving scheduler sets it to the job's QoS-weighted oversubscription
+// before evaluating that job's costs. Distinct from FaultBetaScale: faults
+// model broken hardware, contention models healthy hardware that is merely
+// shared. At the identity (the default) every cost is bit-identical to a
+// model without the hook, which is what keeps single-job golden traces
+// byte-stable.
+struct ContentionScale {
+  double intra = 1.0;  // NVLink sharing within a node
+  double inter = 1.0;  // NIC / fabric sharing across nodes
+
+  bool is_identity() const { return intra == 1.0 && inter == 1.0; }
+};
+
 // Aggregate traffic per link class, accumulated by every CostModel the
 // owning cluster hands out (see CostModel::set_usage). A plain struct so
 // src/net stays free of the obs layer; ClusterContext mirrors it into
@@ -153,6 +169,12 @@ class CostModel {
   // costs, so attaching it cannot move a virtual-time stamp.
   void set_usage(LinkUsage* usage) { usage_ = usage; }
 
+  // Installs (or clears, with nullptr) the shared tenant-contention state
+  // (cluster-owned; must outlive the model). Read per evaluation, so the
+  // scheduler can re-weight bandwidth shares between operations without
+  // touching the models. Identity state leaves every cost bit-identical.
+  void set_contention(const ContentionScale* contention) { contention_ = contention; }
+
  private:
   // Derived per-shape link terms (bytes/µs and µs).
   struct Terms {
@@ -181,7 +203,8 @@ class CostModel {
   const Topology* topo_;
   BackendProfile profile_;
   FaultScaleFn fault_scale_;
-  LinkUsage* usage_ = nullptr;  // optional, not owned
+  LinkUsage* usage_ = nullptr;                     // optional, not owned
+  const ContentionScale* contention_ = nullptr;    // optional, not owned
 };
 
 // ceil(log2(n)) with log2(1) == 0; shared by the algorithm formulas.

@@ -1,0 +1,122 @@
+#include "src/sched/admission.h"
+
+#include <cmath>
+
+namespace mcrdl::sched {
+
+namespace {
+std::size_t idx(QosClass qos) { return static_cast<std::size_t>(qos); }
+}  // namespace
+
+const QosPolicy& AdmissionConfig::policy(QosClass qos) const {
+  switch (qos) {
+    case QosClass::Gold: return gold;
+    case QosClass::Silver: return silver;
+    case QosClass::Bronze: return bronze;
+  }
+  return silver;
+}
+
+AdmissionController::AdmissionController(int world, AdmissionConfig config)
+    : world_(world), config_(config) {
+  MCRDL_REQUIRE(world >= 1, "admission needs a non-empty world");
+  for (QosClass qos : all_qos_classes()) {
+    const QosPolicy& p = config_.policy(qos);
+    MCRDL_REQUIRE(p.rank_share > 0.0 && p.rank_share <= 1.0,
+                  std::string("rank share for ") + qos_name(qos) + " must be in (0, 1]");
+    MCRDL_REQUIRE(p.max_queued >= 0, "queue depth cannot be negative");
+  }
+}
+
+int AdmissionController::quota_ranks(QosClass qos) const {
+  const int ranks = static_cast<int>(std::floor(config_.policy(qos).rank_share * world_));
+  return ranks < 1 ? 1 : ranks;
+}
+
+bool AdmissionController::quota_allows(const JobSpec& spec) const {
+  return running_ranks_[idx(spec.qos)] + spec.ranks <= quota_ranks(spec.qos);
+}
+
+AdmissionController::Verdict AdmissionController::arrive(
+    std::size_t job_index, const JobSpec& spec,
+    const std::function<bool(const JobSpec&)>& fits, std::string* reason) {
+  if (spec.ranks > world_ || spec.ranks > quota_ranks(spec.qos)) {
+    // Queuing a job that can never run would wedge its whole class behind
+    // an unsatisfiable head — reject it up front instead.
+    if (reason != nullptr) {
+      *reason = "unsatisfiable: " + std::to_string(spec.ranks) + " ranks exceeds the " +
+                qos_name(spec.qos) + " quota of " + std::to_string(quota_ranks(spec.qos)) +
+                " on a world of " + std::to_string(world_);
+    }
+    return Verdict::Reject;
+  }
+  std::deque<Waiting>& queue = queues_[idx(spec.qos)];
+  if (queue.empty() && quota_allows(spec) && fits(spec)) return Verdict::Admit;
+  if (static_cast<int>(queue.size()) >= config_.policy(spec.qos).max_queued) {
+    if (reason != nullptr) {
+      *reason = std::string(qos_name(spec.qos)) + " queue full (" +
+                std::to_string(queue.size()) + " waiting)";
+    }
+    return Verdict::Reject;
+  }
+  queue.push_back(Waiting{job_index, spec});
+  return Verdict::Queue;
+}
+
+void AdmissionController::note_started(const JobSpec& spec) {
+  running_ranks_[idx(spec.qos)] += spec.ranks;
+  MCRDL_CHECK(running_ranks_[idx(spec.qos)] <= quota_ranks(spec.qos))
+      << "class " << qos_name(spec.qos) << " exceeded its rank quota";
+}
+
+void AdmissionController::note_finished(const JobSpec& spec) {
+  running_ranks_[idx(spec.qos)] -= spec.ranks;
+  MCRDL_CHECK(running_ranks_[idx(spec.qos)] >= 0) << "negative running ranks";
+}
+
+std::optional<std::size_t> AdmissionController::pop_runnable(
+    const std::function<bool(const JobSpec&)>& fits) {
+  for (QosClass qos : all_qos_classes()) {
+    std::deque<Waiting>& queue = queues_[idx(qos)];
+    if (queue.empty()) continue;
+    const Waiting& head = queue.front();
+    if (!quota_allows(head.spec) || !fits(head.spec)) continue;
+    const std::size_t job_index = head.job_index;
+    queue.pop_front();
+    return job_index;
+  }
+  return std::nullopt;
+}
+
+bool AdmissionController::head_satisfiable_when_idle() const {
+  if (total_queued() == 0) return true;
+  for (QosClass qos : all_qos_classes()) {
+    const std::deque<Waiting>& queue = queues_[idx(qos)];
+    if (queue.empty()) continue;
+    const JobSpec& spec = queue.front().spec;
+    if (spec.ranks <= world_ && spec.ranks <= quota_ranks(qos)) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> AdmissionController::drain() {
+  std::vector<std::size_t> indices;
+  for (QosClass qos : all_qos_classes()) {
+    std::deque<Waiting>& queue = queues_[idx(qos)];
+    for (const Waiting& waiting : queue) indices.push_back(waiting.job_index);
+    queue.clear();
+  }
+  return indices;
+}
+
+int AdmissionController::running_ranks(QosClass qos) const { return running_ranks_[idx(qos)]; }
+
+std::size_t AdmissionController::queued(QosClass qos) const { return queues_[idx(qos)].size(); }
+
+std::size_t AdmissionController::total_queued() const {
+  std::size_t total = 0;
+  for (QosClass qos : all_qos_classes()) total += queued(qos);
+  return total;
+}
+
+}  // namespace mcrdl::sched

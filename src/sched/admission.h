@@ -1,0 +1,99 @@
+// Admission control: per-QoS-class quotas plus a bounded wait queue.
+//
+// Arriving jobs get one of three verdicts:
+//
+//   * Admit  — the job can start right now: its class queue is empty (FIFO
+//              — a newcomer never jumps waiting peers), the class quota has
+//              room, and the placement probe found a free range.
+//   * Queue  — quota or placement is exhausted but the class's bounded
+//              queue has room; the job waits FIFO within its class.
+//   * Reject — the job can never run (more ranks than its class quota ever
+//              allows — admitting it would deadlock the queue head) or the
+//              class queue is full (back-pressure instead of unbounded
+//              buildup).
+//
+// Dequeue order is strict priority by class (Gold first) and FIFO within a
+// class: only each class's head is eligible, so two tenants in one class
+// cannot starve each other, and a Bronze job runs only when no Gold/Silver
+// head fits. Quotas are expressed as a fraction of the world's ranks a
+// class may occupy concurrently, so one tenant class can never crowd the
+// others out entirely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sched/job.h"
+
+namespace mcrdl::sched {
+
+struct QosPolicy {
+  double rank_share = 1.0;  // max fraction of world ranks running concurrently
+  int max_queued = 64;      // bounded wait queue depth
+};
+
+struct AdmissionConfig {
+  QosPolicy gold{1.0, 64};
+  QosPolicy silver{0.75, 64};
+  QosPolicy bronze{0.5, 32};
+
+  const QosPolicy& policy(QosClass qos) const;
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict { Admit, Queue, Reject };
+
+  AdmissionController(int world, AdmissionConfig config);
+
+  // Verdict for an arriving job; `fits` is the scheduler's placement probe.
+  // Queue verdicts enqueue `job_index` (the scheduler's handle); Reject
+  // sets `reason`.
+  Verdict arrive(std::size_t job_index, const JobSpec& spec,
+                 const std::function<bool(const JobSpec&)>& fits, std::string* reason);
+
+  // Whether the class quota admits `spec` right now (ignores placement).
+  bool quota_allows(const JobSpec& spec) const;
+  // Max ranks the class may ever run concurrently (floor of share * world).
+  int quota_ranks(QosClass qos) const;
+
+  // Occupancy bookkeeping; the scheduler calls these as jobs start/finish.
+  void note_started(const JobSpec& spec);
+  void note_finished(const JobSpec& spec);
+
+  // Highest-priority queued head whose quota has room and whose placement
+  // probe (`fits`) succeeds; pops and returns its index. nullopt when no
+  // head is currently runnable.
+  std::optional<std::size_t> pop_runnable(const std::function<bool(const JobSpec&)>& fits);
+
+  // True iff some queued head could run on an *idle* cluster — false with a
+  // non-empty queue means the queue is wedged (counted as a deadlock by the
+  // scheduler; unreachable while arrive() rejects unsatisfiable jobs).
+  bool head_satisfiable_when_idle() const;
+
+  // Empties every queue, returning the waiting job indices in priority
+  // order (all Gold FIFO, then Silver, then Bronze). Used by the scheduler
+  // to fail queued jobs when the replay can no longer make progress.
+  std::vector<std::size_t> drain();
+
+  int running_ranks(QosClass qos) const;
+  std::size_t queued(QosClass qos) const;
+  std::size_t total_queued() const;
+
+ private:
+  struct Waiting {
+    std::size_t job_index;
+    JobSpec spec;
+  };
+
+  int world_;
+  AdmissionConfig config_;
+  int running_ranks_[kNumQosClasses] = {0, 0, 0};
+  std::deque<Waiting> queues_[kNumQosClasses];
+};
+
+}  // namespace mcrdl::sched

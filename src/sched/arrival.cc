@@ -1,0 +1,118 @@
+#include "src/sched/arrival.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace mcrdl::sched {
+
+std::string ArrivalTrace::serialize() const {
+  std::ostringstream out;
+  out << "# mcr-dl arrival trace: id tenant model ranks qos arrival_us steps\n";
+  char arrival[64];
+  for (const JobSpec& job : jobs) {
+    // Fixed three-decimal formatting round-trips exactly because arrivals
+    // are quantised to 1ns (generate_trace) or came from parse() itself.
+    std::snprintf(arrival, sizeof(arrival), "%.3f", job.arrival_us);
+    out << job.id << " " << job.tenant << " " << job_model_name(job.model) << " " << job.ranks
+        << " " << qos_name(job.qos) << " " << arrival << " " << job.steps << "\n";
+  }
+  return out.str();
+}
+
+ArrivalTrace ArrivalTrace::parse(const std::string& text) {
+  ArrivalTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    JobSpec job;
+    std::string model_str, qos_str;
+    if (!(fields >> job.id >> job.tenant >> model_str >> job.ranks >> qos_str >>
+          job.arrival_us >> job.steps)) {
+      throw InvalidArgument("malformed arrival trace line " + std::to_string(line_no) + ": " +
+                            line);
+    }
+    // Exactly seven fields per line: extra tokens mean a corrupt trace.
+    std::string extra;
+    if (fields >> extra) {
+      throw InvalidArgument("trailing garbage '" + extra + "' on arrival trace line " +
+                            std::to_string(line_no) + ": " + line);
+    }
+    if (!job_model_from_name(model_str, job.model)) {
+      throw InvalidArgument("unknown model '" + model_str + "' in arrival trace line " +
+                            std::to_string(line_no));
+    }
+    if (!qos_from_name(qos_str, job.qos)) {
+      throw InvalidArgument("unknown qos class '" + qos_str + "' in arrival trace line " +
+                            std::to_string(line_no));
+    }
+    try {
+      job.validate();
+    } catch (const Error& e) {
+      throw InvalidArgument("invalid job on arrival trace line " + std::to_string(line_no) +
+                            ": " + e.what());
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+void ArrivalTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  MCRDL_REQUIRE(out.good(), "cannot open arrival trace file for writing: " + path);
+  out << serialize();
+}
+
+ArrivalTrace ArrivalTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  MCRDL_REQUIRE(in.good(), "cannot open arrival trace file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+ArrivalTrace generate_trace(const TraceConfig& config) {
+  MCRDL_REQUIRE(config.num_jobs >= 1, "trace needs at least one job");
+  MCRDL_REQUIRE(config.num_tenants >= 1, "trace needs at least one tenant");
+  MCRDL_REQUIRE(!config.rank_choices.empty(), "trace needs at least one rank choice");
+  MCRDL_REQUIRE(config.mean_interarrival_us > 0.0, "mean inter-arrival must be positive");
+  MCRDL_REQUIRE(config.min_steps >= 1 && config.max_steps >= config.min_steps,
+                "invalid step range");
+
+  static const JobModel kModels[] = {JobModel::MoE, JobModel::DLRM, JobModel::Megatron,
+                                     JobModel::ResNet};
+  Rng rng(config.seed);
+  Rng arrivals = rng.split(1);
+  Rng shapes = rng.split(2);
+
+  ArrivalTrace trace;
+  trace.jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+  double now = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    // Exponential inter-arrival: -mean * ln(1 - u), the Poisson process.
+    now += -config.mean_interarrival_us * std::log(1.0 - arrivals.next_double());
+    JobSpec job;
+    job.id = static_cast<std::uint64_t>(i);
+    const int tenant = static_cast<int>(shapes.next_below(config.num_tenants));
+    job.tenant = "tenant-" + std::to_string(tenant);
+    job.qos = all_qos_classes()[static_cast<std::size_t>(tenant % kNumQosClasses)];
+    job.model = kModels[shapes.next_below(4)];
+    job.ranks = config.rank_choices[shapes.next_below(config.rank_choices.size())];
+    job.steps = config.min_steps + static_cast<int>(shapes.next_below(
+                                       config.max_steps - config.min_steps + 1));
+    // Quantise to 1ns so the text round trip replays identically.
+    job.arrival_us = std::round(now * 1000.0) / 1000.0;
+    job.validate();
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace mcrdl::sched

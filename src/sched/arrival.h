@@ -1,0 +1,53 @@
+// Arrival traces: the stream of jobs the serving layer replays.
+//
+// A trace is a list of JobSpecs ordered by arrival time. Traces serialise
+// to a plain-text format (one "id tenant model ranks qos arrival_us steps"
+// line per job) that round-trips through parse() byte-identically, and
+// parse() rejects malformed lines with line-numbered errors — the same
+// contract as TuningTable::parse. Synthetic traces come from
+// generate_trace(): a seeded Poisson-like process (exponential
+// inter-arrivals from the deterministic SplitMix64 RNG) over a tenant
+// population with a fixed model/QoS mix, so a (seed, config) pair always
+// produces the identical workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sched/job.h"
+
+namespace mcrdl::sched {
+
+struct ArrivalTrace {
+  std::vector<JobSpec> jobs;
+
+  // Plain-text round trip; serialize(parse(serialize(t))) == serialize(t).
+  std::string serialize() const;
+  // Throws InvalidArgument naming the offending line number on malformed
+  // input (wrong field count, unknown model/qos names, trailing garbage,
+  // or a spec that fails JobSpec::validate()).
+  static ArrivalTrace parse(const std::string& text);
+  void save(const std::string& path) const;
+  static ArrivalTrace load(const std::string& path);
+};
+
+struct TraceConfig {
+  int num_jobs = 1000;
+  std::uint64_t seed = 1;
+  // Mean of the exponential inter-arrival draw (Poisson-like arrivals).
+  // The default keeps a 16-node Lassen world moderately loaded with the
+  // quick model configs — queues form in bursts but drain, so latency
+  // percentiles measure contention rather than unbounded backlog.
+  double mean_interarrival_us = 60000.0;
+  int num_tenants = 6;                    // tenant-i gets QoS class i % 3
+  std::vector<int> rank_choices = {4, 8, 16};
+  int min_steps = 2;
+  int max_steps = 6;
+};
+
+// Deterministic synthetic trace: same config -> byte-identical trace.
+// Arrival times are rounded to 1ns so the in-memory trace and its text
+// round trip replay identically.
+ArrivalTrace generate_trace(const TraceConfig& config);
+
+}  // namespace mcrdl::sched

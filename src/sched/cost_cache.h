@@ -1,0 +1,76 @@
+// Per-(model, slice, contention) job step-time profiles.
+//
+// The serving scheduler replays thousands of jobs but only a handful of
+// distinct (model kind, slice width, quantised contention) shapes; this
+// cache measures each shape once through the real TrainingHarness — the
+// full OpRequest pipeline, mixed/tuned backend routing, and the net cost
+// models with the tenant-contention scale installed — then replays cached
+// step times. Contention factors are quantised onto a fixed ladder so the
+// cache stays bounded no matter how load fluctuates.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/models/workload.h"
+#include "src/sched/job.h"
+
+namespace mcrdl::sched {
+
+// One measured shape: virtual-time per training step on an otherwise
+// idle slice of `ranks` ranks under the given inter-node bandwidth share.
+struct JobProfile {
+  double step_time_us = 0.0;
+  double comm_time_us = 0.0;     // per-step comm interval union (rank 0)
+  double compute_time_us = 0.0;  // per-step compute busy time (rank 0)
+
+  // Fraction of the step the job keeps its links busy — its fabric demand.
+  double comm_fraction() const {
+    return step_time_us > 0.0 ? comm_time_us / step_time_us : 0.0;
+  }
+};
+
+class JobCostCache {
+ public:
+  // `plan` routes every job's communication: "mixed" (the paper's
+  // coarse-grained mix), "tuned" (auto resolution through a tuning table
+  // generated per slice width), or a concrete backend name. `quick_models`
+  // trims the model configs (fewer layers / smaller batches) so serve
+  // replays stay fast; full-size configs match the figure sweeps.
+  JobCostCache(net::SystemConfig system, std::string plan = "mixed", bool quick_models = true);
+
+  // The profile for `model` on a `ranks`-wide slice whose inter-node
+  // bandwidth is divided by `inter_contention` (quantised internally).
+  // Measures on first use, then returns the cached entry.
+  const JobProfile& profile(JobModel model, int ranks, double inter_contention = 1.0);
+
+  // Snaps a contention factor up to the next rung of the fixed ladder
+  // (1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32; clamped at the top).
+  static double quantize_contention(double factor);
+
+  std::size_t entries() const { return cache_.size(); }
+  const std::string& plan_name() const { return plan_; }
+
+ private:
+  struct Key {
+    int model;
+    int ranks;
+    int rung;  // index into the contention ladder
+    bool operator<(const Key& other) const {
+      if (model != other.model) return model < other.model;
+      if (ranks != other.ranks) return ranks < other.ranks;
+      return rung < other.rung;
+    }
+  };
+
+  JobProfile measure(JobModel model, int ranks, double contention);
+  const TuningTable& table_for(int ranks);
+
+  net::SystemConfig system_;
+  std::string plan_;
+  bool quick_models_;
+  std::map<Key, JobProfile> cache_;
+  std::map<int, TuningTable> tables_;  // per slice width, "tuned" plan only
+};
+
+}  // namespace mcrdl::sched

@@ -1,0 +1,90 @@
+#include "src/sched/job.h"
+
+#include <algorithm>
+
+namespace mcrdl::sched {
+
+const char* qos_name(QosClass qos) {
+  switch (qos) {
+    case QosClass::Gold: return "gold";
+    case QosClass::Silver: return "silver";
+    case QosClass::Bronze: return "bronze";
+  }
+  return "?";
+}
+
+bool qos_from_name(const std::string& name, QosClass& out) {
+  for (QosClass qos : all_qos_classes()) {
+    if (name == qos_name(qos)) {
+      out = qos;
+      return true;
+    }
+  }
+  return false;
+}
+
+double qos_weight(QosClass qos) {
+  switch (qos) {
+    case QosClass::Gold: return 4.0;
+    case QosClass::Silver: return 2.0;
+    case QosClass::Bronze: return 1.0;
+  }
+  return 1.0;
+}
+
+const std::vector<QosClass>& all_qos_classes() {
+  static const std::vector<QosClass> classes = {QosClass::Gold, QosClass::Silver,
+                                                QosClass::Bronze};
+  return classes;
+}
+
+const char* job_model_name(JobModel model) {
+  switch (model) {
+    case JobModel::MoE: return "moe";
+    case JobModel::DLRM: return "dlrm";
+    case JobModel::Megatron: return "megatron";
+    case JobModel::ResNet: return "resnet";
+  }
+  return "?";
+}
+
+bool job_model_from_name(const std::string& name, JobModel& out) {
+  for (JobModel m : {JobModel::MoE, JobModel::DLRM, JobModel::Megatron, JobModel::ResNet}) {
+    if (name == job_model_name(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobSpec::validate() const {
+  MCRDL_REQUIRE(!tenant.empty(), "job " + std::to_string(id) + " has no tenant");
+  MCRDL_REQUIRE(tenant.find_first_of(" \t\n\r") == std::string::npos,
+                "tenant name '" + tenant + "' contains whitespace");
+  MCRDL_REQUIRE(ranks >= 1, "job " + std::to_string(id) + " requests ranks < 1");
+  MCRDL_REQUIRE(steps >= 1, "job " + std::to_string(id) + " requests steps < 1");
+  MCRDL_REQUIRE(arrival_us >= 0.0, "job " + std::to_string(id) + " arrives before t=0");
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+std::vector<int> to_global(const RankRange& range, const std::vector<int>& local_ranks) {
+  std::vector<int> out;
+  out.reserve(local_ranks.size());
+  for (int r : local_ranks) {
+    MCRDL_REQUIRE(r >= 0 && r < range.count, "local rank outside the tenant's slice");
+    out.push_back(range.begin + r);
+  }
+  return out;
+}
+
+}  // namespace mcrdl::sched

@@ -1,0 +1,379 @@
+#include "src/sched/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/sched/placement.h"
+
+namespace mcrdl::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Slack for "this job's remaining work hit zero" after advancing by the
+// exact predicted interval; steps are O(1..10) so 1e-7 is far below one
+// step and far above double rounding.
+constexpr double kStepEps = 1e-7;
+
+// Weighted max-min (water-filling) split of `capacity` among demands.
+// Iteratively freezes every flow whose demand fits inside its weighted
+// share of the remaining capacity; the rest split what is left by weight.
+// Deterministic: pure arithmetic over vector order.
+std::vector<double> water_fill(const std::vector<double>& demand,
+                               const std::vector<double>& weight, double capacity) {
+  const std::size_t n = demand.size();
+  std::vector<double> alloc(n, 0.0);
+  double total = 0.0;
+  for (double d : demand) total += d;
+  if (total <= capacity) return demand;  // nobody is constrained
+
+  std::vector<bool> frozen(n, false);
+  double cap = capacity;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i] && demand[i] > 0.0) weight_sum += weight[i];
+    }
+    if (weight_sum <= 0.0) return alloc;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i] || demand[i] <= 0.0) continue;
+      const double share = cap * weight[i] / weight_sum;
+      if (demand[i] <= share * (1.0 + 1e-12)) {
+        alloc[i] = demand[i];
+        frozen[i] = true;
+        progressed = true;
+      }
+    }
+    if (progressed) {
+      cap = capacity;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) cap -= alloc[i];
+      }
+    }
+  }
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!frozen[i] && demand[i] > 0.0) weight_sum += weight[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!frozen[i] && demand[i] > 0.0) alloc[i] = cap * weight[i] / weight_sum;
+  }
+  return alloc;
+}
+
+obs::Labels tenant_labels(const JobSpec& spec) {
+  return obs::Labels{{"tenant", spec.tenant}, {"qos", qos_name(spec.qos)}};
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double q) {
+  MCRDL_REQUIRE(!values.empty(), "percentile of an empty sample");
+  MCRDL_REQUIRE(q > 0.0 && q <= 100.0, "percentile rank must be in (0, 100]");
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: the smallest value with at least q% of the sample at or
+  // below it.
+  const std::size_t rank = static_cast<std::size_t>(std::ceil(q / 100.0 * values.size()));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+ServeScheduler::ServeScheduler(ServeConfig config)
+    : config_(std::move(config)),
+      cache_(config_.system, config_.plan, config_.quick_models),
+      breaker_(config_.breaker) {
+  MCRDL_REQUIRE(config_.fabric_oversubscription > 0.0,
+                "fabric oversubscription must be positive");
+  MCRDL_REQUIRE(config_.slo_factor >= 1.0, "an SLO below the service time is unmeetable");
+  for (const ChaosWindow& window : config_.chaos) {
+    MCRDL_REQUIRE(window.until_us > window.from_us, "empty chaos window");
+    MCRDL_REQUIRE(window.inter_degrade >= 1.0, "chaos cannot speed the fabric up");
+  }
+  breaker_.set_transition_hook(
+      [this](const std::string& tenant, int /*rank*/, fault::BreakerState to) {
+        metrics_
+            .counter("serve_breaker_transitions",
+                     {{"tenant", tenant}, {"to", fault::breaker_state_name(to)}})
+            .inc();
+      });
+}
+
+double ServeScheduler::chaos_factor_at(SimTime t) const {
+  double factor = 1.0;
+  for (const ChaosWindow& window : config_.chaos) {
+    if (t >= window.from_us && t < window.until_us) factor *= window.inter_degrade;
+  }
+  return factor;
+}
+
+SimTime ServeScheduler::next_chaos_edge(SimTime t) const {
+  SimTime next = kInf;
+  for (const ChaosWindow& window : config_.chaos) {
+    if (window.from_us > t) next = std::min(next, window.from_us);
+    if (window.until_us > t) next = std::min(next, window.until_us);
+  }
+  return next;
+}
+
+void ServeScheduler::recompute_rates(std::vector<Active>& active,
+                                     const std::vector<JobRecord>& jobs, SimTime now,
+                                     double* peak_contention) {
+  if (active.empty()) return;
+  const int world = config_.system.world_size();
+  const int gpn = config_.system.gpus_per_node;
+  const double chaos = chaos_factor_at(now);
+
+  // Fabric demand: each multi-node job asks for its slice's share of the
+  // full-bisection fabric, scaled by how much of a step it keeps its links
+  // busy when running alone. Single-node jobs live on NVLink and place no
+  // demand on the shared core.
+  std::vector<double> demand(active.size(), 0.0);
+  std::vector<double> weight(active.size(), 0.0);
+  std::vector<bool> multi_node(active.size(), false);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const JobRecord& job = jobs[active[i].job];
+    const RankRange& placement = job.placement;
+    multi_node[i] = placement.begin / gpn != (placement.end() - 1) / gpn;
+    weight[i] = qos_weight(job.spec.qos) * job.spec.ranks;
+    if (multi_node[i]) {
+      const JobProfile& alone = cache_.profile(job.spec.model, job.spec.ranks, 1.0);
+      demand[i] =
+          (static_cast<double>(job.spec.ranks) / world) * alone.comm_fraction();
+    }
+  }
+
+  // The tapered core sustains only 1/oversubscription of aggregate
+  // injection; QoS-weighted max-min fairness splits it under overload.
+  const double capacity = 1.0 / config_.fabric_oversubscription;
+  const std::vector<double> alloc = water_fill(demand, weight, capacity);
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const JobRecord& job = jobs[active[i].job];
+    double factor = 1.0;
+    if (multi_node[i]) {
+      const double share = demand[i] > 0.0 && alloc[i] > 0.0 ? demand[i] / alloc[i] : 1.0;
+      factor = JobCostCache::quantize_contention(std::max(1.0, share) * chaos);
+    }
+    const JobProfile& profile = cache_.profile(job.spec.model, job.spec.ranks, factor);
+    active[i].factor = factor;
+    active[i].rate = 1.0 / profile.step_time_us;
+    if (peak_contention != nullptr) *peak_contention = std::max(*peak_contention, factor);
+  }
+}
+
+ServeResult ServeScheduler::run(const ArrivalTrace& trace) {
+  const int world = config_.system.world_size();
+  ServeResult result;
+  std::vector<JobRecord>& jobs = result.jobs;
+  jobs.reserve(trace.jobs.size());
+  for (const JobSpec& spec : trace.jobs) {
+    spec.validate();
+    MCRDL_REQUIRE(spec.ranks <= world, "job " + std::to_string(spec.id) +
+                                           " wants more ranks than the shared world has");
+    JobRecord record;
+    record.spec = spec;
+    jobs.push_back(std::move(record));
+  }
+  std::stable_sort(jobs.begin(), jobs.end(), [](const JobRecord& a, const JobRecord& b) {
+    if (a.spec.arrival_us != b.spec.arrival_us) return a.spec.arrival_us < b.spec.arrival_us;
+    return a.spec.id < b.spec.id;
+  });
+
+  AdmissionController admission(world, config_.admission);
+  RankAllocator allocator(world, config_.system.gpus_per_node);
+  std::vector<Active> active;
+  SimTime now = 0.0;
+  double busy_rank_us = 0.0;
+  std::size_t next_arrival = 0;
+
+  const auto fits = [&](const JobSpec& spec) { return allocator.fits(spec.ranks); };
+
+  const auto start_job = [&](std::size_t index) {
+    JobRecord& job = jobs[index];
+    const std::optional<RankRange> placement = allocator.allocate(job.spec.ranks);
+    MCRDL_CHECK(placement.has_value()) << "started a job with no free range";
+    admission.note_started(job.spec);
+    job.state = JobState::Running;
+    job.placement = *placement;
+    job.start_us = now;
+    active.push_back(Active{index, static_cast<double>(job.spec.steps), 0.0, 1.0});
+  };
+
+  const auto finish_job = [&](std::size_t index) {
+    JobRecord& job = jobs[index];
+    job.state = JobState::Completed;
+    job.finish_us = now;
+    allocator.release(job.placement);
+    admission.note_finished(job.spec);
+    ++result.completed;
+    metrics_.counter("serve_jobs_completed", tenant_labels(job.spec)).inc();
+    metrics_.histogram("serve_job_latency_us", tenant_labels(job.spec))
+        .observe(job.latency_us());
+    if (config_.breaker_enabled) {
+      // SLO: a job may take slo_factor x its uncontended service time
+      // (queueing included) before the tenant counts it as failed.
+      const JobProfile& alone = cache_.profile(job.spec.model, job.spec.ranks, 1.0);
+      const double slo = config_.slo_factor * alone.step_time_us * job.spec.steps;
+      if (job.latency_us() > slo) {
+        breaker_.record_failure(job.spec.tenant, 0);
+      } else {
+        breaker_.record_success(job.spec.tenant, 0);
+      }
+    }
+  };
+
+  const auto reject_job = [&](std::size_t index, std::string reason) {
+    JobRecord& job = jobs[index];
+    job.state = JobState::Rejected;
+    job.reject_reason = std::move(reason);
+    ++result.rejected;
+    metrics_.counter("serve_jobs_rejected", tenant_labels(job.spec)).inc();
+  };
+
+  while (true) {
+    // Next event: an arrival, the earliest completion, or a chaos edge
+    // (which only matters while something is running — rates are
+    // recomputed at start time anyway).
+    const SimTime t_arrival =
+        next_arrival < jobs.size() ? jobs[next_arrival].spec.arrival_us : kInf;
+    SimTime t_complete = kInf;
+    for (const Active& a : active) {
+      if (a.rate > 0.0) t_complete = std::min(t_complete, now + a.remaining_steps / a.rate);
+    }
+    const SimTime t_chaos = active.empty() ? kInf : next_chaos_edge(now);
+    SimTime t = std::min(t_arrival, std::min(t_complete, t_chaos));
+
+    if (t == kInf) {
+      if (admission.total_queued() == 0) break;  // replay finished
+      // No arrival, nothing running, yet jobs wait: the queue is wedged.
+      // arrive() rejects unsatisfiable jobs up front, so this is the
+      // deadlock the acceptance criteria count — fail the stragglers
+      // loudly rather than spinning forever.
+      MCRDL_CHECK(!admission.head_satisfiable_when_idle())
+          << "queued head claims to be satisfiable on an idle cluster";
+      for (std::size_t index : admission.drain()) {
+        reject_job(index, "admission deadlock: queue wedged on an idle cluster");
+        ++result.deadlocks;
+        metrics_.counter("serve_deadlocks").inc();
+      }
+      break;
+    }
+    t = std::max(t, now);
+
+    // Advance every running job through [now, t) at its current rate.
+    int running_ranks = 0;
+    for (Active& a : active) {
+      a.remaining_steps -= a.rate * (t - now);
+      running_ranks += jobs[a.job].spec.ranks;
+    }
+    busy_rank_us += static_cast<double>(running_ranks) * (t - now);
+    now = t;
+
+    // Completions first — they free ranks and quota for everything below.
+    // Ascending job order keeps tie-breaks deterministic.
+    std::vector<std::size_t> done;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].remaining_steps <= kStepEps) done.push_back(active[i].job);
+    }
+    if (!done.empty()) {
+      std::sort(done.begin(), done.end());
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [](const Active& a) { return a.remaining_steps <= kStepEps; }),
+                   active.end());
+      for (std::size_t index : done) finish_job(index);
+    }
+
+    // Queued jobs outrank same-instant arrivals for the freed capacity.
+    while (const std::optional<std::size_t> index = admission.pop_runnable(fits)) {
+      start_job(*index);
+    }
+
+    while (next_arrival < jobs.size() && jobs[next_arrival].spec.arrival_us <= now) {
+      const std::size_t index = next_arrival++;
+      const JobSpec& spec = jobs[index].spec;
+      if (config_.breaker_enabled && !breaker_.healthy(spec.tenant, 0)) {
+        // The tenant's breaker is open: shed the arrival instead of letting
+        // a struggling tenant stack more load onto a degraded cluster. The
+        // skip count is what eventually half-opens the breaker for a probe.
+        breaker_.note_skipped(spec.tenant, 0);
+        jobs[index].state = JobState::Rejected;
+        jobs[index].reject_reason = "shed: tenant breaker open";
+        ++result.shed;
+        metrics_.counter("serve_jobs_shed", tenant_labels(spec)).inc();
+        continue;
+      }
+      std::string reason;
+      switch (admission.arrive(index, spec, fits, &reason)) {
+        case AdmissionController::Verdict::Admit:
+          start_job(index);
+          break;
+        case AdmissionController::Verdict::Queue:
+          break;  // stays JobState::Queued
+        case AdmissionController::Verdict::Reject:
+          reject_job(index, reason);
+          break;
+      }
+    }
+
+    while (const std::optional<std::size_t> index = admission.pop_runnable(fits)) {
+      start_job(*index);
+    }
+
+    recompute_rates(active, jobs, now, &result.peak_contention);
+  }
+
+  // Roll up latency statistics per tenant and in aggregate.
+  result.makespan_us = now;
+  result.avg_utilization =
+      now > 0.0 ? busy_rank_us / (static_cast<double>(world) * now) : 0.0;
+  metrics_.gauge("serve_avg_utilization").set(result.avg_utilization);
+
+  std::vector<double> all_latencies;
+  std::map<std::string, std::vector<double>> tenant_latencies;
+  for (const JobRecord& job : jobs) {
+    TenantStats& stats = result.tenants[job.spec.tenant];
+    if (stats.tenant.empty()) {
+      stats.tenant = job.spec.tenant;
+      stats.qos = job.spec.qos;
+    }
+    switch (job.state) {
+      case JobState::Completed:
+        ++stats.completed;
+        tenant_latencies[job.spec.tenant].push_back(job.latency_us());
+        all_latencies.push_back(job.latency_us());
+        break;
+      case JobState::Rejected:
+        if (job.reject_reason.rfind("shed:", 0) == 0) {
+          ++stats.shed;
+        } else {
+          ++stats.rejected;
+        }
+        break;
+      case JobState::Queued:
+      case JobState::Running:
+        MCRDL_CHECK(false) << "job " << job.spec.id << " left " << job_state_name(job.state)
+                           << " at end of replay";
+        break;
+    }
+  }
+  for (auto& [tenant, latencies] : tenant_latencies) {
+    TenantStats& stats = result.tenants[tenant];
+    stats.p50_latency_us = percentile(latencies, 50.0);
+    stats.p99_latency_us = percentile(latencies, 99.0);
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    stats.mean_latency_us = sum / static_cast<double>(latencies.size());
+  }
+  if (!all_latencies.empty()) {
+    result.p50_latency_us = percentile(all_latencies, 50.0);
+    result.p99_latency_us = percentile(all_latencies, 99.0);
+    double sum = 0.0;
+    for (double l : all_latencies) sum += l;
+    result.mean_latency_us = sum / static_cast<double>(all_latencies.size());
+  }
+  return result;
+}
+
+}  // namespace mcrdl::sched

@@ -159,6 +159,58 @@ TEST(CostModel, VectorCollectivesShareBaseFormulas) {
                    model.collective_cost(OpType::GatherV, 4096, shape));
 }
 
+// Tenant contention (src/sched/): an installed ContentionScale divides the
+// contended link class's bandwidth; the identity scale is bit-exact with no
+// scale installed, so the serving layer is invisible to single-job runs.
+TEST(CostModel, IdentityContentionIsBitIdentical) {
+  Topology topo(SystemConfig::lassen(2));
+  CostModel bare(&topo, nccl_profile());
+  CostModel scaled(&topo, nccl_profile());
+  ContentionScale identity;
+  scaled.set_contention(&identity);
+  CommShape shape = CommShape::over(topo);
+  for (std::size_t bytes : {std::size_t{1} << 10, std::size_t{1} << 20, std::size_t{1} << 26}) {
+    EXPECT_EQ(bare.collective_cost(OpType::AllReduce, bytes, shape),
+              scaled.collective_cost(OpType::AllReduce, bytes, shape));
+    EXPECT_EQ(bare.collective_cost(OpType::AllToAllSingle, bytes, shape),
+              scaled.collective_cost(OpType::AllToAllSingle, bytes, shape));
+  }
+  EXPECT_EQ(bare.p2p_cost(1 << 20, 0, 4), scaled.p2p_cost(1 << 20, 0, 4));
+}
+
+TEST(CostModel, InterContentionSlowsCrossNodeTraffic) {
+  Topology topo(SystemConfig::lassen(2));
+  CostModel bare(&topo, mv2_gdr_profile());
+  CostModel scaled(&topo, mv2_gdr_profile());
+  ContentionScale contention;
+  contention.inter = 2.0;
+  scaled.set_contention(&contention);
+  CommShape shape = CommShape::over(topo);
+
+  // Transfer-dominated cross-node collectives slow down; a shared fabric at
+  // half bandwidth can at most double the cost.
+  const std::size_t big = std::size_t{16} << 20;
+  const double clean = bare.collective_cost(OpType::AllReduce, big, shape);
+  const double contended = scaled.collective_cost(OpType::AllReduce, big, shape);
+  EXPECT_GT(contended, clean);
+  EXPECT_LE(contended, 2.0 * clean + 1e-6);
+
+  // Intra-node traffic does not cross the contended fabric.
+  EXPECT_EQ(bare.p2p_cost(1 << 20, 0, 1), scaled.p2p_cost(1 << 20, 0, 1));
+  EXPECT_GT(scaled.p2p_cost(1 << 20, 0, 4), bare.p2p_cost(1 << 20, 0, 4));
+}
+
+TEST(CostModel, IntraContentionSlowsNvlinkOnly) {
+  Topology topo(SystemConfig::lassen(2));
+  CostModel bare(&topo, nccl_profile());
+  CostModel scaled(&topo, nccl_profile());
+  ContentionScale contention;
+  contention.intra = 3.0;
+  scaled.set_contention(&contention);
+  EXPECT_GT(scaled.p2p_cost(1 << 22, 0, 1), bare.p2p_cost(1 << 22, 0, 1));
+  EXPECT_EQ(scaled.p2p_cost(1 << 22, 0, 4), bare.p2p_cost(1 << 22, 0, 4));
+}
+
 TEST(CostModel, BackendProfilesDeclareExpectedCapabilities) {
   auto nccl = nccl_profile();
   EXPECT_TRUE(nccl.stream_aware);

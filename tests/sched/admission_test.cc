@@ -1,0 +1,213 @@
+// Admission control and placement: per-class quotas, bounded queues with
+// back-pressure, strict priority dequeue, and the first-fit node-aligned
+// rank allocator.
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+#include "src/sched/admission.h"
+#include "src/sched/placement.h"
+
+namespace mcrdl::sched {
+namespace {
+
+JobSpec spec(std::uint64_t id, int ranks, QosClass qos) {
+  JobSpec s;
+  s.id = id;
+  s.tenant = "tenant-" + std::to_string(id);
+  s.ranks = ranks;
+  s.qos = qos;
+  s.steps = 1;
+  return s;
+}
+
+const auto kAlwaysFits = [](const JobSpec&) { return true; };
+const auto kNeverFits = [](const JobSpec&) { return false; };
+
+TEST(Admission, QuotaRanksFollowShares) {
+  AdmissionController admission(64, AdmissionConfig{});
+  EXPECT_EQ(admission.quota_ranks(QosClass::Gold), 64);
+  EXPECT_EQ(admission.quota_ranks(QosClass::Silver), 48);
+  EXPECT_EQ(admission.quota_ranks(QosClass::Bronze), 32);
+}
+
+TEST(Admission, AdmitsWithinQuotaQueuesBeyond) {
+  AdmissionController admission(16, AdmissionConfig{});
+  std::string reason;
+  // Bronze quota on 16 ranks is 8: one 8-rank job fills it.
+  const JobSpec first = spec(0, 8, QosClass::Bronze);
+  EXPECT_EQ(admission.arrive(0, first, kAlwaysFits, &reason),
+            AdmissionController::Verdict::Admit);
+  admission.note_started(first);
+  EXPECT_EQ(admission.running_ranks(QosClass::Bronze), 8);
+
+  EXPECT_EQ(admission.arrive(1, spec(1, 4, QosClass::Bronze), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Queue);
+  EXPECT_EQ(admission.queued(QosClass::Bronze), 1u);
+
+  // Gold has its own quota; the bronze backlog does not block it.
+  EXPECT_EQ(admission.arrive(2, spec(2, 8, QosClass::Gold), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Admit);
+
+  // Once the bronze job finishes, the queued head becomes runnable.
+  admission.note_finished(first);
+  const auto popped = admission.pop_runnable(kAlwaysFits);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 1u);
+  EXPECT_EQ(admission.queued(QosClass::Bronze), 0u);
+}
+
+TEST(Admission, PlacementPressureQueuesEvenUnderQuota) {
+  AdmissionController admission(16, AdmissionConfig{});
+  std::string reason;
+  // Quota would admit, but no contiguous range is free right now.
+  EXPECT_EQ(admission.arrive(0, spec(0, 8, QosClass::Gold), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+  // FIFO within the class: with a queued head, a newcomer can't jump even
+  // if placement has recovered for its (smaller) shape.
+  EXPECT_EQ(admission.arrive(1, spec(1, 4, QosClass::Gold), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Queue);
+  EXPECT_EQ(admission.queued(QosClass::Gold), 2u);
+}
+
+TEST(Admission, RejectsUnsatisfiableUpFront) {
+  AdmissionController admission(16, AdmissionConfig{});
+  std::string reason;
+  // Bronze quota is 8 ranks on this world; a 12-rank bronze job can never
+  // run and must not wedge the queue.
+  EXPECT_EQ(admission.arrive(0, spec(0, 12, QosClass::Bronze), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Reject);
+  EXPECT_NE(reason.find("unsatisfiable"), std::string::npos);
+  EXPECT_NE(reason.find("bronze"), std::string::npos);
+  EXPECT_EQ(admission.total_queued(), 0u);
+
+  EXPECT_EQ(admission.arrive(1, spec(1, 32, QosClass::Gold), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Reject);
+}
+
+TEST(Admission, BoundedQueueRejectsWhenFull) {
+  AdmissionConfig config;
+  config.silver.max_queued = 2;
+  AdmissionController admission(16, config);
+  std::string reason;
+  const JobSpec runner = spec(0, 12, QosClass::Silver);
+  ASSERT_EQ(admission.arrive(0, runner, kAlwaysFits, &reason),
+            AdmissionController::Verdict::Admit);
+  admission.note_started(runner);
+
+  EXPECT_EQ(admission.arrive(1, spec(1, 8, QosClass::Silver), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Queue);
+  EXPECT_EQ(admission.arrive(2, spec(2, 8, QosClass::Silver), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Queue);
+  EXPECT_EQ(admission.arrive(3, spec(3, 8, QosClass::Silver), kAlwaysFits, &reason),
+            AdmissionController::Verdict::Reject);
+  EXPECT_NE(reason.find("queue full"), std::string::npos);
+}
+
+TEST(Admission, DequeueIsStrictPriorityThenFifo) {
+  AdmissionController admission(16, AdmissionConfig{});
+  std::string reason;
+  const JobSpec runner = spec(9, 16, QosClass::Gold);
+  ASSERT_EQ(admission.arrive(9, runner, kAlwaysFits, &reason),
+            AdmissionController::Verdict::Admit);
+  admission.note_started(runner);
+
+  // Queue bronze, silver, then two gold jobs while no placement is free
+  // (the runner holds all 16 ranks, so the probe fails).
+  ASSERT_EQ(admission.arrive(0, spec(0, 4, QosClass::Bronze), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+  ASSERT_EQ(admission.arrive(1, spec(1, 4, QosClass::Silver), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+  ASSERT_EQ(admission.arrive(2, spec(2, 4, QosClass::Gold), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+  ASSERT_EQ(admission.arrive(3, spec(3, 4, QosClass::Gold), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+
+  admission.note_finished(runner);
+  // Gold first (FIFO within the class), then silver, then bronze.
+  std::vector<std::size_t> order;
+  while (auto index = admission.pop_runnable(kAlwaysFits)) {
+    order.push_back(*index);
+    admission.note_started(spec(order.back(), 4,
+                                order.back() == 0   ? QosClass::Bronze
+                                : order.back() == 1 ? QosClass::Silver
+                                                    : QosClass::Gold));
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 3, 1, 0}));
+}
+
+TEST(Admission, HeadSatisfiableWhenIdleDetectsWedge) {
+  AdmissionController admission(16, AdmissionConfig{});
+  std::string reason;
+  EXPECT_TRUE(admission.head_satisfiable_when_idle());  // empty queue
+  ASSERT_EQ(admission.arrive(0, spec(0, 8, QosClass::Gold), kNeverFits, &reason),
+            AdmissionController::Verdict::Queue);
+  EXPECT_TRUE(admission.head_satisfiable_when_idle());
+  const auto drained = admission.drain();
+  EXPECT_EQ(drained, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(admission.total_queued(), 0u);
+}
+
+TEST(Placement, FirstFitIsNodeAligned) {
+  RankAllocator allocator(32, 4);
+  const auto a = allocator.allocate(8);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->begin, 0);
+
+  const auto b = allocator.allocate(4);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->begin, 8);
+
+  allocator.release(*a);
+  // A node-sized request reuses the freed aligned hole at 0.
+  const auto c = allocator.allocate(4);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->begin, 0);
+
+  // 8 ranks skip the sub-node hole at [4, 8) for the aligned fit at 12...
+  const auto d = allocator.allocate(8);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->begin, 12);
+  // ...but a sub-node request may fill the unaligned hole.
+  const auto e = allocator.allocate(2);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->begin, 4);
+}
+
+TEST(Placement, ReleaseCoalescesNeighbours) {
+  RankAllocator allocator(16, 4);
+  const auto a = allocator.allocate(4);
+  const auto b = allocator.allocate(4);
+  const auto c = allocator.allocate(4);
+  ASSERT_TRUE(a && b && c);
+  allocator.release(*a);
+  allocator.release(*c);
+  // c merges with the free tail: [0,4) and [8,16).
+  EXPECT_EQ(allocator.free_list().size(), 2u);
+  allocator.release(*b);
+  // Everything merges back into one free range.
+  ASSERT_EQ(allocator.free_list().size(), 1u);
+  EXPECT_EQ(allocator.free_list()[0].begin, 0);
+  EXPECT_EQ(allocator.free_list()[0].count, 16);
+  EXPECT_EQ(allocator.free_ranks(), 16);
+}
+
+TEST(Placement, FitsMatchesAllocate) {
+  RankAllocator allocator(16, 4);
+  EXPECT_TRUE(allocator.fits(16));
+  const auto a = allocator.allocate(12);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(allocator.fits(4));
+  EXPECT_FALSE(allocator.fits(8));
+  EXPECT_FALSE(allocator.allocate(8).has_value());
+}
+
+TEST(Placement, DoubleReleaseThrows) {
+  RankAllocator allocator(16, 4);
+  const auto a = allocator.allocate(4);
+  ASSERT_TRUE(a.has_value());
+  allocator.release(*a);
+  EXPECT_THROW(allocator.release(*a), Error);
+}
+
+}  // namespace
+}  // namespace mcrdl::sched

@@ -1,0 +1,248 @@
+// The serving scheduler: deterministic replay, tenant contention dilating
+// service times through the real cost models, QoS-weighted fabric shares,
+// chaos windows inflating the latency tail, and per-tenant SLO breakers
+// shedding a struggling tenant's arrivals.
+#include <gtest/gtest.h>
+
+#include "bench/experiments.h"
+#include "src/common/status.h"
+#include "src/sched/serve.h"
+
+namespace mcrdl::sched {
+namespace {
+
+JobSpec job(std::uint64_t id, const std::string& tenant, JobModel model, int ranks,
+            QosClass qos, double arrival_us, int steps = 2) {
+  JobSpec spec;
+  spec.id = id;
+  spec.tenant = tenant;
+  spec.model = model;
+  spec.ranks = ranks;
+  spec.qos = qos;
+  spec.arrival_us = arrival_us;
+  spec.steps = steps;
+  return spec;
+}
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.system = net::SystemConfig::lassen(4);  // 16 shared ranks
+  return config;
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(sample, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50.0), 42.0);
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 0.0), InvalidArgument);
+}
+
+TEST(ServeScheduler, ReplayIsDeterministic) {
+  TraceConfig trace_config;
+  trace_config.num_jobs = 60;
+  trace_config.seed = 11;
+  const ArrivalTrace trace = generate_trace(trace_config);
+
+  ServeScheduler a(small_config());
+  ServeScheduler b(small_config());
+  const ServeResult ra = a.run(trace);
+  const ServeResult rb = b.run(trace);
+
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.p50_latency_us, rb.p50_latency_us);  // bit-identical, not approx
+  EXPECT_EQ(ra.p99_latency_us, rb.p99_latency_us);
+  EXPECT_EQ(ra.makespan_us, rb.makespan_us);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+    EXPECT_EQ(ra.jobs[i].spec.id, rb.jobs[i].spec.id);
+    EXPECT_EQ(ra.jobs[i].state, rb.jobs[i].state);
+    EXPECT_EQ(ra.jobs[i].start_us, rb.jobs[i].start_us);
+    EXPECT_EQ(ra.jobs[i].finish_us, rb.jobs[i].finish_us);
+  }
+
+  // Replaying the trace's text round trip gives the same replay: the file
+  // format loses nothing the scheduler reads.
+  ServeScheduler c(small_config());
+  const ServeResult rc = c.run(ArrivalTrace::parse(trace.serialize()));
+  EXPECT_EQ(ra.p50_latency_us, rc.p50_latency_us);
+  EXPECT_EQ(ra.p99_latency_us, rc.p99_latency_us);
+}
+
+TEST(ServeScheduler, TailDominatesMedianAndNoDeadlocks) {
+  TraceConfig trace_config;
+  trace_config.num_jobs = 80;
+  trace_config.seed = 5;
+  ServeScheduler scheduler(small_config());
+  const ServeResult result = scheduler.run(generate_trace(trace_config));
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.p50_latency_us, 0.0);
+  EXPECT_GE(result.p99_latency_us, result.p50_latency_us);
+  EXPECT_EQ(result.deadlocks, 0u);
+  EXPECT_GT(result.avg_utilization, 0.0);
+  // Every job reached a terminal state.
+  std::uint64_t terminal = result.completed + result.rejected + result.shed;
+  EXPECT_EQ(terminal, result.jobs.size());
+}
+
+// Two multi-node jobs sharing the fabric must each run slower than the
+// same job alone — the dilation comes from the cost models via
+// net::ContentionScale, not from a latency fudge.
+TEST(ServeScheduler, ConcurrentJobsContendForTheFabric) {
+  ServeConfig config = small_config();
+  config.fabric_oversubscription = 4.0;  // tapered core: contention bites
+  config.breaker_enabled = false;
+
+  ArrivalTrace solo;
+  solo.jobs.push_back(job(0, "tenant-0", JobModel::MoE, 8, QosClass::Gold, 0.0));
+  ServeScheduler solo_scheduler(config);
+  const ServeResult solo_result = solo_scheduler.run(solo);
+  ASSERT_EQ(solo_result.completed, 1u);
+  const double solo_service =
+      solo_result.jobs[0].finish_us - solo_result.jobs[0].start_us;
+
+  ArrivalTrace pair;
+  pair.jobs.push_back(job(0, "tenant-0", JobModel::MoE, 8, QosClass::Gold, 0.0));
+  pair.jobs.push_back(job(1, "tenant-1", JobModel::MoE, 8, QosClass::Gold, 0.0));
+  ServeScheduler pair_scheduler(config);
+  const ServeResult pair_result = pair_scheduler.run(pair);
+  ASSERT_EQ(pair_result.completed, 2u);
+  EXPECT_GT(pair_result.peak_contention, 1.0);
+  for (const JobRecord& record : pair_result.jobs) {
+    EXPECT_EQ(record.start_us, 0.0);  // both fit: 2 x 8 ranks on 16
+    const double service = record.finish_us - record.start_us;
+    EXPECT_GT(service, 1.2 * solo_service)
+        << "job " << record.spec.id << " shows no contention dilation";
+  }
+}
+
+// Under contention the QoS weight buys fabric share: a gold job beats an
+// identical bronze job submitted at the same instant.
+TEST(ServeScheduler, QosWeightsFavourGoldUnderContention) {
+  ServeConfig config = small_config();
+  config.fabric_oversubscription = 4.0;
+  config.breaker_enabled = false;
+
+  ArrivalTrace trace;
+  trace.jobs.push_back(job(0, "gold-tenant", JobModel::MoE, 8, QosClass::Gold, 0.0));
+  trace.jobs.push_back(job(1, "bronze-tenant", JobModel::MoE, 8, QosClass::Bronze, 0.0));
+  ServeScheduler scheduler(config);
+  const ServeResult result = scheduler.run(trace);
+  ASSERT_EQ(result.completed, 2u);
+
+  const TenantStats& gold = result.tenants.at("gold-tenant");
+  const TenantStats& bronze = result.tenants.at("bronze-tenant");
+  EXPECT_LT(gold.p50_latency_us, bronze.p50_latency_us)
+      << "gold's 4x bandwidth weight should finish it first";
+}
+
+TEST(ServeScheduler, ChaosWindowInflatesTheTail) {
+  TraceConfig trace_config;
+  trace_config.num_jobs = 60;
+  trace_config.seed = 9;
+  // Light load on the small world so the clean run is service-dominated —
+  // the chaos window's damage then stands out instead of drowning in
+  // queueing that was there anyway.
+  trace_config.mean_interarrival_us = 400000.0;
+  const ArrivalTrace trace = generate_trace(trace_config);
+  const double horizon = trace.jobs.back().arrival_us;
+
+  ServeConfig clean_config = small_config();
+  ServeScheduler clean(clean_config);
+  const ServeResult clean_result = clean.run(trace);
+
+  // Brown out the middle ~30% of the arrivals: enough jobs to own the p99,
+  // few enough that the median stays near the clean-fabric service time.
+  ServeConfig chaos_config = clean_config;
+  chaos_config.chaos.push_back(ChaosWindow{0.35 * horizon, 0.65 * horizon, 8.0});
+  ServeScheduler chaotic(chaos_config);
+  const ServeResult chaos_result = chaotic.run(trace);
+
+  EXPECT_EQ(chaos_result.deadlocks, 0u);
+  EXPECT_GE(chaos_result.p99_latency_us, 1.5 * clean_result.p99_latency_us)
+      << "an 8x fabric brown-out over a third of the trace must show in the p99";
+  // Recovery: the median is much less inflated than the tail — jobs outside
+  // the window are served at clean-fabric speed again.
+  EXPECT_LT(chaos_result.p50_latency_us / clean_result.p50_latency_us,
+            chaos_result.p99_latency_us / clean_result.p99_latency_us);
+}
+
+// A tenant whose jobs keep blowing their SLO trips its breaker: arrivals
+// get shed while it is open, and the skip count re-admits a probe later.
+TEST(ServeScheduler, BreakerShedsAStrugglingTenant) {
+  ServeConfig config = small_config();
+  config.fabric_oversubscription = 4.0;
+  config.slo_factor = 1.5;  // tight SLO: contended jobs blow it
+  config.breaker = fault::BreakerConfig{2, 2, 2};
+
+  // One tenant hammers the cluster with overlapping multi-node jobs, the
+  // arrivals spread wide enough that plenty are still inbound after the
+  // first SLO misses trip the breaker.
+  ArrivalTrace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.jobs.push_back(
+        job(static_cast<std::uint64_t>(i), "hammer", JobModel::MoE, 8, QosClass::Gold,
+            50000.0 * i, 4));
+  }
+  ServeScheduler scheduler(config);
+  const ServeResult result = scheduler.run(trace);
+
+  EXPECT_GT(result.shed, 0u) << "the open breaker never shed an arrival";
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(scheduler.metrics().counter_value(
+                "serve_breaker_transitions", {{"tenant", "hammer"}, {"to", "open"}}),
+            0u);
+  // The shed arrivals are marked distinctly from admission rejects.
+  for (const JobRecord& record : result.jobs) {
+    if (record.state == JobState::Rejected && record.reject_reason.rfind("shed:", 0) == 0) {
+      EXPECT_EQ(record.spec.tenant, "hammer");
+    }
+  }
+
+  // Same trace with breakers off: nothing is shed.
+  ServeConfig no_breaker = config;
+  no_breaker.breaker_enabled = false;
+  ServeScheduler lenient(no_breaker);
+  EXPECT_EQ(lenient.run(trace).shed, 0u);
+}
+
+TEST(ServeScheduler, RejectsOversizedAndQueueOverflow) {
+  ServeConfig config = small_config();
+  ArrivalTrace trace;
+  // Bronze quota on 16 ranks is 8: this job is unsatisfiable.
+  trace.jobs.push_back(job(0, "big", JobModel::ResNet, 12, QosClass::Bronze, 0.0));
+  trace.jobs.push_back(job(1, "ok", JobModel::ResNet, 4, QosClass::Gold, 0.0));
+  ServeScheduler scheduler(config);
+  const ServeResult result = scheduler.run(trace);
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.deadlocks, 0u);
+  EXPECT_NE(result.jobs[0].reject_reason.find("unsatisfiable"), std::string::npos);
+}
+
+TEST(RunServe, QuickReportIsSchemaShapedAndChaosDegrades) {
+  bench::ServeExperimentOptions options;
+  options.quick = true;
+  const bench::ServeBenchReport report = bench::run_serve(options);
+
+  EXPECT_EQ(report.bench.experiment, "serve");
+  ASSERT_GE(report.bench.series.size(), 2u);
+  for (const auto& series : report.bench.series) {
+    ASSERT_EQ(series.points.size(), 3u) << series.name;
+    // The percentile rank rides the bytes axis, strictly increasing.
+    EXPECT_LT(series.points[0].bytes, series.points[1].bytes);
+    EXPECT_LT(series.points[1].bytes, series.points[2].bytes);
+    EXPECT_GT(series.points[0].virtual_us, 0.0);
+    EXPECT_LE(series.points[0].virtual_us, series.points[2].virtual_us);
+  }
+  EXPECT_EQ(report.clean.deadlocks, 0u);
+  EXPECT_EQ(report.chaos.deadlocks, 0u);
+  EXPECT_GE(report.chaos.p99_latency_us, 1.5 * report.clean.p99_latency_us);
+}
+
+}  // namespace
+}  // namespace mcrdl::sched

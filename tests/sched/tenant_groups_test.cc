@@ -1,0 +1,124 @@
+// Per-tenant process groups on disjoint slices of a shared world: each
+// tenant lays out (tp x dp) groups inside its own rank range exactly like a
+// dedicated cluster, to_global() lifts them onto global ranks, and losing a
+// rank shrinks only the owning tenant's groups — the neighbours' group
+// structure is byte-identical before and after.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/process_groups.h"
+#include "src/sched/job.h"
+
+namespace mcrdl::sched {
+namespace {
+
+// Every group of every kind, lifted to global ranks — a tenant's full comm
+// footprint, comparable across recovery events.
+std::vector<std::vector<int>> global_footprint(const ProcessGroups& groups,
+                                               const RankRange& range) {
+  std::vector<std::vector<int>> footprint;
+  for (const auto& group : groups.all_tp_groups()) {
+    footprint.push_back(to_global(range, group));
+  }
+  for (const auto& group : groups.all_dp_groups()) {
+    footprint.push_back(to_global(range, group));
+  }
+  return footprint;
+}
+
+TEST(TenantGroups, DisjointSlicesProduceDisjointGroups) {
+  // Three tenants on a shared 32-rank world: [0,8), [8,16), [16,32).
+  const RankRange slices[] = {{0, 8}, {8, 8}, {16, 16}};
+  const int tp[] = {2, 4, 2};
+
+  std::set<int> seen;
+  for (int t = 0; t < 3; ++t) {
+    const ProcessGroups groups(slices[t].count, tp[t]);
+    for (const auto& group : global_footprint(groups, slices[t])) {
+      for (int rank : group) {
+        EXPECT_GE(rank, slices[t].begin);
+        EXPECT_LT(rank, slices[t].end());
+      }
+    }
+    // Each tenant's tp groups partition exactly its own slice.
+    for (const auto& group : groups.all_tp_groups()) {
+      for (int rank : to_global(slices[t], group)) {
+        EXPECT_TRUE(seen.insert(rank).second) << "rank " << rank << " in two tenants";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(TenantGroups, ToGlobalOffsetsLocalRanks) {
+  const RankRange range{8, 8};
+  const ProcessGroups groups(8, 4);
+  EXPECT_EQ(to_global(range, groups.tp_group(0)), (std::vector<int>{8, 9, 10, 11}));
+  EXPECT_EQ(to_global(range, groups.tp_group(5)), (std::vector<int>{12, 13, 14, 15}));
+  EXPECT_EQ(to_global(range, groups.dp_group(1)), (std::vector<int>{9, 13}));
+}
+
+TEST(TenantGroups, LosingARankShrinksOnlyThatTenant) {
+  const RankRange slice_a{0, 8};
+  const RankRange slice_b{8, 8};
+  const RankRange slice_c{16, 16};
+  const ProcessGroups tenant_a(slice_a.count, 2);
+  ProcessGroups tenant_b(slice_b.count, 4);
+  const ProcessGroups tenant_c(slice_c.count, 2);
+
+  const auto footprint_a = global_footprint(tenant_a, slice_a);
+  const auto footprint_c = global_footprint(tenant_c, slice_c);
+
+  // Tenant B loses global rank 11 = local rank 3. Recovery is entirely
+  // local to B: it shrinks its own groups over its own slice.
+  const ShrunkGroups shrunk = shrink_process_groups(tenant_b, {3});
+  EXPECT_EQ(shrunk.groups.world(), 7);
+  // 7 survivors are not divisible by tp=4, so B's TP collapses...
+  EXPECT_FALSE(shrunk.tp_preserved);
+  EXPECT_EQ(shrunk.groups.tensor_parallel(), 1);
+  // ...and its surviving global ranks stay inside B's slice, skipping 11.
+  std::vector<int> survivors_global = to_global(slice_b, shrunk.survivors);
+  EXPECT_EQ(survivors_global, (std::vector<int>{8, 9, 10, 12, 13, 14, 15}));
+  for (const auto& group : global_footprint(shrunk.groups, slice_b)) {
+    for (int rank : group) {
+      EXPECT_GE(rank, slice_b.begin);
+      EXPECT_LT(rank, slice_b.end());
+    }
+  }
+
+  // The neighbours never saw the event: identical footprints, element for
+  // element.
+  EXPECT_EQ(global_footprint(tenant_a, slice_a), footprint_a);
+  EXPECT_EQ(global_footprint(tenant_c, slice_c), footprint_c);
+}
+
+TEST(TenantGroups, EvenLossPreservesTensorParallel) {
+  // Tenant on [16, 32) with tp=2 loses one whole TP pair (local 4, 5):
+  // 14 survivors still divide by 2, so TP survives the shrink.
+  const RankRange slice{16, 16};
+  const ProcessGroups groups(slice.count, 2);
+  const ShrunkGroups shrunk = shrink_process_groups(groups, {4, 5});
+  EXPECT_TRUE(shrunk.tp_preserved);
+  EXPECT_EQ(shrunk.groups.tensor_parallel(), 2);
+  EXPECT_EQ(shrunk.groups.world(), 14);
+  const std::vector<int> survivors_global = to_global(slice, shrunk.survivors);
+  EXPECT_EQ(survivors_global.front(), 16);
+  EXPECT_EQ(survivors_global.back(), 31);
+  EXPECT_EQ(std::count(survivors_global.begin(), survivors_global.end(), 20), 0);
+  EXPECT_EQ(std::count(survivors_global.begin(), survivors_global.end(), 21), 0);
+}
+
+TEST(TenantGroups, RankRangeOverlapDetection) {
+  const RankRange a{0, 8};
+  const RankRange b{8, 8};
+  const RankRange c{4, 8};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+}  // namespace
+}  // namespace mcrdl::sched

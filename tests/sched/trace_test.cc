@@ -1,0 +1,127 @@
+// Arrival traces: deterministic generation, byte-identical text round
+// trips, and line-numbered rejection of malformed input — the same parser
+// contract TuningTable::parse established.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/sched/arrival.h"
+
+namespace mcrdl::sched {
+namespace {
+
+TEST(ArrivalTrace, GenerateIsDeterministic) {
+  TraceConfig config;
+  config.num_jobs = 200;
+  config.seed = 42;
+  const ArrivalTrace a = generate_trace(config);
+  const ArrivalTrace b = generate_trace(config);
+  ASSERT_EQ(a.jobs.size(), 200u);
+  EXPECT_EQ(a.serialize(), b.serialize());
+
+  config.seed = 43;
+  EXPECT_NE(a.serialize(), generate_trace(config).serialize());
+}
+
+TEST(ArrivalTrace, ArrivalsAreSortedAndQuantised) {
+  TraceConfig config;
+  config.num_jobs = 300;
+  const ArrivalTrace trace = generate_trace(config);
+  double prev = 0.0;
+  for (const JobSpec& job : trace.jobs) {
+    EXPECT_GE(job.arrival_us, prev);
+    // 1ns quantisation: three decimals survive the %.3f text format.
+    EXPECT_DOUBLE_EQ(job.arrival_us, std::round(job.arrival_us * 1000.0) / 1000.0);
+    prev = job.arrival_us;
+  }
+}
+
+TEST(ArrivalTrace, RoundTripsByteIdentically) {
+  TraceConfig config;
+  config.num_jobs = 250;
+  config.seed = 7;
+  const ArrivalTrace trace = generate_trace(config);
+  const std::string text = trace.serialize();
+  const ArrivalTrace reparsed = ArrivalTrace::parse(text);
+  ASSERT_EQ(reparsed.jobs.size(), trace.jobs.size());
+  EXPECT_EQ(reparsed.serialize(), text);
+}
+
+TEST(ArrivalTrace, ParseSkipsCommentsAndBlankLines) {
+  const ArrivalTrace trace = ArrivalTrace::parse(
+      "# header comment\n"
+      "\n"
+      "0 tenant-0 moe 8 gold 125.000 3\n"
+      "# interleaved comment\n"
+      "1 tenant-1 dlrm 4 silver 250.500 2\n");
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_EQ(trace.jobs[0].tenant, "tenant-0");
+  EXPECT_EQ(trace.jobs[0].model, JobModel::MoE);
+  EXPECT_EQ(trace.jobs[0].qos, QosClass::Gold);
+  EXPECT_DOUBLE_EQ(trace.jobs[1].arrival_us, 250.5);
+  EXPECT_EQ(trace.jobs[1].steps, 2);
+}
+
+// Each rejection names the offending line, so a corrupt thousand-job trace
+// is debuggable without bisecting the file.
+TEST(ArrivalTrace, ParseRejectsWithLineNumbers) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      ArrivalTrace::parse(text);
+      FAIL() << "expected InvalidArgument for: " << text;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "error '" << e.what() << "' does not mention '" << needle << "'";
+    }
+  };
+  const std::string good = "0 tenant-0 moe 8 gold 125.000 3\n";
+
+  expect_error(good + "1 tenant-1 dlrm 4\n", "line 2");
+  expect_error(good + "not-a-number tenant-1 dlrm 4 silver 1.0 2\n", "line 2");
+  expect_error(good + "1 tenant-1 dlrm 4 silver 1.0 2 extra\n", "trailing garbage 'extra'");
+  expect_error(good + good + "2 tenant-2 gpt3 4 silver 1.0 2\n", "unknown model 'gpt3'");
+  expect_error("0 tenant-0 moe 8 platinum 1.0 2\n", "unknown qos class 'platinum'");
+  expect_error("0 tenant-0 moe 0 gold 1.0 2\n", "invalid job on arrival trace line 1");
+  expect_error("0 tenant-0 moe 8 gold -5.0 2\n", "line 1");
+}
+
+TEST(ArrivalTrace, SaveLoadRoundTrip) {
+  TraceConfig config;
+  config.num_jobs = 50;
+  const ArrivalTrace trace = generate_trace(config);
+  const std::string path = ::testing::TempDir() + "/arrivals.txt";
+  trace.save(path);
+  EXPECT_EQ(ArrivalTrace::load(path).serialize(), trace.serialize());
+}
+
+TEST(ArrivalTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(ArrivalTrace::load("/nonexistent/trace.txt"), Error);
+}
+
+TEST(JobSpec, ValidateRejectsNonsense) {
+  JobSpec job;
+  job.tenant = "tenant-0";
+  job.ranks = 4;
+  job.steps = 2;
+  EXPECT_NO_THROW(job.validate());
+
+  JobSpec bad = job;
+  bad.tenant = "";
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = job;
+  bad.tenant = "two words";
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = job;
+  bad.ranks = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = job;
+  bad.steps = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = job;
+  bad.arrival_us = -1.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcrdl::sched

@@ -4,11 +4,14 @@
 //
 //   bench_export --experiment fig2 [--out DIR] [--quick]
 //   bench_export --check BENCH_fig2.json
+//   bench_export --list
 //
-// --quick trims the sweep for CI smoke runs. --check parses an existing
-// file with the strict JSON parser and validates the schema; for fig2 it
-// additionally requires at least one series whose points sweep strictly
-// increasing message sizes, so a truncated or reordered export fails CI.
+// Experiments come from the registry in bench/experiments.h; --list prints
+// every registered name with its one-line description. --quick trims the
+// sweep for CI smoke runs. --check parses an existing file with the strict
+// JSON parser and validates the schema; for fig2 it additionally requires
+// at least one series whose points sweep strictly increasing message sizes,
+// so a truncated or reordered export fails CI.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,10 +28,18 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --experiment fig2|fig8|fig9|adapt [--out DIR] [--quick]\n"
-               "       %s --check FILE\n",
-               argv0, argv0);
+               "usage: %s --experiment %s [--out DIR] [--quick]\n"
+               "       %s --check FILE\n"
+               "       %s --list\n",
+               argv0, bench::experiment_names().c_str(), argv0, argv0);
   return 2;
+}
+
+int list_experiments() {
+  for (const bench::Experiment& experiment : bench::experiment_registry()) {
+    std::printf("%-8s %s\n", experiment.name.c_str(), experiment.description.c_str());
+  }
+  return 0;
 }
 
 // Validates the mcrdl-bench-v1 schema; throws InvalidArgument on violation.
@@ -105,6 +116,8 @@ int main(int argc, char** argv) {
       check_path = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--list") {
+      return list_experiments();
     } else {
       return usage(argv[0]);
     }
@@ -113,28 +126,17 @@ int main(int argc, char** argv) {
   if (!check_path.empty()) return check_file(check_path);
   if (experiment.empty()) return usage(argv[0]);
 
+  const bench::Experiment* entry = bench::find_experiment(experiment);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "bench_export: unknown experiment '%s'\n", experiment.c_str());
+    return usage(argv[0]);
+  }
+
   bench::BenchReport report;
   try {
-    if (experiment == "fig2") {
-      bench::Fig2Options options;
-      options.quick = quick;
-      report = bench::run_fig2(options);
-    } else if (experiment == "fig8") {
-      bench::ScalingOptions options;
-      options.quick = quick;
-      report = bench::run_fig8(options);
-    } else if (experiment == "fig9") {
-      bench::ScalingOptions options;
-      options.quick = quick;
-      report = bench::run_fig9(options);
-    } else if (experiment == "adapt") {
-      bench::AdaptOptions options;
-      options.quick = quick;
-      report = bench::run_adapt(options).bench;
-    } else {
-      std::fprintf(stderr, "bench_export: unknown experiment '%s'\n", experiment.c_str());
-      return usage(argv[0]);
-    }
+    bench::ExperimentOptions options;
+    options.quick = quick;
+    report = entry->run(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_export: experiment failed: %s\n", e.what());
     return 1;

@@ -30,6 +30,9 @@ ctest --output-on-failure -j "${jobs}" -L obs
 # And the tuning suite (DESIGN.md §9): static-table semantics plus the
 # online adaptive tuner's policy, quarantine, and determinism contracts.
 ctest --output-on-failure -j "${jobs}" -L tune
+# And the serving suite (DESIGN.md §10): admission, placement, contention,
+# and deterministic trace replay.
+ctest --output-on-failure -j "${jobs}" -L sched
 
 # Chaos-differential smoke: kill rank 3 at t=2500us mid-run and require a
 # clean elastic recovery — exit 0 (planned casualty only, survivors agree)
@@ -67,5 +70,36 @@ if [ -z "${switches}" ] || [ "${switches}" -le 0 ]; then
   echo "adaptation smoke FAILED: expected switches > 0, got '${switches:-none}'" >&2
   exit 1
 fi
+
+# Serving smoke: replay a seeded multi-tenant trace twice and require a
+# byte-identical report (deterministic replay), a sane latency distribution
+# (p99 >= p50 > 0), and a deadlock-free admission queue (DESIGN.md §10).
+echo "== serve smoke: mcrdl_serve deterministic replay =="
+serve_out="$("${build_dir}/tools/mcrdl_serve" --jobs 300 --seed 7 --nodes 8)"
+serve_out2="$("${build_dir}/tools/mcrdl_serve" --jobs 300 --seed 7 --nodes 8)"
+echo "${serve_out}" | tail -n 10
+if [ "${serve_out}" != "${serve_out2}" ]; then
+  echo "serve smoke FAILED: two replays of the same seed differ" >&2
+  diff <(echo "${serve_out}") <(echo "${serve_out2}") >&2 || true
+  exit 1
+fi
+p50="$(sed -n 's/^p50 *: *\([0-9.]*\).*/\1/p' <<<"${serve_out}")"
+p99="$(sed -n 's/^p99 *: *\([0-9.]*\).*/\1/p' <<<"${serve_out}")"
+deadlocks="$(sed -n 's/^deadlocks *: *//p' <<<"${serve_out}")"
+if [ -z "${p50}" ] || [ -z "${p99}" ] || \
+   ! awk -v p50="${p50}" -v p99="${p99}" 'BEGIN { exit !(p50 > 0 && p99 >= p50) }'; then
+  echo "serve smoke FAILED: expected p99 >= p50 > 0, got p50='${p50}' p99='${p99}'" >&2
+  exit 1
+fi
+if [ -z "${deadlocks}" ] || [ "${deadlocks}" -ne 0 ]; then
+  echo "serve smoke FAILED: expected 0 deadlocks, got '${deadlocks:-none}'" >&2
+  exit 1
+fi
+
+# Serve perf trajectory: the clean-vs-chaos percentile export must pass the
+# strict schema check like every other BENCH file.
+echo "== bench_export smoke: serve perf trajectory =="
+"${build_dir}/tools/bench_export" --experiment serve --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_serve.json"
 
 echo "== CI passed =="

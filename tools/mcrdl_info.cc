@@ -1,5 +1,6 @@
 // mcrdl_info — prints the registered backends, their capability matrix and
-// performance personalities, and the built-in system topologies.
+// performance personalities, the built-in system topologies, and the
+// serving layer's default scheduler configuration.
 //
 //   ./tools/mcrdl_info
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include "src/backends/backend.h"
 #include "src/common/format.h"
 #include "src/net/cost.h"
+#include "src/sched/admission.h"
 
 using namespace mcrdl;
 
@@ -54,6 +56,24 @@ int main() {
     }
     std::printf("%s", t.to_string().c_str());
   }
+
+  std::printf("\nServing-layer scheduler defaults (DESIGN.md §10)\n\n");
+  {
+    const sched::AdmissionConfig config;
+    TextTable t({"QoS class", "Bandwidth weight", "Rank quota", "Queue depth"});
+    for (sched::QosClass qos : sched::all_qos_classes()) {
+      const sched::QosPolicy& policy = config.policy(qos);
+      char share[32];
+      std::snprintf(share, sizeof(share), "%.0f%% of world", policy.rank_share * 100.0);
+      t.add_row({sched::qos_name(qos), std::to_string(static_cast<int>(sched::qos_weight(qos))),
+                 share, std::to_string(policy.max_queued)});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+  std::printf(
+      "\nAdmission: strict priority across classes, FIFO within a class;\n"
+      "jobs exceeding their class quota are rejected up front (never queued),\n"
+      "full queues reject with back-pressure. See tools/mcrdl_serve.\n");
 
   std::printf("\nMCR-DL emulates every missing native operation (see Table I bench).\n");
   return 0;
