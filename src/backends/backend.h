@@ -19,8 +19,10 @@
 // primitives one level up.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -148,7 +150,12 @@ class Backend {
 
   ClusterContext* cluster_;
   net::BackendProfile profile_;
-  bool initialized_ = false;
+  std::atomic<bool> initialized_{false};
+  // Guards lazy communicator creation (world_/groups_) — under the parallel
+  // execution model several actors can request the same group at once. The
+  // outstanding_ vectors need no lock: each rank's actor touches only its
+  // own slot, and the vector itself never resizes after construction.
+  std::mutex comm_mu_;
   std::unique_ptr<Comm> world_;
   std::map<std::vector<int>, std::unique_ptr<Comm>> groups_;
   std::vector<std::vector<Work>> outstanding_;  // per global rank

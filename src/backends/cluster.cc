@@ -2,7 +2,8 @@
 
 namespace mcrdl {
 
-ClusterContext::ClusterContext(net::SystemConfig config) : topo_(std::move(config)) {
+ClusterContext::ClusterContext(net::SystemConfig config, sim::ExecutionConfig exec)
+    : sched_(exec), topo_(std::move(config)) {
   const int world = topo_.world_size();
   devices_.reserve(world);
   for (int rank = 0; rank < world; ++rank) {
@@ -39,8 +40,8 @@ std::string ClusterContext::metrics_json() {
     // exceed 1.0 when transfers overlap (many communicators in flight).
     metrics_.gauge("link_utilization", labels).set(now > 0.0 ? u.busy_us / now : 0.0);
   };
-  sync("intra", usage_.intra);
-  sync("inter", usage_.inter);
+  sync("intra", usage_.intra());
+  sync("inter", usage_.inter());
   return metrics_.to_json();
 }
 

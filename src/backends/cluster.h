@@ -19,7 +19,11 @@ namespace mcrdl {
 
 class ClusterContext {
  public:
-  explicit ClusterContext(net::SystemConfig config);
+  // `exec` selects the scheduler's execution model (DESIGN.md §11): serial
+  // baton by default, or ParallelShards via ExecutionConfig::parallel(n) /
+  // from_threads(n).
+  explicit ClusterContext(net::SystemConfig config,
+                          sim::ExecutionConfig exec = sim::ExecutionConfig::serial());
 
   sim::Scheduler& scheduler() { return sched_; }
   const net::Topology& topology() const { return topo_; }

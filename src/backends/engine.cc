@@ -222,8 +222,10 @@ void apply_collective(const OpDesc& desc, std::vector<ArrivalSlot>& slots) {
 // ---------------------------------------------------------------------------
 
 Rendezvous::Rendezvous(sim::Scheduler* sched, int expected, OpDesc desc,
-                       std::function<SimTime()> duration_fn, ChannelFn channel_fn)
+                       std::function<SimTime()> duration_fn, ChannelFn channel_fn,
+                       std::shared_ptr<std::recursive_mutex> mu)
     : sched_(sched),
+      mu_(mu ? std::move(mu) : std::make_shared<std::recursive_mutex>()),
       desc_(desc),
       expected_(expected),
       duration_fn_(std::move(duration_fn)),
@@ -237,6 +239,7 @@ Rendezvous::Rendezvous(sim::Scheduler* sched, int expected, OpDesc desc,
 }
 
 void Rendezvous::post(int idx, ArrivalSlot slot) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_CHECK(idx >= 0 && idx < expected_);
   MCRDL_CHECK(!slot_posted_[static_cast<std::size_t>(idx)])
       << "rank " << idx << " posted twice to one " << op_name(desc_.op) << " rendezvous";
@@ -246,6 +249,7 @@ void Rendezvous::post(int idx, ArrivalSlot slot) {
 }
 
 const std::shared_ptr<sim::StreamGate>& Rendezvous::gate(int idx) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_CHECK(idx >= 0 && idx < expected_);
   auto& g = gates_[static_cast<std::size_t>(idx)];
   if (!g) g = std::make_shared<sim::StreamGate>(sched_);
@@ -253,6 +257,7 @@ const std::shared_ptr<sim::StreamGate>& Rendezvous::gate(int idx) {
 }
 
 void Rendezvous::mark_ready(int idx) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_CHECK(idx >= 0 && idx < expected_);
   // A failed rendezvous never starts its wire phase; a straggler's stream
   // reaching its arrival callback after the watchdog fired must not revive
@@ -272,6 +277,7 @@ void Rendezvous::mark_ready(int idx) {
 }
 
 void Rendezvous::finish() {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   apply_collective(desc_, slots_);
   done_ = true;
   // Callbacks first: they set Work metadata (exec_start) that downstream
@@ -286,12 +292,21 @@ void Rendezvous::finish() {
 }
 
 void Rendezvous::wait_done() {
-  done_cond_.wait([&] { return done_ || error_ != nullptr; });
-  if (error_ && !done_) std::rethrow_exception(error_);
+  done_cond_.wait([&] {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return done_ || error_ != nullptr;
+  });
+  std::unique_lock<std::recursive_mutex> lock(*mu_);
+  if (error_ && !done_) {
+    auto err = error_;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void Rendezvous::fail(std::exception_ptr err) {
   MCRDL_CHECK(err != nullptr);
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
   done_cond_.notify_all();
@@ -299,6 +314,7 @@ void Rendezvous::fail(std::exception_ptr err) {
 
 void Rendezvous::cancel(std::exception_ptr err) {
   MCRDL_CHECK(err != nullptr);
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
   // The ncclCommAbort model: streams parked behind the collective's gates
@@ -312,6 +328,7 @@ void Rendezvous::cancel(std::exception_ptr err) {
 }
 
 std::vector<int> Rendezvous::posted_indices() const {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   std::vector<int> out;
   for (int i = 0; i < expected_; ++i) {
     if (slot_posted_[static_cast<std::size_t>(i)]) out.push_back(i);
@@ -320,6 +337,7 @@ std::vector<int> Rendezvous::posted_indices() const {
 }
 
 std::vector<int> Rendezvous::missing_indices() const {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   std::vector<int> out;
   for (int i = 0; i < expected_; ++i) {
     if (!slot_posted_[static_cast<std::size_t>(i)]) out.push_back(i);
@@ -328,11 +346,14 @@ std::vector<int> Rendezvous::missing_indices() const {
 }
 
 void Rendezvous::on_complete(std::function<void()> fn) {
-  if (done_) {
-    fn();
-    return;
+  {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    if (!done_) {
+      completion_callbacks_.push_back(std::move(fn));
+      return;
+    }
   }
-  completion_callbacks_.push_back(std::move(fn));
+  fn();
 }
 
 // ---------------------------------------------------------------------------
@@ -375,6 +396,7 @@ CollectiveEngine::~CollectiveEngine() {
 }
 
 std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   std::vector<int> lost_members;
   for (int g : global_ranks_) {
     if (std::find(lost.begin(), lost.end(), g) != lost.end()) lost_members.push_back(g);
@@ -392,6 +414,7 @@ std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
 
 std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
                                                    ArrivalSlot slot) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_REQUIRE(idx >= 0 && idx < size_, "communicator rank index out of range");
   const std::uint64_t seq = next_seq_[static_cast<std::size_t>(idx)]++;
   auto it = pending_.find(seq);
@@ -406,13 +429,20 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
         },
         [this](SimTime ready, SimTime duration, std::size_t bytes) {
           if (bytes <= kWireSerializeThreshold) return ready;
+          // Called from mark_ready with mu_ already held (shared mutex);
+          // the recursive lock keeps this safe standalone too.
+          std::lock_guard<std::recursive_mutex> channel_lock(*mu_);
           const SimTime start = std::max(ready, channel_busy_until_);
           channel_busy_until_ = start + duration;
           return start;
-        });
+        },
+        mu_);
     pending_[seq] = rv;
     // Reclaim the table entry once everyone has moved past this op.
-    rv->on_complete([this, seq] { pending_.erase(seq); });
+    rv->on_complete([this, seq] {
+      std::lock_guard<std::recursive_mutex> reclaim_lock(*mu_);
+      pending_.erase(seq);
+    });
     if (faults_ != nullptr && faults_->enabled()) {
       // The first-arriving rank classifies the rendezvous for everyone —
       // an injected failure fails the collective identically on all ranks,
@@ -494,43 +524,51 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
 // P2P
 // ---------------------------------------------------------------------------
 
-P2pOp::P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn)
+P2pOp::P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn,
+             std::shared_ptr<std::recursive_mutex> mu)
     : sched_(sched),
+      mu_(mu ? std::move(mu) : std::make_shared<std::recursive_mutex>()),
       duration_fn_(std::move(duration_fn)),
       send_gate_(std::make_shared<sim::StreamGate>(sched)),
       recv_gate_(std::make_shared<sim::StreamGate>(sched)),
       done_cond_(sched) {}
 
 void P2pOp::set_send(Tensor t) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_CHECK(!have_send_) << "send side already set";
   send_tensor_ = std::move(t);
   have_send_ = true;
 }
 
 void P2pOp::set_recv(Tensor t) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   MCRDL_CHECK(!have_recv_) << "recv side already set";
   recv_tensor_ = std::move(t);
   have_recv_ = true;
 }
 
 void P2pOp::mark_send_ready() {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   send_ready_ = true;
   maybe_finish();
 }
 
 void P2pOp::mark_recv_ready() {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   recv_ready_ = true;
   maybe_finish();
 }
 
 void P2pOp::doom(std::exception_ptr err) {
   MCRDL_CHECK(err != nullptr);
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
   done_cond_.notify_all();
 }
 
 void P2pOp::cancel(std::exception_ptr err) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
   send_gate_->open();
@@ -539,11 +577,13 @@ void P2pOp::cancel(std::exception_ptr err) {
 }
 
 void P2pOp::maybe_finish() {
+  // Callers hold mu_ (recursive).
   if (!send_ready_ || !recv_ready_ || done_ || error_) return;
   const SimTime duration = duration_fn_();
   exec_start_ = sched_->now();
   complete_time_ = sched_->now() + duration;
   sched_->schedule_at(complete_time_, [this, self = shared_from_this()] {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
     if (recv_tensor_.defined() && recv_tensor_.materialized() && send_tensor_.defined() &&
         send_tensor_.materialized()) {
       recv_tensor_.copy_from(send_tensor_);
@@ -559,16 +599,27 @@ void P2pOp::maybe_finish() {
 }
 
 void P2pOp::wait_done() {
-  done_cond_.wait([&] { return done_ || error_ != nullptr; });
-  if (error_ && !done_) std::rethrow_exception(error_);
+  done_cond_.wait([&] {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return done_ || error_ != nullptr;
+  });
+  std::unique_lock<std::recursive_mutex> lock(*mu_);
+  if (error_ && !done_) {
+    auto err = error_;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void P2pOp::on_complete(std::function<void()> fn) {
-  if (done_) {
-    fn();
-    return;
+  {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    if (!done_) {
+      completion_callbacks_.push_back(std::move(fn));
+      return;
+    }
   }
-  completion_callbacks_.push_back(std::move(fn));
+  fn();
 }
 
 P2pEngine::P2pEngine(sim::Scheduler* sched, net::CostModel cost_model,
@@ -594,6 +645,7 @@ P2pEngine::~P2pEngine() {
 }
 
 std::uint64_t P2pEngine::drain_lost(const std::vector<int>& lost) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   const int size = static_cast<int>(global_ranks_.size());
   const auto involved = [&](std::int64_t key) {
     const int g_src = global_ranks_[static_cast<std::size_t>(key / size)];
@@ -624,6 +676,8 @@ std::uint64_t P2pEngine::drain_lost(const std::vector<int>& lost) {
 }
 
 std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::size_t bytes) {
+  // Callers (post_send/post_recv) hold mu_; the lock here is recursive.
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   const int size = static_cast<int>(global_ranks_.size());
   MCRDL_REQUIRE(src >= 0 && src < size && dst >= 0 && dst < size, "p2p peer out of range");
   const std::int64_t key = static_cast<std::int64_t>(src) * size + dst;
@@ -636,7 +690,8 @@ std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::siz
   const int g_src = global_ranks_[static_cast<std::size_t>(src)];
   const int g_dst = global_ranks_[static_cast<std::size_t>(dst)];
   auto op = std::make_shared<P2pOp>(
-      sched_, [this, bytes, g_src, g_dst] { return cost_model_.p2p_cost(bytes, g_src, g_dst); });
+      sched_, [this, bytes, g_src, g_dst] { return cost_model_.p2p_cost(bytes, g_src, g_dst); },
+      mu_);
   if (faults_ != nullptr && faults_->enabled()) {
     // Classified once per pair, by the first-arriving side; the doomed op
     // still enters the FIFO so the counterpart matches (and fails) the same
@@ -662,6 +717,7 @@ std::shared_ptr<P2pOp> P2pEngine::match(int src, int dst, bool is_send, std::siz
 }
 
 std::shared_ptr<P2pOp> P2pEngine::post_send(int src, int dst, const Tensor& t) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   auto op = match(src, dst, /*is_send=*/true, t.bytes());
   op->set_send(t);
   if (op->doomed()) std::rethrow_exception(op->error());
@@ -669,6 +725,7 @@ std::shared_ptr<P2pOp> P2pEngine::post_send(int src, int dst, const Tensor& t) {
 }
 
 std::shared_ptr<P2pOp> P2pEngine::post_recv(int dst, int src, Tensor t) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
   auto op = match(src, dst, /*is_send=*/false, t.bytes());
   op->set_recv(std::move(t));
   if (op->doomed()) std::rethrow_exception(op->error());

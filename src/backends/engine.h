@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,10 +69,19 @@ inline constexpr std::size_t kWireSerializeThreshold = 64 * 1024;
 // accounting for channel contention.
 using ChannelFn = std::function<SimTime(SimTime, SimTime, std::size_t)>;
 
+// Thread safety (DESIGN.md §11): a rendezvous is shared cross-rank state —
+// under ParallelShards different shards post/mark_ready concurrently while
+// completion fires on the controller. Every mutating method and stateful
+// accessor locks `mu_`, a recursive mutex shared with the owning
+// CollectiveEngine (recursive because completion callbacks re-enter the
+// engine to reclaim the pending-table entry, and because the channel
+// contention hook reads engine state from inside mark_ready). Under the
+// serial baton the locks are uncontended and change nothing.
 class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
  public:
   Rendezvous(sim::Scheduler* sched, int expected, OpDesc desc,
-             std::function<SimTime()> duration_fn, ChannelFn channel_fn = {});
+             std::function<SimTime()> duration_fn, ChannelFn channel_fn = {},
+             std::shared_ptr<std::recursive_mutex> mu = nullptr);
 
   const OpDesc& desc() const { return desc_; }
 
@@ -86,10 +96,19 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   // it opens at the completion time.
   const std::shared_ptr<sim::StreamGate>& gate(int idx);
 
-  bool done() const { return done_; }
-  SimTime complete_time() const { return complete_time_; }
+  bool done() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return done_;
+  }
+  SimTime complete_time() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return complete_time_;
+  }
   // When the wire time actually began (all ranks ready + channel free).
-  SimTime exec_start_time() const { return wire_start_; }
+  SimTime exec_start_time() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return wire_start_;
+  }
   // Host-side block until completion (MPI discipline). Rethrows the stored
   // error if the rendezvous failed instead of completing.
   void wait_done();
@@ -111,10 +130,22 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   // True once every participant has signalled readiness — the wire phase
   // has begun and completion is already scheduled. Quiesce drains skip
   // started rendezvous: packets in flight deliver, consistently everywhere.
-  bool started() const { return ready_ >= expected_; }
-  bool failed() const { return error_ != nullptr; }
-  std::exception_ptr error() const { return error_; }
-  int posted_count() const { return posted_; }
+  bool started() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return ready_ >= expected_;
+  }
+  bool failed() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return error_ != nullptr;
+  }
+  std::exception_ptr error() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return error_;
+  }
+  int posted_count() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return posted_;
+  }
   // Group-rank indices that did / did not reach the rendezvous (for the
   // watchdog's who-arrived diagnostic).
   std::vector<int> posted_indices() const;
@@ -124,6 +155,7 @@ class Rendezvous : public std::enable_shared_from_this<Rendezvous> {
   void finish();
 
   sim::Scheduler* sched_;
+  std::shared_ptr<std::recursive_mutex> mu_;
   OpDesc desc_;
   int expected_;
   int posted_ = 0;
@@ -178,6 +210,10 @@ class CollectiveEngine {
   std::uint64_t drain_lost(const std::vector<int>& lost);
 
   sim::Scheduler* sched_;
+  // Shared with every Rendezvous this engine creates: join/post, the channel
+  // contention hook, completion reclaim, and the recovery drain all mutate
+  // engine+rendezvous state as one critical section.
+  std::shared_ptr<std::recursive_mutex> mu_ = std::make_shared<std::recursive_mutex>();
   net::CostModel cost_model_;
   net::CommShape shape_;
   int size_;
@@ -190,10 +226,13 @@ class CollectiveEngine {
   std::uint64_t drain_id_ = 0;
 };
 
-// A matched send/recv pair (two-party rendezvous).
+// A matched send/recv pair (two-party rendezvous). Thread safety mirrors
+// Rendezvous: both endpoints may live on different shards, so state is
+// guarded by a recursive mutex shared with the owning P2pEngine.
 class P2pOp : public std::enable_shared_from_this<P2pOp> {
  public:
-  P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn);
+  P2pOp(sim::Scheduler* sched, std::function<SimTime()> duration_fn,
+        std::shared_ptr<std::recursive_mutex> mu = nullptr);
 
   void set_send(Tensor t);
   void set_recv(Tensor t);
@@ -203,9 +242,18 @@ class P2pOp : public std::enable_shared_from_this<P2pOp> {
   const std::shared_ptr<sim::StreamGate>& send_gate() { return send_gate_; }
   const std::shared_ptr<sim::StreamGate>& recv_gate() { return recv_gate_; }
 
-  bool done() const { return done_; }
-  SimTime complete_time() const { return complete_time_; }
-  SimTime exec_start_time() const { return exec_start_; }
+  bool done() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return done_;
+  }
+  SimTime complete_time() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return complete_time_;
+  }
+  SimTime exec_start_time() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return exec_start_;
+  }
   void wait_done();
   void on_complete(std::function<void()> fn);
 
@@ -216,13 +264,20 @@ class P2pOp : public std::enable_shared_from_this<P2pOp> {
   // Like doom(), but opens both gates so a stream parked behind the pair
   // unwedges (recovery quiesce; see Rendezvous::cancel).
   void cancel(std::exception_ptr err);
-  bool doomed() const { return error_ != nullptr; }
-  std::exception_ptr error() const { return error_; }
+  bool doomed() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return error_ != nullptr;
+  }
+  std::exception_ptr error() const {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return error_;
+  }
 
  private:
   void maybe_finish();
 
   sim::Scheduler* sched_;
+  std::shared_ptr<std::recursive_mutex> mu_;
   std::function<SimTime()> duration_fn_;
   Tensor send_tensor_, recv_tensor_;
   bool have_send_ = false, have_recv_ = false;
@@ -261,6 +316,8 @@ class P2pEngine {
   std::uint64_t drain_lost(const std::vector<int>& lost);
 
   sim::Scheduler* sched_;
+  // Shared with every P2pOp this engine creates (see Rendezvous).
+  std::shared_ptr<std::recursive_mutex> mu_ = std::make_shared<std::recursive_mutex>();
   net::CostModel cost_model_;
   std::vector<int> global_ranks_;
   fault::FaultInjector* faults_;

@@ -1,0 +1,33 @@
+// Thread-slot identity for sharded execution (DESIGN.md §11).
+//
+// When the simulator runs under the ParallelShards execution model, several
+// accumulating subsystems (obs::MetricsRegistry, net::LinkUsage) stripe
+// their state per shard so concurrent actors never write the same cell. The
+// stripe index is a thread-local set by the execution engine:
+//
+//   slot 0            — the serial engine, the epoch controller thread, and
+//                       any code outside run() (tools, tests, main)
+//   slot 1..kMaxShards — actor threads owned by shard (slot-1)
+//
+// Striped readers merge slots in index order, so for a fixed shard count the
+// merged value is reproducible run to run.
+#pragma once
+
+namespace mcrdl {
+
+// Upper bound on ParallelShards worker shards; one extra slot (index 0) is
+// reserved for serial/controller/main-thread writes.
+inline constexpr int kMaxShards = 16;
+inline constexpr int kShardSlots = kMaxShards + 1;
+
+namespace detail {
+inline thread_local int t_shard_slot = 0;
+}  // namespace detail
+
+// The calling thread's stripe index in [0, kShardSlots).
+inline int shard_slot() { return detail::t_shard_slot; }
+
+// Installs the stripe index for the calling thread (execution-engine use).
+inline void set_shard_slot(int slot) { detail::t_shard_slot = slot; }
+
+}  // namespace mcrdl

@@ -8,6 +8,8 @@
 // the default stream before the operation posts.
 #pragma once
 
+#include <atomic>
+
 #include "src/backends/backend.h"
 #include "src/compress/zfp_codec.h"
 
@@ -35,7 +37,7 @@ class CompressionLayer {
   Work all_gather(Comm& comm, int rank, Tensor output, Tensor input, bool async_op);
   Work all_to_all_single(Comm& comm, int rank, Tensor output, Tensor input, bool async_op);
 
-  int compressed_op_count() const { return compressed_op_count_; }
+  int compressed_op_count() const { return compressed_op_count_.load(); }
 
  private:
   // Compressed image of `t` as a U8 tensor of exactly `bytes` bytes
@@ -48,7 +50,8 @@ class CompressionLayer {
   ClusterContext* cluster_;
   CompressionConfig config_;
   compress::ZfpCodec codec_;
-  int compressed_op_count_ = 0;
+  // Atomic: incremented by every rank's actor under the parallel engine.
+  std::atomic<int> compressed_op_count_{0};
 };
 
 }  // namespace mcrdl

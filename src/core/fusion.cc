@@ -17,36 +17,53 @@ class FusionManager::FusionWork : public WorkHandle {
  public:
   explicit FusionWork(std::shared_ptr<PendingFusion> pending) : pending_(std::move(pending)) {}
 
-  bool test() const override { return pending_->flushed && pending_->inner->test(); }
-
-  void wait() override {
-    force_flush();
-    pending_->inner->wait();
+  bool test() const override {
+    Work inner;
+    {
+      std::lock_guard<std::recursive_mutex> lock(pending_->mgr->mu_);
+      if (!pending_->flushed) return false;
+      inner = pending_->inner;
+    }
+    return inner->test();
   }
 
-  void synchronize() override {
-    force_flush();
-    pending_->inner->synchronize();
-  }
+  // The manager lock is released before blocking on the inner Work so other
+  // actors (and timeout events) can keep flushing while this one waits.
+  void wait() override { force_flush()->wait(); }
+
+  void synchronize() override { force_flush()->synchronize(); }
 
   SimTime complete_time() const override {
-    return pending_->flushed ? pending_->inner->complete_time() : 0.0;
+    Work inner;
+    {
+      std::lock_guard<std::recursive_mutex> lock(pending_->mgr->mu_);
+      if (!pending_->flushed) return 0.0;
+      inner = pending_->inner;
+    }
+    return inner->complete_time();
   }
 
   void on_complete(std::function<void()> fn) override {
-    if (pending_->flushed) {
-      pending_->inner->on_complete(std::move(fn));
-    } else {
-      pending_->deferred_callbacks.push_back(std::move(fn));
+    Work inner;
+    {
+      std::lock_guard<std::recursive_mutex> lock(pending_->mgr->mu_);
+      if (!pending_->flushed) {
+        pending_->deferred_callbacks.push_back(std::move(fn));
+        return;
+      }
+      inner = pending_->inner;
     }
+    inner->on_complete(std::move(fn));
   }
 
  private:
   // Waiting on a not-yet-flushed fusion forces the flush (the data
-  // dependency outranks the timeout).
-  void force_flush() {
+  // dependency outranks the timeout). Returns the inner Work to block on.
+  Work force_flush() {
+    std::lock_guard<std::recursive_mutex> lock(pending_->mgr->mu_);
     if (!pending_->flushed) pending_->mgr->flush_if_pending(pending_->key);
     MCRDL_CHECK(pending_->flushed);
+    return pending_->inner;
   }
 
   std::shared_ptr<PendingFusion> pending_;
@@ -62,6 +79,7 @@ bool FusionManager::eligible(const Tensor& t) const {
 Work FusionManager::all_reduce(Comm* comm, int rank, Tensor t, ReduceOp op) {
   MCRDL_REQUIRE(comm != nullptr, "fusion needs a communicator");
   MCRDL_REQUIRE(eligible(t), "tensor is not eligible for fusion");
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Key key{rank, comm, static_cast<int>(op), static_cast<int>(t.dtype())};
   Batch& batch = batches_[key];
   if (batch.pending == nullptr) {
@@ -92,12 +110,14 @@ Work FusionManager::all_reduce(Comm* comm, int rank, Tensor t, ReduceOp op) {
 }
 
 void FusionManager::flush_if_pending(const Key& key) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = batches_.find(key);
   if (it == batches_.end() || it->second.pending == nullptr) return;
   flush_locked(key, it->second);
 }
 
 void FusionManager::on_timeout(const Key& key, std::uint64_t generation) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = batches_.find(key);
   if (it == batches_.end() || it->second.pending == nullptr ||
       it->second.generation != generation) {
@@ -173,6 +193,7 @@ void FusionManager::flush_locked(const Key& key, Batch& batch) {
 }
 
 void FusionManager::flush_all(int rank) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<Key> keys;
   for (auto& [key, batch] : batches_) {
     if (batch.pending != nullptr && batch.rank == rank) keys.push_back(key);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -32,7 +33,10 @@ class FusionManager {
   FusionManager(ClusterContext* cluster, FusionConfig config);
 
   const FusionConfig& config() const { return config_; }
-  void set_config(FusionConfig config) { config_ = config; }
+  void set_config(FusionConfig config) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    config_ = config;
+  }
 
   // True if this all_reduce should go through the fusion buffer.
   bool eligible(const Tensor& t) const;
@@ -46,10 +50,22 @@ class FusionManager {
   void flush_all(int rank);
 
   // --- statistics -----------------------------------------------------------
-  int flush_count() const { return flush_count_; }
-  int timeout_flush_count() const { return timeout_flush_count_; }
-  int fused_tensor_count() const { return fused_tensor_count_; }
-  int overlap_flush_count() const { return overlap_flush_count_; }
+  int flush_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return flush_count_;
+  }
+  int timeout_flush_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return timeout_flush_count_;
+  }
+  int fused_tensor_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return fused_tensor_count_;
+  }
+  int overlap_flush_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return overlap_flush_count_;
+  }
 
  private:
   struct PendingFusion;
@@ -77,6 +93,12 @@ class FusionManager {
 
   ClusterContext* cluster_;
   FusionConfig config_;
+  // Guards batches_, the statistics counters, and each PendingFusion's
+  // flushed/inner/deferred_callbacks (which FusionWork reads from other
+  // actors). Recursive because flush paths nest (wait -> force_flush ->
+  // flush_if_pending). Never held across a virtual-time block: flush_locked
+  // posts the fused all_reduce asynchronously and returns.
+  mutable std::recursive_mutex mu_;
   std::map<Key, Batch> batches_;
   int flush_count_ = 0;
   int timeout_flush_count_ = 0;

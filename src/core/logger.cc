@@ -6,7 +6,26 @@ namespace mcrdl {
 
 void CommLogger::record(CommRecord record) {
   if (!enabled_) return;
-  records_.push_back(std::move(record));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_rank_[record.rank].push_back(std::move(record));
+}
+
+void CommLogger::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_rank_.clear();
+}
+
+std::vector<CommRecord> CommLogger::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommRecord> merged;
+  std::size_t total = 0;
+  for (const auto& [rank, bucket] : by_rank_) total += bucket.size();
+  merged.reserve(total);
+  // std::map iterates in ascending rank order, which is the canonical order.
+  for (const auto& [rank, bucket] : by_rank_) {
+    merged.insert(merged.end(), bucket.begin(), bucket.end());
+  }
+  return merged;
 }
 
 SimTime CommLogger::interval_union(std::vector<std::pair<SimTime, SimTime>> intervals) {
@@ -30,41 +49,49 @@ SimTime CommLogger::interval_union(std::vector<std::pair<SimTime, SimTime>> inte
 }
 
 SimTime CommLogger::comm_time(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<SimTime, SimTime>> intervals;
-  for (const auto& r : records_) {
-    if (r.rank == rank) intervals.emplace_back(r.start, r.end);
+  auto it = by_rank_.find(rank);
+  if (it != by_rank_.end()) {
+    for (const auto& r : it->second) intervals.emplace_back(r.start, r.end);
   }
   return interval_union(std::move(intervals));
 }
 
 std::map<std::string, SimTime> CommLogger::time_by_op(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, SimTime> out;
-  for (const auto& r : records_) {
-    if (r.rank == rank) out[op_name(r.op)] += r.end - r.start;
+  auto it = by_rank_.find(rank);
+  if (it != by_rank_.end()) {
+    for (const auto& r : it->second) out[op_name(r.op)] += r.end - r.start;
   }
   return out;
 }
 
 std::map<std::string, SimTime> CommLogger::time_by_backend(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, SimTime> out;
-  for (const auto& r : records_) {
-    if (r.rank == rank) out[r.backend] += r.end - r.start;
+  auto it = by_rank_.find(rank);
+  if (it != by_rank_.end()) {
+    for (const auto& r : it->second) out[r.backend] += r.end - r.start;
   }
   return out;
 }
 
 std::size_t CommLogger::bytes_moved(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
-  for (const auto& r : records_) {
-    if (r.rank == rank) total += r.bytes;
+  auto it = by_rank_.find(rank);
+  if (it != by_rank_.end()) {
+    for (const auto& r : it->second) total += r.bytes;
   }
   return total;
 }
 
 int CommLogger::op_count(int rank) const {
-  int count = 0;
-  for (const auto& r : records_) count += (r.rank == rank);
-  return count;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_rank_.find(rank);
+  return it == by_rank_.end() ? 0 : static_cast<int>(it->second.size());
 }
 
 }  // namespace mcrdl

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,14 +37,23 @@ struct CommRecord {
   bool recovered = false;   // replayed on a shrunk communicator after rank loss
 };
 
+// Records are bucketed per rank so concurrent shards (DESIGN.md §11) never
+// contend on one append vector and so the exported order is canonical:
+// records() merges buckets in ascending rank order, preserving each rank's
+// completion order within its bucket. Per-rank completion order is a pure
+// function of virtual time, so the merged sequence is identical under the
+// serial and parallel execution models (the golden-trace and
+// parallel-identity tests pin this).
 class CommLogger {
  public:
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
   void record(CommRecord record);
-  void clear() { records_.clear(); }
-  const std::vector<CommRecord>& records() const { return records_; }
+  void clear();
+  // Rank-major canonical merge; returned by value (the internal buckets can
+  // keep growing while the caller iterates).
+  std::vector<CommRecord> records() const;
 
   // Wall-clock (virtual) communication time on a rank: the union of all
   // operation intervals, so overlapping operations are not double-counted.
@@ -60,7 +70,8 @@ class CommLogger {
 
  private:
   bool enabled_ = false;
-  std::vector<CommRecord> records_;
+  mutable std::mutex mu_;
+  std::map<int, std::vector<CommRecord>> by_rank_;
 };
 
 }  // namespace mcrdl

@@ -467,6 +467,7 @@ OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
   stages_.push_back(std::make_unique<RecoverStage>());
   stages_.push_back(std::make_unique<RouteStage>());
   stages_.push_back(std::make_unique<IssueStage>());
+  rebuild_stage_histograms();
 }
 
 OpPipeline::~OpPipeline() = default;
@@ -481,13 +482,16 @@ Work OpPipeline::execute(int rank, const std::vector<int>& group, OpRequest req)
   return invoke(0, call);
 }
 
-obs::Histogram& OpPipeline::stage_histogram(std::size_t index) {
-  if (stage_hist_.size() != stages_.size()) stage_hist_.assign(stages_.size(), nullptr);
-  if (stage_hist_[index] == nullptr) {
-    stage_hist_[index] = &ctx_->cluster()->metrics().histogram(
-        "pipeline_stage_us", {{"stage", stages_[index]->name()}});
+// Resolves the `pipeline_stage_us{stage=...}` histogram of every stage up
+// front (registry references are stable). Runs at construction and after
+// each insert_* — setup-time only, so invoke() reads the vector with no
+// lock even when every rank's actor executes the pipeline concurrently.
+void OpPipeline::rebuild_stage_histograms() {
+  stage_hist_.assign(stages_.size(), nullptr);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stage_hist_[i] = &ctx_->cluster()->metrics().histogram("pipeline_stage_us",
+                                                           {{"stage", stages_[i]->name()}});
   }
-  return *stage_hist_[index];
 }
 
 // Each stage's histogram records its *exclusive* virtual time: the chain is
@@ -508,7 +512,7 @@ Work OpPipeline::invoke(std::size_t index, OpCall& call) {
   };
   try {
     Work w = stages_[index]->run(call, [this, index, &call]() { return invoke(index + 1, call); });
-    stage_histogram(index).observe(settle());
+    stage_hist_[index]->observe(settle());
     return w;
   } catch (...) {
     // Failed attempts still credit their time to the parent so the routing
@@ -536,14 +540,14 @@ std::size_t OpPipeline::index_of(const std::string& name) const {
 void OpPipeline::insert_before(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_before needs a stage");
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)), std::move(stage));
-  stage_hist_.clear();  // indices shifted; re-resolve lazily
+  rebuild_stage_histograms();
 }
 
 void OpPipeline::insert_after(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_after needs a stage");
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)) + 1,
                  std::move(stage));
-  stage_hist_.clear();  // indices shifted; re-resolve lazily
+  rebuild_stage_histograms();
 }
 
 }  // namespace mcrdl

@@ -107,19 +107,22 @@ class OpPipeline {
   // Stage names in request-path order.
   std::vector<std::string> stage_names() const;
   // Insert a custom stage relative to an existing one (by name); throws
-  // InvalidArgument if no stage has that name.
+  // InvalidArgument if no stage has that name. Setup-time API: the stage
+  // list (and its histogram cache) is read lock-free by every rank's actor,
+  // so stages must be in place before operations start flowing.
   void insert_before(const std::string& name, std::unique_ptr<OpStage> stage);
   void insert_after(const std::string& name, std::unique_ptr<OpStage> stage);
 
  private:
   Work invoke(std::size_t index, OpCall& call);
   std::size_t index_of(const std::string& name) const;
-  obs::Histogram& stage_histogram(std::size_t index);
+  void rebuild_stage_histograms();
 
   McrDl* ctx_;
   std::vector<std::unique_ptr<OpStage>> stages_;
-  // Lazily resolved `pipeline_stage_us{stage=...}` histograms, parallel to
-  // stages_ (registry references are stable, so caching is safe).
+  // `pipeline_stage_us{stage=...}` histogram per stage, parallel to stages_;
+  // resolved eagerly at construction/insert time (registry references are
+  // stable) so the per-invocation read takes no lock.
   std::vector<obs::Histogram*> stage_hist_;
 };
 

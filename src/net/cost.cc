@@ -144,10 +144,11 @@ SimTime CostModel::collective_cost(OpType op, std::size_t bytes, const CommShape
                             << profile_.name;
   const SimTime total = profile_.launch_overhead_us + cost;
   if (usage_ != nullptr) {
-    LinkUsage::ClassUsage& u = shape.nodes > 1 ? usage_->inter : usage_->intra;
-    ++u.ops;
-    u.bytes += bytes;
-    u.busy_us += total;
+    if (shape.nodes > 1) {
+      usage_->record_inter(bytes, total);
+    } else {
+      usage_->record_intra(bytes, total);
+    }
   }
   return total;
 }
@@ -169,10 +170,11 @@ SimTime CostModel::p2p_cost(std::size_t bytes, int src, int dst) const {
                 link.latency_us + static_cast<double>(bytes) / bw;
   if (bytes > profile_.eager_threshold) cost += profile_.rendezvous_overhead_us;
   if (usage_ != nullptr) {
-    LinkUsage::ClassUsage& u = topo_->same_node(src, dst) ? usage_->intra : usage_->inter;
-    ++u.ops;
-    u.bytes += bytes;
-    u.busy_us += cost;
+    if (topo_->same_node(src, dst)) {
+      usage_->record_intra(bytes, cost);
+    } else {
+      usage_->record_inter(bytes, cost);
+    }
   }
   return cost;
 }

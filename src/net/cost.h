@@ -11,6 +11,7 @@
 // models; `tests/net/calibration_test.cc` pins the orderings.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/shard_slot.h"
 #include "src/common/units.h"
 #include "src/net/comm_types.h"
 #include "src/net/topology.h"
@@ -132,14 +134,51 @@ struct ContentionScale {
 // link-utilization gauges at snapshot time. `ops` counts cost-model
 // evaluations (one per collective rendezvous or p2p transfer), `busy_us`
 // the virtual time those transfers occupied the link class.
+//
+// Writes are striped per execution-model shard slot (shard_slot.h) so
+// concurrent shards never touch the same counters; reads merge the stripes.
+// Like the metrics stripes, merged reads are exact at quiescent points
+// (between scheduler phases or after run()) — the only places snapshots are
+// taken.
 struct LinkUsage {
   struct ClassUsage {
     std::uint64_t ops = 0;
     std::uint64_t bytes = 0;
     double busy_us = 0.0;
   };
-  ClassUsage intra;  // NVLink traffic within a node
-  ClassUsage inter;  // NIC traffic crossing nodes
+
+  void record_intra(std::uint64_t bytes, double busy_us) {
+    record(intra_slots_, bytes, busy_us);
+  }
+  void record_inter(std::uint64_t bytes, double busy_us) {
+    record(inter_slots_, bytes, busy_us);
+  }
+
+  // Merged totals across all shard stripes.
+  ClassUsage intra() const { return merge(intra_slots_); }
+  ClassUsage inter() const { return merge(inter_slots_); }
+
+ private:
+  using Slots = std::array<ClassUsage, kShardSlots>;
+
+  static void record(Slots& slots, std::uint64_t bytes, double busy_us) {
+    ClassUsage& u = slots[static_cast<std::size_t>(shard_slot())];
+    ++u.ops;
+    u.bytes += bytes;
+    u.busy_us += busy_us;
+  }
+  static ClassUsage merge(const Slots& slots) {
+    ClassUsage total;
+    for (const ClassUsage& u : slots) {
+      total.ops += u.ops;
+      total.bytes += u.bytes;
+      total.busy_us += u.busy_us;
+    }
+    return total;
+  }
+
+  Slots intra_slots_{};  // NVLink traffic within a node
+  Slots inter_slots_{};  // NIC traffic crossing nodes
 };
 
 // Evaluates operation costs for one backend over one topology.

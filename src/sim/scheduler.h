@@ -4,105 +4,72 @@
 // Model
 // -----
 // Every simulated rank (and nothing else) is an *actor*: an OS thread that
-// runs user code. Exactly one actor executes at any instant — a "baton" is
-// handed from actor to actor — so all simulated state (tensors, streams,
-// rendezvous objects) is implicitly protected by the baton, needs no locking
-// of its own, and every run is deterministic.
+// runs user code. The Scheduler is a thin facade over an ExecutionModel
+// engine (execution_model.h, DESIGN.md §11):
 //
-// Virtual time only advances when every actor is blocked: the blocking actor
-// drains the timed-event queue (device kernel completions, fusion timeouts,
-// link transfers) until some actor becomes runnable again. If every live
-// actor is blocked and no timed event is pending, the system has genuinely
+//   SerialBaton (default) — exactly one actor executes at any instant; a
+//   "baton" is handed from actor to actor, so all simulated state is
+//   implicitly protected by the baton and every run is deterministic.
+//
+//   ParallelShards — actors are partitioned into per-shard run queues that
+//   execute concurrently under a conservative virtual-time barrier; shared
+//   simulated state (engines, metrics, traces) is made shard-safe
+//   explicitly. Default-config output is byte-identical to SerialBaton.
+//
+// Virtual time only advances when every actor is blocked: the engine drains
+// the timed-event queue (device kernel completions, fusion timeouts, link
+// transfers) until some actor becomes runnable again. If every live actor is
+// blocked and no timed event is pending, the system has genuinely
 // deadlocked; the scheduler wakes all actors with DeadlockError. This is the
 // property that lets the mixed-backend tests distinguish naive
 // synchronisation (which deadlocks) from MCR-DL's ordering (which doesn't).
 //
 // Threading contract: Scheduler public methods are callable from actor
-// threads or from timed-event callbacks (which run on the thread that is
-// draining the queue, still under the baton). Timed-event callbacks must not
-// block. Code outside run() may only call spawn()/run().
+// threads or from timed-event callbacks (which run serialized — under the
+// baton, or on the ParallelShards controller thread between actor phases).
+// Timed-event callbacks must not block. Code outside run() may only call
+// spawn()/run().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/sim/execution_model.h"
 
 namespace mcrdl::sim {
-
-class Scheduler;
-
-// Reason an actor was made runnable again; Abort/Deadlock cause the wait
-// primitive to throw once the actor regains the baton.
-enum class WakeReason { Normal, Abort, Deadlock };
-
-// Raised inside actors that are force-unwound because another actor failed.
-class SimAborted : public Error {
- public:
-  explicit SimAborted(const std::string& what) : Error(what) {}
-};
-
-namespace detail {
-
-enum class ActorState { Runnable, Running, Blocked, Done };
-
-struct Actor {
-  Actor(std::string name_, std::function<void()> fn_, int id_)
-      : name(std::move(name_)), fn(std::move(fn_)), id(id_) {}
-
-  std::string name;
-  std::function<void()> fn;
-  int id = -1;
-  std::thread thread;
-  std::condition_variable cv;
-  ActorState state = ActorState::Runnable;
-  bool done = false;
-  WakeReason wake_reason = WakeReason::Normal;
-  // Incremented on every suspension; wake sources capture the generation so
-  // stale wakeups (cancelled timers, force-woken condition entries) are
-  // rejected.
-  std::uint64_t wait_gen = 0;
-};
-
-}  // namespace detail
 
 class Scheduler {
  public:
   // Identifies one suspension of one actor; handed to wake sources.
-  struct WaitToken {
-    detail::Actor* actor = nullptr;
-    std::uint64_t gen = 0;
-  };
+  using WaitToken = sim::WaitToken;
 
-  Scheduler() = default;
-  ~Scheduler();
+  Scheduler() : Scheduler(ExecutionConfig::serial()) {}
+  explicit Scheduler(const ExecutionConfig& config)
+      : config_(config), impl_(make_execution_model(config)) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Registers an actor. Must be called before run().
-  void spawn(std::string name, std::function<void()> fn);
+  void spawn(std::string name, std::function<void()> fn) {
+    impl_->spawn(std::move(name), std::move(fn));
+  }
 
   // Runs the simulation until every actor returns. Rethrows the first actor
   // exception (including DeadlockError) after all threads have unwound.
-  void run();
+  void run() { impl_->run(); }
 
   // Current virtual time in microseconds.
-  SimTime now() const { return now_; }
+  SimTime now() const { return impl_->now(); }
 
   // --- actor-side blocking primitives ------------------------------------
   void sleep_until(SimTime t);
-  void sleep_for(SimTime dt) { sleep_until(now_ + dt); }
+  void sleep_for(SimTime dt) { sleep_until(now() + dt); }
   // Gives every other actor runnable at the current virtual time a chance to
   // run before this actor continues.
   void yield();
@@ -113,78 +80,51 @@ class Scheduler {
   // wake source must present; the caller registers the token somewhere and
   // then calls commit_wait(), which blocks until try_wake() is called with a
   // matching token. try_wake returns false for stale tokens.
-  WaitToken prepare_wait();
-  void commit_wait();
-  bool try_wake(const WaitToken& token, WakeReason reason);
+  WaitToken prepare_wait() { return impl_->prepare_wait(); }
+  void commit_wait() { impl_->commit_wait(); }
+  bool try_wake(const WaitToken& token, WakeReason reason) {
+    return impl_->try_wake(token, reason);
+  }
 
   // --- timed events -------------------------------------------------------
   // Schedules fn at virtual time t (clamped to now if in the past). Returns
-  // an id usable with cancel(). fn runs under the baton and must not block.
-  std::uint64_t schedule_at(SimTime t, std::function<void()> fn);
+  // an id usable with cancel(). fn runs serialized with respect to all
+  // actors and must not block.
+  std::uint64_t schedule_at(SimTime t, std::function<void()> fn) {
+    return impl_->schedule_at(t, std::move(fn));
+  }
   std::uint64_t schedule_after(SimTime dt, std::function<void()> fn) {
-    return schedule_at(now_ + dt, std::move(fn));
+    return impl_->schedule_at(now() + dt, std::move(fn));
   }
   // Cancels a pending event; no-op if it already fired.
-  void cancel(std::uint64_t event_id);
+  void cancel(std::uint64_t event_id) { impl_->cancel(event_id); }
 
-  // Name of the actor currently holding the baton ("" outside run()).
-  const std::string& current_actor_name() const;
-  // Index of the current actor in spawn order (-1 outside run()).
-  int current_actor_id() const;
-  bool running() const { return running_; }
+  // Name of the actor executing on the calling thread ("" outside actor
+  // context). Returned by value: a reference into actor state would dangle
+  // or race once shards run concurrently.
+  std::string current_actor_name() const { return impl_->current_actor_name(); }
+  // Index of the current actor in spawn order (-1 outside actor context).
+  int current_actor_id() const { return impl_->current_actor_id(); }
+  bool running() const { return impl_->running(); }
 
   // Number of timed events that have fired so far (diagnostic).
-  std::uint64_t events_fired() const { return events_fired_; }
+  std::uint64_t events_fired() const { return impl_->events_fired(); }
+
+  // --- execution-model introspection --------------------------------------
+  const ExecutionConfig& execution_config() const { return config_; }
+  ExecutionModelKind execution_kind() const { return impl_->kind(); }
+  int shard_count() const { return impl_->shard_count(); }
+  std::uint64_t barrier_epochs() const { return impl_->barrier_epochs(); }
 
  private:
-  struct TimedEvent {
-    SimTime t = 0.0;
-    std::uint64_t seq = 0;
-    std::function<void()> fn;
-    bool cancelled = false;
-  };
-  struct EventOrder {
-    bool operator()(const std::shared_ptr<TimedEvent>& a,
-                    const std::shared_ptr<TimedEvent>& b) const {
-      if (a->t != b->t) return a->t > b->t;
-      return a->seq > b->seq;  // FIFO among simultaneous events
-    }
-  };
-
-  bool try_wake_locked(const WaitToken& token, WakeReason reason);
-  void force_wake_all_locked(WakeReason reason);
-  void actor_main(detail::Actor* self);
-  // Hands the baton onwards when an actor exits; called with mu_ held.
-  void pass_baton_and_exit(std::unique_lock<std::mutex>& lock);
-  // Drains timed events until some actor is runnable; declares deadlock if
-  // the system is exhausted while live actors remain blocked.
-  void dispatch_until_runnable_locked(std::unique_lock<std::mutex>& lock, bool exiting);
-  void declare_deadlock_locked();
-
-  mutable std::mutex mu_;
-  std::condition_variable main_cv_;
-
-  std::vector<std::unique_ptr<detail::Actor>> actors_;
-  std::deque<detail::Actor*> run_queue_;
-  std::priority_queue<std::shared_ptr<TimedEvent>, std::vector<std::shared_ptr<TimedEvent>>,
-                      EventOrder>
-      events_;
-  std::map<std::uint64_t, std::weak_ptr<TimedEvent>> events_by_id_;
-
-  detail::Actor* current_ = nullptr;
-  SimTime now_ = 0.0;
-  std::uint64_t next_event_seq_ = 0;
-  std::uint64_t events_fired_ = 0;
-  int live_actors_ = 0;
-  bool running_ = false;
-  bool aborting_ = false;
-  std::string deadlock_message_;
-  std::exception_ptr first_error_;
+  ExecutionConfig config_;
+  std::unique_ptr<ExecutionModel> impl_;
 };
 
 // A condition variable in virtual time. wait() suspends the calling actor
 // until another actor (or a timed event) calls notify_all(); the predicate
-// overload loops like std::condition_variable::wait.
+// overload loops like std::condition_variable::wait. The waiter list has its
+// own lock so concurrent shards can wait/notify safely.
 class SimCondition {
  public:
   explicit SimCondition(Scheduler* sched) : sched_(sched) {}
@@ -193,17 +133,35 @@ class SimCondition {
 
   void wait();
 
+  // Predicate form. The predicate is re-checked *after* the wait token is
+  // registered, which closes the lost-wakeup window under ParallelShards: a
+  // notifier that flips the condition between the first check and the
+  // registration is either observed by the re-check (skip the block) or
+  // lands on the registered token (pending-wake / normal wake). Abandoned
+  // tokens are neutralized by the next prepare_wait's generation bump.
   template <typename Pred>
   void wait(Pred pred) {
-    while (!pred()) wait();
+    while (!pred()) {
+      Scheduler::WaitToken token = sched_->prepare_wait();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        waiters_.push_back(token);
+      }
+      if (pred()) continue;
+      sched_->commit_wait();
+    }
   }
 
   void notify_all();
 
-  bool has_waiters() const { return !waiters_.empty(); }
+  bool has_waiters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !waiters_.empty();
+  }
 
  private:
   Scheduler* sched_;
+  mutable std::mutex mu_;
   std::vector<Scheduler::WaitToken> waiters_;
 };
 

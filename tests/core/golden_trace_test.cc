@@ -178,7 +178,8 @@ fault::FaultPlan chaos_plan() {
 // resulting trace. `fault_mode`: 0 = subsystem off, 1 = enabled with an
 // empty plan, 2 = enabled with the chaos plan, 3 = enabled with elastic
 // recovery armed but a loss instant beyond the end of the run.
-std::string run_scenario(int fault_mode) {
+std::string run_scenario(int fault_mode,
+                         sim::ExecutionConfig exec = sim::ExecutionConfig::serial()) {
   McrDlOptions opts = base_options();
   if (fault_mode == 1) opts.fault.enabled = true;
   if (fault_mode == 2) {
@@ -192,7 +193,7 @@ std::string run_scenario(int fault_mode) {
     opts.fault.enabled = true;
     opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(0, 1e12));
   }
-  ClusterContext cluster(net::SystemConfig::lassen(2));
+  ClusterContext cluster(net::SystemConfig::lassen(2), exec);
   McrDl mcr(&cluster, opts);
   mcr.init({"nccl", "mv2-gdr"});
   TuningTable table;
@@ -258,6 +259,23 @@ TEST(GoldenTrace, EmptyFaultPlanIsBitIdenticalToDisabled) {
 // epoch 0 is a pure pass-through.
 TEST(GoldenTrace, ArmedRecoveryWithNoLossIsBitIdenticalToDisabled) {
   EXPECT_EQ(run_scenario(0), run_scenario(3));
+}
+
+// Tentpole invariant of the ExecutionModel seam (DESIGN.md §11): the
+// ParallelShards engine is an *execution* strategy, not a *semantics*
+// change. Running the full mixed-backend workload across concurrent shards
+// must reproduce the serial baton's trace byte-for-byte — every virtual-time
+// stamp, every routing decision, every checksum.
+TEST(GoldenTrace, ParallelShardsIsByteIdenticalToSerial) {
+  const std::string serial = run_scenario(0);
+  EXPECT_EQ(serial, run_scenario(0, sim::ExecutionConfig::parallel(2)));
+  EXPECT_EQ(serial, run_scenario(0, sim::ExecutionConfig::parallel(4)));
+}
+
+// The same invariant holds against the checked-in golden, so a divergence
+// cannot hide behind both engines drifting together.
+TEST(GoldenTrace, ParallelShardsMatchesGolden) {
+  compare_with_golden("trace_nofault.txt", run_scenario(0, sim::ExecutionConfig::parallel(4)));
 }
 
 }  // namespace

@@ -320,8 +320,9 @@ TEST(FailoverEndToEnd, BreakerClosesAfterOutageEndsAndTrafficReturns) {
   }
 
   // Traffic returned: each rank's final logged op ran on nccl, un-rerouted.
+  const std::vector<CommRecord> records = mcr.logger().records();
   std::map<int, const CommRecord*> last;
-  for (const auto& r : mcr.logger().records()) last[r.rank] = &r;
+  for (const auto& r : records) last[r.rank] = &r;
   ASSERT_EQ(last.size(), static_cast<std::size_t>(cluster.world_size()));
   for (const auto& [rank, r] : last) {
     EXPECT_EQ(r->backend, "nccl") << "rank " << rank;

@@ -102,4 +102,54 @@ echo "== bench_export smoke: serve perf trajectory =="
 "${build_dir}/tools/bench_export" --experiment serve --quick --out "${bench_dir}"
 "${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_serve.json"
 
+# Parallel-engine scale smoke (DESIGN.md §11): the sharded engine must be a
+# pure wall-clock optimisation — same virtual-time results, byte for byte.
+#   1. The same fault-free workload under the serial baton and under four
+#      shards must produce byte-identical Chrome traces.
+#   2. A small fig8 DS-MoE sweep exported serial and with --threads 4 must
+#      produce byte-identical BENCH files (every number in fig8 derives from
+#      virtual time, so any divergence means the engines disagreed).
+# Both runs sit under `timeout` so a barrier deadlock fails the smoke rather
+# than hanging CI; the scale experiment itself then passes the schema check.
+echo "== scale smoke: serial vs --threads 4 byte-identity =="
+timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=none --gpus=8 --iterations=6 \
+    --size=256k --trace="${bench_dir}/trace_serial.json" >/dev/null
+timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=none --gpus=8 --iterations=6 \
+    --size=256k --threads=4 --trace="${bench_dir}/trace_shards.json" >/dev/null
+if ! cmp -s "${bench_dir}/trace_serial.json" "${bench_dir}/trace_shards.json"; then
+  echo "scale smoke FAILED: serial and 4-shard traces differ" >&2
+  diff "${bench_dir}/trace_serial.json" "${bench_dir}/trace_shards.json" >&2 || true
+  exit 1
+fi
+timeout 600 "${build_dir}/tools/bench_export" --experiment fig8 --quick --out "${bench_dir}"
+mv "${bench_dir}/BENCH_fig8.json" "${bench_dir}/BENCH_fig8_serial.json"
+timeout 600 "${build_dir}/tools/bench_export" --experiment fig8 --quick --threads 4 \
+    --out "${bench_dir}"
+if ! cmp -s "${bench_dir}/BENCH_fig8_serial.json" "${bench_dir}/BENCH_fig8.json"; then
+  echo "scale smoke FAILED: fig8 sweep diverges between serial and --threads 4" >&2
+  diff "${bench_dir}/BENCH_fig8_serial.json" "${bench_dir}/BENCH_fig8.json" >&2 || true
+  exit 1
+fi
+timeout 600 "${build_dir}/tools/bench_export" --experiment scale --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_scale.json"
+
+# Race-check the parallel engine for real: rebuild the sim/sched suites with
+# -fsanitize=thread and run them (the execution-model tests drive both
+# engines, the serve suite drives the harness on top). A data race fails the
+# test binary's exit code, which fails ctest. Deadlock (lock-order) detection
+# is off: nested rendezvous completion chains legitimately take two
+# rendezvous mutexes in either order, but only ever from the serialized
+# event-dispatch context (the baton holder, or the shard controller's event
+# phase), so the cycles tsan's static lock graph reports cannot interleave.
+# Race detection — the thing the shard engine could actually break — stays on.
+echo "== tsan smoke: sim/sched suites under -fsanitize=thread =="
+tsan_dir="${build_dir}-tsan"
+rm -rf "${tsan_dir}"
+cmake -B "${tsan_dir}" -S "${repo_root}" -DMCRDL_SANITIZE=thread
+cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    sim_scheduler_test sim_execution_model_test sim_device_test sim_stress_test \
+    sched_trace_test sched_admission_test sched_tenant_groups_test sched_serve_test
+( cd "${tsan_dir}" && TSAN_OPTIONS=detect_deadlocks=0 \
+    ctest --output-on-failure -j "${jobs}" -L 'sim|sched' )
+
 echo "== CI passed =="

@@ -27,6 +27,7 @@
 #include "src/common/flags.h"
 #include "src/common/format.h"
 #include "src/core/mcr_dl.h"
+#include "src/sim/execution_model.h"
 
 using namespace mcrdl;
 
@@ -137,6 +138,7 @@ int main(int argc, char** argv) {
   flags.define("seed", "42", "fault-decision seed");
   flags.define("plan", "", "load a fault plan file instead of a built-in scenario");
   flags.define("trace", "", "write a Chrome trace of the chaos run to this path");
+  flags.define("threads", "1", "execution-engine worker threads (1 = serial baton)");
   try {
     if (!flags.parse(argc, argv)) return 0;
 
@@ -151,13 +153,14 @@ int main(int argc, char** argv) {
     const std::size_t elems = parse_size(flags.get("size")) / 4;  // f32
     const SimTime interval = flags.get_double("interval");
 
+    const sim::ExecutionConfig exec = sim::ExecutionConfig::from_threads(flags.get_int("threads"));
     const fault::FaultPlan plan = build_plan(flags, primary);
     std::printf("# chaos plan (%d GPUs on %s, %d x %s all_reduce on '%s')\n", world,
                 config.name.c_str(), iters, flags.get("size").c_str(), primary.c_str());
     std::printf("%s\n", plan.serialize().c_str());
 
     // --- baseline: identical workload, no faults -------------------------
-    ClusterContext base_cluster(config);
+    ClusterContext base_cluster(config, exec);
     McrDlOptions base_opts;
     base_opts.logging_enabled = true;
     McrDl baseline(&base_cluster, base_opts);
@@ -165,7 +168,7 @@ int main(int argc, char** argv) {
     const RunResult base = run_workload(base_cluster, baseline, primary, iters, elems, interval);
 
     // --- chaos run --------------------------------------------------------
-    ClusterContext cluster(config);
+    ClusterContext cluster(config, exec);
     McrDlOptions opts;
     opts.logging_enabled = true;
     opts.fault.enabled = true;
