@@ -476,6 +476,167 @@ AdaptReport run_adapt(const AdaptOptions& options) {
   return report;
 }
 
+// --- resilience -------------------------------------------------------------
+
+namespace {
+
+struct ResilienceRun {
+  std::vector<double> step_us;      // rank 0 durations, phase one then two
+  std::vector<double> done_at_us;   // rank 0 completion instants, same order
+  std::size_t phase_two_begin = 0;  // index of phase two's first step
+  fault::ResilienceReport report;
+  int alive = 0;                    // ranks alive at the end of the run
+};
+
+// The shared two-phase loop: lose `lost_rank` at `loss_at`, park every rank
+// until just past `rejoin_at`, run phase two over whatever is alive. The
+// shrink-only run simply omits the rank_rejoin spec, so the casualty stays
+// dead through phase two and the two runs differ in nothing but the grow.
+ResilienceRun run_resilience_loop(const ResilienceOptions& opts, SimTime loss_at,
+                                  SimTime rejoin_at, bool with_rejoin) {
+  const net::SystemConfig sys = net::SystemConfig::lassen(opts.world / 4);
+  ClusterContext cluster(sys);
+  McrDlOptions mopts;
+  mopts.fault.enabled = true;
+  const SimTime silent_from = std::max(0.0, loss_at - 2.0 * opts.interval_us);
+  mopts.fault.plan.specs.push_back(
+      fault::FaultSpec::straggler(opts.lost_rank, 10.0 * loss_at + 1000.0, silent_from, loss_at));
+  mopts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(opts.lost_rank, loss_at));
+  if (with_rejoin) {
+    mopts.fault.plan.specs.push_back(fault::FaultSpec::rejoin_rank(opts.lost_rank, rejoin_at));
+  }
+  McrDl mcr(&cluster, mopts);
+  mcr.init({"nccl", "mv2-gdr"});
+
+  ResilienceRun out;
+  const std::int64_t numel =
+      std::max<std::int64_t>(static_cast<std::int64_t>(opts.bytes / 4), 1);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    const auto one_step = [&] {
+      const SimTime start = cluster.scheduler().now();
+      Tensor t = Tensor::phantom({numel}, DType::F32, dev);
+      api.all_reduce("nccl", t, ReduceOp::Sum, /*async_op=*/false);
+      api.synchronize("nccl");
+      if (rank == 0) {
+        out.step_us.push_back(cluster.scheduler().now() - start);
+        out.done_at_us.push_back(cluster.scheduler().now());
+      }
+      if (opts.interval_us > 0.0) cluster.scheduler().sleep_for(opts.interval_us);
+    };
+    for (int s = 0; s < opts.steps; ++s) {
+      if (cluster.faults().rank_lost(rank)) break;
+      try {
+        one_step();
+      } catch (const RankLostError&) {
+        break;  // the casualty itself; survivors get the op replayed
+      }
+    }
+    if (rank == 0) out.phase_two_begin = out.step_us.size();
+    // Virtual-time barrier past the rejoin instant, so the grow event (when
+    // planned) fires into an idle cluster in both runs alike.
+    const SimTime wake = rejoin_at + opts.interval_us + 1.0;
+    if (cluster.scheduler().now() < wake) {
+      cluster.scheduler().sleep_for(wake - cluster.scheduler().now());
+    }
+    for (int s = 0; s < opts.steps; ++s) {
+      if (cluster.faults().rank_lost(rank)) break;
+      one_step();
+    }
+  });
+  out.report = mcr.failover()->report();
+  for (int r = 0; r < opts.world; ++r) {
+    if (!cluster.faults().rank_lost(r)) ++out.alive;
+  }
+  mcr.finalize();
+  return out;
+}
+
+BenchSeries resilience_step_series(const std::string& name, const ResilienceRun& run,
+                                   int world) {
+  BenchSeries series;
+  series.name = name;
+  series.backend = "nccl";
+  for (std::size_t s = 0; s < run.step_us.size(); ++s) {
+    BenchPoint p;
+    p.world = world;
+    p.bytes = s;  // step index — the time axis
+    p.virtual_us = run.step_us[s];
+    p.items_per_s = p.virtual_us > 0.0 ? 1e6 / p.virtual_us : 0.0;
+    series.points.push_back(p);
+  }
+  return series;
+}
+
+// Latency from `event_us` to the first collective completed after it.
+double recovery_latency_us(const ResilienceRun& run, SimTime event_us) {
+  for (double done : run.done_at_us) {
+    if (done > event_us) return done - event_us;
+  }
+  return 0.0;
+}
+
+// Post-recovery throughput in rank-steps/s: how much aggregate work the
+// cluster completes per second once it has settled after the event.
+double post_throughput(const ResilienceRun& run, int alive) {
+  std::vector<double> phase_two(run.step_us.begin() +
+                                    static_cast<std::ptrdiff_t>(run.phase_two_begin),
+                                run.step_us.end());
+  if (phase_two.empty()) return 0.0;
+  const double med = median_of(std::move(phase_two));
+  return med > 0.0 ? static_cast<double>(alive) * 1e6 / med : 0.0;
+}
+
+}  // namespace
+
+ResilienceBenchReport run_resilience(const ResilienceOptions& options) {
+  ResilienceOptions opts = options;
+  if (opts.quick) opts.steps = 6;
+  MCRDL_REQUIRE(opts.world % 4 == 0, "resilience runs on Lassen (4 GPUs per node)");
+  MCRDL_REQUIRE(opts.world >= 2, "resilience needs a survivor");
+  MCRDL_REQUIRE(opts.lost_rank >= 0 && opts.lost_rank < opts.world,
+                "lost rank out of range");
+  MCRDL_REQUIRE(opts.steps >= 2, "resilience needs at least two steps per phase");
+
+  // The loss lands mid-phase-one; the rejoin far enough past it that the
+  // survivors have certainly finished phase one (virtual time is free).
+  const SimTime loss_at = 2.0 * (opts.interval_us + 1000.0);
+  const SimTime rejoin_at = loss_at + 100.0 * opts.steps * (opts.interval_us + 1000.0);
+
+  const ResilienceRun shrink = run_resilience_loop(opts, loss_at, rejoin_at, false);
+  const ResilienceRun rejoin = run_resilience_loop(opts, loss_at, rejoin_at, true);
+  MCRDL_REQUIRE(shrink.alive == opts.world - 1, "shrink run did not lose exactly one rank");
+  MCRDL_REQUIRE(rejoin.alive == opts.world, "rejoin run did not restore the full world");
+
+  ResilienceBenchReport report;
+  report.bench.experiment = "resilience";
+  report.loss_at_us = loss_at;
+  report.rejoin_at_us = rejoin_at;
+  report.shrink_report = shrink.report;
+  report.rejoin_report = rejoin.report;
+  report.shrink_recovery_us = recovery_latency_us(shrink, loss_at);
+  report.rejoin_recovery_us = recovery_latency_us(rejoin, rejoin_at);
+  report.shrink_post_rank_steps_per_s = post_throughput(shrink, shrink.alive);
+  report.rejoin_post_rank_steps_per_s = post_throughput(rejoin, rejoin.alive);
+
+  report.bench.series.push_back(resilience_step_series("steps/shrink", shrink, opts.world));
+  report.bench.series.push_back(resilience_step_series("steps/rejoin", rejoin, opts.world));
+  BenchSeries shrink_summary;
+  shrink_summary.name = "recovery/shrink";
+  shrink_summary.backend = "nccl";
+  shrink_summary.points.push_back(BenchPoint{shrink.alive, 0, report.shrink_recovery_us,
+                                             report.shrink_post_rank_steps_per_s});
+  report.bench.series.push_back(std::move(shrink_summary));
+  BenchSeries rejoin_summary;
+  rejoin_summary.name = "recovery/rejoin";
+  rejoin_summary.backend = "nccl";
+  rejoin_summary.points.push_back(BenchPoint{rejoin.alive, 0, report.rejoin_recovery_us,
+                                             report.rejoin_post_rank_steps_per_s});
+  report.bench.series.push_back(std::move(rejoin_summary));
+  return report;
+}
+
 const std::vector<Experiment>& experiment_registry() {
   static const std::vector<Experiment> registry = {
       {"fig2", "collective microbenchmark across backends (paper Figure 2)",
@@ -516,6 +677,12 @@ const std::vector<Experiment>& experiment_registry() {
          ServeExperimentOptions options;
          options.quick = o.quick;
          return run_serve(options).bench;
+       }},
+      {"resilience", "recovery latency and throughput, shrink-only vs grow-back (DESIGN.md §13)",
+       [](const ExperimentOptions& o) {
+         ResilienceOptions options;
+         options.quick = o.quick;
+         return run_resilience(options).bench;
        }},
   };
   return registry;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/failover.h"
 #include "src/sched/serve.h"
 #include "src/sim/execution_model.h"
 
@@ -158,6 +159,40 @@ struct ServeBenchReport {
   sched::ServeResult chaos;
 };
 ServeBenchReport run_serve(const ServeExperimentOptions& options = {});
+
+// Resilience experiment (DESIGN.md §13): a fixed-size allreduce loop that
+// loses one rank mid-run, compared shrink-only vs shrink-then-rejoin. Both
+// runs share the same two-phase shape — phase one absorbs the loss (the
+// survivors shrink and finish), every rank then parks until just past the
+// rejoin instant, and phase two runs over whatever world is alive: the
+// shrunk survivors in the shrink-only run, the restored full world in the
+// rejoin run. Series "steps/shrink" and "steps/rejoin" carry rank 0's
+// per-step times (`bytes` is the step index); "recovery/shrink" and
+// "recovery/rejoin" carry one point each with `world` the post-recovery
+// alive count, `virtual_us` the recovery latency (loss/rejoin instant to
+// the first collective completed afterwards) and `items_per_s` the
+// post-recovery throughput in rank-steps/s — the number grow-back restores.
+struct ResilienceOptions {
+  int world = 8;                   // Lassen, world/4 nodes
+  std::size_t bytes = 1u << 20;    // all_reduce payload
+  int steps = 12;                  // per phase
+  int lost_rank = 1;               // the casualty (and rejoiner)
+  double interval_us = 200.0;      // virtual gap between steps
+  bool quick = false;              // trim for CI smoke runs
+};
+
+struct ResilienceBenchReport {
+  BenchReport bench;
+  double loss_at_us = 0.0;             // the shared loss instant
+  double rejoin_at_us = 0.0;           // the rejoin instant (rejoin run only)
+  double shrink_recovery_us = 0.0;     // loss -> first completed collective
+  double rejoin_recovery_us = 0.0;     // rejoin -> first completed collective
+  double shrink_post_rank_steps_per_s = 0.0;  // alive x steps/s after recovery
+  double rejoin_post_rank_steps_per_s = 0.0;
+  fault::ResilienceReport shrink_report;
+  fault::ResilienceReport rejoin_report;
+};
+ResilienceBenchReport run_resilience(const ResilienceOptions& options = {});
 
 // --- experiment registry ----------------------------------------------------
 //

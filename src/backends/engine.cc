@@ -385,14 +385,18 @@ CollectiveEngine::CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_mo
       return net::FaultBetaScale{s.intra, s.inter};
     });
     // Elastic recovery: when a rank is declared permanently lost, the
-    // quiesce phase drains this communicator's pending rendezvous.
+    // quiesce phase drains this communicator's pending rendezvous; when a
+    // lost rank rejoins, the grow phase re-sequences the communicator.
     drain_id_ = faults_->recovery().register_drain(
         [this](const std::vector<int>& lost) { return drain_lost(lost); });
+    grow_id_ = faults_->recovery().register_grow(
+        backend_name_, [this](const std::vector<int>& rejoined) { return drain_rejoined(rejoined); });
   }
 }
 
 CollectiveEngine::~CollectiveEngine() {
   if (faults_ != nullptr && drain_id_ != 0) faults_->recovery().unregister_drain(drain_id_);
+  if (faults_ != nullptr && grow_id_ != 0) faults_->recovery().unregister_grow(grow_id_);
 }
 
 std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
@@ -409,6 +413,33 @@ std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
         RankLostError(fault::describe_rank_loss(rv->desc().op, backend_name_, lost_members))));
     ++cancelled;
   }
+  return cancelled;
+}
+
+std::uint64_t CollectiveEngine::drain_rejoined(const std::vector<int>& rejoined) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
+  bool member_rejoined = false;
+  for (int g : global_ranks_) {
+    if (std::find(rejoined.begin(), rejoined.end(), g) != rejoined.end()) {
+      member_rejoined = true;
+      break;
+    }
+  }
+  if (!member_rejoined) return 0;
+  std::uint64_t cancelled = 0;
+  for (auto& [seq, rv] : pending_) {
+    if (rv->done() || rv->failed() || rv->started()) continue;
+    rv->cancel(std::make_exception_ptr(RankLostError(
+        "grow re-sequence: " + std::string(op_name(rv->desc().op)) + " on backend '" +
+        backend_name_ + "' cancelled for replay on the grown communicator")));
+    ++cancelled;
+  }
+  // Re-sequence: survivors consumed sequence numbers on doomed joins while
+  // the rejoined rank was dead, so the counters disagree across the
+  // membership. Started rendezvous keep completing off the table (reclaim is
+  // identity-checked); every replay joins fresh from sequence zero.
+  pending_.clear();
+  std::fill(next_seq_.begin(), next_seq_.end(), 0);
   return cancelled;
 }
 
@@ -438,10 +469,14 @@ std::shared_ptr<Rendezvous> CollectiveEngine::join(int idx, const OpDesc& desc,
         },
         mu_);
     pending_[seq] = rv;
-    // Reclaim the table entry once everyone has moved past this op.
-    rv->on_complete([this, seq] {
+    // Reclaim the table entry once everyone has moved past this op. The
+    // identity check matters across grow events: a started pre-grow
+    // rendezvous completing after the table was cleared and re-sequenced
+    // must not erase a fresh entry that reused its sequence number.
+    rv->on_complete([this, seq, weak = std::weak_ptr<Rendezvous>(rv)] {
       std::lock_guard<std::recursive_mutex> reclaim_lock(*mu_);
-      pending_.erase(seq);
+      auto entry = pending_.find(seq);
+      if (entry != pending_.end() && entry->second == weak.lock()) pending_.erase(entry);
     });
     if (faults_ != nullptr && faults_->enabled()) {
       // The first-arriving rank classifies the rendezvous for everyone —
@@ -637,11 +672,14 @@ P2pEngine::P2pEngine(sim::Scheduler* sched, net::CostModel cost_model,
     });
     drain_id_ = faults_->recovery().register_drain(
         [this](const std::vector<int>& lost) { return drain_lost(lost); });
+    grow_id_ = faults_->recovery().register_grow(
+        backend_name_, [this](const std::vector<int>& rejoined) { return drain_rejoined(rejoined); });
   }
 }
 
 P2pEngine::~P2pEngine() {
   if (faults_ != nullptr && drain_id_ != 0) faults_->recovery().unregister_drain(drain_id_);
+  if (faults_ != nullptr && grow_id_ != 0) faults_->recovery().unregister_grow(grow_id_);
 }
 
 std::uint64_t P2pEngine::drain_lost(const std::vector<int>& lost) {
@@ -670,6 +708,35 @@ std::uint64_t P2pEngine::drain_lost(const std::vector<int>& lost) {
             fault::describe_rank_loss(OpType::Send, backend_name_, lost_endpoints))));
         ++cancelled;
       }
+    }
+  }
+  return cancelled;
+}
+
+std::uint64_t P2pEngine::drain_rejoined(const std::vector<int>& rejoined) {
+  std::lock_guard<std::recursive_mutex> lock(*mu_);
+  const int size = static_cast<int>(global_ranks_.size());
+  const auto involved = [&](std::int64_t key) {
+    const int g_src = global_ranks_[static_cast<std::size_t>(key / size)];
+    const int g_dst = global_ranks_[static_cast<std::size_t>(key % size)];
+    return std::find(rejoined.begin(), rejoined.end(), g_src) != rejoined.end() ||
+           std::find(rejoined.begin(), rejoined.end(), g_dst) != rejoined.end();
+  };
+  std::uint64_t cancelled = 0;
+  for (auto* table : {&pending_sends_, &pending_recvs_}) {
+    for (auto& [key, queue] : *table) {
+      if (!involved(key)) continue;
+      // Stale entries — typically doomed ops queued while the rank was dead,
+      // whose counterpart stale-rejected instead of matching — must not pair
+      // with fresh post-rejoin traffic.
+      for (auto& op : queue) {
+        if (!op->done()) ++cancelled;
+        if (op->done() || op->doomed()) continue;
+        op->cancel(std::make_exception_ptr(RankLostError(
+            "grow re-sequence: p2p on backend '" + backend_name_ +
+            "' cancelled for replay on the grown communicator")));
+      }
+      queue.clear();
     }
   }
   return cancelled;

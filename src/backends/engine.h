@@ -189,7 +189,7 @@ class CollectiveEngine {
   CollectiveEngine(sim::Scheduler* sched, net::CostModel cost_model, net::CommShape shape,
                    int size, std::vector<int> global_ranks = {},
                    fault::FaultInjector* faults = nullptr, std::string backend_name = "");
-  ~CollectiveEngine();  // unregisters the recovery drain hook
+  ~CollectiveEngine();  // unregisters the recovery drain/grow hooks
   CollectiveEngine(const CollectiveEngine&) = delete;
   CollectiveEngine& operator=(const CollectiveEngine&) = delete;
 
@@ -208,6 +208,14 @@ class CollectiveEngine {
   // includes a lost rank (unless their wire phase already started). Returns
   // the number of rendezvous cancelled.
   std::uint64_t drain_lost(const std::vector<int>& lost);
+  // Recovery grow hook: when a rejoining rank is a member, this
+  // communicator's sequence counters drifted while it was dead (survivors
+  // consumed sequence numbers on doomed joins the dead rank never made), so
+  // pending non-started rendezvous are cancelled for replay, the pending
+  // table is cleared, and every rank's next_seq_ restarts at zero — the
+  // whole membership re-sequences together on the grown epoch. Returns the
+  // number of rendezvous cancelled.
+  std::uint64_t drain_rejoined(const std::vector<int>& rejoined);
 
   sim::Scheduler* sched_;
   // Shared with every Rendezvous this engine creates: join/post, the channel
@@ -224,6 +232,7 @@ class CollectiveEngine {
   std::map<std::uint64_t, std::shared_ptr<Rendezvous>> pending_;
   SimTime channel_busy_until_ = 0.0;
   std::uint64_t drain_id_ = 0;
+  std::uint64_t grow_id_ = 0;
 };
 
 // A matched send/recv pair (two-party rendezvous). Thread safety mirrors
@@ -300,7 +309,7 @@ class P2pEngine {
  public:
   P2pEngine(sim::Scheduler* sched, net::CostModel cost_model, std::vector<int> global_ranks,
             fault::FaultInjector* faults = nullptr, std::string backend_name = "");
-  ~P2pEngine();  // unregisters the recovery drain hook
+  ~P2pEngine();  // unregisters the recovery drain/grow hooks
   P2pEngine(const P2pEngine&) = delete;
   P2pEngine& operator=(const P2pEngine&) = delete;
 
@@ -314,6 +323,11 @@ class P2pEngine {
   // Recovery quiesce hook: cancels unmatched queued ops whose endpoint is a
   // lost rank. Matched pairs are in flight and left to complete.
   std::uint64_t drain_lost(const std::vector<int>& lost);
+  // Recovery grow hook: clears the FIFO queues at every (src, dst) key that
+  // touches a rejoining rank — stale doomed entries queued while the rank
+  // was dead would otherwise match fresh post-rejoin traffic. Returns the
+  // number of queued ops cancelled.
+  std::uint64_t drain_rejoined(const std::vector<int>& rejoined);
 
   sim::Scheduler* sched_;
   // Shared with every P2pOp this engine creates (see Rendezvous).
@@ -326,6 +340,7 @@ class P2pEngine {
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_sends_;
   std::map<std::int64_t, std::vector<std::shared_ptr<P2pOp>>> pending_recvs_;
   std::uint64_t drain_id_ = 0;
+  std::uint64_t grow_id_ = 0;
 };
 
 }  // namespace mcrdl::backends_detail

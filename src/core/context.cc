@@ -29,7 +29,15 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
   // Install the fault plan before any backend initialises so outages that
   // start at t=0 are visible to the very first operation.
   if (options_.fault.enabled) {
-    cluster_->faults().configure(options_.fault.plan);
+    // Warm spares are modelled as rank_loss at t=0: the spare ranks sit out
+    // of the initial world (pre-start exclusions applied synchronously by
+    // arm()) until a rank_rejoin spec admits them.
+    fault::FaultPlan plan = options_.fault.plan;
+    for (int r : options_.fault.spare_ranks) {
+      MCRDL_REQUIRE(r >= 0 && r < cluster_->world_size(), "spare rank out of range");
+      plan.specs.push_back(fault::FaultSpec::lose_rank(r, 0.0));
+    }
+    cluster_->faults().configure(plan);
     failover_ = std::make_unique<fault::FailoverRouter>(&cluster_->faults(), options_.fault.retry,
                                                         options_.fault.breaker_config(),
                                                         options_.fault.failover);
@@ -48,6 +56,14 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
     // matters: arm() re-disarms first, which clears any previous binding.
     cluster_->faults().recovery().arm(cluster_->world_size());
     cluster_->faults().recovery().bind_report(&failover_->report());
+    cluster_->faults().recovery().bind_metrics(&cluster_->metrics());
+    // Recovery state (epochs, lost set, resilience counters) checkpoints
+    // through the store so a restored run rejects stale-epoch ops exactly
+    // like the run that saved it.
+    auto& rec = cluster_->faults().recovery();
+    checkpoint_.register_section(
+        "recovery", [&rec] { return rec.save_state(); },
+        [&rec](const std::string& body) { rec.restore_state(body); });
   }
   for (const auto& name : backend_names) {
     if (backends_.count(name) > 0) {
@@ -63,6 +79,12 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
   if (options_.online_tuning.enabled) {
     tuner_ = std::make_unique<tune::OnlineTuner>(options_.online_tuning, &cluster_->metrics());
     if (tuning_table_.has_value()) tuner_->seed_prior(*tuning_table_);
+    // Learned arms/quarantines checkpoint alongside recovery state, so a
+    // restored tuner resumes from its incumbents instead of re-exploring.
+    tune::OnlineTuner* t = tuner_.get();
+    checkpoint_.register_section(
+        "tuner", [t] { return t->save_state(); },
+        [t](const std::string& body) { t->restore_state(body); });
   }
   initialized_ = true;
 }
@@ -72,6 +94,10 @@ void McrDl::finalize() {
   for (auto& [name, b] : backends_) b->finalize();
   backends_.clear();
   backend_order_.clear();
+  // Checkpoint sections capture raw pointers into subsystems about to be
+  // torn down; unregister before resetting either.
+  checkpoint_.unregister_section("recovery");
+  checkpoint_.unregister_section("tuner");
   if (options_.fault.enabled) {
     failover_.reset();
     cluster_->faults().reset();

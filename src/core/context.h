@@ -35,6 +35,7 @@
 #include "src/core/compression.h"
 #include "src/core/fusion.h"
 #include "src/core/logger.h"
+#include "src/fault/checkpoint.h"
 #include "src/fault/failover.h"
 #include "src/tune/online_tuner.h"
 #include "src/tune/tuning.h"
@@ -106,9 +107,17 @@ class McrDl {
   // Health-aware routing; non-null only when options.fault.enabled.
   fault::FailoverRouter* failover() const { return failover_.get(); }
 
-  // Elastic rank-loss recovery (quiesce -> shrink -> resume). Armed by init()
-  // when the fault plan contains rank_loss specs; disarmed otherwise.
+  // Elastic rank-loss recovery (quiesce -> shrink -> resume, and the grow
+  // path quiesce -> grow -> resume). Armed by init() when the fault plan
+  // contains rank_loss/rank_rejoin specs or spare ranks; disarmed otherwise.
   fault::RecoveryManager& recovery() const;
+
+  // Deterministic checkpoint/restore of the runtime's restorable state.
+  // init() registers a "recovery" section (epochs, lost set, resilience
+  // counters) when faults are enabled and a "tuner" section (learned arms,
+  // quarantine state) when online tuning is enabled; other subsystems (e.g.
+  // the serving scheduler) register their own sections against this store.
+  fault::CheckpointStore& checkpoint() { return checkpoint_; }
 
   // The operation pipeline every Api call executes through. Exposed so
   // callers can inspect the stage order or insert custom stages.
@@ -133,6 +142,7 @@ class McrDl {
   std::unique_ptr<FusionManager> fusion_;
   std::unique_ptr<CompressionLayer> compression_;
   std::unique_ptr<fault::FailoverRouter> failover_;
+  fault::CheckpointStore checkpoint_;
   std::unique_ptr<OpPipeline> pipeline_;
 };
 

@@ -348,7 +348,9 @@ class RouteStage : public OpStage {
         router->record_failure(current, c.rank);
         if (attempts_on_current < router->retry().max_attempts &&
             router->healthy(current, c.rank)) {
-          const SimTime backoff = router->retry().backoff(attempts_on_current);
+          // Rank-keyed overload decorrelates retry storms when jitter is
+          // enabled; with jitter_seed == 0 (default) it is the plain schedule.
+          const SimTime backoff = router->retry().backoff(attempts_on_current, c.rank);
           router->report().retried++;
           router->report().backoff_time_us += backoff;
           metrics.counter("failover_retries", {{"backend", current}}).inc();

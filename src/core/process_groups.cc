@@ -81,4 +81,12 @@ ShrunkGroups shrink_process_groups(const ProcessGroups& old, const std::vector<i
   return out;
 }
 
+ShrunkGroups rebuild_process_groups(const ProcessGroups& original,
+                                    const std::vector<int>& lost) {
+  // Same computation as shrink, but the caller contract differs: `original`
+  // must be the seed layout and `lost` the *current* lost set, so a grow
+  // event that empties the set reproduces the seed groups exactly.
+  return shrink_process_groups(original, lost);
+}
+
 }  // namespace mcrdl

@@ -60,4 +60,12 @@ struct ShrunkGroups {
 // degree. Requires at least one survivor.
 ShrunkGroups shrink_process_groups(const ProcessGroups& old, const std::vector<int>& lost);
 
+// Rebuilds the hybrid-parallel layout over whatever part of the *original*
+// world is currently alive — the grow-path entry point. `lost` is the
+// post-grow lost set (possibly empty: everyone rejoined). Shrinking from the
+// original layout rather than from the last shrunk one means grow is exact:
+// after a full rejoin the TP/DP/EP groups are byte-for-byte the seed layout,
+// not an approximation recovered through intermediate collapses.
+ShrunkGroups rebuild_process_groups(const ProcessGroups& original, const std::vector<int>& lost);
+
 }  // namespace mcrdl

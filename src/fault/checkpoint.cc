@@ -1,0 +1,138 @@
+#include "src/fault/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace mcrdl::fault {
+
+namespace {
+
+// Counts the newline-terminated lines of `body`; a trailing fragment without
+// a newline counts as one line (save() normalizes it back with one).
+std::size_t count_lines(const std::string& body) {
+  std::size_t lines = 0;
+  bool open = false;
+  for (char c : body) {
+    if (c == '\n') {
+      ++lines;
+      open = false;
+    } else {
+      open = true;
+    }
+  }
+  return lines + (open ? 1 : 0);
+}
+
+void append_section(std::ostringstream& out, const std::string& name, const std::string& body) {
+  out << "section " << name << " " << count_lines(body) << "\n";
+  out << body;
+  if (!body.empty() && body.back() != '\n') out << "\n";
+}
+
+}  // namespace
+
+void CheckpointStore::register_section(std::string name, SaveFn save, RestoreFn restore) {
+  MCRDL_REQUIRE(!name.empty(), "checkpoint section name must be non-empty");
+  MCRDL_REQUIRE(name.find_first_of(" \t\n\r") == std::string::npos,
+                "checkpoint section name must not contain whitespace: \"" + name + "\"");
+  MCRDL_REQUIRE(save != nullptr && restore != nullptr,
+                "checkpoint section needs both save and restore hooks");
+  sections_[std::move(name)] = Section{std::move(save), std::move(restore)};
+}
+
+void CheckpointStore::unregister_section(const std::string& name) { sections_.erase(name); }
+
+bool CheckpointStore::has_section(const std::string& name) const {
+  return sections_.count(name) > 0;
+}
+
+std::string CheckpointStore::save() const {
+  std::ostringstream out;
+  out << kCheckpointMagic << " " << kCheckpointVersion << "\n";
+  // Merge live and retained sections in sorted name order; a live section
+  // shadows a retained body of the same name (the running component is the
+  // truth once it has restored).
+  auto live = sections_.begin();
+  auto kept = retained_.begin();
+  while (live != sections_.end() || kept != retained_.end()) {
+    if (kept == retained_.end() || (live != sections_.end() && live->first <= kept->first)) {
+      if (kept != retained_.end() && kept->first == live->first) ++kept;
+      append_section(out, live->first, live->second.save());
+      ++live;
+    } else {
+      append_section(out, kept->first, kept->second);
+      ++kept;
+    }
+  }
+  return out.str();
+}
+
+void CheckpointStore::restore(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  MCRDL_REQUIRE(static_cast<bool>(std::getline(in, line)), "checkpoint: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    MCRDL_REQUIRE(static_cast<bool>(header >> magic >> version) && magic == kCheckpointMagic,
+                  "checkpoint: bad header \"" + line + "\"");
+    MCRDL_REQUIRE(version == kCheckpointVersion,
+                  "checkpoint: unsupported version " + std::to_string(version));
+  }
+  std::map<std::string, std::string> bodies;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string verb, name;
+    std::size_t lines = 0;
+    MCRDL_REQUIRE(static_cast<bool>(fields >> verb >> name >> lines) && verb == "section",
+                  "checkpoint: expected section line, got \"" + line + "\"");
+    std::string body;
+    for (std::size_t i = 0; i < lines; ++i) {
+      std::string body_line;
+      MCRDL_REQUIRE(static_cast<bool>(std::getline(in, body_line)),
+                    "checkpoint: section \"" + name + "\" truncated");
+      body += body_line;
+      body += '\n';
+    }
+    MCRDL_REQUIRE(bodies.emplace(name, std::move(body)).second,
+                  "checkpoint: duplicate section \"" + name + "\"");
+  }
+  // Dispatch only after the whole file parsed, so a truncated checkpoint
+  // never half-restores.
+  retained_.clear();
+  for (auto& [name, body] : bodies) {
+    auto it = sections_.find(name);
+    if (it != sections_.end()) {
+      it->second.restore(body);
+    } else {
+      retained_[name] = std::move(body);
+    }
+  }
+  ++restores_;
+}
+
+void CheckpointStore::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  MCRDL_REQUIRE(out.good(), "cannot open checkpoint for writing: " + path);
+  out << save();
+}
+
+void CheckpointStore::restore_file(const std::string& path) {
+  std::ifstream in(path);
+  MCRDL_REQUIRE(in.good(), "cannot open checkpoint: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  restore(buf.str());
+}
+
+std::vector<std::string> CheckpointStore::retained() const {
+  std::vector<std::string> names;
+  names.reserve(retained_.size());
+  for (const auto& [name, body] : retained_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mcrdl::fault

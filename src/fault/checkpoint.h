@@ -1,0 +1,81 @@
+// CheckpointStore — deterministic, versioned, text round-trippable snapshots
+// of restorable runtime state (the save/restore half of elastic grow-back).
+//
+// The store itself knows nothing about tuners, schedulers, or process
+// groups: components register named *sections* (a SaveFn producing a text
+// body and a RestoreFn consuming one), which keeps src/fault below every
+// layer that checkpoints through it. McrDl::init wires the standard
+// sections ("recovery", "tuner", "groups"); anything else — e.g. the serve
+// scheduler's admission queues — can register its own.
+//
+// Format (line-oriented, sections sorted by name so save() is a pure
+// function of the registered state):
+//
+//   mcrdl-checkpoint 1
+//   section <name> <line-count>
+//   <line-count body lines>
+//   section <name> <line-count>
+//   ...
+//
+// Round-trip contract: save() → restore() → save() is byte-identical, which
+// is what makes checkpoints diffable and lets CI smoke-test them with
+// `cmp`. Two rules follow: section bodies must themselves serialize
+// deterministically (sorted maps, pinned float precision), and restore-side
+// counters (how many restores happened) are never part of a body. Sections
+// present in a checkpoint but not registered are retained verbatim and
+// re-emitted on the next save — a checkpoint from a build with more
+// subsystems survives passing through an older one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcrdl::fault {
+
+inline constexpr const char* kCheckpointMagic = "mcrdl-checkpoint";
+inline constexpr int kCheckpointVersion = 1;
+
+class CheckpointStore {
+ public:
+  // Produces the section's body: zero or more newline-terminated lines.
+  using SaveFn = std::function<std::string()>;
+  // Applies a body captured by the matching SaveFn. Throws (InvalidArgument)
+  // on malformed bodies; the store lets the exception propagate.
+  using RestoreFn = std::function<void(const std::string& body)>;
+
+  // Registers (or replaces) a section. `name` must be non-empty and contain
+  // no whitespace — it is a token on the `section` line.
+  void register_section(std::string name, SaveFn save, RestoreFn restore);
+  void unregister_section(const std::string& name);
+  bool has_section(const std::string& name) const;
+
+  // Serializes every registered section (plus retained unknown sections) in
+  // sorted name order.
+  std::string save() const;
+  // Parses `text`, dispatching each section body to its registered
+  // RestoreFn; unknown sections are retained for the next save(). Throws
+  // InvalidArgument on version/format errors. Counts one restore.
+  void restore(const std::string& text);
+
+  void save_file(const std::string& path) const;
+  void restore_file(const std::string& path);
+
+  std::uint64_t restores() const { return restores_; }
+  // Names of sections seen by restore() without a registered RestoreFn.
+  std::vector<std::string> retained() const;
+
+ private:
+  struct Section {
+    SaveFn save;
+    RestoreFn restore;
+  };
+
+  std::map<std::string, Section> sections_;   // sorted → deterministic output
+  std::map<std::string, std::string> retained_;  // unknown sections, verbatim
+  std::uint64_t restores_ = 0;
+};
+
+}  // namespace mcrdl::fault

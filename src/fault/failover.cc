@@ -24,13 +24,22 @@ std::string ResilienceReport::to_string() const {
         << "  recovered ops        : " << recovered << "\n"
         << "  stale-epoch rejects  : " << stale_rejections << "\n";
   }
+  // Grow-back block only when capacity actually came back (or a checkpoint
+  // was restored), so shrink-only reports keep their exact format.
+  if (ranks_rejoined > 0 || grow_events > 0 || checkpoint_restores > 0) {
+    out << "  ranks rejoined       : " << ranks_rejoined << "\n"
+        << "  grow events          : " << grow_events << "\n"
+        << "  checkpoint restores  : " << checkpoint_restores << "\n";
+  }
   if (!by_backend.empty()) {
     std::size_t width = 0;
     for (const auto& [name, counters] : by_backend) width = std::max(width, name.size());
     out << "  per-backend:\n";
     for (const auto& [name, counters] : by_backend) {
       out << "    " << name << std::string(width - name.size(), ' ') << " : failed "
-          << counters.failed << ", rerouted away " << counters.rerouted << "\n";
+          << counters.failed << ", rerouted away " << counters.rerouted;
+      if (counters.grow_drained > 0) out << ", grow drained " << counters.grow_drained;
+      out << "\n";
     }
   }
   return out.str();

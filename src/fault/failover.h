@@ -43,11 +43,17 @@ struct ResilienceReport {
   std::uint64_t epochs = 0;            // recovery epochs completed
   std::uint64_t recovered = 0;         // ops replayed onto a shrunk communicator
   std::uint64_t stale_rejections = 0;  // old-epoch ops bounced before issue
+  // Grow-back half (all zero — and omitted from to_string — unless a
+  // rank_rejoin spec or a checkpoint restore is in play).
+  std::uint64_t ranks_rejoined = 0;       // lost ranks re-admitted by grow events
+  std::uint64_t grow_events = 0;          // quiesce->grow->resume cycles completed
+  std::uint64_t checkpoint_restores = 0;  // CheckpointStore restores applied
 
   // Per-backend failure/reroute breakdown, filled by the route stage.
   struct BackendCounters {
     std::uint64_t failed = 0;    // attempts that errored on this backend
     std::uint64_t rerouted = 0;  // ops moved *away* from this backend
+    std::uint64_t grow_drained = 0;  // pending ops reset-for-replay by grow events
   };
   std::map<std::string, BackendCounters> by_backend;
 
@@ -65,6 +71,10 @@ struct FaultOptions {
   // keeps tripped breakers open for the life of the run.
   int breaker_probe_after_ops = 8;
   bool failover = true;       // re-route on unhealthy backends ("auto" routing)
+  // Warm spares: global ranks excluded from the initial world (modelled as
+  // rank_loss at t=0) that a later rank_rejoin spec can grow onto. The run
+  // starts on world minus spares; capacity returns via the grow path.
+  std::vector<int> spare_ranks;
 
   BreakerConfig breaker_config() const {
     return BreakerConfig{breaker_threshold, breaker_cooldown, breaker_probe_after_ops};

@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::RankSlowdown: return "slowdown";
     case FaultKind::Straggler: return "straggler";
     case FaultKind::RankLoss: return "rank_loss";
+    case FaultKind::RankRejoin: return "rank_rejoin";
   }
   return "?";
 }
@@ -106,6 +107,16 @@ FaultSpec FaultSpec::lose_rank(int rank, SimTime at_us) {
   return s;
 }
 
+FaultSpec FaultSpec::rejoin_rank(int rank, SimTime at_us) {
+  MCRDL_REQUIRE(rank >= 0, "rank_rejoin must name a concrete rank");
+  MCRDL_REQUIRE(at_us >= 0.0, "rank_rejoin instant must be >= 0");
+  FaultSpec s;
+  s.kind = FaultKind::RankRejoin;
+  s.rank = rank;
+  s.from_us = at_us;
+  return s;
+}
+
 // --- FaultPlan text format ---------------------------------------------------
 
 namespace {
@@ -164,6 +175,9 @@ std::string FaultPlan::serialize() const {
         break;
       case FaultKind::RankLoss:
         out << "rank_loss " << s.rank << " " << s.from_us << "\n";
+        break;
+      case FaultKind::RankRejoin:
+        out << "rank_rejoin " << s.rank << " " << s.from_us << "\n";
         break;
     }
   }
@@ -241,6 +255,9 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       } else if (verb == "rank_loss") {
         if (toks.size() != 2) parse_fail(line_no, line, "expected: rank_loss <rank> <at_us>");
         plan.specs.push_back(FaultSpec::lose_rank(std::stoi(toks[0]), std::stod(toks[1])));
+      } else if (verb == "rank_rejoin") {
+        if (toks.size() != 2) parse_fail(line_no, line, "expected: rank_rejoin <rank> <at_us>");
+        plan.specs.push_back(FaultSpec::rejoin_rank(std::stoi(toks[0]), std::stod(toks[1])));
       } else {
         parse_fail(line_no, line, "unknown directive \"" + verb + "\"");
       }
@@ -351,10 +368,26 @@ double FaultInjector::rank_launch_scale(int global_rank) const {
 bool FaultInjector::rank_lost(int global_rank) const {
   if (!enabled_) return false;
   const SimTime t = now();
+  // The latest event whose instant has passed decides; a rejoin at the same
+  // instant as a loss wins the tie (loss-then-rejoin at t is "alive at t"),
+  // independent of spec order in the plan.
+  SimTime best = -1.0;
+  bool lost = false;
   for (const FaultSpec& s : plan_.specs) {
-    if (s.kind == FaultKind::RankLoss && s.rank == global_rank && t >= s.from_us) return true;
+    if (s.rank != global_rank || t < s.from_us) continue;
+    if (s.kind == FaultKind::RankLoss) {
+      if (s.from_us > best) {
+        best = s.from_us;
+        lost = true;
+      }
+    } else if (s.kind == FaultKind::RankRejoin) {
+      if (s.from_us >= best) {
+        best = s.from_us;
+        lost = false;
+      }
+    }
   }
-  return false;
+  return lost;
 }
 
 std::vector<int> FaultInjector::lost_members(const std::vector<int>& global_ranks) const {
@@ -370,6 +403,14 @@ bool FaultInjector::has_rank_loss() const {
   if (!enabled_) return false;
   for (const FaultSpec& s : plan_.specs) {
     if (s.kind == FaultKind::RankLoss) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::has_rank_rejoin() const {
+  if (!enabled_) return false;
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::RankRejoin) return true;
   }
   return false;
 }

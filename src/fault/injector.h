@@ -46,6 +46,7 @@ enum class FaultKind {
   RankSlowdown,      // one rank's launch latency scaled by `factor` (> 1)
   Straggler,         // one rank delayed by `delay_us` per operation
   RankLoss,          // rank permanently gone from `from_us` (elastic recovery)
+  RankRejoin,        // previously lost rank re-admitted at `from_us` (grow-back)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -89,6 +90,11 @@ struct FaultSpec {
   // Permanent loss of one rank at a virtual-time instant. Several specs with
   // the same `at_us` model a node going down and are recovered as one epoch.
   static FaultSpec lose_rank(int rank, SimTime at_us);
+  // Re-admission of a previously lost rank at a virtual-time instant (the
+  // grow half of elasticity). Several specs with the same `at_us` model a
+  // node coming back and are admitted as one grow epoch. A rejoin at the
+  // same instant as a loss wins: the rank is alive from that instant on.
+  static FaultSpec rejoin_rank(int rank, SimTime at_us);
 };
 
 // A complete chaos scenario: the specs plus the seed that makes transient
@@ -104,6 +110,7 @@ struct FaultSpec {
 //   slowdown <rank> <scale> [from] [until]
 //   straggler <rank> <delay_us> [from] [until]
 //   rank_loss <rank> <at_us>
+//   rank_rejoin <rank> <at_us>
 struct FaultPlan {
   std::uint64_t seed = 0x5eedf00dULL;
   SimTime watchdog_deadline_us = 0.0;
@@ -167,16 +174,19 @@ class FaultInjector {
   // Fixed straggler delay charged to `rank` at operation submit.
   SimTime rank_delay(int global_rank) const;
   SimTime watchdog_deadline_us() const { return enabled_ ? plan_.watchdog_deadline_us : 0.0; }
-  // True once a matching RankLoss spec's instant has passed — the rank is
-  // permanently gone from the plan's point of view, even if the recovery
-  // event for that instant has not been dispatched yet. Engines classify
-  // rendezvous against this so every joiner observes the loss identically.
+  // True while the latest RankLoss/RankRejoin event for this rank whose
+  // instant has passed is a loss (a rejoin at the same instant wins the
+  // tie). Engines classify rendezvous against this so every joiner observes
+  // loss and rejoin identically, even before the recovery event for that
+  // instant has been dispatched.
   bool rank_lost(int global_rank) const;
   // The subset of `global_ranks` that is lost at the current instant.
   std::vector<int> lost_members(const std::vector<int>& global_ranks) const;
   // Whether the installed plan declares any permanent rank losses at all
   // (time-independent; used by tooling to pick the elastic code path).
   bool has_rank_loss() const;
+  // Whether the installed plan declares any rank rejoins (time-independent).
+  bool has_rank_rejoin() const;
 
   // Bookkeeping from the injection points.
   void note_transient() { ++stats_.transient_injected; }

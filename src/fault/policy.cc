@@ -1,8 +1,24 @@
 #include "src/fault/policy.h"
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 
 namespace mcrdl::fault {
+
+SimTime RetryPolicy::backoff(int attempt, int rank) const {
+  const SimTime window = backoff(attempt);
+  if (jitter_seed == 0) return window;
+  // One child stream per (rank, attempt): the draw depends on nothing but
+  // the seed and those two coordinates, so concurrent retries on other
+  // ranks — or a different interleaving on replay — cannot move it. Salt
+  // mixes the coordinates injectively for the attempt counts in play.
+  Rng stream = Rng(jitter_seed).split(
+      static_cast<std::uint64_t>(rank) * 0x9e3779b97f4a7c15ull +
+      static_cast<std::uint64_t>(attempt));
+  // Full jitter over (0, window]: never zero, so a retry always yields the
+  // baton and the trace keeps a visible backoff edge.
+  return window * (1.0 - stream.next_double());
+}
 
 const char* breaker_state_name(BreakerState state) {
   switch (state) {

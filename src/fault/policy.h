@@ -42,19 +42,34 @@
 
 namespace mcrdl::fault {
 
-// Exponential backoff schedule for transient-fault retries.
+// Exponential backoff schedule for transient-fault retries, with optional
+// deterministic full jitter: after a shared outage every rank's retry timer
+// expires together, and the synchronized storm re-collides on whatever
+// capacity is left. Seeded per-(rank, attempt) jitter decorrelates the
+// schedules while keeping replays byte-identical for a fixed seed.
 struct RetryPolicy {
   int max_attempts = 3;             // total attempts per backend (first + retries)
   SimTime base_backoff_us = 50.0;   // backoff before the first retry
   double backoff_multiplier = 2.0;  // growth per subsequent retry
+  // 0 disables jitter (the exact exponential schedule below); any other
+  // value enables full jitter — backoff drawn uniformly from (0, window]
+  // where window is the exponential backoff for that attempt.
+  std::uint64_t jitter_seed = 0;
 
   // Virtual-time backoff charged before retry number `attempt` (1-based:
-  // attempt 1 is the first retry).
+  // attempt 1 is the first retry). The exponential window, jitter-free.
   SimTime backoff(int attempt) const {
     SimTime b = base_backoff_us;
     for (int i = 1; i < attempt; ++i) b *= backoff_multiplier;
     return b;
   }
+
+  // The backoff `rank` actually sleeps before retry `attempt`: the
+  // exponential window when jitter is disabled, otherwise a full-jitter
+  // draw from a stream derived only from (jitter_seed, rank, attempt) — no
+  // shared rng state, so two ranks retrying concurrently can never perturb
+  // each other's draws and replay order cannot change the schedule.
+  SimTime backoff(int attempt, int rank) const;
 };
 
 enum class BreakerState { Closed, Open, HalfOpen };

@@ -1,6 +1,9 @@
 #include "src/sched/admission.h"
 
 #include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 
 namespace mcrdl::sched {
 
@@ -117,6 +120,87 @@ std::size_t AdmissionController::total_queued() const {
   std::size_t total = 0;
   for (QosClass qos : all_qos_classes()) total += queued(qos);
   return total;
+}
+
+std::string AdmissionController::save_state() const {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "world " << world_ << "\n";
+  out << "running";
+  for (QosClass qos : all_qos_classes()) out << " " << running_ranks_[idx(qos)];
+  out << "\n";
+  for (QosClass qos : all_qos_classes()) {
+    const std::deque<Waiting>& queue = queues_[idx(qos)];
+    out << "queue " << qos_name(qos) << " " << queue.size() << "\n";
+    for (const Waiting& w : queue) {
+      out << "waiting " << w.job_index << " " << w.spec.id << " " << w.spec.tenant << " "
+          << job_model_name(w.spec.model) << " " << w.spec.ranks << " " << w.spec.arrival_us
+          << " " << w.spec.steps << "\n";
+    }
+  }
+  return out.str();
+}
+
+void AdmissionController::restore_state(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  const auto fail = [](const std::string& what, const std::string& line) {
+    throw InvalidArgument("admission checkpoint: " + what + " in \"" + line + "\"");
+  };
+  const auto next = [&](const char* what) {
+    if (!std::getline(in, line)) {
+      throw InvalidArgument(std::string("admission checkpoint: missing ") + what);
+    }
+    return std::istringstream(line);
+  };
+
+  int world = 0;
+  {
+    auto fields = next("world line");
+    std::string verb;
+    if (!(fields >> verb >> world) || verb != "world") fail("expected world", line);
+    if (world != world_) {
+      throw InvalidArgument("admission checkpoint: world " + std::to_string(world) +
+                            " does not match this controller's world " + std::to_string(world_));
+    }
+  }
+  int running[kNumQosClasses] = {0, 0, 0};
+  {
+    auto fields = next("running line");
+    std::string verb;
+    if (!(fields >> verb) || verb != "running") fail("expected running", line);
+    for (int& r : running) {
+      if (!(fields >> r) || r < 0) fail("bad running ranks", line);
+    }
+  }
+  std::deque<Waiting> queues[kNumQosClasses];
+  for (QosClass qos : all_qos_classes()) {
+    auto fields = next("queue line");
+    std::string verb, name;
+    std::size_t count = 0;
+    if (!(fields >> verb >> name >> count) || verb != "queue" || name != qos_name(qos)) {
+      fail(std::string("expected queue ") + qos_name(qos), line);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      auto entry = next("waiting line");
+      std::string w_verb, model_name;
+      Waiting w;
+      if (!(entry >> w_verb >> w.job_index >> w.spec.id >> w.spec.tenant >> model_name >>
+            w.spec.ranks >> w.spec.arrival_us >> w.spec.steps) ||
+          w_verb != "waiting") {
+        fail("bad waiting entry", line);
+      }
+      if (!job_model_from_name(model_name, w.spec.model)) fail("unknown model", line);
+      w.spec.qos = qos;
+      w.spec.validate();
+      queues[idx(qos)].push_back(std::move(w));
+    }
+  }
+  // Commit only after the whole body parsed.
+  for (QosClass qos : all_qos_classes()) {
+    running_ranks_[idx(qos)] = running[idx(qos)];
+    queues_[idx(qos)] = std::move(queues[idx(qos)]);
+  }
 }
 
 }  // namespace mcrdl::sched

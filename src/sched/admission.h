@@ -84,6 +84,17 @@ class AdmissionController {
   std::size_t queued(QosClass qos) const;
   std::size_t total_queued() const;
 
+  // --- checkpoint (fault::CheckpointStore section body) --------------------
+  // Deterministic text snapshot of the wait queues and per-class occupancy
+  // cursors; save→restore→save round-trips byte-identically (tenant names
+  // are whitespace-free by JobSpec::validate, arrival times print at
+  // max_digits10). Config stays a construction-time property.
+  std::string save_state() const;
+  // Replaces queues and running-rank counters with a save_state() snapshot
+  // taken on a controller over the same world size. Throws InvalidArgument
+  // on malformed bodies or a world mismatch.
+  void restore_state(const std::string& body);
+
  private:
   struct Waiting {
     std::size_t job_index;

@@ -91,6 +91,12 @@ ServeScheduler::ServeScheduler(ServeConfig config)
     MCRDL_REQUIRE(window.until_us > window.from_us, "empty chaos window");
     MCRDL_REQUIRE(window.inter_degrade >= 1.0, "chaos cannot speed the fabric up");
   }
+  for (const CapacityDip& dip : config_.dips) {
+    MCRDL_REQUIRE(dip.until_us > dip.from_us, "empty capacity dip");
+    MCRDL_REQUIRE(dip.nodes_offline >= 1, "capacity dip needs at least one node offline");
+    MCRDL_REQUIRE(dip.nodes_offline < config_.system.num_nodes,
+                  "capacity dip cannot take the whole cluster offline");
+  }
   breaker_.set_transition_hook(
       [this](const std::string& tenant, int /*rank*/, fault::BreakerState to) {
         metrics_
@@ -113,6 +119,15 @@ SimTime ServeScheduler::next_chaos_edge(SimTime t) const {
   for (const ChaosWindow& window : config_.chaos) {
     if (window.from_us > t) next = std::min(next, window.from_us);
     if (window.until_us > t) next = std::min(next, window.until_us);
+  }
+  return next;
+}
+
+SimTime ServeScheduler::next_dip_edge(SimTime t) const {
+  SimTime next = kInf;
+  for (const CapacityDip& dip : config_.dips) {
+    if (dip.from_us > t) next = std::min(next, dip.from_us);
+    if (dip.until_us > t) next = std::min(next, dip.until_us);
   }
   return next;
 }
@@ -190,6 +205,53 @@ ServeResult ServeScheduler::run(const ArrivalTrace& trace) {
 
   const auto fits = [&](const JobSpec& spec) { return allocator.fits(spec.ranks); };
 
+  // Capacity dips hold allocator ranges while active; sorted tenant names
+  // drive the deterministic un-shed probe sweep at each dip end.
+  struct DipState {
+    bool active = false;
+    std::vector<RankRange> reserved;
+  };
+  std::vector<DipState> dips(config_.dips.size());
+  std::vector<std::string> tenants;
+  for (const JobRecord& job : jobs) tenants.push_back(job.spec.tenant);
+  std::sort(tenants.begin(), tenants.end());
+  tenants.erase(std::unique(tenants.begin(), tenants.end()), tenants.end());
+
+  const auto process_dip_edges = [&] {
+    const int gpn = config_.system.gpus_per_node;
+    for (std::size_t i = 0; i < dips.size(); ++i) {
+      const CapacityDip& dip = config_.dips[i];
+      DipState& state = dips[i];
+      if (state.active && now >= dip.until_us) {
+        // Grow-back: the nodes return. Release the held ranges, then offer
+        // every open tenant breaker a half-open probe so tenants shed
+        // during the outage see traffic again now that capacity exists.
+        for (const RankRange& range : state.reserved) allocator.release(range);
+        state.reserved.clear();
+        state.active = false;
+        if (config_.breaker_enabled) {
+          for (const std::string& tenant : tenants) {
+            if (breaker_.allow_probe(tenant, 0)) {
+              ++result.unshed_probes;
+              metrics_.counter("serve_unshed_probes", {{"tenant", tenant}}).inc();
+            }
+          }
+        }
+      }
+      if (!state.active && now >= dip.from_us && now < dip.until_us) {
+        // Nodes go offline: reserve whole free nodes, never preempting a
+        // running job. A busy cluster loses fewer nodes than requested.
+        for (int n = 0; n < dip.nodes_offline; ++n) {
+          const std::optional<RankRange> held = allocator.allocate(gpn);
+          if (!held.has_value()) break;
+          state.reserved.push_back(*held);
+        }
+        state.active = true;
+        metrics_.counter("serve_capacity_dips").inc();
+      }
+    }
+  };
+
   const auto start_job = [&](std::size_t index) {
     JobRecord& job = jobs[index];
     const std::optional<RankRange> placement = allocator.allocate(job.spec.ranks);
@@ -232,10 +294,12 @@ ServeResult ServeScheduler::run(const ArrivalTrace& trace) {
     metrics_.counter("serve_jobs_rejected", tenant_labels(job.spec)).inc();
   };
 
+  process_dip_edges();  // a dip starting at t=0 holds its nodes from the start
+
   while (true) {
-    // Next event: an arrival, the earliest completion, or a chaos edge
-    // (which only matters while something is running — rates are
-    // recomputed at start time anyway).
+    // Next event: an arrival, the earliest completion, a capacity-dip
+    // edge, or a chaos edge (which only matters while something is
+    // running — rates are recomputed at start time anyway).
     const SimTime t_arrival =
         next_arrival < jobs.size() ? jobs[next_arrival].spec.arrival_us : kInf;
     SimTime t_complete = kInf;
@@ -243,7 +307,10 @@ ServeResult ServeScheduler::run(const ArrivalTrace& trace) {
       if (a.rate > 0.0) t_complete = std::min(t_complete, now + a.remaining_steps / a.rate);
     }
     const SimTime t_chaos = active.empty() ? kInf : next_chaos_edge(now);
-    SimTime t = std::min(t_arrival, std::min(t_complete, t_chaos));
+    // Dip edges count even while nothing runs: a queued job may be waiting
+    // for nothing but the dip's end, and skipping the edge would wedge it.
+    const SimTime t_dip = next_dip_edge(now);
+    SimTime t = std::min(std::min(t_arrival, t_dip), std::min(t_complete, t_chaos));
 
     if (t == kInf) {
       if (admission.total_queued() == 0) break;  // replay finished
@@ -284,6 +351,10 @@ ServeResult ServeScheduler::run(const ArrivalTrace& trace) {
                    active.end());
       for (std::size_t index : done) finish_job(index);
     }
+
+    // Dip edges after completions (an ending dip frees capacity for the
+    // pop_runnable sweep below; a starting one reserves just-freed nodes).
+    process_dip_edges();
 
     // Queued jobs outrank same-instant arrivals for the freed capacity.
     while (const std::optional<std::size_t> index = admission.pop_runnable(fits)) {

@@ -49,6 +49,19 @@ struct ChaosWindow {
   double inter_degrade = 4.0;  // extra divisor on inter-node bandwidth
 };
 
+// One capacity dip: `nodes_offline` nodes leave the shared cluster during
+// [from_us, until_us) — the serving-layer view of rank loss followed by
+// elastic grow-back. The dip reserves only ranges that are *free* at its
+// start (running jobs are never preempted; a fully busy cluster simply
+// loses fewer nodes than requested), and at the end the ranks return and
+// every tenant whose SLO breaker is open gets a half-open probe, so
+// tenants shed during the outage are un-shed when capacity grows back.
+struct CapacityDip {
+  SimTime from_us = 0.0;
+  SimTime until_us = 0.0;
+  int nodes_offline = 1;
+};
+
 struct ServeConfig {
   net::SystemConfig system = net::SystemConfig::lassen(16);  // 64 shared ranks
   AdmissionConfig admission;
@@ -61,6 +74,9 @@ struct ServeConfig {
   // multi-job traffic contend the way Eidola observes on real clusters.
   double fabric_oversubscription = 2.0;
   std::vector<ChaosWindow> chaos;
+  // Capacity dips (nodes offline, then grown back). Empty by default, so
+  // existing replays are bit-identical.
+  std::vector<CapacityDip> dips;
   // Per-tenant SLO breaker; shedding is disabled when breaker_enabled is
   // false (every arrival reaches admission).
   bool breaker_enabled = true;
@@ -86,6 +102,7 @@ struct ServeResult {
   std::uint64_t rejected = 0;
   std::uint64_t shed = 0;
   std::uint64_t deadlocks = 0;  // queued jobs no completion could unblock
+  std::uint64_t unshed_probes = 0;  // breaker probes granted when capacity grew back
   double p50_latency_us = 0.0;  // aggregate over completed jobs
   double p99_latency_us = 0.0;
   double mean_latency_us = 0.0;
@@ -122,6 +139,10 @@ class ServeScheduler {
 
   double chaos_factor_at(SimTime t) const;
   SimTime next_chaos_edge(SimTime t) const;
+  // Earliest dip start/end strictly after `t`. Unlike chaos edges this is
+  // part of the event-time minimum even while nothing runs: a dip end is
+  // what un-wedges a queue waiting for capacity to grow back.
+  SimTime next_dip_edge(SimTime t) const;
   // Recomputes every active job's contention factor and step rate.
   void recompute_rates(std::vector<Active>& active, const std::vector<JobRecord>& jobs,
                        SimTime now, double* peak_contention);

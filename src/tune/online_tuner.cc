@@ -1,7 +1,9 @@
 #include "src/tune/online_tuner.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -248,6 +250,106 @@ TuningTable OnlineTuner::to_table() const {
     table.set(op, world, bkt, winner != nullptr ? *winner : k.incumbent);
   }
   return table;
+}
+
+std::string OnlineTuner::save_state() const {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "counters " << decisions_ << " " << explorations_ << " " << switches_ << " "
+      << quarantines_ << " " << regret_us_ << "\n";
+  for (const auto& [key, k] : keys_) {
+    const auto& [op, world, bkt] = key;
+    out << "key " << op_name(op) << " " << world << " " << bkt << "\n";
+    out << "routed " << (k.routed ? 1 : 0) << " " << (k.incumbent.empty() ? "-" : k.incumbent)
+        << " " << k.explore_offset << "\n";
+    out << "candidates " << k.candidates.size();
+    for (const auto& name : k.candidates) out << " " << name;
+    out << "\n";
+    out << "log " << k.log.size();
+    for (const auto& name : k.log) out << " " << name;
+    out << "\n";
+    for (const auto& [rank, cursor] : k.rank_cursor)
+      out << "cursor " << rank << " " << cursor << "\n";
+    for (const auto& [name, arm] : k.arms) {
+      out << "arm " << name << " " << arm.count << " " << arm.ewma_us << " " << arm.baseline_sum
+          << " " << arm.baseline_count << " " << arm.baseline_us << " " << arm.quarantined_until
+          << " " << (arm.needs_probe ? 1 : 0) << "\n";
+    }
+  }
+  return out.str();
+}
+
+void OnlineTuner::restore_state(const std::string& body) {
+  std::map<Key, KeyState> keys;
+  std::uint64_t decisions = 0, explorations = 0, switches = 0, quarantines = 0;
+  double regret_us = 0.0;
+  bool saw_counters = false;
+  KeyState* current = nullptr;
+  const auto fail = [](const std::string& line, const std::string& why) {
+    throw InvalidArgument("tuner checkpoint: " + why + " — \"" + line + "\"");
+  };
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string verb;
+    if (!(fields >> verb)) continue;
+    if (verb == "counters") {
+      if (!(fields >> decisions >> explorations >> switches >> quarantines >> regret_us))
+        fail(line, "bad counters line");
+      saw_counters = true;
+    } else if (verb == "key") {
+      std::string op_tok;
+      int world = 0;
+      std::size_t bkt = 0;
+      OpType op;
+      if (!(fields >> op_tok >> world >> bkt) || !op_from_name(op_tok, op))
+        fail(line, "bad key line");
+      auto [it, fresh] = keys.emplace(Key{op, world, bkt}, KeyState{});
+      if (!fresh) fail(line, "duplicate key");
+      current = &it->second;
+    } else if (current == nullptr) {
+      fail(line, "state line before any key");
+    } else if (verb == "routed") {
+      int routed = 0;
+      std::string incumbent;
+      if (!(fields >> routed >> incumbent >> current->explore_offset))
+        fail(line, "bad routed line");
+      current->routed = routed != 0;
+      current->incumbent = incumbent == "-" ? std::string() : incumbent;
+    } else if (verb == "candidates" || verb == "log") {
+      std::size_t n = 0;
+      if (!(fields >> n)) fail(line, "bad " + verb + " line");
+      std::vector<std::string> names;
+      std::string name;
+      while (fields >> name) names.push_back(name);
+      if (names.size() != n) fail(line, verb + " count mismatch");
+      (verb == "candidates" ? current->candidates : current->log) = std::move(names);
+    } else if (verb == "cursor") {
+      int rank = 0;
+      std::size_t cursor = 0;
+      if (!(fields >> rank >> cursor)) fail(line, "bad cursor line");
+      current->rank_cursor[rank] = cursor;
+    } else if (verb == "arm") {
+      std::string name;
+      Arm arm;
+      int needs_probe = 0;
+      if (!(fields >> name >> arm.count >> arm.ewma_us >> arm.baseline_sum >>
+            arm.baseline_count >> arm.baseline_us >> arm.quarantined_until >> needs_probe))
+        fail(line, "bad arm line");
+      arm.needs_probe = needs_probe != 0;
+      current->arms[name] = arm;
+    } else {
+      fail(line, "unknown line");
+    }
+  }
+  if (!saw_counters) throw InvalidArgument("tuner checkpoint: missing counters line");
+  keys_ = std::move(keys);
+  decisions_ = decisions;
+  explorations_ = explorations;
+  switches_ = switches;
+  quarantines_ = quarantines;
+  regret_us_ = regret_us;
 }
 
 std::vector<OnlineTuner::ArmView> OnlineTuner::arms() const {

@@ -96,6 +96,18 @@ class OnlineTuner {
   // Power-of-two size bucketing (>= 256 bytes) shared by select/observe.
   static std::size_t bucket(std::size_t bytes);
 
+  // --- checkpoint (fault::CheckpointStore section body) ---------------------
+  // Deterministic text snapshot of every learned key: candidates, incumbent,
+  // decision log, per-rank replay cursors, and each arm's counts/EWMA/
+  // baseline/quarantine state, plus the global counters. Doubles are printed
+  // at max_digits10 so save→restore→save round-trips byte-identically.
+  std::string save_state() const;
+  // Replaces the learned state with a save_state() snapshot; the restored
+  // tuner resumes exactly where the checkpointed one stopped (no cold-start
+  // re-exploration). Config and seed stay construction-time properties.
+  // Throws InvalidArgument on malformed bodies.
+  void restore_state(const std::string& body);
+
   // --- introspection (tests, CLI reports) ----------------------------------
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t explorations() const { return explorations_; }

@@ -177,7 +177,8 @@ fault::FaultPlan chaos_plan() {
 // Runs the workload on a fresh 2-node Lassen cluster and serialises the
 // resulting trace. `fault_mode`: 0 = subsystem off, 1 = enabled with an
 // empty plan, 2 = enabled with the chaos plan, 3 = enabled with elastic
-// recovery armed but a loss instant beyond the end of the run.
+// recovery armed but a loss instant beyond the end of the run, 4 = mode 3
+// plus a rejoin spec even further out (grow path armed, never fired).
 std::string run_scenario(int fault_mode,
                          sim::ExecutionConfig exec = sim::ExecutionConfig::serial()) {
   McrDlOptions opts = base_options();
@@ -189,9 +190,12 @@ std::string run_scenario(int fault_mode,
     // delays cannot suspend; the fused path is pinned by the no-fault golden.
     opts.fusion.enabled = false;
   }
-  if (fault_mode == 3) {
+  if (fault_mode == 3 || fault_mode == 4) {
     opts.fault.enabled = true;
     opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(0, 1e12));
+  }
+  if (fault_mode == 4) {
+    opts.fault.plan.specs.push_back(fault::FaultSpec::rejoin_rank(0, 2e12));
   }
   ClusterContext cluster(net::SystemConfig::lassen(2), exec);
   McrDl mcr(&cluster, opts);
@@ -259,6 +263,14 @@ TEST(GoldenTrace, EmptyFaultPlanIsBitIdenticalToDisabled) {
 // epoch 0 is a pure pass-through.
 TEST(GoldenTrace, ArmedRecoveryWithNoLossIsBitIdenticalToDisabled) {
   EXPECT_EQ(run_scenario(0), run_scenario(3));
+}
+
+// Grow-path extension of the same invariant (DESIGN.md §13): arming rejoin
+// (a rank_rejoin spec that never fires, on top of the never-firing loss)
+// registers grow hooks and the checkpoint sections but must not move a
+// single virtual-time stamp either.
+TEST(GoldenTrace, ArmedRejoinWithNoGrowIsBitIdenticalToDisabled) {
+  EXPECT_EQ(run_scenario(0), run_scenario(4));
 }
 
 // Tentpole invariant of the ExecutionModel seam (DESIGN.md §11): the

@@ -111,6 +111,40 @@ TEST(ShrinkProcessGroups, RejectsTotalLossAndOutOfRangeRanks) {
   EXPECT_EQ(s.survivors, (std::vector<int>{0}));
 }
 
+TEST(RebuildProcessGroups, EmptyLostSetRestoresTheSeedLayoutExactly) {
+  // The grow-path entry point: after a full rejoin the rebuilt layout must
+  // be byte-for-byte the original — identity mapping, every dimension
+  // preserved — not an approximation recovered through intermediate shrinks.
+  ProcessGroups pg(16, 4, 2);
+  const ShrunkGroups s = rebuild_process_groups(pg, {});
+  EXPECT_EQ(s.groups.world(), 16);
+  EXPECT_EQ(s.groups.tensor_parallel(), 4);
+  EXPECT_EQ(s.groups.expert_parallel(), 2);
+  EXPECT_TRUE(s.tp_preserved);
+  EXPECT_TRUE(s.ep_preserved);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(s.survivors[static_cast<std::size_t>(r)], r);
+    EXPECT_EQ(s.old_to_new[static_cast<std::size_t>(r)], r);
+    EXPECT_EQ(s.groups.tp_group(r), pg.tp_group(r));
+    EXPECT_EQ(s.groups.dp_group(r), pg.dp_group(r));
+    EXPECT_EQ(s.groups.ep_group(r), pg.ep_group(r));
+  }
+}
+
+TEST(RebuildProcessGroups, PartialLostSetMatchesShrinkFromTheOriginal) {
+  // A rebuild over a still-lost subset is exactly a shrink from the seed
+  // layout — partial grow-back composes through the original world, never
+  // through the last shrunk layout.
+  ProcessGroups pg(8, 2);
+  const ShrunkGroups rebuilt = rebuild_process_groups(pg, {4, 5});
+  const ShrunkGroups shrunk = shrink_process_groups(pg, {4, 5});
+  EXPECT_EQ(rebuilt.survivors, shrunk.survivors);
+  EXPECT_EQ(rebuilt.old_to_new, shrunk.old_to_new);
+  EXPECT_EQ(rebuilt.groups.world(), shrunk.groups.world());
+  EXPECT_EQ(rebuilt.groups.tensor_parallel(), shrunk.groups.tensor_parallel());
+  EXPECT_EQ(rebuilt.tp_preserved, shrunk.tp_preserved);
+}
+
 TEST(ProcessGroups, DriveRealCollectivesPerGroup) {
   // TP allreduce within pairs + DP allreduce across them — the Megatron
   // pattern — built from the helpers, verified for data correctness.

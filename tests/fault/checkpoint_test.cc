@@ -1,0 +1,179 @@
+// CheckpointStore format and round-trip contracts (DESIGN.md §13): sections
+// serialize sorted and deterministically, save -> restore -> save is
+// byte-identical, unknown sections survive a pass through an older build,
+// and malformed inputs are rejected before any RestoreFn runs.
+#include "src/fault/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mcrdl::fault {
+namespace {
+
+// A toy key=value section backed by a sorted map, as a stand-in for the
+// real registrants (recovery manager, tuner, admission controller).
+struct KvSection {
+  std::map<std::string, std::string> kv;
+
+  std::string save() const {
+    std::string out;
+    for (const auto& [k, v] : kv) out += k + "=" + v + "\n";
+    return out;
+  }
+  void restore(const std::string& body) {
+    kv.clear();
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      const std::size_t nl = body.find('\n', pos);
+      const std::string line = body.substr(pos, nl - pos);
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) throw InvalidArgument("kv section: bad line " + line);
+      kv[line.substr(0, eq)] = line.substr(eq + 1);
+      pos = nl == std::string::npos ? body.size() : nl + 1;
+    }
+  }
+  void attach(CheckpointStore& store, const std::string& name) {
+    store.register_section(
+        name, [this] { return save(); }, [this](const std::string& body) { restore(body); });
+  }
+};
+
+TEST(CheckpointStore, EmptyStoreIsJustTheHeader) {
+  CheckpointStore store;
+  EXPECT_EQ(store.save(), "mcrdl-checkpoint 1\n");
+  EXPECT_EQ(store.restores(), 0u);
+}
+
+TEST(CheckpointStore, SectionsSerializeSortedByName) {
+  CheckpointStore store;
+  KvSection beta{{{"b", "2"}}};
+  KvSection alpha{{{"a", "1"}}};
+  beta.attach(store, "beta");
+  alpha.attach(store, "alpha");
+  EXPECT_EQ(store.save(),
+            "mcrdl-checkpoint 1\n"
+            "section alpha 1\n"
+            "a=1\n"
+            "section beta 1\n"
+            "b=2\n");
+}
+
+TEST(CheckpointStore, SaveRestoreSaveIsByteIdentical) {
+  CheckpointStore a;
+  KvSection state{{{"epoch", "3"}, {"lost", "1 4"}}};
+  state.attach(a, "recovery");
+  const std::string first = a.save();
+
+  CheckpointStore b;
+  KvSection other;  // starts empty, populated by restore
+  other.attach(b, "recovery");
+  b.restore(first);
+  EXPECT_EQ(b.restores(), 1u);
+  EXPECT_EQ(other.kv, state.kv);
+  EXPECT_EQ(b.save(), first) << "save -> restore -> save must round-trip byte-identically";
+}
+
+TEST(CheckpointStore, UnknownSectionsAreRetainedVerbatim) {
+  // A checkpoint written by a build with more subsystems passes through a
+  // store that only knows "recovery": the stranger section re-emits intact.
+  CheckpointStore store;
+  KvSection rec{{{"epoch", "1"}}};
+  rec.attach(store, "recovery");
+  const std::string text =
+      "mcrdl-checkpoint 1\n"
+      "section future-subsystem 2\n"
+      "opaque line one\n"
+      "opaque line two\n"
+      "section recovery 1\n"
+      "epoch=7\n";
+  store.restore(text);
+  EXPECT_EQ(rec.kv.at("epoch"), "7");
+  EXPECT_EQ(store.retained(), std::vector<std::string>{"future-subsystem"});
+  EXPECT_EQ(store.save(), text);  // sorted order happens to match here
+}
+
+TEST(CheckpointStore, ZeroLineSectionsRoundTrip) {
+  CheckpointStore store;
+  KvSection empty;
+  empty.attach(store, "empty");
+  const std::string text = store.save();
+  EXPECT_EQ(text,
+            "mcrdl-checkpoint 1\n"
+            "section empty 0\n");
+  store.restore(text);
+  EXPECT_TRUE(empty.kv.empty());
+  EXPECT_EQ(store.save(), text);
+}
+
+TEST(CheckpointStore, RejectsBadMagicVersionAndTruncation) {
+  CheckpointStore store;
+  KvSection rec;
+  rec.attach(store, "recovery");
+  EXPECT_THROW(store.restore(""), InvalidArgument);
+  EXPECT_THROW(store.restore("not-a-checkpoint 1\n"), InvalidArgument);
+  EXPECT_THROW(store.restore("mcrdl-checkpoint 99\n"), InvalidArgument);
+  // Truncated body: the section header promises more lines than exist.
+  EXPECT_THROW(store.restore("mcrdl-checkpoint 1\n"
+                             "section recovery 2\n"
+                             "epoch=1\n"),
+               InvalidArgument);
+  // The same section twice is ambiguous, not last-wins.
+  EXPECT_THROW(store.restore("mcrdl-checkpoint 1\n"
+                             "section recovery 1\n"
+                             "epoch=1\n"
+                             "section recovery 1\n"
+                             "epoch=2\n"),
+               InvalidArgument);
+  EXPECT_EQ(store.restores(), 0u) << "failed restores must not count";
+}
+
+TEST(CheckpointStore, WholeFileParsesBeforeAnyRestoreDispatch) {
+  // The second section is malformed at the *container* level; the first
+  // section's RestoreFn must not have run.
+  CheckpointStore store;
+  KvSection rec{{{"epoch", "0"}}};
+  rec.attach(store, "recovery");
+  EXPECT_THROW(store.restore("mcrdl-checkpoint 1\n"
+                             "section recovery 1\n"
+                             "epoch=9\n"
+                             "garbage-instead-of-section\n"),
+               InvalidArgument);
+  EXPECT_EQ(rec.kv.at("epoch"), "0") << "a malformed checkpoint must not partially apply";
+}
+
+TEST(CheckpointStore, UnregisterMakesASectionUnknown) {
+  CheckpointStore store;
+  KvSection rec{{{"epoch", "5"}}};
+  rec.attach(store, "recovery");
+  const std::string text = store.save();
+  store.unregister_section("recovery");
+  EXPECT_FALSE(store.has_section("recovery"));
+  store.restore(text);  // now retained, not dispatched
+  EXPECT_EQ(store.retained(), std::vector<std::string>{"recovery"});
+  EXPECT_EQ(store.save(), text);
+}
+
+TEST(CheckpointStore, FileRoundTrip) {
+  CheckpointStore store;
+  KvSection rec{{{"epoch", "2"}, {"world", "8"}}};
+  rec.attach(store, "recovery");
+  const std::string path = ::testing::TempDir() + "/mcrdl_ckpt_test.txt";
+  store.save_file(path);
+
+  CheckpointStore loaded;
+  KvSection copy;
+  copy.attach(loaded, "recovery");
+  loaded.restore_file(path);
+  EXPECT_EQ(copy.kv, rec.kv);
+  EXPECT_EQ(loaded.save(), store.save());
+  std::remove(path.c_str());
+  EXPECT_THROW(loaded.restore_file(path), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcrdl::fault

@@ -127,6 +127,43 @@ TEST(ResilienceReportFormat, RecoveryAndPerBackendBlocksPinTheirLayout) {
             "    nccl    : failed 1, rerouted away 4\n");
 }
 
+TEST(ResilienceReportFormat, GrowBackBlockPinsItsLayout) {
+  // The grow block (and the per-backend `grow drained` suffix) appears only
+  // when grow-back actually happened, so shrink-only reports — and the
+  // ci.sh greps over them — keep their exact bytes. The rejoin smoke greps
+  // the `ranks rejoined` line, so this layout is pinned too.
+  ResilienceReport report;
+  report.attempted = 4;
+  report.succeeded = 4;
+  report.ranks_lost = 1;
+  report.epochs = 2;
+  report.recovered = 3;
+  report.ranks_rejoined = 1;
+  report.grow_events = 1;
+  report.checkpoint_restores = 2;
+  report.by_backend["mv2-gdr"].grow_drained = 5;
+  report.by_backend["nccl"].rerouted = 1;
+  EXPECT_EQ(report.to_string(),
+            "resilience report:\n"
+            "  operations succeeded : 4\n"
+            "  issue attempts       : 4\n"
+            "  retries (transient)  : 0\n"
+            "  rerouted (failover)  : 0\n"
+            "  failed permanently   : 0\n"
+            "  breakers tripped     : 0\n"
+            "  backoff virtual time : 0 us\n"
+            "  ranks lost           : 1\n"
+            "  recovery epochs      : 2\n"
+            "  recovered ops        : 3\n"
+            "  stale-epoch rejects  : 0\n"
+            "  ranks rejoined       : 1\n"
+            "  grow events          : 1\n"
+            "  checkpoint restores  : 2\n"
+            "  per-backend:\n"
+            "    mv2-gdr : failed 0, rerouted away 0, grow drained 5\n"
+            "    nccl    : failed 0, rerouted away 1\n");
+}
+
 TEST(ResilienceReportFormat, PerBackendCountersFillFromEndToEndFailover) {
   // The by_backend breakdown is populated by the route stage: the backend
   // traffic was rerouted *away from* gets the credit.

@@ -198,6 +198,46 @@ TEST(FaultPlan, ParseErrorsNameTheLine) {
   }
 }
 
+TEST(FaultPlan, RankRejoinRoundTripsThroughText) {
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::lose_rank(3, 2500.0));
+  plan.specs.push_back(FaultSpec::rejoin_rank(3, 9000.5));
+  const FaultPlan parsed = FaultPlan::parse(plan.serialize());
+  ASSERT_EQ(parsed.specs.size(), 2u);
+  EXPECT_EQ(parsed.specs[0].kind, FaultKind::RankLoss);
+  EXPECT_EQ(parsed.specs[1].kind, FaultKind::RankRejoin);
+  EXPECT_EQ(parsed.specs[1].rank, 3);
+  EXPECT_DOUBLE_EQ(parsed.specs[1].from_us, 9000.5);
+  EXPECT_EQ(parsed.serialize(), plan.serialize());
+}
+
+TEST(FaultInjector, RankLostFollowsTheLatestEventAndRejoinWinsTies) {
+  // The lost/alive verdict is the latest RankLoss/RankRejoin event whose
+  // instant has passed; a rejoin at the same instant as a loss wins the tie,
+  // independent of spec order in the plan (the rejoin is listed first here).
+  sim::Scheduler sched;
+  FaultInjector inj(&sched);
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec::rejoin_rank(1, 100.0));
+  plan.specs.push_back(FaultSpec::lose_rank(1, 100.0));
+  plan.specs.push_back(FaultSpec::lose_rank(1, 50.0));
+  plan.specs.push_back(FaultSpec::lose_rank(2, 50.0));
+  inj.configure(plan);
+  EXPECT_TRUE(inj.has_rank_loss());
+  EXPECT_TRUE(inj.has_rank_rejoin());
+
+  sched.spawn("probe", [&] {
+    EXPECT_FALSE(inj.rank_lost(1)) << "no event has fired at t=0";
+    sched.sleep_for(60.0);  // t=60: the t=50 losses have passed
+    EXPECT_TRUE(inj.rank_lost(1));
+    EXPECT_TRUE(inj.rank_lost(2));
+    sched.sleep_for(60.0);  // t=120: loss and rejoin at t=100 tie -> alive
+    EXPECT_FALSE(inj.rank_lost(1));
+    EXPECT_TRUE(inj.rank_lost(2)) << "rank 2 never rejoined";
+  });
+  sched.run();
+}
+
 TEST(FaultPlan, SaveLoadRoundTrip) {
   FaultPlan plan;
   plan.specs.push_back(FaultSpec::outage("nccl", 2500.0));

@@ -19,6 +19,65 @@ TEST(RetryPolicy, ExponentialBackoffSchedule) {
   EXPECT_DOUBLE_EQ(slow.backoff(4), 270.0);
 }
 
+TEST(RetryPolicy, ZeroSeedDisablesJitterExactly) {
+  // jitter_seed = 0 is the default; the rank-aware overload must then be
+  // the exact exponential schedule every pinned trace was recorded with.
+  RetryPolicy p;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    for (int rank = 0; rank < 8; ++rank) {
+      EXPECT_DOUBLE_EQ(p.backoff(attempt, rank), p.backoff(attempt));
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterDrawsStayInTheExponentialWindow) {
+  RetryPolicy p;
+  p.jitter_seed = 7;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    for (int rank = 0; rank < 16; ++rank) {
+      const SimTime b = p.backoff(attempt, rank);
+      EXPECT_GT(b, 0.0) << "full jitter must never sleep zero";
+      EXPECT_LE(b, p.backoff(attempt)) << "jitter cannot exceed the window";
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterDecorrelatesRanksButReproducesPerSeed) {
+  // After a shared outage, two ranks' retry schedules must diverge (no
+  // thundering herd) while a fixed seed reproduces each schedule exactly.
+  RetryPolicy p;
+  p.jitter_seed = 42;
+  std::vector<SimTime> rank0, rank1;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    rank0.push_back(p.backoff(attempt, 0));
+    rank1.push_back(p.backoff(attempt, 1));
+  }
+  EXPECT_NE(rank0, rank1) << "two ranks drew identical jitter schedules";
+
+  RetryPolicy replay;
+  replay.jitter_seed = 42;
+  std::vector<SimTime> rank0_again;
+  for (int attempt = 1; attempt <= 6; ++attempt) rank0_again.push_back(replay.backoff(attempt, 0));
+  EXPECT_EQ(rank0, rank0_again) << "the same seed must reproduce the exact trace";
+
+  RetryPolicy reseeded;
+  reseeded.jitter_seed = 43;
+  std::vector<SimTime> rank0_other;
+  for (int attempt = 1; attempt <= 6; ++attempt) rank0_other.push_back(reseeded.backoff(attempt, 0));
+  EXPECT_NE(rank0, rank0_other) << "different seeds must draw different schedules";
+}
+
+TEST(RetryPolicy, JitterIsAPureFunctionOfSeedRankAndAttempt) {
+  // No hidden stream state: interleaving queries in any order cannot change
+  // a draw, so retries replayed after recovery sleep the same backoff.
+  RetryPolicy p;
+  p.jitter_seed = 9;
+  const SimTime first = p.backoff(3, 5);
+  p.backoff(1, 0);
+  p.backoff(4, 2);
+  EXPECT_DOUBLE_EQ(p.backoff(3, 5), first);
+}
+
 TEST(CircuitBreaker, OpensAfterThresholdConsecutiveFailures) {
   CircuitBreaker cb(3);
   EXPECT_TRUE(cb.healthy("nccl", 0));

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/status.h"
+#include "src/fault/checkpoint.h"
 #include "src/sched/admission.h"
 #include "src/sched/placement.h"
 
@@ -207,6 +208,68 @@ TEST(Placement, DoubleReleaseThrows) {
   ASSERT_TRUE(a.has_value());
   allocator.release(*a);
   EXPECT_THROW(allocator.release(*a), Error);
+}
+
+// --- checkpoint (DESIGN.md §13) ---------------------------------------------
+
+// A controller with running ranks in every class and a mixed backlog, for
+// the round-trip tests below.
+AdmissionController populated_controller() {
+  AdmissionController admission(16, AdmissionConfig{});
+  admission.note_started(spec(0, 4, QosClass::Gold));
+  admission.note_started(spec(1, 4, QosClass::Silver));
+  admission.arrive(2, spec(2, 4, QosClass::Gold), kNeverFits, nullptr);
+  admission.arrive(3, spec(3, 2, QosClass::Bronze), kNeverFits, nullptr);
+  admission.arrive(4, spec(4, 4, QosClass::Bronze), kNeverFits, nullptr);
+  return admission;
+}
+
+TEST(AdmissionCheckpoint, SaveRestoreSaveIsByteIdentical) {
+  AdmissionController a = populated_controller();
+  const std::string snap = a.save_state();
+
+  AdmissionController b(16, AdmissionConfig{});
+  b.restore_state(snap);
+  EXPECT_EQ(b.save_state(), snap) << "save -> restore -> save must round-trip byte-identically";
+  for (QosClass qos : all_qos_classes()) {
+    EXPECT_EQ(b.running_ranks(qos), a.running_ranks(qos));
+    EXPECT_EQ(b.queued(qos), a.queued(qos));
+  }
+  // The restored backlog drains in the same strict-priority order.
+  std::vector<std::size_t> drained_a = a.drain();
+  std::vector<std::size_t> drained_b = b.drain();
+  EXPECT_EQ(drained_b, drained_a);
+}
+
+TEST(AdmissionCheckpoint, RestoreRejectsWorldMismatchWithoutPartialApply) {
+  const std::string snap = populated_controller().save_state();
+  AdmissionController other(32, AdmissionConfig{});
+  other.arrive(7, spec(7, 4, QosClass::Gold), kNeverFits, nullptr);
+  EXPECT_THROW(other.restore_state(snap), InvalidArgument);
+  EXPECT_THROW(other.restore_state("not an admission snapshot"), InvalidArgument);
+  // A failed restore must leave the controller exactly as it was.
+  EXPECT_EQ(other.queued(QosClass::Gold), 1u);
+  EXPECT_EQ(other.running_ranks(QosClass::Gold), 0);
+}
+
+TEST(AdmissionCheckpoint, RegistersAsACheckpointStoreSection) {
+  // The serving layer checkpoints through the same store the runtime uses:
+  // an "admission" section, round-tripped like "recovery" and "tuner".
+  AdmissionController a = populated_controller();
+  fault::CheckpointStore store;
+  store.register_section(
+      "admission", [&a] { return a.save_state(); },
+      [&a](const std::string& body) { a.restore_state(body); });
+  const std::string checkpoint = store.save();
+
+  AdmissionController b(16, AdmissionConfig{});
+  fault::CheckpointStore other;
+  other.register_section(
+      "admission", [&b] { return b.save_state(); },
+      [&b](const std::string& body) { b.restore_state(body); });
+  other.restore(checkpoint);
+  EXPECT_EQ(other.save(), checkpoint);
+  EXPECT_EQ(b.save_state(), a.save_state());
 }
 
 }  // namespace

@@ -224,6 +224,98 @@ TEST(ServeScheduler, RejectsOversizedAndQueueOverflow) {
   EXPECT_NE(result.jobs[0].reject_reason.find("unsatisfiable"), std::string::npos);
 }
 
+// --- capacity dips (DESIGN.md §13, the serving-layer view of grow-back) -----
+
+TEST(ServeScheduler, CapacityDipReservesOnlyFreeNodesAndNeverPreempts) {
+  // Job A (2 of 4 nodes) is running when a 2-node dip starts: the dip takes
+  // the two *free* nodes and A runs to completion untouched. Job B needs 3
+  // nodes — more than ever free while the dip holds 2 — so it must wait for
+  // the dip to end (the dip edge is a scheduler event even when the cluster
+  // is idle), not deadlock.
+  ServeConfig config = small_config();  // 16 ranks, 4 nodes
+  config.breaker_enabled = false;
+  const double dip_end = 1.0e7;
+  config.dips.push_back(CapacityDip{1000.0, dip_end, 2});
+
+  ArrivalTrace trace;
+  trace.jobs.push_back(job(0, "steady", JobModel::MoE, 8, QosClass::Gold, 0.0, 4));
+  trace.jobs.push_back(job(1, "late", JobModel::ResNet, 12, QosClass::Gold, 100000.0, 2));
+  ServeScheduler scheduler(config);
+  const ServeResult result = scheduler.run(trace);
+
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.deadlocks, 0u);
+  EXPECT_EQ(result.jobs[0].state, JobState::Completed);
+  EXPECT_LT(result.jobs[0].finish_us, dip_end) << "job A must run *through* the dip";
+  EXPECT_GE(result.jobs[1].start_us, dip_end)
+      << "job B fits only once the offline nodes return";
+  EXPECT_EQ(scheduler.metrics().counter_value("serve_capacity_dips"), 1u);
+  EXPECT_EQ(result.unshed_probes, 0u) << "no breaker was open at the dip's end";
+}
+
+TEST(ServeScheduler, DipEndUnshedsTenantsViaBreakerProbes) {
+  // The hammer tenant trips its SLO breaker during a capacity dip (shed
+  // arrivals), and the dip's end grants the open breaker a half-open probe:
+  // capacity growing back is what un-sheds the tenant. probe_after_ops is
+  // disabled so the dip-end probe is the *only* path out of Open.
+  ServeConfig config = small_config();
+  config.fabric_oversubscription = 4.0;
+  config.slo_factor = 1.5;
+  config.breaker = fault::BreakerConfig{2, 2, 0};
+  const double dip_end = 1.5e6;
+  config.dips.push_back(CapacityDip{0.0, dip_end, 1});
+
+  ArrivalTrace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.jobs.push_back(
+        job(static_cast<std::uint64_t>(i), "hammer", JobModel::MoE, 8, QosClass::Gold,
+            50000.0 * i, 4));
+  }
+  ServeScheduler scheduler(config);
+  const ServeResult result = scheduler.run(trace);
+
+  EXPECT_GT(result.shed, 0u) << "the dip-tightened cluster never tripped the breaker";
+  EXPECT_GE(result.unshed_probes, 1u) << "the dip's end granted no probe";
+  EXPECT_GE(scheduler.metrics().counter_value("serve_unshed_probes", {{"tenant", "hammer"}}),
+            1u);
+  // At least one post-dip arrival was admitted again (probe traffic).
+  std::uint64_t post_dip_admitted = 0;
+  for (const JobRecord& record : result.jobs) {
+    if (record.spec.arrival_us <= dip_end) continue;
+    if (record.reject_reason.rfind("shed:", 0) != 0) ++post_dip_admitted;
+  }
+  EXPECT_GE(post_dip_admitted, 1u) << "the tenant stayed shed after capacity grew back";
+}
+
+TEST(ServeScheduler, DipReplayIsDeterministic) {
+  TraceConfig trace_config;
+  trace_config.num_jobs = 60;
+  trace_config.seed = 11;
+  const ArrivalTrace trace = generate_trace(trace_config);
+
+  ServeConfig config = small_config();
+  config.dips.push_back(CapacityDip{200000.0, 900000.0, 2});
+  ServeScheduler a(config);
+  ServeScheduler b(config);
+  const ServeResult ra = a.run(trace);
+  const ServeResult rb = b.run(trace);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.unshed_probes, rb.unshed_probes);
+  EXPECT_EQ(ra.p50_latency_us, rb.p50_latency_us);  // bit-identical, not approx
+  EXPECT_EQ(ra.p99_latency_us, rb.p99_latency_us);
+  EXPECT_EQ(ra.makespan_us, rb.makespan_us);
+}
+
+TEST(ServeScheduler, DipConfigIsValidated) {
+  ServeConfig config = small_config();
+  config.dips.push_back(CapacityDip{100.0, 100.0, 1});  // empty window
+  EXPECT_THROW(ServeScheduler{config}, InvalidArgument);
+  config.dips.back() = CapacityDip{0.0, 100.0, 4};  // the whole cluster
+  EXPECT_THROW(ServeScheduler{config}, InvalidArgument);
+  config.dips.back() = CapacityDip{0.0, 100.0, 0};
+  EXPECT_THROW(ServeScheduler{config}, InvalidArgument);
+}
+
 TEST(RunServe, QuickReportIsSchemaShapedAndChaosDegrades) {
   bench::ServeExperimentOptions options;
   options.quick = true;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/tune/online_tuner.h"
 
 namespace mcrdl {
@@ -193,6 +194,73 @@ TEST(OnlineTuner, LearnedTablePicksMeasuredBestPerKey) {
   OnlineTuner cold(test_config());
   cold.select(OpType::Broadcast, 4, 1024, 0, kBackends);
   EXPECT_EQ(cold.to_table().lookup(OpType::Broadcast, 4, 1024), "nccl");
+}
+
+// --- checkpoint (DESIGN.md §13) ---------------------------------------------
+
+TEST(OnlineTunerCheckpoint, SaveRestoreSaveIsByteIdentical) {
+  OnlineTuner a(test_config());
+  for (int i = 0; i < 20; ++i) {
+    const std::string pick = a.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    a.observe(OpType::AllReduce, 8, 4096, pick, pick == "mv2-gdr" ? 50.0 : 100.0);
+    a.select(OpType::AllGather, 8, 1 << 20, 1, kBackends);
+    a.observe(OpType::AllGather, 8, 1 << 20, "ompi", 33.25);
+  }
+  const std::string snap = a.save_state();
+
+  OnlineTuner b(test_config());
+  b.restore_state(snap);
+  EXPECT_EQ(b.save_state(), snap) << "save -> restore -> save must round-trip byte-identically";
+  EXPECT_EQ(b.decisions(), a.decisions());
+  EXPECT_EQ(b.explorations(), a.explorations());
+  EXPECT_EQ(b.switches(), a.switches());
+  EXPECT_EQ(b.to_table().serialize(), a.to_table().serialize());
+}
+
+TEST(OnlineTunerCheckpoint, RestoredTunerResumesWithoutColdStartExploration) {
+  // Train a tuner until mv2-gdr is the measured incumbent, checkpoint it,
+  // and restore into a fresh instance. The restored tuner must make the
+  // exact decision sequence the original would have continued with —
+  // incumbents, hysteresis memory, and the explore schedule's phase all
+  // resume, so there is no cold-start re-exploration burst. tune_decisions
+  // metrics on the restored side count only the continuation.
+  OnlineTuner a(test_config());
+  for (int i = 0; i < 24; ++i) {
+    a.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    a.observe(OpType::AllReduce, 8, 4096, "nccl", 100.0);
+    a.observe(OpType::AllReduce, 8, 4096, "mv2-gdr", 40.0);
+  }
+
+  obs::MetricsRegistry metrics;
+  OnlineTuner b(test_config(), &metrics);
+  b.restore_state(a.save_state());
+  const std::uint64_t explorations_at_restore = b.explorations();
+
+  std::uint64_t fresh = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::string pa = a.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    const std::string pb = b.select(OpType::AllReduce, 8, 4096, 0, kBackends);
+    EXPECT_EQ(pb, pa) << "restored tuner diverged at continuation decision " << i;
+    ++fresh;
+    a.observe(OpType::AllReduce, 8, 4096, pa, pa == "mv2-gdr" ? 40.0 : 100.0);
+    b.observe(OpType::AllReduce, 8, 4096, pb, pb == "mv2-gdr" ? 40.0 : 100.0);
+  }
+  EXPECT_EQ(b.explorations() - explorations_at_restore,
+            a.explorations() - explorations_at_restore)
+      << "the restored tuner re-explored beyond the original schedule";
+  // The continuation's decisions land in the metrics registry: exploit-mode
+  // decisions dominate (a cold start would log an exploration burst).
+  const std::uint64_t exploit =
+      metrics.counter_value("tune_decisions", {{"mode", "exploit"}});
+  const std::uint64_t explore =
+      metrics.counter_value("tune_decisions", {{"mode", "explore"}});
+  EXPECT_EQ(exploit + explore, fresh);
+  EXPECT_GT(exploit, explore);
+}
+
+TEST(OnlineTunerCheckpoint, MalformedBodiesAreRejected) {
+  OnlineTuner tuner(test_config());
+  EXPECT_THROW(tuner.restore_state("not a tuner snapshot"), InvalidArgument);
 }
 
 }  // namespace

@@ -49,6 +49,55 @@ if [ -z "${recovered}" ] || [ "${recovered}" -le 0 ]; then
   exit 1
 fi
 
+# Rejoin smoke (DESIGN.md §13): the same casualty comes back. The scripted
+# loss must still quiesce and replay (recovered ops > 0, same mv2-gdr recipe
+# as above), the grow phase must fire (ranks rejoined > 0), and the post-
+# recovery world must be back to full size — the tool's differential check
+# exits non-zero otherwise. The scenario must also be engine-independent:
+# the serial baton and four shards produce byte-identical Chrome traces.
+echo "== chaos smoke: rank_rejoin grow-back =="
+bench_dir="${build_dir}/bench-export"
+mkdir -p "${bench_dir}"
+rejoin_out="$(timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=rejoin --rank=3 \
+    --at=2500 --watchdog=100000 --backends=mv2-gdr --size=64k \
+    --trace="${bench_dir}/trace_rejoin_serial.json")"
+echo "${rejoin_out}"
+rejoin_recovered="$(sed -n 's/.*recovered ops *: *//p' <<<"${rejoin_out}")"
+rejoined="$(sed -n 's/.*ranks rejoined *: *//p' <<<"${rejoin_out}")"
+if [ -z "${rejoin_recovered}" ] || [ "${rejoin_recovered}" -le 0 ]; then
+  echo "rejoin smoke FAILED: expected recovered ops > 0, got '${rejoin_recovered:-none}'" >&2
+  exit 1
+fi
+if [ -z "${rejoined}" ] || [ "${rejoined}" -le 0 ]; then
+  echo "rejoin smoke FAILED: expected ranks rejoined > 0, got '${rejoined:-none}'" >&2
+  exit 1
+fi
+timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=rejoin --rank=3 \
+    --at=2500 --watchdog=100000 --backends=mv2-gdr --size=64k --threads=4 \
+    --trace="${bench_dir}/trace_rejoin_shards.json" >/dev/null
+if ! cmp -s "${bench_dir}/trace_rejoin_serial.json" "${bench_dir}/trace_rejoin_shards.json"; then
+  echo "rejoin smoke FAILED: serial and 4-shard rejoin traces differ" >&2
+  diff "${bench_dir}/trace_rejoin_serial.json" "${bench_dir}/trace_rejoin_shards.json" >&2 || true
+  exit 1
+fi
+
+# Checkpoint round-trip smoke (DESIGN.md §13): save the runtime state after
+# the rejoin run, restore it into a fresh no-op run, and save again — the two
+# files must be byte-identical (save -> restore -> save is the format's
+# determinism contract; restore counters are deliberately not serialized).
+echo "== checkpoint smoke: save/restore/save byte-identity =="
+timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=rejoin --rank=3 --at=2500 \
+    --watchdog=100000 --backends=mv2-gdr --size=64k \
+    --checkpoint-out="${bench_dir}/ckpt_a.txt" >/dev/null
+timeout 300 "${build_dir}/tools/mcrdl_chaos" --scenario=none --iterations=0 \
+    --checkpoint-in="${bench_dir}/ckpt_a.txt" \
+    --checkpoint-out="${bench_dir}/ckpt_b.txt" >/dev/null
+if ! cmp -s "${bench_dir}/ckpt_a.txt" "${bench_dir}/ckpt_b.txt"; then
+  echo "checkpoint smoke FAILED: save -> restore -> save is not byte-identical" >&2
+  diff "${bench_dir}/ckpt_a.txt" "${bench_dir}/ckpt_b.txt" >&2 || true
+  exit 1
+fi
+
 # Perf-trajectory smoke: export the Figure 2 microbenchmark on the quick
 # grid and validate the BENCH file — the strict parser must accept it and at
 # least one series must sweep monotonically increasing message sizes.
@@ -132,6 +181,13 @@ if ! cmp -s "${bench_dir}/BENCH_fig8_serial.json" "${bench_dir}/BENCH_fig8.json"
 fi
 timeout 600 "${build_dir}/tools/bench_export" --experiment scale --quick --out "${bench_dir}"
 "${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_scale.json"
+
+# Resilience perf trajectory (DESIGN.md §13): shrink-only vs shrink-then-
+# rejoin recovery latency and post-recovery throughput, exported on the quick
+# grid and validated by the strict schema check like every other BENCH file.
+echo "== bench_export smoke: resilience perf trajectory =="
+timeout 600 "${build_dir}/tools/bench_export" --experiment resilience --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_resilience.json"
 
 # Race-check the parallel engine for real: rebuild the sim/sched suites with
 # -fsanitize=thread and run them (the execution-model tests drive both

@@ -14,11 +14,21 @@
 // cannot match the baseline, so the check becomes "the planned ranks died,
 // every survivor finished, and all survivors agree with each other".
 //
+// Scenario `rejoin` goes one step further: the lost rank is re-admitted at
+// --rejoin-at (the elastic grow path), the workload runs a second phase over
+// the restored full world, and the differential check asserts the world grew
+// back to its original size with every rank agreeing on the final data.
+//
 //   ./tools/mcrdl_chaos --scenario=outage --at=2000            # kill nccl mid-run
 //   ./tools/mcrdl_chaos --scenario=transient --p=0.3
 //   ./tools/mcrdl_chaos --scenario=degrade --factor=8
 //   ./tools/mcrdl_chaos --scenario=rank_loss --rank=3 --at=2500 --watchdog=100000
+//   ./tools/mcrdl_chaos --scenario=rejoin --rank=3 --at=2500
 //   ./tools/mcrdl_chaos --plan=my_chaos.txt --trace=chaos.json
+//
+// --checkpoint-out saves the post-run runtime checkpoint; --checkpoint-in
+// restores one right after init (pair them with --iterations=0 for the CI
+// save→restore→save byte-identity smoke).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -103,9 +113,27 @@ fault::FaultPlan build_plan(const Flags& flags, const std::string& primary) {
     const SimTime silent_from = std::max(0.0, at - 2.0 * flags.get_double("interval"));
     plan.specs.push_back(fault::FaultSpec::straggler(rank, 10.0 * at + 1000.0, silent_from));
     plan.specs.push_back(fault::FaultSpec::lose_rank(rank, at));
+  } else if (scenario == "rejoin") {
+    // rank_loss followed by grow-back: the same silent-window kill, with the
+    // straggler bounded at the loss instant so the rank comes back healthy,
+    // then a rank_rejoin at --rejoin-at (auto-placed far past the first
+    // workload phase when 0, so the grow event fires into an idle cluster).
+    const int rank = flags.get_int("rank");
+    const SimTime at = flags.get_double("at");
+    const SimTime interval = flags.get_double("interval");
+    const SimTime silent_from = std::max(0.0, at - 2.0 * interval);
+    SimTime back = flags.get_double("rejoin-at");
+    if (back <= 0.0) {
+      back = at + 100.0 * flags.get_int("iterations") * (interval + 1000.0);
+    }
+    MCRDL_REQUIRE(back > at, "--rejoin-at must be after the loss instant --at");
+    plan.specs.push_back(
+        fault::FaultSpec::straggler(rank, 10.0 * at + 1000.0, silent_from, at));
+    plan.specs.push_back(fault::FaultSpec::lose_rank(rank, at));
+    plan.specs.push_back(fault::FaultSpec::rejoin_rank(rank, back));
   } else if (scenario != "none") {
     throw InvalidArgument("unknown scenario: " + scenario +
-                          " (want outage|transient|degrade|straggler|rank_loss|none)");
+                          " (want outage|transient|degrade|straggler|rank_loss|rejoin|none)");
   }
   return plan;
 }
@@ -115,6 +143,62 @@ bool plan_has_rank_loss(const fault::FaultPlan& plan) {
     if (s.kind == fault::FaultKind::RankLoss) return true;
   }
   return false;
+}
+
+// Latest rejoin instant in the plan (0 when the plan has none).
+SimTime plan_last_rejoin_us(const fault::FaultPlan& plan) {
+  SimTime last = 0.0;
+  for (const fault::FaultSpec& s : plan.specs) {
+    if (s.kind == fault::FaultKind::RankRejoin) last = std::max(last, s.from_us);
+  }
+  return last;
+}
+
+// Two-phase workload for grow-back plans: phase one is the rank_loss
+// workload (the casualty breaks out when declared lost, the survivors
+// finish on the shrunk world), then every rank parks until just past the
+// last rejoin instant — a virtual-time barrier, so the grow event fires
+// into an idle cluster — and phase two runs the same loop over the restored
+// full world. A full-world allreduce makes every participant's value equal,
+// so the differential check is simply that all ranks finished phase two and
+// agree.
+RunResult run_rejoin_workload(ClusterContext& cluster, McrDl& mcr, const std::string& backend,
+                              int iters, std::size_t elems, SimTime interval_us,
+                              SimTime rejoin_us) {
+  RunResult out;
+  out.finals.assign(cluster.world_size(), 0.0);
+  out.died.assign(cluster.world_size(), false);
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({static_cast<long long>(elems)}, DType::F32, 1.0,
+                            cluster.device(rank));
+    for (int i = 0; i < iters; ++i) {
+      if (cluster.faults().rank_lost(rank)) {
+        out.died[rank] = true;
+        break;
+      }
+      try {
+        api.all_reduce(backend, t, ReduceOp::Sum);
+      } catch (const RankLostError&) {
+        out.died[rank] = true;
+        break;
+      }
+      if (interval_us > 0.0) cluster.scheduler().sleep_for(interval_us);
+    }
+    const SimTime wake = rejoin_us + interval_us + 1.0;
+    if (cluster.scheduler().now() < wake) {
+      cluster.scheduler().sleep_for(wake - cluster.scheduler().now());
+    }
+    for (int i = 0; i < iters; ++i) {
+      api.all_reduce(backend, t, ReduceOp::Sum);
+      if (interval_us > 0.0) cluster.scheduler().sleep_for(interval_us);
+    }
+    api.synchronize();
+    out.finals[rank] = t.get(0);
+  });
+  out.end_time_us = cluster.scheduler().now();
+  out.comm_time_us = mcr.logger().comm_time(0);
+  return out;
 }
 
 }  // namespace
@@ -128,16 +212,20 @@ int main(int argc, char** argv) {
   flags.define("size", "4m", "message size per allreduce");
   flags.define("interval", "200", "virtual us between iterations");
   flags.define("scenario", "outage",
-               "built-in plan: outage|transient|degrade|straggler|rank_loss|none");
-  flags.define("at", "1000", "fault instant in virtual us (scenario=outage|rank_loss)");
+               "built-in plan: outage|transient|degrade|straggler|rank_loss|rejoin|none");
+  flags.define("at", "1000", "fault instant in virtual us (scenario=outage|rank_loss|rejoin)");
+  flags.define("rejoin-at", "0",
+               "rejoin instant in virtual us (scenario=rejoin; 0 = auto, well past phase one)");
   flags.define("p", "0.3", "per-attempt failure probability (scenario=transient)");
   flags.define("factor", "4", "inter-node beta multiplier (scenario=degrade)");
-  flags.define("rank", "1", "delayed or killed rank (scenario=straggler|rank_loss)");
+  flags.define("rank", "1", "delayed or killed rank (scenario=straggler|rank_loss|rejoin)");
   flags.define("delay", "500", "per-op straggler delay in us (scenario=straggler)");
   flags.define("watchdog", "0", "rendezvous watchdog deadline in us (0 = off)");
   flags.define("seed", "42", "fault-decision seed");
   flags.define("plan", "", "load a fault plan file instead of a built-in scenario");
   flags.define("trace", "", "write a Chrome trace of the chaos run to this path");
+  flags.define("checkpoint-out", "", "save the post-run runtime checkpoint to this path");
+  flags.define("checkpoint-in", "", "restore a runtime checkpoint right after init");
   flags.define("threads", "1", "execution-engine worker threads (1 = serial baton)");
   try {
     if (!flags.parse(argc, argv)) return 0;
@@ -159,13 +247,22 @@ int main(int argc, char** argv) {
                 config.name.c_str(), iters, flags.get("size").c_str(), primary.c_str());
     std::printf("%s\n", plan.serialize().c_str());
 
+    // Grow-back plans (rank_loss + rank_rejoin) use the two-phase rejoin
+    // workload and the world-restored differential check.
+    const SimTime rejoin_at = plan_last_rejoin_us(plan);
+    const bool rejoin_mode = plan_has_rank_loss(plan) && rejoin_at > 0.0;
+
     // --- baseline: identical workload, no faults -------------------------
     ClusterContext base_cluster(config, exec);
     McrDlOptions base_opts;
     base_opts.logging_enabled = true;
     McrDl baseline(&base_cluster, base_opts);
     baseline.init(backends);
-    const RunResult base = run_workload(base_cluster, baseline, primary, iters, elems, interval);
+    const RunResult base =
+        rejoin_mode
+            ? run_rejoin_workload(base_cluster, baseline, primary, iters, elems, interval,
+                                  rejoin_at)
+            : run_workload(base_cluster, baseline, primary, iters, elems, interval);
 
     // --- chaos run --------------------------------------------------------
     ClusterContext cluster(config, exec);
@@ -175,7 +272,14 @@ int main(int argc, char** argv) {
     opts.fault.plan = plan;
     McrDl mcr(&cluster, opts);
     mcr.init(backends);
-    const RunResult chaos = run_workload(cluster, mcr, primary, iters, elems, interval);
+    if (!flags.get("checkpoint-in").empty()) {
+      mcr.checkpoint().restore_file(flags.get("checkpoint-in"));
+      std::printf("checkpoint restored from %s\n", flags.get("checkpoint-in").c_str());
+    }
+    const RunResult chaos =
+        rejoin_mode
+            ? run_rejoin_workload(cluster, mcr, primary, iters, elems, interval, rejoin_at)
+            : run_workload(cluster, mcr, primary, iters, elems, interval);
 
     // --- differential check ----------------------------------------------
     // Plans with a permanent rank loss use the elastic check: the planned
@@ -184,7 +288,30 @@ int main(int argc, char** argv) {
     // unreachable after a shrink.
     const bool elastic = plan_has_rank_loss(plan);
     int wrong = 0;
-    if (elastic) {
+    if (rejoin_mode) {
+      // Every planned casualty must actually have died in phase one, the
+      // world must have grown back to its original size, and every rank must
+      // have finished phase two agreeing on the data (a full-world allreduce
+      // equalises all participants, so disagreement means the rejoined rank
+      // was left out).
+      for (const fault::FaultSpec& s : plan.specs) {
+        if (s.kind == fault::FaultKind::RankLoss && !chaos.died[s.rank]) ++wrong;
+      }
+      int alive = 0;
+      for (int r = 0; r < world; ++r) {
+        if (!cluster.faults().rank_lost(r)) ++alive;
+      }
+      if (alive != world) ++wrong;
+      for (int r = 0; r < world; ++r) {
+        if (chaos.finals[r] == 0.0) ++wrong;
+        if (chaos.finals[r] != chaos.finals[0]) ++wrong;
+      }
+      const fault::ResilienceReport& rep = mcr.failover()->report();
+      if (rep.ranks_rejoined == 0 || rep.grow_events == 0) ++wrong;
+      std::printf("rejoin check: world %d/%d alive, rejoined %llu, grow events %llu\n", alive,
+                  world, static_cast<unsigned long long>(rep.ranks_rejoined),
+                  static_cast<unsigned long long>(rep.grow_events));
+    } else if (elastic) {
       std::vector<int> died, survivors;
       for (int r = 0; r < world; ++r) (chaos.died[r] ? died : survivors).push_back(r);
       for (int r = 0; r < world; ++r) {
@@ -247,7 +374,16 @@ int main(int argc, char** argv) {
                   flags.get("trace").c_str());
     }
 
-    if (elastic) {
+    if (!flags.get("checkpoint-out").empty()) {
+      mcr.checkpoint().save_file(flags.get("checkpoint-out"));
+      std::printf("checkpoint saved to %s\n", flags.get("checkpoint-out").c_str());
+    }
+
+    if (rejoin_mode) {
+      std::printf("differential check: %s\n",
+                  wrong == 0 ? "PASS — world grew back and all ranks agree"
+                             : "FAIL — world did not grow back or ranks diverged");
+    } else if (elastic) {
       std::printf("differential check: %s\n",
                   wrong == 0 ? "PASS — planned ranks died, all survivors agree"
                              : "FAIL — wrong casualty set or survivors diverged");

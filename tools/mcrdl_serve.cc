@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   flags.define("chaos-from", "0", "chaos window start (virtual us)");
   flags.define("chaos-until", "0", "chaos window end (0 = no chaos)");
   flags.define("chaos-degrade", "8.0", "fabric slowdown inside the chaos window");
+  flags.define("dip-from", "0", "capacity dip start (virtual us)");
+  flags.define("dip-until", "0", "capacity dip end (0 = no dip)");
+  flags.define("dip-nodes", "1", "nodes offline during the capacity dip");
   flags.define("slo-factor", "8.0", "SLO = factor x uncontended service time");
   flags.define("no-breaker", "false", "disable per-tenant SLO breakers");
   flags.define("full-models", "false", "full-size model configs (slower)");
@@ -78,6 +81,11 @@ int main(int argc, char** argv) {
                                                 flags.get_double("chaos-until"),
                                                 flags.get_double("chaos-degrade")});
     }
+    if (flags.get_double("dip-until") > flags.get_double("dip-from")) {
+      config.dips.push_back(sched::CapacityDip{flags.get_double("dip-from"),
+                                               flags.get_double("dip-until"),
+                                               flags.get_int("dip-nodes")});
+    }
 
     sched::ServeScheduler scheduler(config);
     const sched::ServeResult result = scheduler.run(trace);
@@ -107,6 +115,10 @@ int main(int argc, char** argv) {
     std::printf("p50 : %.3f us\n", result.p50_latency_us);
     std::printf("p99 : %.3f us\n", result.p99_latency_us);
     std::printf("mean : %.3f us\n", result.mean_latency_us);
+    if (!config.dips.empty()) {
+      std::printf("unshed_probes : %llu\n",
+                  static_cast<unsigned long long>(result.unshed_probes));
+    }
     std::printf("makespan : %.3f us\n", result.makespan_us);
     std::printf("utilization : %.4f\n", result.avg_utilization);
     std::printf("peak_contention : %.2f\n", result.peak_contention);
