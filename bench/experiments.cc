@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/common/status.h"
+#include "src/core/mcr_dl.h"
 #include "src/tune/online_tuner.h"
 #include "src/tune/tuning.h"
 #include "src/models/dlrm.h"
@@ -637,6 +638,136 @@ ResilienceBenchReport run_resilience(const ResilienceOptions& options) {
   return report;
 }
 
+// --- hotpath ----------------------------------------------------------------
+
+namespace {
+
+struct HotpathRun {
+  double wall_s = 0.0;      // host clock around the dispatch loop
+  double virtual_us = 0.0;  // final virtual instant of the run
+};
+
+// One dispatch loop: every rank issues `ops_per_rank` async small
+// all_reduces, draining its stream every `sync_every` ops. The workload
+// (tensor construction, issue cadence) is identical across modes so the
+// wall-clock delta isolates the dispatch shape.
+HotpathRun run_hotpath_loop(const HotpathOptions& opts, std::size_t bytes, bool fast_dispatch,
+                            bool bucketed) {
+  ClusterContext cluster(net::SystemConfig::lassen(opts.world / 4));
+  McrDlOptions mopts;
+  mopts.fast_dispatch = fast_dispatch;
+  if (bucketed) {
+    mopts.fusion.enabled = true;
+    mopts.fusion.buffer_bytes = 64u << 10;  // coalesce a sync_every window
+    mopts.fusion.flush_timeout_us = 50.0;
+    mopts.fusion.max_tensor_bytes = 16u << 10;
+  }
+  McrDl mcr(&cluster, mopts);
+  mcr.init({"nccl"});
+  const int elems = static_cast<int>(std::max<std::size_t>(1, bytes / 4));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    // Phantom payloads, like every other driver here: the experiment measures
+    // the dispatch machinery, and materialized data would bill both paths the
+    // same simulated elementwise math. One tensor per in-flight slot, reused
+    // every window once the stream is drained — no allocator traffic either.
+    std::vector<Tensor> grads;
+    grads.reserve(static_cast<std::size_t>(opts.sync_every));
+    for (int i = 0; i < opts.sync_every; ++i) {
+      grads.push_back(Tensor::phantom({elems}, DType::F32, dev));
+    }
+    for (int i = 0; i < opts.ops_per_rank; ++i) {
+      api.all_reduce("nccl", grads[static_cast<std::size_t>(i % opts.sync_every)],
+                     ReduceOp::Sum, true);
+      if ((i + 1) % opts.sync_every == 0) api.synchronize();
+    }
+    api.synchronize();
+  });
+  HotpathRun run;
+  run.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  run.virtual_us = cluster.scheduler().now();
+  return run;
+}
+
+}  // namespace
+
+BenchReport run_hotpath(const HotpathOptions& options) {
+  HotpathOptions opts = options;
+  if (opts.sizes.empty()) opts.sizes = {256, 1024, 4096};
+  if (opts.quick) {
+    opts.sizes = {256, 1024};
+    opts.ops_per_rank = 256;
+  }
+  MCRDL_REQUIRE(opts.world % 4 == 0, "hotpath runs on Lassen (4 GPUs per node)");
+  MCRDL_REQUIRE(opts.ops_per_rank % opts.sync_every == 0,
+                "ops_per_rank must be a multiple of sync_every");
+
+  struct Mode {
+    const char* name;
+    bool fast;
+    bool bucketed;
+  };
+  const Mode modes[] = {{"dispatch/slow", false, false},
+                        {"dispatch/fast", true, false},
+                        {"dispatch/bucketed", true, true}};
+
+  BenchReport report;
+  report.experiment = "hotpath";
+  for (const Mode& mode : modes) {
+    BenchSeries series;
+    series.name = mode.name;
+    series.backend = "nccl";
+    report.series.push_back(std::move(series));
+  }
+  BenchSeries speedup;
+  speedup.name = "speedup";
+  speedup.backend = "derived";
+
+  const double total_ops = static_cast<double>(opts.ops_per_rank) * opts.world;
+  for (std::size_t bytes : opts.sizes) {
+    double slow_ops_per_s = 0.0;
+    double reference_virtual_us = -1.0;
+    double bucketed_ops_per_s = 0.0;
+    for (std::size_t m = 0; m < 3; ++m) {
+      const Mode& mode = modes[m];
+      const HotpathRun run = run_hotpath_loop(opts, bytes, mode.fast, mode.bucketed);
+      // Slow and fast are two shapes of the same schedule: their virtual
+      // clocks must agree exactly (golden traces pin the full records).
+      // Bucketing coalesces issues, so its schedule — and clock — differ.
+      if (!mode.bucketed) {
+        if (reference_virtual_us < 0.0) {
+          reference_virtual_us = run.virtual_us;
+        } else {
+          MCRDL_REQUIRE(run.virtual_us == reference_virtual_us,
+                        "slow and fast dispatch disagree on virtual time");
+        }
+      }
+      const double ops_per_s = run.wall_s > 0.0 ? total_ops / run.wall_s : 0.0;
+      if (!mode.fast) slow_ops_per_s = ops_per_s;
+      if (mode.bucketed) bucketed_ops_per_s = ops_per_s;
+
+      BenchPoint p;
+      p.world = opts.world;
+      p.bytes = bytes;
+      p.virtual_us = run.virtual_us;
+      p.items_per_s = ops_per_s;
+      report.series[m].points.push_back(p);
+    }
+    BenchPoint ratio;
+    ratio.world = opts.world;
+    ratio.bytes = bytes;
+    ratio.virtual_us = reference_virtual_us;
+    ratio.items_per_s = slow_ops_per_s > 0.0 ? bucketed_ops_per_s / slow_ops_per_s : 0.0;
+    speedup.points.push_back(ratio);
+  }
+  report.series.push_back(std::move(speedup));
+  return report;
+}
+
 const std::vector<Experiment>& experiment_registry() {
   static const std::vector<Experiment> registry = {
       {"fig2", "collective microbenchmark across backends (paper Figure 2)",
@@ -683,6 +814,12 @@ const std::vector<Experiment>& experiment_registry() {
          ResilienceOptions options;
          options.quick = o.quick;
          return run_resilience(options).bench;
+       }},
+      {"hotpath", "dispatch wall-clock throughput: slow vs fast path vs bucketed (DESIGN.md §14)",
+       [](const ExperimentOptions& o) {
+         HotpathOptions options;
+         options.quick = o.quick;
+         return run_hotpath(options);
        }},
   };
   return registry;

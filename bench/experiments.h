@@ -194,6 +194,31 @@ struct ResilienceBenchReport {
 };
 ResilienceBenchReport run_resilience(const ResilienceOptions& options = {});
 
+// Hot-path dispatch experiment (DESIGN.md §14): wall-clock throughput of a
+// small-allreduce loop under three dispatch shapes on the same workload —
+//
+//   "dispatch/slow"     — fast_dispatch=false: fresh OpCall per op, every
+//                         stage invoked, per-call label maps (the referee)
+//   "dispatch/fast"     — arena OpCalls + precompiled stage plans
+//   "dispatch/bucketed" — fast path with gradient bucketing coalescing the
+//                         small collectives into fused issues
+//
+// Like "scale", the quantity of interest is wall clock: each point is one
+// message size (`bytes`), `virtual_us` the run's final virtual instant and
+// `items_per_s` the host-clock dispatch throughput in ops/s across all
+// ranks. Slow and fast must agree on virtual time exactly (the golden
+// traces pin byte-identical records; the run aborts on drift) — bucketing
+// legitimately changes the schedule, so its virtual time differs. A final
+// "speedup" series reports, per size, the bucketed/slow throughput ratio.
+struct HotpathOptions {
+  int world = 8;                        // Lassen, world/4 nodes
+  std::vector<std::size_t> sizes;       // empty = {256, 1024, 4096}
+  int ops_per_rank = 4096;              // dispatches per rank per run
+  int sync_every = 64;                  // drain the stream every N ops
+  bool quick = false;                   // trim for CI smoke runs
+};
+BenchReport run_hotpath(const HotpathOptions& options = {});
+
 // --- experiment registry ----------------------------------------------------
 //
 // Name -> runner table shared by bench_export (and anything else that runs
@@ -216,7 +241,7 @@ struct Experiment {
 };
 
 // Registered experiments in a stable order (fig2, fig8, fig9, scale, adapt,
-// serve).
+// serve, resilience, hotpath).
 const std::vector<Experiment>& experiment_registry();
 // The registry entry for `name`, or nullptr when unknown.
 const Experiment* find_experiment(const std::string& name);

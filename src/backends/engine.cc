@@ -309,6 +309,10 @@ void Rendezvous::fail(std::exception_ptr err) {
   std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
+  // Completion callbacks can never fire on an errored rendezvous; dropping
+  // them here breaks the Work -> callback -> Work reference cycle that would
+  // otherwise keep every shed/bounced operation alive for the whole run.
+  completion_callbacks_.clear();
   done_cond_.notify_all();
 }
 
@@ -324,6 +328,9 @@ void Rendezvous::cancel(std::exception_ptr err) {
   for (auto& g : gates_) {
     if (g) g->open();
   }
+  // As in fail(): a cancelled rendezvous never completes, so its callbacks
+  // are dead weight holding their captured Works (and us) alive.
+  completion_callbacks_.clear();
   done_cond_.notify_all();
 }
 
@@ -599,6 +606,9 @@ void P2pOp::doom(std::exception_ptr err) {
   std::lock_guard<std::recursive_mutex> lock(*mu_);
   if (done_ || error_) return;
   error_ = std::move(err);
+  // A doomed op never completes: drop its completion callbacks so they do
+  // not pin their captured Works (and this op) until teardown.
+  completion_callbacks_.clear();
   done_cond_.notify_all();
 }
 
@@ -608,6 +618,7 @@ void P2pOp::cancel(std::exception_ptr err) {
   error_ = std::move(err);
   send_gate_->open();
   recv_gate_->open();
+  completion_callbacks_.clear();
   done_cond_.notify_all();
 }
 

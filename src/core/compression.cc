@@ -12,14 +12,7 @@ CompressionLayer::CompressionLayer(ClusterContext* cluster, CompressionConfig co
 bool CompressionLayer::eligible(OpType op, const Tensor& payload) const {
   if (!config_.enabled || !payload.defined()) return false;
   if (!is_floating(payload.dtype()) || payload.bytes() < config_.min_bytes) return false;
-  switch (op) {
-    case OpType::Broadcast:
-    case OpType::AllGather:
-    case OpType::AllToAllSingle:
-      return true;
-    default:
-      return false;
-  }
+  return op_supported(op);
 }
 
 Tensor CompressionLayer::compress_to_tensor(const Tensor& t, std::size_t bytes,

@@ -7,7 +7,7 @@ namespace mcrdl {
 // Shared state between a batch and the Works handed out for its tensors.
 struct FusionManager::PendingFusion {
   bool flushed = false;
-  Work inner;  // the fused all_reduce, set at flush time
+  Work inner;  // the fused collective, set at flush time
   std::vector<std::function<void()>> deferred_callbacks;
   FusionManager* mgr = nullptr;
   Key key;
@@ -37,7 +37,13 @@ class FusionManager::FusionWork : public WorkHandle {
     Work inner;
     {
       std::lock_guard<std::recursive_mutex> lock(pending_->mgr->mu_);
-      if (!pending_->flushed) return 0.0;
+      // An unflushed batch has no completion instant yet; returning one
+      // (0.0 used to leak out here) silently corrupts latency accounting.
+      // Callers must observe test() == true, wait(), or ask from an
+      // on_complete callback before querying.
+      MCRDL_CHECK(pending_->flushed)
+          << "complete_time() queried on an unflushed fusion batch — the fused collective has "
+             "not been issued, so no completion timestamp exists yet";
       inner = pending_->inner;
     }
     return inner->complete_time();
@@ -69,32 +75,63 @@ class FusionManager::FusionWork : public WorkHandle {
   std::shared_ptr<PendingFusion> pending_;
 };
 
-FusionManager::FusionManager(ClusterContext* cluster, FusionConfig config)
-    : cluster_(cluster), config_(config) {}
-
-bool FusionManager::eligible(const Tensor& t) const {
-  return config_.enabled && t.defined() && t.bytes() <= config_.max_tensor_bytes;
+std::uint32_t FusionManager::compute_admit_mask(const FusionConfig& config) {
+  std::uint32_t mask = 0;
+  for (const OpType op : config.ops) {
+    MCRDL_REQUIRE(op == OpType::AllReduce || op == OpType::Reduce || op == OpType::Broadcast,
+                  "only AllReduce, Reduce and Broadcast are bucketable");
+    mask |= 1u << static_cast<unsigned>(op);
+  }
+  return mask;
 }
 
-Work FusionManager::all_reduce(Comm* comm, int rank, Tensor t, ReduceOp op) {
-  MCRDL_REQUIRE(comm != nullptr, "fusion needs a communicator");
-  MCRDL_REQUIRE(eligible(t), "tensor is not eligible for fusion");
+FusionManager::FusionManager(ClusterContext* cluster, FusionConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  admit_mask_.store(compute_admit_mask(config_), std::memory_order_release);
+}
+
+void FusionManager::set_config(FusionConfig config) {
+  const std::uint32_t mask = compute_admit_mask(config);
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  const Key key{rank, comm, static_cast<int>(op), static_cast<int>(t.dtype())};
+  config_ = std::move(config);
+  admit_mask_.store(mask, std::memory_order_release);
+  // Bump last: a pipeline seeing the new version recompiles against the new
+  // mask; one seeing the old version at worst runs one more dispatch on the
+  // old plan, whose fusion stage re-checks eligible() anyway.
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool FusionManager::eligible(OpType op, const Tensor& t) const {
+  return config_.enabled && admits(op) && t.defined() && t.bytes() <= config_.max_tensor_bytes;
+}
+
+Work FusionManager::submit(Comm* comm, int rank, OpType op, Tensor t, ReduceOp rop, int root) {
+  MCRDL_REQUIRE(comm != nullptr, "fusion needs a communicator");
+  MCRDL_REQUIRE(eligible(op, t), "tensor is not eligible for fusion");
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Unrooted ops normalize root to -1 so every caller lands in one bucket;
+  // rooted ops key on it so different roots never coalesce.
+  if (op == OpType::AllReduce) root = -1;
+  const Key key{rank, comm, static_cast<int>(op), static_cast<int>(rop), root,
+                static_cast<int>(t.dtype())};
   Batch& batch = batches_[key];
   if (batch.pending == nullptr) {
     batch.comm = comm;
     batch.rank = rank;
-    batch.rop = op;
+    batch.op = op;
+    batch.rop = rop;
+    batch.root = root;
     batch.dtype = t.dtype();
     batch.pending = std::make_shared<PendingFusion>();
     batch.pending->mgr = this;
     batch.pending->key = key;
-    // Arm the T timeout from the first tensor's arrival.
+    // Arm the T timeout from the first tensor's arrival; flush_locked
+    // cancels it, so a size-triggered flush leaves no stale closure behind
+    // in the scheduler's event queue.
     batch.timer_armed = true;
     const std::uint64_t gen = batch.generation;
-    cluster_->scheduler().schedule_after(config_.flush_timeout_us,
-                                         [this, key, gen] { on_timeout(key, gen); });
+    batch.timer_id = cluster_->scheduler().schedule_after(
+        config_.flush_timeout_us, [this, key, gen] { on_timeout(key, gen); });
   }
   batch.tensors.push_back(t);
   batch.total_numel += t.numel();
@@ -102,9 +139,10 @@ Work FusionManager::all_reduce(Comm* comm, int rank, Tensor t, ReduceOp op) {
   batch.any_phantom = batch.any_phantom || !t.materialized();
   ++fused_tensor_count_;
   Work w = std::make_shared<FusionWork>(batch.pending);
-  w->op = OpType::AllReduce;
+  w->op = op;
   w->backend_name = comm->backend()->name();
   w->posted_at = cluster_->scheduler().now();
+  batch.posted.push_back(w->posted_at);
   if (batch.bytes >= config_.buffer_bytes) flush_locked(key, batch);
   return w;
 }
@@ -145,23 +183,36 @@ void FusionManager::on_timeout(const Key& key, std::uint64_t generation) {
 void FusionManager::flush_locked(const Key& key, Batch& batch) {
   (void)key;  // retained for symmetry with the other per-key entry points
   MCRDL_CHECK(batch.pending != nullptr);
+  // Retire the armed timeout. Harmless if this flush IS the timeout firing
+  // (cancel of a fired event is a no-op); essential for size-triggered
+  // flushes, whose timer closure would otherwise sit in the scheduler's
+  // queue as a dead generation-guarded tombstone until its deadline —
+  // unboundedly many of them on bucket-heavy workloads. Both engines run
+  // timed-event callbacks with their queue lock released, so cancelling from
+  // under mu_ cannot deadlock.
+  if (batch.timer_armed) cluster_->scheduler().cancel(batch.timer_id);
   auto pending = batch.pending;
   std::vector<Tensor> tensors;
   tensors.swap(batch.tensors);
+  std::vector<SimTime> posted;
+  posted.swap(batch.posted);
   const std::int64_t total = batch.total_numel;
   const bool phantom = batch.any_phantom;
   Comm* comm = batch.comm;
   const int rank = batch.rank;
+  const OpType op = batch.op;
   const ReduceOp rop = batch.rop;
+  const int root = batch.root;
   const DType dtype = batch.dtype;
 
-  // Reset the slot so new all_reduce calls start a fresh batch.
+  // Reset the slot so new submissions start a fresh batch.
   ++batch.generation;
   batch.pending = nullptr;
   batch.total_numel = 0;
   batch.bytes = 0;
   batch.any_phantom = false;
   batch.timer_armed = false;
+  batch.timer_id = 0;
   ++flush_count_;
 
   // Pack.
@@ -176,9 +227,36 @@ void FusionManager::flush_locked(const Key& key, Batch& batch) {
     }
   }
 
-  Work inner = comm->all_reduce(rank, fused, rop, /*async_op=*/true);
-  // Slice back at completion, before any waiter resumes.
-  inner->on_complete([tensors, fused]() mutable {
+  Work inner;
+  switch (op) {
+    case OpType::AllReduce:
+      inner = comm->all_reduce(rank, fused, rop, /*async_op=*/true);
+      break;
+    case OpType::Reduce:
+      inner = comm->reduce(rank, fused, root, rop, /*async_op=*/true);
+      break;
+    case OpType::Broadcast:
+      inner = comm->broadcast(rank, fused, root, /*async_op=*/true);
+      break;
+    default:
+      MCRDL_CHECK(false) << "unbucketable op reached flush: " << op_name(op);
+  }
+  // Slice back at completion, before any waiter resumes. For ops that leave
+  // part of the fused buffer untouched (Reduce on a non-root rank), the
+  // copy-back restores the caller's own input — exactly what the unbucketed
+  // collective would have left in place.
+  //
+  // The same closure bills every entry's end-to-end latency — completion
+  // instant minus that entry's submit instant, the dispatch layer's
+  // convention for works without an execution window. Billing here, once per
+  // batch, is what lets FinishStage skip its per-op completion closure for
+  // fused ops entirely (the bucketed hot path's largest allocation).
+  obs::Histogram* latency = &cluster_->metrics().histogram(
+      "op_latency_us", {{"backend", comm->backend()->name()}, {"op", op_name(op)}});
+  WorkHandle* raw = inner.get();  // alive for the duration of its own callbacks
+  inner->on_complete([tensors, fused, posted = std::move(posted), latency, raw]() mutable {
+    const SimTime end = raw->complete_time();
+    for (const SimTime p : posted) latency->observe(end - p);
     if (!fused.materialized()) return;
     std::int64_t offset = 0;
     for (Tensor& t : tensors) {

@@ -1,6 +1,8 @@
 #include "src/core/op_pipeline.h"
 
 #include <algorithm>
+#include <map>
+#include <shared_mutex>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -19,6 +21,31 @@ Comm* OpCall::comm_for(Backend* b) const {
   return group.empty() ? b->world() : b->group(group);
 }
 
+void OpCall::recycle() {
+  ctx = nullptr;
+  rank = 0;
+  group.clear();
+  req.recycle();
+  bytes = 0;
+  resolved = nullptr;
+  requested.clear();
+  admit_fusion = false;
+  admit_compression = false;
+  attempt_backend = nullptr;
+  attempts = 1;
+  rerouted = false;
+  fault.clear();
+  completed_on.clear();
+  recovered = false;
+  fused = false;
+  compressed = false;
+  fast = false;
+  plan = nullptr;
+  // stage_child_us keeps its buffer; execute() re-sizes it per dispatch.
+}
+
+Work OpNext::operator()() const { return pipeline_->invoke(pos_, *call_); }
+
 namespace {
 
 // --- overhead: per-call host-side cost (paper C3 / Figure 7) ----------------
@@ -32,6 +59,7 @@ class OverheadStage : public OpStage {
     }
     return next();
   }
+  bool provably_noop(const StagePlanInputs& in) const override { return !in.overhead_on; }
 };
 
 // --- resolve: backend string -> Backend*, "auto" via the tuning table -------
@@ -52,17 +80,21 @@ class ResolveStage : public OpStage {
   }
 };
 
-// --- fusion: admission for small all_reduce tensors (paper V-C) -------------
+// --- fusion: bucketing admission for small collectives (paper V-C) ----------
 //
 // Admission is decided once, before routing: eligibility depends only on the
-// fusion config and the tensor, never on which backend an attempt lands on.
+// fusion config, the op and the tensor, never on which backend an attempt
+// lands on.
 
 class FusionStage : public OpStage {
  public:
   const char* name() const override { return "fusion"; }
   Work run(OpCall& c, const OpNext& next) override {
-    c.admit_fusion = c.req.op == OpType::AllReduce && c.ctx->fusion().eligible(c.req.tensor);
+    c.admit_fusion = c.ctx->fusion().eligible(c.req.op, c.req.tensor);
     return next();
+  }
+  bool provably_noop(const StagePlanInputs& in) const override {
+    return !in.fusion_on || !in.ctx->fusion().admits(in.op);
   }
 };
 
@@ -75,6 +107,9 @@ class CompressionStage : public OpStage {
     const Tensor& payload = c.req.op == OpType::Broadcast ? c.req.tensor : c.req.input;
     c.admit_compression = c.ctx->compression().eligible(c.req.op, payload);
     return next();
+  }
+  bool provably_noop(const StagePlanInputs& in) const override {
+    return !in.compression_on || !CompressionLayer::op_supported(in.op);
   }
 };
 
@@ -92,32 +127,70 @@ class FinishStage : public OpStage {
     // Always-on metrics, independent of the (opt-in) CommLogger: one
     // completion count per op/backend pair, plus an end-to-end latency
     // histogram billed with the logger's convention (execution window when
-    // the backend reported one, posted-at otherwise).
+    // the backend reported one, posted-at otherwise). Fast-path calls use
+    // the per-(backend, op) handle cache; the slow path rebuilds the label
+    // maps per call, as the pre-fast-path dispatch did.
     obs::MetricsRegistry& metrics = c.ctx->cluster()->metrics();
-    const obs::Labels labels{{"backend", c.completed_on}, {"op", op_name(c.req.op)}};
-    metrics.counter("pipeline_ops", labels).inc();
-    obs::Histogram* latency = &metrics.histogram("op_latency_us", labels);
-    w->on_complete([latency, start = w->posted_at, w]() {
-      latency->observe(w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : start));
-    });
+    obs::Counter* ops = nullptr;
+    obs::Histogram* latency = nullptr;
+    if (c.fast) {
+      const Handles& h = cached(c.completed_on, c.req.op, metrics);
+      ops = h.ops;
+      latency = h.latency;
+    } else {
+      const obs::Labels labels{{"backend", c.completed_on}, {"op", op_name(c.req.op)}};
+      ops = &metrics.counter("pipeline_ops", labels);
+      latency = &metrics.histogram("op_latency_us", labels);
+    }
+    ops->inc();
+    // Bucketed ops bill latency differently: the fusion layer observes every
+    // entry's end-to-end latency in ONE batch-level closure at flush
+    // completion (src/core/fusion.cc), so the common bucketed dispatch — no
+    // tuner (always skipped for fused ops) and no logger — registers no
+    // per-op completion closure at all. With the logger enabled a closure is
+    // still built for the trace record, but its latency handle is nulled so
+    // the histogram is never fed twice.
+    if (c.fused) {
+      if (!c.ctx->logger().enabled()) return w;
+      latency = nullptr;
+    }
     // Online-tuner feedback: every plain collective completion — whatever
     // backend string the caller passed — teaches the tuner about the backend
     // it actually completed on. Fused/compressed completions are skipped
     // (their latency reflects the optimisation, not the backend), as is p2p
     // ("auto" is collective-only). Pure observation: nothing moves in
     // virtual time, and with the tuner disabled this block is dead code.
-    if (tune::OnlineTuner* tuner = c.ctx->online_tuner();
-        tuner != nullptr && c.req.op != OpType::Send && c.req.op != OpType::Recv && !c.fused &&
-        !c.compressed) {
-      w->on_complete([tuner, op = c.req.op, world = c.world_size(), bytes = c.bytes,
-                      backend = c.completed_on, start = w->posted_at, w]() {
-        tuner->observe(op, world, bytes, backend,
-                       w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : start));
-      });
+    tune::OnlineTuner* tuner = c.ctx->online_tuner();
+    if (tuner != nullptr && (c.req.op == OpType::Send || c.req.op == OpType::Recv || c.fused ||
+                             c.compressed)) {
+      tuner = nullptr;
     }
-    if (c.ctx->logger().enabled()) {
-      CommLogger* logger = &c.ctx->logger();
-      CommRecord rec;
+    CommLogger* logger = c.ctx->logger().enabled() ? &c.ctx->logger() : nullptr;
+    if (tuner == nullptr && logger == nullptr && w->test()) {
+      // Already complete (synchronous issue): observe inline instead of
+      // allocating a completion closure that would fire immediately.
+      latency->observe(w->complete_time() - (w->exec_start >= 0.0 ? w->exec_start : w->posted_at));
+      return w;
+    }
+    // One merged completion callback instead of three: a single closure
+    // allocation carries the latency observation, the optional tuner
+    // feedback and the optional trace record. Capturing the shared handle
+    // keeps it alive until completion; every completion path — finish as
+    // well as fail/cancel — clears the callback list, so the self-reference
+    // cannot keep a never-firing Work alive.
+    Completion done;
+    done.w = w;
+    done.latency = latency;
+    done.tuner = tuner;
+    if (tuner != nullptr) {
+      done.op = c.req.op;
+      done.world = c.world_size();
+      done.bytes = c.bytes;
+      done.backend = c.completed_on;
+    }
+    done.logger = logger;
+    if (logger != nullptr) {
+      CommRecord& rec = done.rec;
       rec.rank = c.rank;
       rec.op = c.req.op;
       rec.backend = c.completed_on;
@@ -133,18 +206,60 @@ class FinishStage : public OpStage {
       rec.fault = c.fault;
       rec.epoch = c.req.epoch;
       rec.recovered = c.recovered;
-      // Capturing the shared handle keeps it alive until completion; the
-      // callback list is cleared when it fires, breaking the cycle.
-      w->on_complete([logger, rec, w]() mutable {
-        rec.end = w->complete_time();
+    }
+    w->on_complete([d = std::move(done)]() mutable {
+      const SimTime start = d.w->exec_start >= 0.0 ? d.w->exec_start : d.w->posted_at;
+      const SimTime end = d.w->complete_time();
+      if (d.latency != nullptr) d.latency->observe(end - start);
+      if (d.tuner != nullptr) d.tuner->observe(d.op, d.world, d.bytes, d.backend, end - start);
+      if (d.logger != nullptr) {
+        d.rec.end = end;
         // Bill only the execution window when the backend reported one, so
         // compute-overlapped queueing time does not count as communication.
-        if (w->exec_start >= 0.0) rec.start = w->exec_start;
-        logger->record(std::move(rec));
-      });
-    }
+        if (d.w->exec_start >= 0.0) d.rec.start = d.w->exec_start;
+        d.logger->record(std::move(d.rec));
+      }
+    });
     return w;
   }
+
+ private:
+  struct Handles {
+    obs::Counter* ops = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  struct Completion {
+    Work w;
+    obs::Histogram* latency = nullptr;
+    tune::OnlineTuner* tuner = nullptr;
+    OpType op = OpType::Barrier;
+    int world = 0;
+    std::size_t bytes = 0;
+    std::string backend;
+    CommLogger* logger = nullptr;
+    CommRecord rec;
+  };
+
+  // Registry references are stable for its lifetime, so handles are resolved
+  // once per (backend, op) pair and the per-call label-map construction —
+  // four small-map node allocations per dispatch — disappears from the hot
+  // path. Backend names are SSO-short, so cache lookups do not allocate.
+  const Handles& cached(const std::string& backend, OpType op, obs::MetricsRegistry& metrics) {
+    const std::pair<std::string, int> key{backend, static_cast<int>(op)};
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    const obs::Labels labels{{"backend", backend}, {"op", op_name(op)}};
+    Handles h{&metrics.counter("pipeline_ops", labels),
+              &metrics.histogram("op_latency_us", labels)};
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return cache_.emplace(key, h).first->second;
+  }
+
+  std::shared_mutex mu_;
+  std::map<std::pair<std::string, int>, Handles> cache_;
 };
 
 // --- recover: elastic rank-loss recovery (src/fault/recovery.h) -------------
@@ -156,11 +271,13 @@ class FinishStage : public OpStage {
 // the call parks until the epoch advances (quiesce -> shrink has completed),
 // remaps its communicator/root/peer onto the survivors and replays. With
 // recovery disarmed the stage is a pure pass-through — no scheduler
-// interaction, no allocation — so fault-free runs stay byte-identical.
+// interaction, no allocation — so fault-free runs stay byte-identical (and
+// the plan compiler elides it outright on the fast path).
 
 class RecoverStage : public OpStage {
  public:
   const char* name() const override { return "recover"; }
+  bool provably_noop(const StagePlanInputs& in) const override { return !in.recovery_armed; }
   Work run(OpCall& c, const OpNext& next) override {
     fault::FaultInjector& faults = c.ctx->cluster()->faults();
     fault::RecoveryManager& rec = faults.recovery();
@@ -431,7 +548,7 @@ class IssueStage : public OpStage {
     c.fused = false;
     c.compressed = false;
     if (c.admit_fusion) {
-      Work w = c.ctx->fusion().all_reduce(comm, c.rank, c.req.tensor, c.req.rop);
+      Work w = c.ctx->fusion().submit(comm, c.rank, c.req.op, c.req.tensor, c.req.rop, c.req.root);
       if (!c.req.async_op) w->wait();
       c.fused = true;
       return w;
@@ -459,6 +576,25 @@ class IssueStage : public OpStage {
 
 }  // namespace
 
+// RAII lease of an arena OpCall: releases (recycles) the slot on every exit
+// path, including exceptions unwinding out of the stage chain. Safe because
+// nothing keeps a reference to the OpCall past execute() — completion
+// closures copy the fields they need.
+class OpPipeline::ArenaLease {
+ public:
+  ArenaLease(OpPipeline* pipeline, int rank)
+      : pipeline_(pipeline), rank_(rank), call_(pipeline->arena_acquire(rank)) {}
+  ~ArenaLease() { pipeline_->arena_release(rank_, call_); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  OpCall& call() { return *call_; }
+
+ private:
+  OpPipeline* pipeline_;
+  int rank_;
+  OpCall* call_;
+};
+
 OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
   MCRDL_REQUIRE(ctx_ != nullptr, "OpPipeline needs a context");
   stages_.push_back(std::make_unique<OverheadStage>());
@@ -470,18 +606,45 @@ OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
   stages_.push_back(std::make_unique<RouteStage>());
   stages_.push_back(std::make_unique<IssueStage>());
   rebuild_stage_histograms();
+  pool_count_ = static_cast<std::size_t>(std::max(0, ctx_->cluster()->world_size()));
+  pools_ = std::make_unique<RankPool[]>(pool_count_);
 }
 
 OpPipeline::~OpPipeline() = default;
 
 Work OpPipeline::execute(int rank, const std::vector<int>& group, OpRequest req) {
-  OpCall call;
+  const PlanTable* table = plan_table();
+  if (!ctx_->options().fast_dispatch) {
+    // Slow path — the pre-fast-path dispatch shape, kept as the referee: a
+    // fresh OpCall per op, every stage invoked, per-call label maps in the
+    // finish stage. Golden traces pin that both shapes are byte-identical.
+    OpCall call;
+    call.ctx = ctx_;
+    call.rank = rank;
+    call.group = group;
+    call.req = std::move(req);
+    call.plan = &table->full;
+    call.stage_child_us.assign(table->full.seq.size(), 0.0);
+    return invoke(0, call);
+  }
+  const StagePlan& plan =
+      table->plans[static_cast<std::size_t>(req.op) * kMaskCount + config_mask()];
+  ArenaLease lease(this, rank);
+  OpCall& call = lease.call();
   call.ctx = ctx_;
   call.rank = rank;
+  call.fast = true;
+  call.plan = &plan;
+  // Copy-assign (not move) into the recycled slot so its container capacity
+  // is reused instead of replaced.
   call.group = group;
-  call.req = std::move(req);
-  call.stage_child_us.assign(stages_.size(), 0.0);
-  return invoke(0, call);
+  call.req = req;
+  call.stage_child_us.assign(plan.seq.size(), 0.0);
+  Work w = invoke(0, call);
+  // Elided stages observe exactly what their no-op invocation would have:
+  // zero exclusive virtual time, once per completed op.
+  for (const std::uint8_t idx : plan.skipped) stage_hist_[idx]->observe(0.0);
+  return w;
 }
 
 // Resolves the `pipeline_stage_us{stage=...}` histogram of every stage up
@@ -497,23 +660,25 @@ void OpPipeline::rebuild_stage_histograms() {
 }
 
 // Each stage's histogram records its *exclusive* virtual time: the chain is
-// linear (stage i only invokes stage i+1, possibly several times for
-// retries), so exclusive time is this invocation's total minus the time its
-// child invocations accumulated into stage_child_us[index]. Reading now()
+// linear (plan position p only invokes position p+1, possibly several times
+// for retries), so exclusive time is this invocation's total minus the time
+// its child invocations accumulated into stage_child_us[pos]. Reading now()
 // is side-effect-free, so the instrumentation cannot move a virtual-time
 // stamp — the golden-trace tests pin this.
-Work OpPipeline::invoke(std::size_t index, OpCall& call) {
-  MCRDL_CHECK(index < stages_.size()) << "pipeline ran off the end — missing terminal stage?";
+Work OpPipeline::invoke(std::size_t pos, OpCall& call) {
+  const StagePlan& plan = *call.plan;
+  MCRDL_CHECK(pos < plan.seq.size()) << "pipeline ran off the end — missing terminal stage?";
+  const std::size_t index = plan.seq[pos];
   sim::Scheduler& sched = ctx_->cluster()->scheduler();
   const SimTime start = sched.now();
-  const double child_before = call.stage_child_us[index];
+  const double child_before = call.stage_child_us[pos];
   const auto settle = [&]() {
     const double total = sched.now() - start;
-    if (index > 0) call.stage_child_us[index - 1] += total;
-    return total - (call.stage_child_us[index] - child_before);
+    if (pos > 0) call.stage_child_us[pos - 1] += total;
+    return total - (call.stage_child_us[pos] - child_before);
   };
   try {
-    Work w = stages_[index]->run(call, [this, index, &call]() { return invoke(index + 1, call); });
+    Work w = stages_[index]->run(call, OpNext(this, &call, pos + 1));
     stage_hist_[index]->observe(settle());
     return w;
   } catch (...) {
@@ -524,6 +689,119 @@ Work OpPipeline::invoke(std::size_t index, OpCall& call) {
     throw;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Stage plans
+// ---------------------------------------------------------------------------
+
+unsigned OpPipeline::config_mask() const {
+  unsigned mask = 0;
+  if (ctx_->options().per_call_overhead_us > 0.0) mask |= kMaskOverhead;
+  if (ctx_->fusion().config().enabled) mask |= kMaskFusion;
+  if (ctx_->compression().config().enabled) mask |= kMaskCompression;
+  if (ctx_->cluster()->faults().recovery().armed()) mask |= kMaskRecovery;
+  return mask;
+}
+
+std::uint64_t OpPipeline::config_version() const {
+  return static_cast<std::uint64_t>(ctx_->fusion().config_version()) |
+         (static_cast<std::uint64_t>(ctx_->compression().config_version()) << 32);
+}
+
+const OpPipeline::PlanTable* OpPipeline::plan_table() {
+  const std::uint64_t version = config_version();
+  const PlanTable* table = plans_.load(std::memory_order_acquire);
+  if (table != nullptr && table->config_version == version) return table;
+  return recompile_plans(version);
+}
+
+// Compiles the plan of every (op, dynamic-toggle mask) pair by asking each
+// stage whether it is provably a no-op under that snapshot. Rare: runs on
+// first dispatch, after insert_*, and when a fusion/compression set_config
+// bumps its version. Superseded tables are retired, not freed, so plan
+// pointers held by in-flight calls stay valid across a recompile.
+const OpPipeline::PlanTable* OpPipeline::recompile_plans(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  const PlanTable* current = plans_.load(std::memory_order_acquire);
+  if (current != nullptr && current->config_version == version) return current;
+  auto table = std::make_unique<PlanTable>();
+  table->config_version = version;
+  table->full.seq.resize(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    table->full.seq[i] = static_cast<std::uint8_t>(i);
+  }
+  table->plans.resize(kOpCount * kMaskCount);
+  for (std::size_t op = 0; op < kOpCount; ++op) {
+    for (std::size_t mask = 0; mask < kMaskCount; ++mask) {
+      StagePlanInputs in;
+      in.ctx = ctx_;
+      in.op = static_cast<OpType>(op);
+      in.overhead_on = (mask & kMaskOverhead) != 0;
+      in.fusion_on = (mask & kMaskFusion) != 0;
+      in.compression_on = (mask & kMaskCompression) != 0;
+      in.recovery_armed = (mask & kMaskRecovery) != 0;
+      StagePlan& plan = table->plans[op * kMaskCount + mask];
+      for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (stages_[i]->provably_noop(in)) {
+          plan.skipped.push_back(static_cast<std::uint8_t>(i));
+        } else {
+          plan.seq.push_back(static_cast<std::uint8_t>(i));
+        }
+      }
+    }
+  }
+  const PlanTable* out = table.get();
+  plan_history_.push_back(std::move(table));
+  plans_.store(out, std::memory_order_release);
+  return out;
+}
+
+std::vector<std::string> OpPipeline::active_stage_names(OpType op) {
+  const PlanTable* table = plan_table();
+  const StagePlan& plan =
+      table->plans[static_cast<std::size_t>(op) * kMaskCount + config_mask()];
+  std::vector<std::string> names;
+  names.reserve(plan.seq.size());
+  for (const std::uint8_t idx : plan.seq) names.emplace_back(stages_[idx]->name());
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch arena
+// ---------------------------------------------------------------------------
+
+OpCall* OpPipeline::arena_acquire(int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= pool_count_) return new OpCall();
+  RankPool& pool = pools_[static_cast<std::size_t>(rank)];
+  if (pool.free.empty()) {
+    pool.created.fetch_add(1, std::memory_order_relaxed);
+    return new OpCall();
+  }
+  OpCall* call = pool.free.back().release();
+  pool.free.pop_back();
+  return call;
+}
+
+void OpPipeline::arena_release(int rank, OpCall* call) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= pool_count_) {
+    delete call;
+    return;
+  }
+  call->recycle();
+  pools_[static_cast<std::size_t>(rank)].free.emplace_back(call);
+}
+
+std::size_t OpPipeline::arena_slots() const {
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < pool_count_; ++r) {
+    total += pools_[r].created.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Stage-list introspection and setup
+// ---------------------------------------------------------------------------
 
 std::vector<std::string> OpPipeline::stage_names() const {
   std::vector<std::string> names;
@@ -541,15 +819,23 @@ std::size_t OpPipeline::index_of(const std::string& name) const {
 
 void OpPipeline::insert_before(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_before needs a stage");
+  MCRDL_CHECK(stages_.size() < 255) << "OpPipeline stage limit reached";
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)), std::move(stage));
   rebuild_stage_histograms();
+  // Stage indices moved: invalidate compiled plans (in-flight calls keep
+  // their retired tables; this is a setup-time API).
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plans_.store(nullptr, std::memory_order_release);
 }
 
 void OpPipeline::insert_after(const std::string& name, std::unique_ptr<OpStage> stage) {
   MCRDL_REQUIRE(stage != nullptr, "insert_after needs a stage");
+  MCRDL_CHECK(stages_.size() < 255) << "OpPipeline stage limit reached";
   stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index_of(name)) + 1,
                  std::move(stage));
   rebuild_stage_histograms();
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plans_.store(nullptr, std::memory_order_release);
 }
 
 }  // namespace mcrdl

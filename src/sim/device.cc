@@ -57,6 +57,17 @@ void StreamGate::open() {
 Stream::Stream(Scheduler* sched, Device* device, std::string name)
     : sched_(sched), device_(device), name_(std::move(name)), quiescent_(sched) {}
 
+Stream::~Stream() {
+  // Ops still queued at teardown will never execute, so their Record events
+  // will never complete. Those events' callbacks often close over the Work
+  // that owns the event (Event -> callback -> Work -> Event), a cycle only
+  // completion would break — drop the callbacks so a program that ends with
+  // an undrained stream does not leak its in-flight completion chains.
+  for (Op& op : queue_) {
+    if (op.event != nullptr && !op.event->complete()) op.event->drop_callbacks();
+  }
+}
+
 void Stream::launch_kernel(SimTime duration, std::function<void()> on_complete,
                            std::string label) {
   MCRDL_REQUIRE(duration >= 0.0, "kernel duration must be non-negative");

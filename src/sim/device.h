@@ -50,6 +50,13 @@ class Event {
   // under the baton, before host waiters resume.
   void on_complete(std::function<void()> fn);
 
+  // Discards pending callbacks without running them. Teardown-only: a
+  // never-completed event will never fire them, and a callback capturing the
+  // Work that owns this event (the dispatch layer's completion closures do)
+  // forms a reference cycle only completion would break — a program that
+  // drops in-flight work and tears down would leak it otherwise.
+  void drop_callbacks() { callbacks_.clear(); }
+
   // --- stream-internal interface ---
   void mark_complete(SimTime t);
   void add_stream_waiter(Stream* s) { stream_waiters_.push_back(s); }
@@ -88,6 +95,10 @@ class Device;
 class Stream {
  public:
   Stream(Scheduler* sched, Device* device, std::string name);
+  // Drops the callbacks of events still queued for Record: they can never
+  // complete once the stream is gone, and their callbacks may close over the
+  // Works that own them (see Event::drop_callbacks).
+  ~Stream();
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 

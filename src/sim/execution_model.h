@@ -149,6 +149,11 @@ class ExecutionModel {
   virtual int current_actor_id() const = 0;
   virtual bool running() const = 0;
   virtual std::uint64_t events_fired() const = 0;
+  // Live (scheduled, not yet fired, not cancelled) timed events currently in
+  // the queue. Cancelled tombstones are excluded: regression tests use this
+  // to pin that cancel-heavy workloads (fusion flush timers) do not grow the
+  // queue without bound.
+  virtual std::uint64_t pending_events() const = 0;
 
   virtual ExecutionModelKind kind() const = 0;
   // Number of concurrent shards (1 for the serial engine).

@@ -108,7 +108,10 @@ void ParallelShards::event_phase() {
     std::shared_ptr<detail::TimedEvent> ev;
     {
       std::lock_guard<std::mutex> lk(events_mu_);
-      while (!events_.empty() && events_.top()->cancelled) events_.pop();
+      while (!events_.empty() && events_.top()->cancelled) {
+        events_.pop();
+        --cancelled_in_queue_;
+      }
       if (!events_.empty()) {
         ev = events_.top();
         events_.pop();
@@ -140,7 +143,10 @@ void ParallelShards::event_phase() {
     // per phase — correct, but with no parallelism to speak of.
     if (active() > 0) {
       std::lock_guard<std::mutex> lk(events_mu_);
-      while (!events_.empty() && events_.top()->cancelled) events_.pop();
+      while (!events_.empty() && events_.top()->cancelled) {
+        events_.pop();
+        --cancelled_in_queue_;
+      }
       if (events_.empty() ||
           events_.top()->t > now_.load(std::memory_order_relaxed)) {
         return;
@@ -351,8 +357,36 @@ void ParallelShards::cancel(std::uint64_t event_id) {
   std::lock_guard<std::mutex> lk(events_mu_);
   auto it = events_by_id_.find(event_id);
   if (it == events_by_id_.end()) return;
-  if (auto ev = it->second.lock()) ev->cancelled = true;
+  if (auto ev = it->second.lock()) {
+    ev->cancelled = true;
+    // Free the closure now — tombstones in the priority queue must not pin
+    // captured state (Works, tensors) until their deadline passes.
+    ev->fn = nullptr;
+    ++cancelled_in_queue_;
+  }
   events_by_id_.erase(it);
+  maybe_purge_cancelled_locked();
+}
+
+std::uint64_t ParallelShards::pending_events() const {
+  std::lock_guard<std::mutex> lk(events_mu_);
+  return events_.size() - cancelled_in_queue_;
+}
+
+void ParallelShards::maybe_purge_cancelled_locked() {
+  // Tombstones surface cheaply at the queue head during the event phase;
+  // only rebuild when they are both numerous and the majority, so cancel
+  // stays amortized O(log n) on cancel-heavy workloads (fusion flush timers)
+  // without pathological queue growth in between.
+  if (cancelled_in_queue_ <= 64 || cancelled_in_queue_ * 2 <= events_.size()) return;
+  std::vector<std::shared_ptr<detail::TimedEvent>> live;
+  live.reserve(events_.size() - cancelled_in_queue_);
+  while (!events_.empty()) {
+    if (!events_.top()->cancelled) live.push_back(events_.top());
+    events_.pop();
+  }
+  for (auto& ev : live) events_.push(std::move(ev));
+  cancelled_in_queue_ = 0;
 }
 
 std::string ParallelShards::current_actor_name() const {

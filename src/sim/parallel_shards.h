@@ -72,6 +72,7 @@ class ParallelShards final : public ExecutionModel {
   std::uint64_t events_fired() const override {
     return events_fired_.load(std::memory_order_relaxed);
   }
+  std::uint64_t pending_events() const override;
 
   ExecutionModelKind kind() const override { return ExecutionModelKind::ParallelShards; }
   int shard_count() const override { return shard_count_; }
@@ -99,6 +100,9 @@ class ParallelShards final : public ExecutionModel {
   // runnable; declares deadlock if the queue drains with live actors left.
   void event_phase();
   void declare_deadlock();
+  // Rebuilds events_ without its cancelled tombstones once they dominate the
+  // queue; called with events_mu_ held.
+  void maybe_purge_cancelled_locked();
   void record_error(std::exception_ptr err);
   void force_wake_all(WakeReason reason);
   void inc_active();
@@ -118,6 +122,9 @@ class ParallelShards final : public ExecutionModel {
       events_;
   std::map<std::uint64_t, std::weak_ptr<detail::TimedEvent>> events_by_id_;
   std::uint64_t next_event_seq_ = 0;
+  // Cancelled events still sitting in events_ as tombstones (their closures
+  // are already freed at cancel time); guarded by events_mu_.
+  std::size_t cancelled_in_queue_ = 0;
 
   // Controller/quiescence bookkeeping. active_ counts actors that are
   // Running or Runnable; live_ counts actors that are not Done.

@@ -109,6 +109,8 @@ class Scheduler {
 
   // Number of timed events that have fired so far (diagnostic).
   std::uint64_t events_fired() const { return impl_->events_fired(); }
+  // Number of live (not fired, not cancelled) timed events in the queue.
+  std::uint64_t pending_events() const { return impl_->pending_events(); }
 
   // --- execution-model introspection --------------------------------------
   const ExecutionConfig& execution_config() const { return config_; }

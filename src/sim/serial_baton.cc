@@ -164,7 +164,10 @@ void SerialBaton::dispatch_until_runnable_locked(std::unique_lock<std::mutex>& l
                                                  bool exiting) {
   for (;;) {
     if (!run_queue_.empty()) return;
-    while (!events_.empty() && events_.top()->cancelled) events_.pop();
+    while (!events_.empty() && events_.top()->cancelled) {
+      events_.pop();
+      --cancelled_in_queue_;
+    }
     if (!events_.empty()) {
       auto ev = events_.top();
       events_.pop();
@@ -215,8 +218,36 @@ void SerialBaton::cancel(std::uint64_t event_id) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = events_by_id_.find(event_id);
   if (it == events_by_id_.end()) return;
-  if (auto ev = it->second.lock()) ev->cancelled = true;
+  if (auto ev = it->second.lock()) {
+    ev->cancelled = true;
+    // Free the closure now — tombstones in the priority queue must not pin
+    // captured state (Works, tensors) until their deadline passes.
+    ev->fn = nullptr;
+    ++cancelled_in_queue_;
+  }
   events_by_id_.erase(it);
+  maybe_purge_cancelled_locked();
+}
+
+std::uint64_t SerialBaton::pending_events() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return events_.size() - cancelled_in_queue_;
+}
+
+void SerialBaton::maybe_purge_cancelled_locked() {
+  // Tombstones surface cheaply at the queue head during normal dispatch;
+  // only rebuild when they are both numerous and the majority, so cancel
+  // stays amortized O(log n) on cancel-heavy workloads (fusion flush timers)
+  // without pathological queue growth in between.
+  if (cancelled_in_queue_ <= 64 || cancelled_in_queue_ * 2 <= events_.size()) return;
+  std::vector<std::shared_ptr<detail::TimedEvent>> live;
+  live.reserve(events_.size() - cancelled_in_queue_);
+  while (!events_.empty()) {
+    if (!events_.top()->cancelled) live.push_back(events_.top());
+    events_.pop();
+  }
+  for (auto& ev : live) events_.push(std::move(ev));
+  cancelled_in_queue_ = 0;
 }
 
 std::string SerialBaton::current_actor_name() const {

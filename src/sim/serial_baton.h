@@ -50,6 +50,7 @@ class SerialBaton final : public ExecutionModel {
   int current_actor_id() const override;
   bool running() const override { return running_; }
   std::uint64_t events_fired() const override { return events_fired_; }
+  std::uint64_t pending_events() const override;
 
   ExecutionModelKind kind() const override { return ExecutionModelKind::SerialBaton; }
   int shard_count() const override { return 1; }
@@ -65,6 +66,9 @@ class SerialBaton final : public ExecutionModel {
   // the system is exhausted while live actors remain blocked.
   void dispatch_until_runnable_locked(std::unique_lock<std::mutex>& lock, bool exiting);
   void declare_deadlock_locked();
+  // Rebuilds events_ without its cancelled tombstones once they dominate the
+  // queue; called with mu_ held.
+  void maybe_purge_cancelled_locked();
 
   mutable std::mutex mu_;
   std::condition_variable main_cv_;
@@ -80,6 +84,9 @@ class SerialBaton final : public ExecutionModel {
   SimTime now_ = 0.0;
   std::uint64_t next_event_seq_ = 0;
   std::uint64_t events_fired_ = 0;
+  // Cancelled events still sitting in events_ as tombstones (their closures
+  // are already freed at cancel time).
+  std::size_t cancelled_in_queue_ = 0;
   int live_actors_ = 0;
   bool running_ = false;
   bool aborting_ = false;

@@ -56,6 +56,7 @@ void check_schema(const obs::JsonValue& doc) {
     throw InvalidArgument("bench file has no series");
   }
   bool has_increasing_bytes_sweep = false;
+  bool has_hotpath_speedup = false;
   for (const auto& s : series.array) {
     if (!s.at("name").is_string() || !s.at("backend").is_string()) {
       throw InvalidArgument("series needs string name and backend");
@@ -73,6 +74,17 @@ void check_schema(const obs::JsonValue& doc) {
       if (p.at("virtual_us").number < 0.0) throw InvalidArgument("negative virtual_us");
       if (p.at("bytes").number <= prev_bytes) increasing = false;
       prev_bytes = p.at("bytes").number;
+      // The hotpath speedup series carries the bucketed/slow wall-clock
+      // throughput ratio. Committed exports show >=5x; the CI gate is
+      // deliberately lenient (1.5x) so a loaded runner cannot flake it,
+      // while still catching a fast path that regressed to slow-path cost.
+      if (experiment == "hotpath" && s.at("name").str == "speedup") {
+        if (p.at("items_per_s").number < 1.5) {
+          throw InvalidArgument("hotpath speedup dropped below 1.5x at bytes=" +
+                                std::to_string(p.at("bytes").number));
+        }
+        has_hotpath_speedup = true;
+      }
     }
     if (increasing) has_increasing_bytes_sweep = true;
   }
@@ -81,6 +93,9 @@ void check_schema(const obs::JsonValue& doc) {
   if (experiment == "fig2" && !has_increasing_bytes_sweep) {
     throw InvalidArgument(
         "fig2 export has no series with >= 2 points of strictly increasing bytes");
+  }
+  if (experiment == "hotpath" && !has_hotpath_speedup) {
+    throw InvalidArgument("hotpath export has no populated speedup series");
   }
 }
 

@@ -189,6 +189,33 @@ echo "== bench_export smoke: resilience perf trajectory =="
 timeout 600 "${build_dir}/tools/bench_export" --experiment resilience --quick --out "${bench_dir}"
 "${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_resilience.json"
 
+# Hot-path perf trajectory (DESIGN.md §14): export the dispatch-throughput
+# experiment on the quick grid and validate it — the schema check requires a
+# populated speedup series and fails if the bucketed/slow ratio ever drops
+# below 1.5x (committed exports show >=5x; the CI gate is lenient so a
+# loaded runner cannot flake it, while still catching a fast path that
+# regressed to slow-path cost).
+echo "== bench_export smoke: hotpath perf trajectory =="
+timeout 600 "${build_dir}/tools/bench_export" --experiment hotpath --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_hotpath.json"
+
+# Memory-check the dispatch hot path: rebuild the core suite (facade,
+# pipeline, fusion/bucketing, logging) with -fsanitize=address and run it by
+# label. The arena recycles OpRequests and the bucketing layer slices fused
+# buffers back through completion closures — exactly the lifetime games ASan
+# catches (use-after-release into the arena, a leaked flush timer's closure,
+# a completion callback outliving its Work). Leak detection stays on.
+echo "== asan smoke: core dispatch suite under -fsanitize=address =="
+asan_dir="${build_dir}-asan"
+rm -rf "${asan_dir}"
+cmake -B "${asan_dir}" -S "${repo_root}" -DMCRDL_SANITIZE=address
+cmake --build "${asan_dir}" -j "${jobs}" --target \
+    core_api_test core_fusion_test core_bucketing_test core_pipeline_test \
+    core_golden_trace_test core_logger_test core_compression_hook_test \
+    core_emulation_test core_trace_test core_persistent_test \
+    core_process_groups_test
+( cd "${asan_dir}" && ctest --output-on-failure -j "${jobs}" -L core )
+
 # Race-check the parallel engine for real: rebuild the sim/sched suites with
 # -fsanitize=thread and run them (the execution-model tests drive both
 # engines, the serve suite drives the harness on top). A data race fails the
