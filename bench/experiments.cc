@@ -4,13 +4,16 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "src/coll/spec.h"
 #include "src/common/status.h"
 #include "src/core/mcr_dl.h"
 #include "src/tune/online_tuner.h"
 #include "src/tune/tuning.h"
+#include "src/models/cnn3d.h"
 #include "src/models/dlrm.h"
 #include "src/models/moe.h"
 #include "src/models/workload.h"
@@ -768,6 +771,166 @@ BenchReport run_hotpath(const HotpathOptions& options) {
   return report;
 }
 
+// --- hier -------------------------------------------------------------------
+
+namespace {
+
+// The two levels of a "hier:<intra>+<inter>" string (or the backend itself
+// for a flat algorithm) — the engines a hier run must bring up.
+std::vector<std::string> hier_engines(std::initializer_list<std::string> algos) {
+  std::vector<std::string> engines;
+  auto add = [&engines](const std::string& b) {
+    if (std::find(engines.begin(), engines.end(), b) == engines.end()) engines.push_back(b);
+  };
+  for (const std::string& algo : algos) {
+    if (std::optional<coll::CompositeSpec> spec = coll::parse(algo)) {
+      add(spec->intra);
+      if (!spec->inter.empty()) add(spec->inter);
+    } else {
+      add(algo);
+    }
+  }
+  return engines;
+}
+
+// One synchronous allreduce on `algo`, averaged over `iterations` in virtual
+// time. Fresh cluster per configuration so the runs are independent. The
+// synchronize before the closing barrier matters: stream-backend allreduces
+// return once enqueued, so without a drain a flat nccl loop measures zero.
+double hier_allreduce_us(const HierOptions& opts, const std::string& algo, int nodes,
+                         std::size_t bytes, bool overlap) {
+  ClusterContext cluster(net::SystemConfig::lassen(nodes));
+  McrDlOptions mopts;
+  mopts.coll.enabled = true;
+  mopts.coll.overlap = overlap;
+  McrDl mcr(&cluster, mopts);
+  mcr.init(hier_engines({opts.flat_backend, algo}));
+  const std::int64_t elems = static_cast<std::int64_t>(std::max<std::size_t>(1, bytes / 4));
+
+  double elapsed_us = 0.0;
+  SimTime start = 0.0;
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    sim::Device* dev = cluster.device(rank);
+    for (int i = 0; i < opts.warmup; ++i) {
+      api.all_reduce(algo, Tensor::phantom({elems}, DType::F32, dev));
+    }
+    api.synchronize();
+    api.barrier(opts.flat_backend);
+    if (rank == 0) start = cluster.scheduler().now();
+    for (int i = 0; i < opts.iterations; ++i) {
+      api.all_reduce(algo, Tensor::phantom({elems}, DType::F32, dev));
+    }
+    api.synchronize();
+    api.barrier(opts.flat_backend);
+    if (rank == 0) elapsed_us = (cluster.scheduler().now() - start) / opts.iterations;
+  });
+  return elapsed_us;
+}
+
+}  // namespace
+
+BenchReport run_hier(const HierOptions& options) {
+  HierOptions opts = options;
+  if (opts.node_counts.empty()) opts.node_counts = {1, 2, 4};
+  if (opts.sizes.empty()) {
+    opts.sizes = {64u << 10, 256u << 10, 1u << 20, 4u << 20, 16u << 20, 64u << 20};
+  }
+  if (opts.model_worlds.empty()) opts.model_worlds = {8, 16};
+  if (opts.quick) {
+    opts.node_counts = {1, 2};
+    opts.sizes = {256u << 10, 4u << 20, 16u << 20};
+    opts.model_worlds = {8};
+    opts.iterations = 1;
+    opts.warmup = 0;
+    opts.measured_steps = 1;
+    opts.warmup_steps = 0;
+  }
+  const std::optional<coll::CompositeSpec> overlap_spec = coll::parse(opts.overlap_algo);
+  MCRDL_REQUIRE(overlap_spec.has_value() && overlap_spec->algo == coll::CompositeAlgo::Hier,
+                "HierOptions::overlap_algo must be a hier:<intra>+<inter> composite");
+
+  BenchReport report;
+  report.experiment = "hier";
+
+  // Microbench sweep per node count: the flat incumbent, the same-runtime
+  // composite (algorithm-only gain), and the mixed composite under the
+  // overlap scheduler (algorithm + schedule).
+  struct Variant {
+    const char* tag;
+    const std::string* algo;
+    bool overlap;
+  };
+  const Variant variants[] = {{"flat", &opts.flat_backend, false},
+                              {"hier", &opts.hier_algo, false},
+                              {"hier+overlap", &opts.overlap_algo, true}};
+  for (int nodes : opts.node_counts) {
+    for (const Variant& v : variants) {
+      BenchSeries series;
+      series.name = std::string("all_reduce/") + v.tag + "/n" + std::to_string(nodes);
+      series.backend = *v.algo;
+      for (std::size_t bytes : opts.sizes) {
+        BenchPoint p;
+        p.world = nodes * 4;  // Lassen
+        p.bytes = bytes;
+        p.virtual_us = hier_allreduce_us(opts, *v.algo, nodes, bytes, v.overlap);
+        series.points.push_back(p);
+      }
+      report.series.push_back(std::move(series));
+    }
+  }
+
+  // Model sweep: 3D-CNN step time under the three plans. Both composite
+  // variants run the identical mixed plan — the only delta between "hier"
+  // and "hier+overlap" is the scheduler, so the model comparison isolates
+  // what overlapping the levels is worth.
+  struct PlanVariant {
+    const char* tag;
+    models::CommPlan plan;
+    bool coll;
+    bool overlap;
+  };
+  const PlanVariant plan_variants[] = {
+      {"flat", models::CommPlan::pure(opts.flat_backend, "flat"), false, false},
+      {"hier",
+       models::CommPlan::hier_allreduce(opts.flat_backend, overlap_spec->intra,
+                                        overlap_spec->inter, "hier"),
+       true, false},
+      {"hier+overlap",
+       models::CommPlan::hier_allreduce(opts.flat_backend, overlap_spec->intra,
+                                        overlap_spec->inter, "hier+overlap"),
+       true, true}};
+
+  std::vector<BenchSeries> model_series(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    model_series[i].name = std::string("cnn3d/") + plan_variants[i].tag;
+    model_series[i].backend = plan_variants[i].coll ? opts.overlap_algo : opts.flat_backend;
+  }
+  for (int world : opts.model_worlds) {
+    MCRDL_REQUIRE(world % 4 == 0, "hier model sweep runs on Lassen (4 GPUs per node)");
+    net::SystemConfig sys = net::SystemConfig::lassen(world / 4);
+    models::TrainingHarness harness(sys);
+    models::Cnn3dModel model(models::Cnn3dConfig{}, sys);
+    for (std::size_t i = 0; i < 3; ++i) {
+      models::HarnessOptions hopts;
+      hopts.warmup_steps = opts.warmup_steps;
+      hopts.measured_steps = opts.measured_steps;
+      hopts.mcr_options.coll.enabled = plan_variants[i].coll;
+      hopts.mcr_options.coll.overlap = plan_variants[i].overlap;
+      const models::RunResult result =
+          harness.run(model, plan_variants[i].plan, models::FrameworkModel::raw(), hopts);
+      BenchPoint p;
+      p.world = world;
+      p.bytes = 0;  // whole-step measurement
+      p.virtual_us = result.step_time_us;
+      p.items_per_s = result.throughput;
+      model_series[i].points.push_back(p);
+    }
+  }
+  for (auto& s : model_series) report.series.push_back(std::move(s));
+  return report;
+}
+
 const std::vector<Experiment>& experiment_registry() {
   static const std::vector<Experiment> registry = {
       {"fig2", "collective microbenchmark across backends (paper Figure 2)",
@@ -820,6 +983,12 @@ const std::vector<Experiment>& experiment_registry() {
          HotpathOptions options;
          options.quick = o.quick;
          return run_hotpath(options);
+       }},
+      {"hier", "hierarchical composite allreduce vs flat, plus overlap (DESIGN.md §15)",
+       [](const ExperimentOptions& o) {
+         HierOptions options;
+         options.quick = o.quick;
+         return run_hier(options);
        }},
   };
   return registry;

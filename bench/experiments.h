@@ -219,6 +219,50 @@ struct HotpathOptions {
 };
 BenchReport run_hotpath(const HotpathOptions& options = {});
 
+// Composite-collective experiment (DESIGN.md §15): where does a two-level
+// hierarchical allreduce beat the flat single-backend choice, and what does
+// the overlap scheduler add on top? Two sweeps in one report:
+//
+//   * microbench — for each node count n, series "all_reduce/flat/n<n>",
+//     "all_reduce/hier/n<n>" and "all_reduce/hier+overlap/n<n>" sweep the
+//     message grid (strictly increasing `bytes`), measuring one synchronous
+//     allreduce per point in virtual time. Flat wins small messages (one
+//     launch vs three); `hier_algo` (same runtime at both levels) wins large
+//     messages at n >= 2 — the NIC hop carries 1/gpus_per_node of the
+//     traffic, rail-striped by the leaders. At n == 1 the composite
+//     degenerates to reduce+broadcast and loses everywhere — kept in the
+//     export as the honest baseline.
+//
+//   * model — series "cnn3d/flat", "cnn3d/hier" and "cnn3d/hier+overlap"
+//     carry the 3D-CNN step time per world size (`bytes` = 0). Both
+//     composite variants run the *same* `overlap_algo` plan so the only
+//     delta is the scheduler: without overlap the host-MPI inter hop is
+//     pure added tax and the plan loses to flat; with overlap the chunks of
+//     independent gradient buckets interleave the NVLink and NIC levels and
+//     the plan wins outright — the paper-style "algorithm *and* schedule"
+//     crossover.
+//
+// Why two composite strings: a single-runtime composite ("hier:nccl+nccl")
+// issues both levels on the same device stream, which orders them — it can
+// improve the *algorithm* but the overlap scheduler cannot interleave its
+// phases. Pairing a stream runtime intra-node with a host-progressed MPI
+// runtime inter-node ("hier:nccl+mv2-gdr") is what makes the levels truly
+// concurrent — the mix-and-match thesis in one experiment.
+struct HierOptions {
+  std::vector<int> node_counts;         // empty = {1, 2, 4}
+  std::vector<std::size_t> sizes;       // empty = 64KiB..64MiB grid
+  std::string flat_backend = "nccl";    // the single-backend incumbent
+  std::string hier_algo = "hier:nccl+nccl";           // algorithm-only gain
+  std::string overlap_algo = "hier:nccl+mv2-gdr";     // mixed, overlappable
+  std::vector<int> model_worlds;        // empty = {8, 16}
+  int iterations = 2;
+  int warmup = 1;
+  int measured_steps = 3;
+  int warmup_steps = 1;
+  bool quick = false;                   // trim grids for CI smoke runs
+};
+BenchReport run_hier(const HierOptions& options = {});
+
 // --- experiment registry ----------------------------------------------------
 //
 // Name -> runner table shared by bench_export (and anything else that runs
@@ -241,7 +285,7 @@ struct Experiment {
 };
 
 // Registered experiments in a stable order (fig2, fig8, fig9, scale, adapt,
-// serve, resilience, hotpath).
+// serve, resilience, hotpath, hier).
 const std::vector<Experiment>& experiment_registry();
 // The registry entry for `name`, or nullptr when unknown.
 const Experiment* find_experiment(const std::string& name);

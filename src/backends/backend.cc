@@ -15,18 +15,6 @@ using backends_detail::OpDesc;
 
 namespace {
 
-// Communicator shape (nodes spanned, max ranks per node) from a rank list.
-net::CommShape shape_of_group(const net::Topology& topo, const std::vector<int>& ranks) {
-  std::map<int, int> per_node;
-  for (int r : ranks) ++per_node[topo.node_of(r)];
-  net::CommShape s;
-  s.world = static_cast<int>(ranks.size());
-  s.nodes = static_cast<int>(per_node.size());
-  s.ppn = 1;
-  for (auto& [node, count] : per_node) s.ppn = std::max(s.ppn, count);
-  return s;
-}
-
 // Every communicator's cost model feeds the cluster-wide link-usage
 // accumulator (so link-utilization gauges cover all backends and groups)
 // and reads the cluster's shared tenant-contention state.
@@ -43,7 +31,7 @@ Comm::Comm(Backend* backend, std::vector<int> ranks)
     : backend_(backend),
       ranks_(std::move(ranks)),
       engine_(&backend->cluster()->scheduler(), instrumented_cost_model(backend),
-              shape_of_group(backend->cluster()->topology(), ranks_),
+              net::CommShape::of(backend->cluster()->topology(), ranks_),
               static_cast<int>(ranks_.size()), ranks_, &backend->cluster()->faults(),
               backend->profile().name),
       p2p_(&backend->cluster()->scheduler(), instrumented_cost_model(backend), ranks_,

@@ -412,14 +412,34 @@ std::uint64_t CollectiveEngine::drain_lost(const std::vector<int>& lost) {
   for (int g : global_ranks_) {
     if (std::find(lost.begin(), lost.end(), g) != lost.end()) lost_members.push_back(g);
   }
-  if (lost_members.empty()) return 0;
+  // ncclCommAbort semantics: a membership change aborts EVERY communicator,
+  // not just the ones containing a lost rank. A composite parks some ranks
+  // in subgroup rendezvous whose membership is all-survivor (the intact
+  // node's intra group, say); if those stayed pending, their ranks would
+  // never unwind while their peers bounce to the new epoch and replay from
+  // the first phase — and the stale expectation would poison the reused
+  // communicator's sequence ledger.
   std::uint64_t cancelled = 0;
   for (auto& [seq, rv] : pending_) {
     if (rv->done() || rv->failed() || rv->started()) continue;
-    rv->cancel(std::make_exception_ptr(
-        RankLostError(fault::describe_rank_loss(rv->desc().op, backend_name_, lost_members))));
+    if (!lost_members.empty()) {
+      rv->cancel(std::make_exception_ptr(
+          RankLostError(fault::describe_rank_loss(rv->desc().op, backend_name_, lost_members))));
+    } else {
+      rv->cancel(std::make_exception_ptr(RankLostError(
+          "epoch quiesce: " + std::string(op_name(rv->desc().op)) + " on backend '" +
+          backend_name_ + "' cancelled by membership change")));
+    }
     ++cancelled;
   }
+  // Re-sequence, exactly like the grow path: a cancelled rendezvous consumed
+  // sequence numbers only on the ranks that had already joined it, so the
+  // counters disagree across the membership — and a replayed composite may
+  // issue a *different* sub-op at the reused number. Started rendezvous keep
+  // completing off the table (reclaim is identity-checked); every replay
+  // joins fresh from sequence zero.
+  pending_.clear();
+  std::fill(next_seq_.begin(), next_seq_.end(), 0);
   return cancelled;
 }
 

@@ -46,6 +46,7 @@ void OpRequest::recycle() {
   recv_counts.clear();
   recv_displs.clear();
   epoch = 0;
+  nested = false;
 }
 
 }  // namespace mcrdl

@@ -50,6 +50,11 @@ struct OpRequest {
   // shrink are bounced back for replay instead of deadlocking the new
   // communicators. Stays 0 for the whole run unless a rank is lost.
   std::uint64_t epoch = 0;
+  // True for a sub-operation posted by a composite collective (src/coll/):
+  // the pipeline skips per-call overhead, fusion/compression admission and
+  // the tuner for nested requests (the parent composite owns those), while
+  // metrics, traces and fault routing still see them individually.
+  bool nested = false;
 
   // The payload size used for tuning lookups, cost attribution and logging
   // (per-rank bytes, PyTorch convention — matches what each Comm entry point

@@ -1,0 +1,396 @@
+#include "src/coll/chain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace mcrdl::coll {
+
+// ---------------------------------------------------------------------------
+// ChainWork
+// ---------------------------------------------------------------------------
+
+ChainWork::ChainWork(OverlapScheduler* owner, int rank, std::uint64_t epoch,
+                     std::vector<ChainPhase> phases, std::function<void()> finalize)
+    : owner_(owner), rank_(rank), epoch_(epoch), phases_(std::move(phases)),
+      finalize_(std::move(finalize)) {
+  MCRDL_REQUIRE(owner_ != nullptr, "ChainWork needs an OverlapScheduler");
+}
+
+void ChainWork::wait() {
+  if (done_.load(std::memory_order_acquire)) return;
+  try {
+    owner_->drive(rank_, shared_from_this());
+    return;
+  } catch (const RankLostError&) {
+    std::function<void()> recover;
+    {
+      std::lock_guard<std::mutex> lock(owner_->slot(rank_).mu);
+      recover = std::move(recover_);
+      recover_ = nullptr;
+    }
+    if (!recover) throw;
+    // Re-dispatch the original request synchronously through the full
+    // pipeline; its recover stage parks until the epoch advances, remaps the
+    // group onto the survivors and replays — the casualty's own replay
+    // rethrows there, exactly like a flat op's.
+    recover();
+  }
+  // The replay completed the operation; transition this handle so callers
+  // and registered completion observers see one finished op.
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(owner_->slot(rank_).mu);
+    error_ = nullptr;
+    phases_.clear();
+    finalize_ = nullptr;
+    callbacks = std::move(callbacks_);
+    callbacks_.clear();
+    complete_time_ = owner_->scheduler()->now();
+    done_.store(true, std::memory_order_release);
+  }
+  for (auto& fn : callbacks) fn();
+}
+
+void ChainWork::on_complete(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(owner_->slot(rank_).mu);
+    if (!done_.load(std::memory_order_relaxed)) {
+      callbacks_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();  // already complete: fire inline, as every WorkHandle does
+}
+
+void ChainWork::set_recover(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(owner_->slot(rank_).mu);
+  recover_ = std::move(fn);
+}
+
+void ChainWork::set_restore(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(owner_->slot(rank_).mu);
+  restore_ = std::move(fn);
+}
+
+// ---------------------------------------------------------------------------
+// ChainGroupWork
+// ---------------------------------------------------------------------------
+
+ChainGroupWork::ChainGroupWork(std::vector<std::shared_ptr<ChainWork>> chains)
+    : chains_(std::move(chains)) {
+  MCRDL_REQUIRE(!chains_.empty(), "ChainGroupWork needs at least one chain");
+}
+
+void ChainGroupWork::arm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MCRDL_CHECK(self_ == nullptr && remaining_ == 0) << "ChainGroupWork::arm called twice";
+    remaining_ = static_cast<int>(chains_.size());
+    self_ = shared_from_this();
+  }
+  // Weak captures: the chunk callbacks must not keep the group alive on
+  // their own (the chain would otherwise anchor the group which anchors the
+  // chain list — the self-capture leak shape); self_ is the one deliberate
+  // anchor, cleared on completion.
+  for (auto& ch : chains_) {
+    ch->on_complete([weak = std::weak_ptr<ChainGroupWork>(shared_from_this())] {
+      if (auto strong = weak.lock()) strong->part_done();
+    });
+  }
+}
+
+void ChainGroupWork::part_done() {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (remaining_ > 0) last = (--remaining_ == 0);
+  }
+  if (last) complete_now();
+}
+
+void ChainGroupWork::complete_now() {
+  std::vector<std::function<void()>> callbacks;
+  std::shared_ptr<ChainGroupWork> anchor;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_.load(std::memory_order_relaxed)) return;
+    for (const auto& ch : chains_) {
+      complete_time_ = std::max(complete_time_, ch->complete_time());
+    }
+    callbacks = std::move(callbacks_);
+    callbacks_.clear();
+    anchor = std::move(self_);  // released after the lock
+    self_ = nullptr;
+    done_.store(true, std::memory_order_release);
+  }
+  for (auto& fn : callbacks) fn();
+}
+
+void ChainGroupWork::wait() {
+  for (auto& ch : chains_) ch->wait();
+  complete_now();
+}
+
+void ChainGroupWork::on_complete(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done_.load(std::memory_order_relaxed)) {
+      callbacks_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+// ---------------------------------------------------------------------------
+// OverlapScheduler
+// ---------------------------------------------------------------------------
+
+OverlapScheduler::OverlapScheduler(sim::Scheduler* sched, int world, bool overlap, int chunks)
+    : sched_(sched), overlap_(overlap), chunks_(chunks) {
+  MCRDL_REQUIRE(sched_ != nullptr, "OverlapScheduler needs a scheduler");
+  MCRDL_REQUIRE(world >= 1, "OverlapScheduler needs a positive world size");
+  MCRDL_REQUIRE(chunks_ >= 1, "overlap chunk count must be >= 1");
+  slots_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    auto s = std::make_unique<Slot>();
+    s->cond = std::make_unique<sim::SimCondition>(sched_);
+    slots_.push_back(std::move(s));
+  }
+}
+
+OverlapScheduler::Slot& OverlapScheduler::slot(int rank) const {
+  MCRDL_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < slots_.size(),
+                "rank out of range for OverlapScheduler");
+  return *slots_[static_cast<std::size_t>(rank)];
+}
+
+std::shared_ptr<ChainWork> OverlapScheduler::make_chain(int rank, std::uint64_t epoch,
+                                                        std::vector<ChainPhase> phases,
+                                                        std::function<void()> finalize) {
+  auto ch = std::make_shared<ChainWork>(this, rank, epoch, std::move(phases),
+                                        std::move(finalize));
+  Slot& s = slot(rank);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.chains.push_back(ch);
+    ++s.gen;
+  }
+  // Zero-phase degenerate case (single-rank composite): complete on the spot.
+  maybe_complete(rank, ch);
+  return ch;
+}
+
+void OverlapScheduler::drain(int rank) { drive(rank, nullptr); }
+
+std::uint64_t OverlapScheduler::poke() {
+  for (auto& s : slots_) {
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      ++s->gen;
+    }
+    s->cond->notify_all();
+  }
+  return 0;
+}
+
+std::size_t OverlapScheduler::live_chains(int rank) const {
+  Slot& s = slot(rank);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.chains.size();
+}
+
+void OverlapScheduler::fail_locked(ChainWork& ch, std::exception_ptr err) {
+  if (ch.done_.load(std::memory_order_relaxed) || ch.error_ != nullptr) return;
+  ch.error_ = std::move(err);
+  // Unpostable from here on; callbacks_ are kept so a successful elastic
+  // replay (ChainWork::wait's recover path) still fires them.
+  ch.phases_.clear();
+  ch.next_phase_ = 0;
+  ch.outstanding_ = 0;
+  ch.finalize_ = nullptr;
+  if (ch.restore_) {
+    // Completed phases already mutated the payload in place (e.g. the intra
+    // reduce accumulated into the leader's buffer); put the original bytes
+    // back so the replay reduces each contribution exactly once.
+    auto restore = std::move(ch.restore_);
+    ch.restore_ = nullptr;
+    restore();
+  }
+}
+
+void OverlapScheduler::prune_locked(Slot& s, bool include_errored) {
+  auto it = std::remove_if(s.chains.begin(), s.chains.end(),
+                           [include_errored](const std::shared_ptr<ChainWork>& ch) {
+                             if (ch->done_.load(std::memory_order_relaxed)) return true;
+                             if (ch->error_ != nullptr && include_errored) {
+                               // Dropped, not replayed: break the potential
+                               // chain -> callback -> chain cycle.
+                               ch->callbacks_.clear();
+                               return true;
+                             }
+                             return false;
+                           });
+  s.chains.erase(it, s.chains.end());
+}
+
+void OverlapScheduler::drive(int rank, const std::shared_ptr<ChainWork>& target) {
+  Slot& s = slot(rank);
+  for (;;) {
+    std::vector<std::shared_ptr<ChainWork>> to_post;
+    std::uint64_t seen = 0;
+    bool block = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (target != nullptr) {
+        if (target->error_ != nullptr) break;  // rethrown below, outside the lock
+        if (target->done_.load(std::memory_order_acquire)) {
+          prune_locked(s, /*include_errored=*/false);
+          return;
+        }
+      }
+      // An epoch bump failed-and-cancelled every in-flight sub-op of the old
+      // epoch's chains; their completion callbacks will never fire, so fail
+      // the chains here for replay instead of blocking forever.
+      const std::uint64_t epoch = current_epoch();
+      for (auto& ch : s.chains) {
+        if (ch->epoch_ != epoch) {
+          fail_locked(*ch, std::make_exception_ptr(RankLostError(
+                               "composite chain stamped epoch " + std::to_string(ch->epoch_) +
+                               " bounced at epoch " + std::to_string(epoch) +
+                               " after rank loss; replay on the new communicator")));
+        }
+      }
+      if (target != nullptr && target->error_ != nullptr) break;
+      prune_locked(s, /*include_errored=*/target == nullptr);
+      if (target == nullptr && s.chains.empty()) return;
+      for (auto& ch : s.chains) {
+        if (ch->error_ != nullptr) continue;
+        if (target != nullptr && !overlap_ && ch != target) continue;
+        if (ch->outstanding_ == 0 && ch->next_phase_ < ch->phases_.size()) {
+          to_post.push_back(ch);
+        }
+      }
+      if (to_post.empty()) {
+        seen = s.gen;
+        block = true;
+      }
+    }
+    if (!block) {
+      for (auto& ch : to_post) {
+        try {
+          post_next_phase(rank, ch);
+        } catch (const RankLostError&) {
+          // The error is stored on the chain. The waited-on chain rethrows
+          // below; a bystander chain's owner observes it on its own wait(),
+          // and a drain drops it like the engines' synchronize does.
+          if (target != nullptr && ch == target) break;
+        }
+      }
+      continue;
+    }
+    s.cond->wait([&s, seen] {
+      std::lock_guard<std::mutex> lock(s.mu);
+      return s.gen != seen;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    err = target->error_;
+    s.chains.erase(std::remove(s.chains.begin(), s.chains.end(), target), s.chains.end());
+  }
+  MCRDL_CHECK(err != nullptr) << "drive broke out without a stored error";
+  std::rethrow_exception(err);
+}
+
+void OverlapScheduler::post_next_phase(int rank, const std::shared_ptr<ChainWork>& ch) {
+  Slot& s = slot(rank);
+  ChainPhase phase;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (ch->done_.load(std::memory_order_relaxed) || ch->error_ != nullptr ||
+        ch->outstanding_ != 0 || ch->next_phase_ >= ch->phases_.size()) {
+      return;
+    }
+    phase = std::move(ch->phases_[ch->next_phase_]);
+    ch->outstanding_ = kPosting;
+  }
+  std::vector<Work> works;
+  try {
+    // Actor context, slot mutex released: the phase posts async sub-ops and
+    // may legitimately block (launch-delay injection sleeps in submit).
+    works = phase();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      ch->outstanding_ = 0;
+      fail_locked(*ch, std::current_exception());
+      ++s.gen;
+    }
+    s.cond->notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++ch->next_phase_;
+    ch->outstanding_ = static_cast<int>(works.size());
+    ++s.gen;
+  }
+  // Registered without the mutex: a sub-op that already completed fires the
+  // callback inline on this thread, and the callback itself takes the mutex.
+  for (auto& w : works) {
+    w->on_complete([this, rank, weak = std::weak_ptr<ChainWork>(ch)] { part_done(rank, weak); });
+  }
+  if (works.empty()) maybe_complete(rank, ch);
+  s.cond->notify_all();
+}
+
+void OverlapScheduler::part_done(int rank, const std::weak_ptr<ChainWork>& weak) {
+  std::shared_ptr<ChainWork> ch = weak.lock();
+  if (ch == nullptr) return;
+  Slot& s = slot(rank);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!ch->done_.load(std::memory_order_relaxed) && ch->error_ == nullptr &&
+        ch->outstanding_ > 0) {
+      --ch->outstanding_;
+    }
+    ++s.gen;
+  }
+  maybe_complete(rank, ch);
+  s.cond->notify_all();
+}
+
+void OverlapScheduler::maybe_complete(int rank, const std::shared_ptr<ChainWork>& ch) {
+  Slot& s = slot(rank);
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (ch->done_.load(std::memory_order_relaxed) || ch->error_ != nullptr) return;
+    if (ch->outstanding_ != 0 || ch->next_phase_ < ch->phases_.size()) return;
+    // Finalize (slice-back copies — pure data movement, no virtual time)
+    // under the lock so no observer sees done before the data is in place.
+    if (ch->finalize_) {
+      auto finalize = std::move(ch->finalize_);
+      ch->finalize_ = nullptr;
+      finalize();
+    }
+    ch->phases_.clear();
+    ch->recover_ = nullptr;
+    ch->restore_ = nullptr;
+    callbacks = std::move(ch->callbacks_);
+    ch->callbacks_.clear();
+    ch->complete_time_ = sched_->now();
+    ch->done_.store(true, std::memory_order_release);
+    ++s.gen;
+  }
+  // Completion observers (metrics, logger, tuner, chunk-group counting) fire
+  // outside the lock; they may re-enter on_complete of other works.
+  for (auto& fn : callbacks) fn();
+  s.cond->notify_all();
+}
+
+}  // namespace mcrdl::coll

@@ -1,0 +1,63 @@
+// Composite collective algorithms: assembling a collective out of
+// sub-operations over topology-derived subgroups.
+//
+// coll sits *below* core in the library layering (core's pipeline owns a
+// coll stage), so it cannot call the pipeline directly. LaunchContext
+// inverts the dependency: the runtime (McrDl) hands coll two dispatch
+// closures — one posting *nested* sub-operations through the full pipeline
+// (so fusion admission, fault routing, stale-epoch guards, metrics and
+// traces all see them), one re-dispatching a top-level request for elastic
+// replay — plus the topology the subgroups are derived from.
+//
+// launch() builds the phase chain for a parsed CompositeSpec:
+//
+//   hier:  1. intra-node Reduce to each node leader on spec.intra
+//          2. AllReduce over the leaders on spec.inter (non-leaders post
+//             nothing and fall through)
+//          3. intra-node Broadcast from the leader on spec.intra
+//
+//   rsag:  1. ReduceScatter of the (zero-padded) payload on spec.intra
+//          2. AllGather of the reduced blocks on spec.intra
+//          finalize: slice the unpadded prefix back into the caller's tensor
+//
+// Subgroups come from net::node_partition over the *launch-time* group, so a
+// composite replayed after an elastic shrink derives correct intra/inter
+// splits from the remapped membership with no extra bookkeeping. With
+// overlap enabled the payload is split into chunks — one chain each — whose
+// phases the OverlapScheduler interleaves; the returned ChainGroupWork
+// completes when every chunk has.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/backends/op_request.h"
+#include "src/backends/work.h"
+#include "src/coll/chain.h"
+#include "src/coll/spec.h"
+#include "src/net/topology.h"
+#include "src/sim/scheduler.h"
+
+namespace mcrdl::coll {
+
+struct LaunchContext {
+  sim::Scheduler* sched = nullptr;
+  const net::Topology* topo = nullptr;
+  OverlapScheduler* overlap = nullptr;
+  // Posts one nested sub-operation through the full pipeline on behalf of
+  // `rank` over `group` (global ranks) and returns its Work. The runtime
+  // marks the request nested; callers here set async_op and epoch.
+  std::function<Work(int rank, const std::vector<int>& group, OpRequest req)> dispatch;
+  // Re-dispatches a top-level request (synchronous, not nested) through the
+  // full pipeline — the elastic-replay path for async composites whose
+  // parent pipeline frame has already returned.
+  std::function<Work(int rank, const std::vector<int>& group, OpRequest req)> redispatch;
+};
+
+// Launches `spec` for `rank` over `group` (empty = world) on behalf of
+// `req` (an AllReduce; spec backends must already be validated/filled by the
+// runtime). Returns without waiting; the caller decides sync vs async.
+Work launch(const LaunchContext& ctx, const CompositeSpec& spec, int rank,
+            const std::vector<int>& group, const OpRequest& req);
+
+}  // namespace mcrdl::coll

@@ -1,0 +1,63 @@
+#include "src/coll/spec.h"
+
+#include "src/common/status.h"
+
+namespace mcrdl::coll {
+
+std::optional<CompositeSpec> parse(const std::string& name) {
+  if (name.rfind("hier", 0) == 0 && (name.size() == 4 || name[4] == ':')) {
+    if (name.size() <= 5) {
+      throw InvalidArgument("composite 'hier' needs two backends: hier:<intra>+<inter>");
+    }
+    const std::string body = name.substr(5);
+    const std::size_t plus = body.find('+');
+    if (plus == std::string::npos || plus == 0 || plus + 1 >= body.size()) {
+      throw InvalidArgument("malformed composite '" + name +
+                            "': expected hier:<intra>+<inter>");
+    }
+    CompositeSpec spec;
+    spec.algo = CompositeAlgo::Hier;
+    spec.intra = body.substr(0, plus);
+    spec.inter = body.substr(plus + 1);
+    spec.text = name;
+    return spec;
+  }
+  if (name.rfind("rsag", 0) == 0 && (name.size() == 4 || name[4] == ':')) {
+    CompositeSpec spec;
+    spec.algo = CompositeAlgo::Rsag;
+    if (name.size() > 4) {
+      spec.intra = name.substr(5);
+      if (spec.intra.empty()) {
+        throw InvalidArgument("malformed composite '" + name + "': expected rsag[:<backend>]");
+      }
+    }
+    spec.text = name;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+const std::vector<CompositeInfo>& registered_composites() {
+  static const std::vector<CompositeInfo> infos = {
+      {"hier:<intra>+<inter>",
+       "two-level hierarchical allreduce: intra-node reduce on <intra>, leader "
+       "allreduce on <inter>, intra-node broadcast on <intra>"},
+      {"rsag[:<backend>]",
+       "allreduce as reduce-scatter + allgather on one backend (default "
+       "backend when omitted)"},
+  };
+  return infos;
+}
+
+std::vector<std::string> composite_arms(const std::vector<std::string>& backends) {
+  std::vector<std::string> arms;
+  for (const auto& intra : backends) {
+    for (const auto& inter : backends) {
+      arms.push_back("hier:" + intra + "+" + inter);
+    }
+  }
+  for (const auto& b : backends) arms.push_back("rsag:" + b);
+  return arms;
+}
+
+}  // namespace mcrdl::coll

@@ -1,5 +1,7 @@
 #include "src/core/composite_work.h"
 
+#include <utility>
+
 namespace mcrdl {
 
 CompositeWork::CompositeWork(sim::Scheduler* sched, std::vector<Work> parts,
@@ -11,15 +13,23 @@ CompositeWork::CompositeWork(sim::Scheduler* sched, std::vector<Work> parts,
       done_cond_(sched) {}
 
 void CompositeWork::arm() {
+  // The self-anchor keeps the composite alive while part callbacks are armed
+  // even if the caller drops its handle; every terminal path releases it.
+  // Part callbacks capture a weak_ptr — a shared capture would close a
+  // reference cycle (part holds callback, callback holds composite, composite
+  // holds part) that a part failing or cancelling, which *drops* its callback
+  // list without firing it, could leave uncollectable alongside any
+  // on_complete closure that captures this composite's own handle.
+  self_ = shared_from_this();
   if (parts_.empty()) {
     part_done();  // degenerate composite: finalize immediately
     return;
   }
-  // Each callback holds shared ownership so the composite survives even if
-  // the caller drops its handle before completion.
-  auto self = shared_from_this();
+  std::weak_ptr<CompositeWork> weak = self_;
   for (auto& p : parts_) {
-    p->on_complete([self] { self->part_done(); });
+    p->on_complete([weak] {
+      if (auto self = weak.lock()) self->part_done();
+    });
   }
 }
 
@@ -31,7 +41,29 @@ void CompositeWork::part_done() {
   complete_time_ = sched_->now();
   auto callbacks = std::move(callbacks_);
   callbacks_.clear();
+  // Terminal path: release everything that could pin memory past completion —
+  // the parts (and the tensors their closures hold), the finalize closure,
+  // and the self-anchor. Destroying the anchor last keeps `this` valid while
+  // the callbacks run even if the caller already dropped its handle.
+  parts_.clear();
+  finalize_ = nullptr;
+  auto anchor = std::move(self_);
   for (auto& fn : callbacks) fn();
+  done_cond_.notify_all();
+}
+
+void CompositeWork::cancel() {
+  if (done_) return;
+  done_ = true;
+  complete_time_ = sched_->now();
+  // Mirror the engine's fail/cancel discipline: completion callbacks are
+  // dropped, never fired — clearing the list here breaks the cycle with any
+  // closure capturing this composite's own handle (the finish stage's merged
+  // completion closure does exactly that).
+  callbacks_.clear();
+  parts_.clear();
+  finalize_ = nullptr;
+  auto anchor = std::move(self_);
   done_cond_.notify_all();
 }
 

@@ -21,6 +21,13 @@ class CompositeWork : public WorkHandle, public std::enable_shared_from_this<Com
   // Registers completion callbacks on the parts; must be called exactly once
   // on a shared_ptr-owned instance.
   void arm();
+  // Terminal without finalisation: drops the registered callbacks (matching
+  // the engines' fail/cancel discipline — they are never fired), releases the
+  // parts and the self-anchor, and wakes waiters. For owners abandoning a
+  // composite whose parts will never complete (e.g. cancelled by a rank
+  // loss): without it, an on_complete closure capturing this composite's own
+  // handle would keep the never-firing work alive forever.
+  void cancel();
 
   bool test() const override { return done_; }
   void wait() override;         // host-level wait (emulated ops are host-driven)
@@ -39,6 +46,9 @@ class CompositeWork : public WorkHandle, public std::enable_shared_from_this<Com
   SimTime complete_time_ = 0.0;
   std::vector<std::function<void()>> callbacks_;
   sim::SimCondition done_cond_;
+  // Shared self-reference set by arm() and released on every terminal path;
+  // keeps the composite alive while its (weak) part callbacks are armed.
+  std::shared_ptr<CompositeWork> self_;
 };
 
 // Builds a composite over existing works with an optional finalize step.

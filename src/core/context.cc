@@ -86,11 +86,55 @@ void McrDl::init(const std::vector<std::string>& backend_names) {
         "tuner", [t] { return t->save_state(); },
         [t](const std::string& body) { t->restore_state(body); });
   }
+  // Composite collectives (src/coll/): the chain scheduler plus the launch
+  // seam that lets coll — which sits below core — post its sub-operations
+  // through the full pipeline.
+  if (options_.coll.enabled) {
+    MCRDL_REQUIRE(options_.coll.chunks >= 1, "coll.chunks must be >= 1");
+    overlap_ = std::make_unique<coll::OverlapScheduler>(&cluster_->scheduler(),
+                                                        cluster_->world_size(),
+                                                        options_.coll.overlap, options_.coll.chunks);
+    if (options_.fault.enabled) {
+      // Sub-ops of a chain stamped before a shrink/grow are cancelled by the
+      // quiesce drain and never call back; the epoch source lets drive()
+      // detect such stale chains, and both hooks poke blocked drivers awake
+      // on every epoch bump so they re-examine their chains.
+      auto& rec = cluster_->faults().recovery();
+      coll::OverlapScheduler* ov = overlap_.get();
+      overlap_->set_epoch_source([&rec] { return rec.epoch(); });
+      coll_drain_hook_ = rec.register_drain([ov](const std::vector<int>&) { return ov->poke(); });
+      coll_grow_hook_ = rec.register_grow("coll", [ov](const std::vector<int>&) { return ov->poke(); });
+    }
+    launch_ctx_.sched = &cluster_->scheduler();
+    launch_ctx_.topo = &cluster_->topology();
+    launch_ctx_.overlap = overlap_.get();
+    launch_ctx_.dispatch = [this](int rank, const std::vector<int>& group, OpRequest req) {
+      req.nested = true;
+      return pipeline_->execute(rank, group, std::move(req));
+    };
+    launch_ctx_.redispatch = [this](int rank, const std::vector<int>& group, OpRequest req) {
+      req.nested = false;
+      req.async_op = false;
+      return pipeline_->execute(rank, group, std::move(req));
+    };
+  }
   initialized_ = true;
 }
 
 void McrDl::finalize() {
   MCRDL_CHECK(initialized_) << "McrDl::finalize before init";
+  // Recovery hooks capture the overlap scheduler; unhook before it dies (and
+  // before the fault subsystem resets out from under the registrations).
+  if (overlap_ != nullptr) {
+    if (options_.fault.enabled) {
+      auto& rec = cluster_->faults().recovery();
+      rec.unregister_drain(coll_drain_hook_);
+      rec.unregister_grow(coll_grow_hook_);
+      coll_drain_hook_ = coll_grow_hook_ = 0;
+    }
+    launch_ctx_ = coll::LaunchContext{};
+    overlap_.reset();
+  }
   for (auto& [name, b] : backends_) b->finalize();
   backends_.clear();
   backend_order_.clear();
@@ -122,12 +166,24 @@ Backend* McrDl::backend(const std::string& name) const {
 
 Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, int world,
                         int rank) const {
+  return backend(resolve_string(name, op, bytes, world, rank));
+}
+
+std::string McrDl::resolve_string(const std::string& name, OpType op, std::size_t bytes,
+                                  int world, int rank) const {
   MCRDL_CHECK(initialized_) << "MCR-DL is not initialised";
-  if (name != "auto") return backend(name);
+  if (name != "auto") return name;
   // Online tuner enabled: it owns "auto". It works from a cold start too, so
   // a static table is optional on this path.
   if (tuner_ != nullptr) {
-    return backend(tuner_->select(op, world, bytes, rank, backend_order_));
+    // With composites enabled the tuner's arm set grows beyond plain backend
+    // names — allreduce only, the one op the composite algorithms implement.
+    if (coll_enabled() && options_.coll.tuner_arms && op == OpType::AllReduce) {
+      std::vector<std::string> arms = backend_order_;
+      for (auto& arm : coll::composite_arms(backend_order_)) arms.push_back(std::move(arm));
+      return tuner_->select(op, world, bytes, rank, arms);
+    }
+    return tuner_->select(op, world, bytes, rank, backend_order_);
   }
   if (!tuning_table_.has_value()) {
     throw InvalidArgument(
@@ -142,15 +198,27 @@ Backend* McrDl::resolve(const std::string& name, OpType op, std::size_t bytes, i
     MCRDL_LOG_WARN << "backend 'auto' requested for " << op_name(op)
                    << " but the tuning table has no entries for it; falling back to '"
                    << backend_order_.front() << "'";
-    return backend(backend_order_.front());
+    return backend_order_.front();
   }
   const std::string& best = tuning_table_->lookup(op, world, bytes);
-  if (auto it = backends_.find(best); it != backends_.end()) return it->second.get();
+  if (backends_.count(best) > 0) return best;
   // The tuned winner is not among the initialised backends; fall back to the
   // first initialised one rather than failing mid-training.
   MCRDL_LOG_WARN << "tuning table prefers '" << best << "' for " << op_name(op)
                  << " but it is not initialised; using '" << backend_order_.front() << "'";
-  return backend(backend_order_.front());
+  return backend_order_.front();
+}
+
+void McrDl::validate_composite(coll::CompositeSpec& spec) const {
+  if (spec.intra.empty()) spec.intra = backend_order_.front();  // bare "rsag"
+  if (!has_backend(spec.intra)) {
+    throw InvalidArgument("composite '" + spec.text + "' names backend '" + spec.intra +
+                          "' which was not passed to init()");
+  }
+  if (spec.algo == coll::CompositeAlgo::Hier && !has_backend(spec.inter)) {
+    throw InvalidArgument("composite '" + spec.text + "' names backend '" + spec.inter +
+                          "' which was not passed to init()");
+  }
 }
 
 Api McrDl::on(int rank) { return Api(this, rank); }
@@ -191,11 +259,15 @@ Work Api::dispatch(OpRequest req) const {
 
 void Api::synchronize() {
   ctx_->fusion().flush_all(rank_);
+  // Drive this rank's composite chains to completion first: their remaining
+  // phases post sub-ops the backend synchronize below must also cover.
+  if (ctx_->coll_enabled()) ctx_->overlap_scheduler()->drain(rank_);
   for (const auto& name : ctx_->get_backends()) ctx_->backend(name)->synchronize(rank_);
 }
 
 void Api::synchronize(const std::string& backend) {
   ctx_->fusion().flush_all(rank_);
+  if (ctx_->coll_enabled()) ctx_->overlap_scheduler()->drain(rank_);
   ctx_->backend(backend)->synchronize(rank_);
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/backends/backend.h"
+#include "src/coll/composite.h"
 #include "src/core/compression.h"
 #include "src/core/fusion.h"
 #include "src/core/logger.h"
@@ -65,6 +66,12 @@ struct McrDlOptions {
   // enabled, the tuner becomes the resolution authority behind "auto",
   // seeded by the static table as a prior and fed by observed latencies.
   tune::OnlineTunerConfig online_tuning;
+  // Opt-in composite collectives (src/coll/): hierarchical two-level
+  // allreduce, reduce-scatter+allgather decomposition, and the overlap
+  // scheduler interleaving chunks of independent composites. Disabled by
+  // default: composite strings are rejected like unknown backends, the coll
+  // pipeline stage is provably no-op, and runs stay byte-identical.
+  coll::CollConfig coll;
 };
 
 class Api;
@@ -99,6 +106,13 @@ class McrDl {
   // ranks with it; irrelevant for static resolution).
   Backend* resolve(const std::string& name, OpType op, std::size_t bytes, int world,
                    int rank = 0) const;
+  // The string-level half of resolve(): returns the chosen backend *name*
+  // without requiring it to be an initialised backend — with composites
+  // enabled the choice may be a composite algorithm string ("hier:nccl+mpi",
+  // "rsag"), offered to the online tuner as extra "auto" arms when
+  // CollConfig::tuner_arms is set. resolve() is resolve_string() + backend().
+  std::string resolve_string(const std::string& name, OpType op, std::size_t bytes, int world,
+                             int rank = 0) const;
 
   // Measurement-driven "auto" resolution; non-null only when
   // options.online_tuning.enabled (created by init()).
@@ -129,6 +143,20 @@ class McrDl {
   // callers can inspect the stage order or insert custom stages.
   OpPipeline& pipeline() { return *pipeline_; }
 
+  // --- composite collectives (src/coll/) --------------------------------------
+  // True once init() created the coll subsystem (options.coll.enabled).
+  bool coll_enabled() const { return overlap_ != nullptr; }
+  // Per-rank chain registry/driver; non-null only when coll_enabled().
+  coll::OverlapScheduler* overlap_scheduler() const { return overlap_.get(); }
+  // The launch seam handed to coll::launch. A reference to a long-lived
+  // member: composite phase closures capture it by reference and may run long
+  // after the coll stage's frame returned.
+  const coll::LaunchContext& coll_launch() const { return launch_ctx_; }
+  // Validates a parsed composite against the initialised backends and fills
+  // defaults (a bare "rsag" gets the first initialised backend). Throws
+  // InvalidArgument when a named backend was not passed to init().
+  void validate_composite(coll::CompositeSpec& spec) const;
+
   ClusterContext* cluster() const { return cluster_; }
 
   // Per-rank facade over the world communicator.
@@ -150,6 +178,11 @@ class McrDl {
   std::unique_ptr<fault::FailoverRouter> failover_;
   fault::CheckpointStore checkpoint_;
   std::unique_ptr<OpPipeline> pipeline_;
+  std::unique_ptr<coll::OverlapScheduler> overlap_;
+  coll::LaunchContext launch_ctx_;
+  // Recovery-hook registrations waking blocked chain drivers on epoch bumps.
+  std::uint64_t coll_drain_hook_ = 0;
+  std::uint64_t coll_grow_hook_ = 0;
 };
 
 // The per-rank API handle (cheap to copy). All peers/roots are expressed in

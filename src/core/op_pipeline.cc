@@ -39,6 +39,11 @@ void OpCall::recycle() {
   recovered = false;
   fused = false;
   compressed = false;
+  is_composite = false;
+  composite.algo = coll::CompositeAlgo::Hier;
+  composite.intra.clear();
+  composite.inter.clear();
+  composite.text.clear();
   fast = false;
   plan = nullptr;
   // stage_child_us keeps its buffer; execute() re-sizes it per dispatch.
@@ -54,7 +59,9 @@ class OverheadStage : public OpStage {
  public:
   const char* name() const override { return "overhead"; }
   Work run(OpCall& c, const OpNext& next) override {
-    if (c.ctx->options().per_call_overhead_us > 0.0) {
+    // Nested sub-ops of a composite pay no host overhead of their own: the
+    // caller made ONE MCR-DL call, billed on the parent's pass through here.
+    if (!c.req.nested && c.ctx->options().per_call_overhead_us > 0.0) {
       c.ctx->cluster()->scheduler().sleep_for(c.ctx->options().per_call_overhead_us);
     }
     return next();
@@ -72,9 +79,29 @@ class ResolveStage : public OpStage {
     if (c.req.op == OpType::Send || c.req.op == OpType::Recv) {
       // "auto" is collective-only; p2p resolves the literal name.
       c.resolved = c.ctx->backend(c.req.backend);
-    } else {
-      c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size(), c.rank);
+      c.requested = c.resolved->name();
+      return next();
     }
+    const std::string choice =
+        c.ctx->resolve_string(c.req.backend, c.req.op, c.bytes, c.world_size(), c.rank);
+    // With composites enabled the choice may be an algorithm string rather
+    // than a backend — either passed explicitly or picked by the tuner from
+    // its composite arms. `resolved` stays null; the coll stage launches it.
+    // Nested sub-ops always name concrete backends (no composite recursion).
+    if (c.ctx->coll_enabled() && !c.req.nested) {
+      if (auto spec = coll::parse(choice)) {
+        if (c.req.op != OpType::AllReduce) {
+          throw InvalidArgument("composite '" + choice + "' implements all_reduce only, not " +
+                                op_name(c.req.op));
+        }
+        c.ctx->validate_composite(*spec);
+        c.is_composite = true;
+        c.composite = std::move(*spec);
+        c.requested = c.composite.text;
+        return next();
+      }
+    }
+    c.resolved = c.ctx->backend(choice);
     c.requested = c.resolved->name();
     return next();
   }
@@ -90,7 +117,10 @@ class FusionStage : public OpStage {
  public:
   const char* name() const override { return "fusion"; }
   Work run(OpCall& c, const OpNext& next) override {
-    c.admit_fusion = c.ctx->fusion().eligible(c.req.op, c.req.tensor);
+    // Composites and their nested sub-ops never bucket: a fused sub-op would
+    // complete only at the next flush, stalling the chain's phase progression.
+    c.admit_fusion = !c.req.nested && !c.is_composite &&
+                     c.ctx->fusion().eligible(c.req.op, c.req.tensor);
     return next();
   }
   bool provably_noop(const StagePlanInputs& in) const override {
@@ -105,7 +135,10 @@ class CompressionStage : public OpStage {
   const char* name() const override { return "compression"; }
   Work run(OpCall& c, const OpNext& next) override {
     const Tensor& payload = c.req.op == OpType::Broadcast ? c.req.tensor : c.req.input;
-    c.admit_compression = c.ctx->compression().eligible(c.req.op, payload);
+    // Nested sub-ops carry slices of an uncompressed parent payload; lossy
+    // per-leg compression would compound across the composite's levels.
+    c.admit_compression = !c.req.nested && !c.is_composite &&
+                          c.ctx->compression().eligible(c.req.op, payload);
     return next();
   }
   bool provably_noop(const StagePlanInputs& in) const override {
@@ -161,8 +194,11 @@ class FinishStage : public OpStage {
     // ("auto" is collective-only). Pure observation: nothing moves in
     // virtual time, and with the tuner disabled this block is dead code.
     tune::OnlineTuner* tuner = c.ctx->online_tuner();
+    // Nested sub-ops of a composite are also skipped: the parent composite's
+    // completion is the one that teaches the tuner about its arm — crediting
+    // each leg separately would double-count the composite's latency.
     if (tuner != nullptr && (c.req.op == OpType::Send || c.req.op == OpType::Recv || c.fused ||
-                             c.compressed)) {
+                             c.compressed || c.req.nested)) {
       tuner = nullptr;
     }
     CommLogger* logger = c.ctx->logger().enabled() ? &c.ctx->logger() : nullptr;
@@ -282,6 +318,11 @@ class RecoverStage : public OpStage {
     fault::FaultInjector& faults = c.ctx->cluster()->faults();
     fault::RecoveryManager& rec = faults.recovery();
     if (!rec.armed()) return next();
+    // Nested sub-ops keep the epoch their parent composite stamped: a loss
+    // mid-chain must fail the whole chain (whose parent frame — or recover
+    // closure — replays the composite), not silently replay one leg on a
+    // communicator the other legs no longer match.
+    if (c.req.nested) return next();
     // The caller's group/root/peer index the membership it was issued under;
     // every replay remaps them from these originals onto the survivors, so
     // repeated losses compose (epoch 2 remaps from the epoch-0 view, not the
@@ -388,6 +429,10 @@ class RecoverStage : public OpStage {
         break;
     }
     c.group = shrunk;
+    // A composite keeps its algorithm across the replay (stable choice, like
+    // a concrete backend string would be) and re-derives its subgroups from
+    // the shrunk membership at launch — nothing to re-resolve here.
+    if (c.is_composite) return;
     // Re-resolve for the shrunk world: tuning tables are keyed on message
     // size *and* world size, so "auto" may legitimately pick a different
     // backend after the shrink.
@@ -397,6 +442,42 @@ class RecoverStage : public OpStage {
       c.resolved = c.ctx->resolve(c.req.backend, c.req.op, c.bytes, c.world_size(), c.rank);
     }
     c.requested = c.resolved->name();
+  }
+};
+
+// --- coll: composite collective launch (src/coll/, DESIGN.md §15) -----------
+//
+// Terminal for composite calls: the resolve stage parsed the algorithm
+// string, this stage hands the call to coll::launch, which chains nested
+// sub-operations back through the full pipeline (each leg re-enters at the
+// top with req.nested set, so fault routing, metrics and traces see every
+// leg individually). Plain calls pass straight through to route/issue; with
+// the subsystem disabled the stage is provably no-op and elided.
+
+class CollStage : public OpStage {
+ public:
+  const char* name() const override { return "coll"; }
+  bool provably_noop(const StagePlanInputs& in) const override { return !in.coll_on; }
+  Work run(OpCall& c, const OpNext& next) override {
+    if (!c.is_composite) return next();
+    // Stale-epoch guard, mirroring the issue stage: a composite stamped
+    // before a shrink would chain sub-ops against torn-down communicators.
+    // Rejecting here bounces the whole composite back to the recover stage.
+    fault::RecoveryManager& recovery = c.ctx->cluster()->faults().recovery();
+    if (recovery.armed() && c.req.epoch != recovery.epoch()) {
+      recovery.note_stale_rejection();
+      throw RankLostError("stale-epoch composite rejected: " + c.composite.text +
+                          " was stamped epoch " + std::to_string(c.req.epoch) +
+                          " but the cluster is at epoch " + std::to_string(recovery.epoch()) +
+                          " after rank loss; replay on the shrunk communicator");
+    }
+    Work w = coll::launch(c.ctx->coll_launch(), c.composite, c.rank, c.group, c.req);
+    c.completed_on = c.composite.text;
+    // Synchronous composites drive their chain to completion right here, so
+    // a rank loss surfaces as RankLostError inside this pipeline frame and
+    // the recover stage above parks, remaps and replays the whole composite.
+    if (!c.req.async_op) w->wait();
+    return w;
   }
 };
 
@@ -603,6 +684,7 @@ OpPipeline::OpPipeline(McrDl* ctx) : ctx_(ctx) {
   stages_.push_back(std::make_unique<CompressionStage>());
   stages_.push_back(std::make_unique<FinishStage>());
   stages_.push_back(std::make_unique<RecoverStage>());
+  stages_.push_back(std::make_unique<CollStage>());
   stages_.push_back(std::make_unique<RouteStage>());
   stages_.push_back(std::make_unique<IssueStage>());
   rebuild_stage_histograms();
@@ -700,6 +782,7 @@ unsigned OpPipeline::config_mask() const {
   if (ctx_->fusion().config().enabled) mask |= kMaskFusion;
   if (ctx_->compression().config().enabled) mask |= kMaskCompression;
   if (ctx_->cluster()->faults().recovery().armed()) mask |= kMaskRecovery;
+  if (ctx_->coll_enabled()) mask |= kMaskColl;
   return mask;
 }
 
@@ -740,6 +823,7 @@ const OpPipeline::PlanTable* OpPipeline::recompile_plans(std::uint64_t version) 
       in.fusion_on = (mask & kMaskFusion) != 0;
       in.compression_on = (mask & kMaskCompression) != 0;
       in.recovery_armed = (mask & kMaskRecovery) != 0;
+      in.coll_on = (mask & kMaskColl) != 0;
       StagePlan& plan = table->plans[op * kMaskCount + mask];
       for (std::size_t i = 0; i < stages_.size(); ++i) {
         if (stages_[i]->provably_noop(in)) {

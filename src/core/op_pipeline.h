@@ -53,6 +53,7 @@
 
 #include "src/backends/op_request.h"
 #include "src/backends/work.h"
+#include "src/coll/spec.h"
 #include "src/obs/metrics.h"
 
 namespace mcrdl {
@@ -82,6 +83,7 @@ struct StagePlanInputs {
   bool fusion_on = false;
   bool compression_on = false;
   bool recovery_armed = false;
+  bool coll_on = false;
 };
 
 // The mutable state of one operation travelling through the pipeline.
@@ -95,6 +97,12 @@ struct OpCall {
   std::size_t bytes = 0;         // payload size (tuning/logging convention)
   Backend* resolved = nullptr;   // preferred backend after "auto" resolution
   std::string requested;         // its name; CommRecord.requested_backend
+
+  // Filled by the resolve stage when the choice is a composite algorithm
+  // ("hier:...", "rsag..."): `resolved` stays null and the coll stage hands
+  // the call to coll::launch instead of the route/issue tail.
+  bool is_composite = false;
+  coll::CompositeSpec composite;
 
   // Filled by the admission stages.
   bool admit_fusion = false;
@@ -219,7 +227,8 @@ class OpPipeline {
   static constexpr unsigned kMaskFusion = 1u << 1;
   static constexpr unsigned kMaskCompression = 1u << 2;
   static constexpr unsigned kMaskRecovery = 1u << 3;
-  static constexpr std::size_t kMaskCount = 1u << 4;
+  static constexpr unsigned kMaskColl = 1u << 4;
+  static constexpr std::size_t kMaskCount = 1u << 5;
 
   Work invoke(std::size_t pos, OpCall& call);
   std::size_t index_of(const std::string& name) const;

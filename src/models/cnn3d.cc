@@ -1,0 +1,100 @@
+#include "src/models/cnn3d.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mcrdl::models {
+
+namespace {
+
+// Both-direction boundary swap with the spatial neighbours along the depth
+// split, posted in the classic red-black order: within a pair the lower rank
+// sends first, and even ranks serve their right neighbour before their left.
+// Boundary slices are rendezvous-sized, so a send occupies the stream until
+// the matching receive is reached — naive send-first-both-ways posting would
+// cycle the last pair's streams, exactly like real NCCL p2p without grouped
+// ordering.
+void halo_exchange(CommIssuer& comm, int rank, int world, sim::Device* dev,
+                   std::int64_t elems, DType dtype) {
+  std::vector<Work> works;
+  auto exchange = [&](int peer) {
+    if (peer < 0 || peer >= world) return;
+    Work first = rank < peer
+                     ? comm.send(Tensor::phantom({elems}, dtype, dev), peer, /*async_op=*/true)
+                     : comm.recv(Tensor::phantom({elems}, dtype, dev), peer, /*async_op=*/true);
+    Work second = rank < peer
+                      ? comm.recv(Tensor::phantom({elems}, dtype, dev), peer, /*async_op=*/true)
+                      : comm.send(Tensor::phantom({elems}, dtype, dev), peer, /*async_op=*/true);
+    works.push_back(std::move(first));
+    works.push_back(std::move(second));
+  };
+  if (rank % 2 == 0) {
+    exchange(rank + 1);
+    exchange(rank - 1);
+  } else {
+    exchange(rank - 1);
+    exchange(rank + 1);
+  }
+  for (auto& w : works) w->wait();
+}
+
+}  // namespace
+
+Cnn3dModel::Cnn3dModel(Cnn3dConfig config, const net::SystemConfig& system)
+    : config_(config), gpu_tflops_(system.gpu_tflops), gpus_per_node_(system.gpus_per_node) {}
+
+double Cnn3dModel::samples_per_step(int world) const {
+  return static_cast<double>(config_.batch_per_gpu) * world;
+}
+
+void Cnn3dModel::run_steps(CommIssuer& comm, int rank, int steps) const {
+  sim::Device* dev = comm.api().context()->cluster()->device(rank);
+  const int world = comm.api().world_size();
+  const double step_flops = config_.flops_per_sample * config_.batch_per_gpu;
+  const SimTime fwd_us =
+      flops_time_us(step_flops / 3.0, gpu_tflops_, config_.compute_efficiency);
+  const SimTime bwd_us = 2.0 * fwd_us;
+  const std::int64_t bucket_numel =
+      static_cast<std::int64_t>(config_.params / config_.grad_buckets);
+
+  // Channel group: the ranks sharing this rank's node (clipped to the
+  // communicator). Normalisation statistics reduce over channels, which are
+  // partitioned node-locally, so the group never crosses the NIC.
+  std::vector<int> channel_group;
+  const int node_base = (rank / gpus_per_node_) * gpus_per_node_;
+  for (int r = node_base; r < std::min(node_base + gpus_per_node_, world); ++r) {
+    channel_group.push_back(r);
+  }
+  CommIssuer channel_comm = channel_group.size() > 1 ? comm.group(channel_group) : comm;
+
+  for (int s = 0; s < steps; ++s) {
+    // Forward: each conv layer computes its shard, then swaps boundary
+    // slices with the spatial neighbours before the next layer reads them.
+    for (int layer = 0; layer < config_.conv_layers; ++layer) {
+      dev->compute(fwd_us / config_.conv_layers, "cnn3d-fwd");
+      halo_exchange(comm, rank, world, dev, config_.halo_elems, config_.dtype);
+      // Channel-partitioned normalisation: small latency-bound allreduce
+      // over the node-local channel group.
+      if (channel_group.size() > 1) {
+        channel_comm.all_reduce(Tensor::phantom({config_.channel_elems}, config_.dtype, dev))
+            ->wait();
+      }
+    }
+    // Backward in buckets; each bucket's data-parallel gradient allreduce is
+    // posted asynchronously while the next bucket computes — several large
+    // independent collectives in flight at once, which is exactly the shape
+    // the overlap scheduler interleaves.
+    std::vector<Work> works;
+    for (int b = 0; b < config_.grad_buckets; ++b) {
+      dev->compute(bwd_us / config_.grad_buckets, "cnn3d-bwd");
+      halo_exchange(comm, rank, world, dev, config_.halo_elems, config_.dtype);
+      Tensor g = Tensor::phantom({bucket_numel}, config_.dtype, dev);
+      works.push_back(comm.all_reduce(std::move(g), ReduceOp::Sum, /*async_op=*/true));
+    }
+    for (auto& w : works) w->wait();
+    dev->compute(fwd_us * 0.05, "optimizer");
+    comm.synchronize();
+  }
+}
+
+}  // namespace mcrdl::models

@@ -1,0 +1,58 @@
+// Spatially-partitioned 3D-CNN training workload (volumetric segmentation,
+// the DESIGN.md §15 composite-collective showcase). Three communication
+// patterns, in rough size order:
+//
+//   * halo exchanges — every conv layer swaps its boundary slices with the
+//     spatial neighbours (rank±1 along the depth split): medium point-to-point
+//     messages on the plan's default backend;
+//   * channel allreduces — normalisation statistics reduced over the
+//     intra-node channel group: small, latency-bound collectives;
+//   * gradient allreduces — data-parallel weight gradients, bucketed and
+//     issued asynchronously during the backward pass: the large, bandwidth-
+//     bound messages a two-level "hier:<intra>+<inter>" composite splits
+//     between the NVLink level and the NIC level, and the only place the
+//     overlap scheduler has independent work to interleave.
+//
+// The interesting ordering lives on the mixed composite (stream runtime
+// intra-node, host-MPI inter-node — the pairing whose levels can genuinely
+// run concurrently, since a single-runtime composite is ordered by the
+// device stream). At one node the flat plan wins outright: the composite
+// degenerates to reduce+broadcast overhead. At >= 2 nodes the mixed plan
+// *without* overlap loses to flat too — the host-MPI hop is pure added tax
+// on a serial schedule. Turn the overlap scheduler on and the identical
+// plan wins by a wide margin: chunked gradient buckets keep NVLink and NIC
+// busy simultaneously. Algorithm and schedule only pay together — the
+// crossover the `hier` bench experiment exports.
+#pragma once
+
+#include "src/models/workload.h"
+
+namespace mcrdl::models {
+
+struct Cnn3dConfig {
+  int batch_per_gpu = 2;
+  int conv_layers = 6;
+  double params = 64.0e6;            // replicated weights (data parallel)
+  double flops_per_sample = 30.0e9;  // forward; backward costs 2x
+  int grad_buckets = 8;              // async DDP-style gradient buckets
+  std::int64_t halo_elems = 512 * 1024;   // boundary slice per layer, per side
+  std::int64_t channel_elems = 16 * 1024; // normalisation stats per block
+  double compute_efficiency = 0.22;  // achieved fraction of peak on 3D convs
+  DType dtype = DType::F32;
+};
+
+class Cnn3dModel : public Model {
+ public:
+  Cnn3dModel(Cnn3dConfig config, const net::SystemConfig& system);
+
+  std::string name() const override { return "3D-CNN"; }
+  double samples_per_step(int world) const override;
+  void run_steps(CommIssuer& comm, int rank, int steps) const override;
+
+ private:
+  Cnn3dConfig config_;
+  double gpu_tflops_;
+  int gpus_per_node_;
+};
+
+}  // namespace mcrdl::models

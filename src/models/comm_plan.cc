@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/coll/spec.h"
+
 namespace mcrdl::models {
 
 // ---------------------------------------------------------------------------
@@ -21,8 +23,19 @@ const std::string& CommPlan::backend_for(OpType op) const {
 
 std::vector<std::string> CommPlan::backends_needed(const std::vector<std::string>& all) const {
   if (use_auto) return all;  // the table may pick any of them
-  std::set<std::string> names{default_backend};
-  for (const auto& [op, b] : per_op) names.insert(b);
+  // Composite strings name algorithms over engines; init() wants the
+  // engines. A bare "rsag" runs on the plan's default backend.
+  auto constituents = [this](const std::string& name, std::set<std::string>& out) {
+    if (auto spec = coll::parse(name)) {
+      out.insert(spec->intra.empty() ? default_backend : spec->intra);
+      if (!spec->inter.empty()) out.insert(spec->inter);
+    } else {
+      out.insert(name);
+    }
+  };
+  std::set<std::string> names;
+  constituents(default_backend, names);
+  for (const auto& [op, b] : per_op) constituents(b, names);
   std::vector<std::string> out;
   // Preserve the registry order for deterministic init.
   for (const auto& name : all) {
@@ -59,6 +72,16 @@ CommPlan CommPlan::mcr_dl_tuned() {
   CommPlan p;
   p.name = "MCR-DL-T";
   p.use_auto = true;
+  return p;
+}
+
+CommPlan CommPlan::hier_allreduce(const std::string& flat, const std::string& intra,
+                                  const std::string& inter, std::string label) {
+  CommPlan p;
+  const std::string composite = "hier:" + intra + "+" + inter;
+  p.name = label.empty() ? flat + " + " + composite : std::move(label);
+  p.default_backend = flat;
+  p.per_op[OpType::AllReduce] = composite;
   return p;
 }
 
@@ -184,6 +207,16 @@ Work CommIssuer::broadcast(Tensor tensor, int root, bool async_op) {
   pre_op(tensor.bytes());
   return api_.broadcast(route(OpType::Broadcast), std::move(tensor), root,
                         effective_async(async_op));
+}
+
+Work CommIssuer::send(Tensor tensor, int dst, bool async_op) {
+  pre_op(tensor.bytes());
+  return api_.send(route(OpType::Send), std::move(tensor), dst, effective_async(async_op));
+}
+
+Work CommIssuer::recv(Tensor tensor, int src, bool async_op) {
+  pre_op(tensor.bytes());
+  return api_.recv(route(OpType::Recv), std::move(tensor), src, effective_async(async_op));
 }
 
 void CommIssuer::synchronize() { api_.synchronize(); }

@@ -30,6 +30,9 @@ struct CommPlan {
 
   const std::string& backend_for(OpType op) const;
   // Concrete backends this plan needs initialised (excludes "auto").
+  // Composite algorithm strings ("hier:nccl+nccl", "rsag:ompi") are
+  // decomposed into their constituent backends — init() loads engines, and
+  // a composite is an algorithm over engines, not an engine itself.
   std::vector<std::string> backends_needed(const std::vector<std::string>& all) const;
 
   static CommPlan pure(const std::string& backend, std::string label = {});
@@ -38,6 +41,11 @@ struct CommPlan {
   static CommPlan mcr_dl_mixed();
   // "auto" everywhere; requires a tuning table.
   static CommPlan mcr_dl_tuned();
+  // Flat plan with Allreduce routed through a two-level hierarchical
+  // composite (DESIGN.md §15); everything else rides `flat`. Requires
+  // CollConfig::enabled on the run's options.
+  static CommPlan hier_allreduce(const std::string& flat, const std::string& intra,
+                                 const std::string& inter, std::string label = {});
 };
 
 struct FrameworkModel {
@@ -76,6 +84,10 @@ class CommIssuer {
   Work reduce_scatter(Tensor output, Tensor input, ReduceOp op = ReduceOp::Sum,
                       bool async_op = false);
   Work broadcast(Tensor tensor, int root, bool async_op = false);
+  // Point-to-point (halo exchanges of spatially-partitioned models); ranks
+  // are communicator-local, like every other rooted argument here.
+  Work send(Tensor tensor, int dst, bool async_op = false);
+  Work recv(Tensor tensor, int src, bool async_op = false);
   void synchronize();
 
   // Rebinds to a sub-communicator (tensor-parallel groups etc.).

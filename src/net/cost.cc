@@ -37,6 +37,21 @@ CommShape CommShape::over(const Topology& topo, int world_used) {
   return s;
 }
 
+CommShape CommShape::of(const Topology& topo, const std::vector<int>& ranks) {
+  MCRDL_REQUIRE(!ranks.empty(), "communicator shape needs at least one rank");
+  std::map<int, int> per_node;
+  for (int r : ranks) ++per_node[topo.node_of(r)];
+  CommShape s;
+  s.world = static_cast<int>(ranks.size());
+  s.nodes = static_cast<int>(per_node.size());
+  s.ppn = 1;
+  for (const auto& [node, count] : per_node) {
+    (void)node;
+    s.ppn = std::max(s.ppn, count);
+  }
+  return s;
+}
+
 CostModel::CostModel(const Topology* topo, BackendProfile profile)
     : topo_(topo), profile_(std::move(profile)) {
   MCRDL_REQUIRE(topo_ != nullptr, "CostModel needs a topology");
@@ -50,7 +65,16 @@ CostModel::Terms CostModel::terms_for(const CommShape& shape, OpType op) const {
   t.alpha_inter = cfg.inter_node.latency_us + profile_.step_latency_us;
   t.beta_intra =
       gbps_to_bytes_per_us(cfg.intra_node.bandwidth_gbps) * eff * profile_.intra_bw_scale;
-  t.beta_inter_gpu = gbps_to_bytes_per_us(topo_->inter_node_bw_per_gpu(shape.ppn)) * eff;
+  // Subgroup-aware inter-node bandwidth. A communicator with one rank per
+  // occupied node is the leader-subgroup shape: each member is its node's
+  // sole NIC user, so a multi-rail transport registers against every HCA and
+  // stripes the full node injection bandwidth — the mechanism leader-based
+  // two-level algorithms rely on. Everyone else gets the per-GPU share,
+  // including the multi-process arbitration tax.
+  const double inter_gbps = (shape.ppn == 1 && shape.nodes > 1)
+                                ? cfg.nic_bandwidth_gbps
+                                : topo_->inter_node_bw_per_gpu(shape.ppn);
+  t.beta_inter_gpu = gbps_to_bytes_per_us(inter_gbps) * eff;
   t.red_bw = gbps_to_bytes_per_us(std::max(profile_.reduction_gbps, 1.0));
   if (fault_scale_) {
     // Injected link degradation multiplies β (time per byte), i.e. divides
@@ -291,10 +315,25 @@ SimTime CostModel::broadcast_cost(std::size_t bytes, const CommShape& s, const T
 
 SimTime CostModel::reduce_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {
   const double S = static_cast<double>(bytes);
+  const double P = s.world;
+  const SystemConfig& cfg = topo_->config();
   const double alpha = s.nodes > 1 ? t.alpha_inter : t.alpha_intra;
   const double beta = s.nodes > 1 ? std::min(t.beta_intra, t.beta_inter_gpu) : t.beta_intra;
   // Binomial reduction tree; every level moves and reduces the payload.
-  return ceil_log2(s.world) * (alpha + S / beta + S / t.red_bw);
+  double best = ceil_log2(s.world) * (alpha + S / beta + S / t.red_bw);
+  if (has(Algo::Ring)) {
+    // Ring reduce-scatter followed by a gather to the root: each rank moves
+    // ~2S/P per step instead of the tree's full payload per level, making
+    // this the bandwidth-optimal choice for large messages.
+    const double intra_frac = (P - s.nodes) / P;
+    const double inter_frac = s.nodes > 1 ? s.nodes / P : 0.0;
+    const double hop_alpha =
+        intra_frac * ring_hop_alpha(profile_, cfg.intra_node.latency_us) +
+        inter_frac * ring_hop_alpha(profile_, cfg.inter_node.latency_us);
+    const double bw = 2.0 * (P - 1.0) / P * S / t.beta_mixed;
+    best = std::min(best, 2.0 * (P - 1.0) * hop_alpha + bw + (P - 1.0) / P * S / t.red_bw);
+  }
+  return best;
 }
 
 SimTime CostModel::gather_cost(std::size_t bytes, const CommShape& s, const Terms& t) const {

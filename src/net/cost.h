@@ -35,6 +35,12 @@ struct CommShape {
   // Shape of a communicator covering ranks [0, world_used) of `topo`.
   static CommShape over(const Topology& topo, int world_used);
   static CommShape over(const Topology& topo) { return over(topo, topo.world_size()); }
+  // Shape of a communicator over an explicit — possibly non-contiguous —
+  // rank list: nodes actually spanned, and the maximum ranks-per-node over
+  // the real per-node occupancy. This is what makes subgroup costing exact:
+  // an intra-node group costs as nodes=1 (NVLink β), a one-leader-per-node
+  // group costs as ppn=1 (each leader gets the full NIC share).
+  static CommShape of(const Topology& topo, const std::vector<int>& ranks);
 };
 
 // Algorithm templates a backend implementation may employ.

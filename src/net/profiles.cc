@@ -65,7 +65,11 @@ BackendProfile mv2_gdr_profile() {
   p.default_bw_eff = 0.70;
   p.bw_eff[OpType::AllReduce] = 0.70;
   p.bw_eff[OpType::ReduceScatter] = 0.70;
-  p.bw_eff[OpType::AllGather] = 0.70;
+  // No reduction staging on the gather path: slightly better wire efficiency
+  // than the reducing collectives, keeping the Table II small-message wins.
+  // The vector variant shares the same wire path, so it shares the number.
+  p.bw_eff[OpType::AllGather] = 0.78;
+  p.bw_eff[OpType::AllGatherV] = 0.78;
   p.bw_eff[OpType::AllToAll] = 0.85;
   p.bw_eff[OpType::AllToAllSingle] = 0.85;
   p.bw_eff[OpType::AllToAllV] = 0.85;
@@ -104,7 +108,7 @@ BackendProfile sccl_profile() {
   p.name = "sccl";
   p.display_name = "SCCL";
   p.overlapped_two_level = true;
-  p.launch_overhead_us = 43.0;  // synthesized-schedule interpreter startup
+  p.launch_overhead_us = 50.0;  // synthesized-schedule interpreter startup
   p.step_latency_us = 1.6;
   p.p2p_latency_us = 2.2;
   p.reduction_gbps = 500.0;

@@ -1,6 +1,7 @@
 #include "src/net/topology.h"
 
 #include <algorithm>
+#include <map>
 
 namespace mcrdl::net {
 
@@ -64,9 +65,33 @@ const LinkSpec& Topology::link(int a, int b) const {
 
 double Topology::inter_node_bw_per_gpu(int concurrent) const {
   MCRDL_REQUIRE(concurrent >= 1, "concurrent GPU count must be >= 1");
-  const double share = config_.nic_bandwidth_gbps / static_cast<double>(concurrent);
+  double share = config_.nic_bandwidth_gbps / static_cast<double>(concurrent);
+  // Several local ranks arbitrating for the HCAs do not reach the clean
+  // division of the injection bandwidth — the fan-in through the PCIe root
+  // complex and per-QP scheduling costs a fixed fraction of the share.
+  if (concurrent > 1) share *= config_.nic_sharing_eff;
   // A single GPU cannot exceed its own HCA path.
   return std::min(share, config_.inter_node.bandwidth_gbps);
+}
+
+NodePartition node_partition(const Topology& topo, const std::vector<int>& ranks) {
+  MCRDL_REQUIRE(!ranks.empty(), "node_partition needs at least one rank");
+  // Keyed map: nodes come out in ascending id whatever order `ranks` is in.
+  std::map<int, std::vector<int>> by_node;
+  for (int r : ranks) {
+    MCRDL_REQUIRE(r >= 0 && r < topo.world_size(), "rank out of range for topology");
+    by_node[topo.node_of(r)].push_back(r);
+  }
+  NodePartition out;
+  out.intra.reserve(by_node.size());
+  out.leaders.reserve(by_node.size());
+  for (auto& [node, members] : by_node) {
+    (void)node;
+    std::sort(members.begin(), members.end());
+    out.leaders.push_back(members.front());
+    out.intra.push_back(std::move(members));
+  }
+  return out;
 }
 
 }  // namespace mcrdl::net

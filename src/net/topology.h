@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -36,6 +37,10 @@ struct SystemConfig {
   LinkSpec intra_node;        // GPU<->GPU over NVLink within a node
   LinkSpec inter_node;        // GPU<->GPU across nodes (through the NIC)
   double nic_bandwidth_gbps = 0.0;  // per-node injection bandwidth (shared by local GPUs)
+  // Achieved fraction of the NIC share when more than one local rank drives
+  // the node's HCAs concurrently (QP arbitration, PCIe root-complex
+  // contention). A rank that owns the NIC alone pays no such tax.
+  double nic_sharing_eff = 0.8;
   double pcie_bandwidth_gbps = 0.0; // host staging path (D2H/H2D)
   double pcie_latency_us = 0.0;
 
@@ -74,5 +79,20 @@ class Topology {
  private:
   SystemConfig config_;
 };
+
+// Node-aligned partition of an explicit rank list: one member group per
+// occupied node plus the leader (lowest rank) of each — the two levels every
+// hierarchical collective decomposes over. Derived from the *actual* ranks,
+// not from [0, world), so it stays exact for shrunk or otherwise irregular
+// memberships: a node that lost a rank simply shows a smaller intra group.
+struct NodePartition {
+  // Per occupied node, ascending node id; each group's ranks ascending.
+  std::vector<std::vector<int>> intra;
+  // The lowest rank of each occupied node (parallel to `intra`).
+  std::vector<int> leaders;
+};
+
+// Partitions `ranks` into node-local groups and leaders under `topo`.
+NodePartition node_partition(const Topology& topo, const std::vector<int>& ranks);
 
 }  // namespace mcrdl::net

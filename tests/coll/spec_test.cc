@@ -1,0 +1,75 @@
+// Composite algorithm-string grammar: plain backend names pass through
+// untouched, well-formed composites parse into their spec, and strings that
+// were unmistakably meant as composites fail loudly instead of degrading
+// into unknown-backend errors downstream.
+#include "src/coll/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mcrdl::coll {
+namespace {
+
+TEST(CollSpec, PlainBackendNamesAreNotComposites) {
+  EXPECT_FALSE(parse("nccl").has_value());
+  EXPECT_FALSE(parse("mv2-gdr").has_value());
+  EXPECT_FALSE(parse("auto").has_value());
+  EXPECT_FALSE(parse("").has_value());
+  // Prefix lookalikes that are not in the grammar stay plain names.
+  EXPECT_FALSE(parse("hierarchical").has_value());
+  EXPECT_FALSE(parse("rsagx").has_value());
+}
+
+TEST(CollSpec, ParsesHier) {
+  const auto spec = parse("hier:nccl+mv2-gdr");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->algo, CompositeAlgo::Hier);
+  EXPECT_EQ(spec->intra, "nccl");
+  EXPECT_EQ(spec->inter, "mv2-gdr");
+  EXPECT_EQ(spec->text, "hier:nccl+mv2-gdr");
+}
+
+TEST(CollSpec, ParsesRsagWithAndWithoutBackend) {
+  const auto bare = parse("rsag");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->algo, CompositeAlgo::Rsag);
+  EXPECT_TRUE(bare->intra.empty());  // default backend filled at resolve time
+  EXPECT_EQ(bare->text, "rsag");
+
+  const auto named = parse("rsag:ompi");
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(named->algo, CompositeAlgo::Rsag);
+  EXPECT_EQ(named->intra, "ompi");
+}
+
+TEST(CollSpec, MalformedCompositesThrow) {
+  EXPECT_THROW(parse("hier"), InvalidArgument);
+  EXPECT_THROW(parse("hier:"), InvalidArgument);
+  EXPECT_THROW(parse("hier:nccl"), InvalidArgument);
+  EXPECT_THROW(parse("hier:+nccl"), InvalidArgument);
+  EXPECT_THROW(parse("hier:nccl+"), InvalidArgument);
+  EXPECT_THROW(parse("rsag:"), InvalidArgument);
+}
+
+TEST(CollSpec, RegistryHasOneRowPerFamily) {
+  const auto& infos = registered_composites();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].pattern, "hier:<intra>+<inter>");
+  EXPECT_EQ(infos[1].pattern, "rsag[:<backend>]");
+  for (const auto& info : infos) EXPECT_FALSE(info.description.empty());
+}
+
+TEST(CollSpec, TunerArmsCoverEveryPairAndBackend) {
+  const auto arms = composite_arms({"nccl", "mpi"});
+  EXPECT_EQ(arms, (std::vector<std::string>{"hier:nccl+nccl", "hier:nccl+mpi", "hier:mpi+nccl",
+                                            "hier:mpi+mpi", "rsag:nccl", "rsag:mpi"}));
+  // Every generated arm must round-trip through the parser.
+  for (const auto& arm : arms) EXPECT_TRUE(parse(arm).has_value()) << arm;
+}
+
+}  // namespace
+}  // namespace mcrdl::coll

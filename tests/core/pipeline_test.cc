@@ -30,7 +30,7 @@ TEST_F(PipelineTest, BuiltInStageOrder) {
   make();
   EXPECT_EQ(mcr_->pipeline().stage_names(),
             (std::vector<std::string>{"overhead", "resolve", "fusion", "compression", "finish",
-                                      "recover", "route", "issue"}));
+                                      "recover", "coll", "route", "issue"}));
 }
 
 // A pass-through stage that tallies every operation flowing past it.

@@ -56,7 +56,11 @@ TEST(Topology, NicSharingDividesBandwidth) {
   double solo = topo.inter_node_bw_per_gpu(1);
   double shared = topo.inter_node_bw_per_gpu(4);
   EXPECT_GT(solo, shared);
-  EXPECT_NEAR(shared * 4, topo.config().nic_bandwidth_gbps, 1e-9);
+  // Concurrent ranks split the injection bandwidth and pay the multi-process
+  // arbitration tax on top; a sole user pays neither.
+  EXPECT_NEAR(shared * 4,
+              topo.config().nic_bandwidth_gbps * topo.config().nic_sharing_eff, 1e-9);
+  EXPECT_LT(shared * 4, topo.config().nic_bandwidth_gbps);
   // A single GPU is limited by its own HCA path, not the whole NIC pool.
   EXPECT_LE(solo, topo.config().inter_node.bandwidth_gbps);
 }

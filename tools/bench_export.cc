@@ -97,6 +97,57 @@ void check_schema(const obs::JsonValue& doc) {
   if (experiment == "hotpath" && !has_hotpath_speedup) {
     throw InvalidArgument("hotpath export has no populated speedup series");
   }
+  // Composite-collective contract (DESIGN.md §15). Two orderings make the
+  // experiment worth exporting, checked on whatever grid the file carries
+  // (full or --quick) so the CI gate and the committed export share a rule:
+  //   * algorithm — at every node count >= 2, the hierarchical allreduce
+  //     beats the flat single-backend choice at the largest swept message;
+  //   * schedule — on the 3D-CNN plan, hier+overlap beats the identical
+  //     hier plan without the overlap scheduler, at every model world.
+  if (experiment == "hier") {
+    auto last_virtual_us = [](const obs::JsonValue& s) {
+      return s.at("points").array.back().at("virtual_us").number;
+    };
+    int compared_nodes = 0;
+    int compared_worlds = 0;
+    for (const auto& flat : series.array) {
+      const std::string& name = flat.at("name").str;
+      const std::string prefix = "all_reduce/flat/n";
+      if (name.rfind(prefix, 0) != 0 || flat.at("points").array.empty()) continue;
+      const int nodes = std::atoi(name.c_str() + prefix.size());
+      if (nodes < 2) continue;
+      for (const auto& hier : series.array) {
+        if (hier.at("name").str != "all_reduce/hier/n" + std::to_string(nodes)) continue;
+        if (hier.at("points").array.empty()) continue;
+        if (last_virtual_us(hier) >= last_virtual_us(flat)) {
+          throw InvalidArgument("hier allreduce does not beat flat at n=" +
+                                std::to_string(nodes) + " for the largest message");
+        }
+        ++compared_nodes;
+      }
+    }
+    const obs::JsonValue* cnn_hier = nullptr;
+    const obs::JsonValue* cnn_overlap = nullptr;
+    for (const auto& s : series.array) {
+      if (s.at("name").str == "cnn3d/hier") cnn_hier = &s;
+      if (s.at("name").str == "cnn3d/hier+overlap") cnn_overlap = &s;
+    }
+    if (cnn_hier != nullptr && cnn_overlap != nullptr) {
+      for (const auto& hp : cnn_hier->at("points").array) {
+        for (const auto& op : cnn_overlap->at("points").array) {
+          if (op.at("world").number != hp.at("world").number) continue;
+          if (op.at("virtual_us").number >= hp.at("virtual_us").number) {
+            throw InvalidArgument("cnn3d hier+overlap does not beat hier at world=" +
+                                  std::to_string(static_cast<int>(hp.at("world").number)));
+          }
+          ++compared_worlds;
+        }
+      }
+    }
+    if (compared_nodes == 0 || compared_worlds == 0) {
+      throw InvalidArgument("hier export is missing its flat-vs-hier or cnn3d comparison");
+    }
+  }
 }
 
 int check_file(const std::string& path) {

@@ -33,6 +33,11 @@ ctest --output-on-failure -j "${jobs}" -L tune
 # And the serving suite (DESIGN.md §10): admission, placement, contention,
 # and deterministic trace replay.
 ctest --output-on-failure -j "${jobs}" -L sched
+# And the composite-collective suite (DESIGN.md §15): algorithm-string
+# parsing, hier/rsag correctness against flat allreduce, the overlap
+# scheduler's interleaving, and elastic shrink/rejoin across in-flight
+# composites.
+ctest --output-on-failure -j "${jobs}" -L coll
 
 # Chaos-differential smoke: kill rank 3 at t=2500us mid-run and require a
 # clean elastic recovery — exit 0 (planned casualty only, survivors agree)
@@ -199,6 +204,15 @@ echo "== bench_export smoke: hotpath perf trajectory =="
 timeout 600 "${build_dir}/tools/bench_export" --experiment hotpath --quick --out "${bench_dir}"
 "${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_hotpath.json"
 
+# Composite-collective perf trajectory (DESIGN.md §15): export the hier
+# experiment on the quick grid and validate it — the schema check enforces
+# the two orderings that make the subsystem worth having (hierarchical
+# allreduce beats flat at every swept node count >= 2 for the largest
+# message; hier+overlap beats the identical hier plan on the 3D-CNN model).
+echo "== bench_export smoke: hier perf trajectory =="
+timeout 600 "${build_dir}/tools/bench_export" --experiment hier --quick --out "${bench_dir}"
+"${build_dir}/tools/bench_export" --check "${bench_dir}/BENCH_hier.json"
+
 # Memory-check the dispatch hot path: rebuild the core suite (facade,
 # pipeline, fusion/bucketing, logging) with -fsanitize=address and run it by
 # label. The arena recycles OpRequests and the bucketing layer slices fused
@@ -213,7 +227,7 @@ cmake --build "${asan_dir}" -j "${jobs}" --target \
     core_api_test core_fusion_test core_bucketing_test core_pipeline_test \
     core_golden_trace_test core_logger_test core_compression_hook_test \
     core_emulation_test core_trace_test core_persistent_test \
-    core_process_groups_test
+    core_process_groups_test core_composite_work_test
 ( cd "${asan_dir}" && ctest --output-on-failure -j "${jobs}" -L core )
 
 # Race-check the parallel engine for real: rebuild the sim/sched suites with
@@ -231,8 +245,9 @@ rm -rf "${tsan_dir}"
 cmake -B "${tsan_dir}" -S "${repo_root}" -DMCRDL_SANITIZE=thread
 cmake --build "${tsan_dir}" -j "${jobs}" --target \
     sim_scheduler_test sim_execution_model_test sim_device_test sim_stress_test \
-    sched_trace_test sched_admission_test sched_tenant_groups_test sched_serve_test
+    sched_trace_test sched_admission_test sched_tenant_groups_test sched_serve_test \
+    coll_spec_test coll_composite_test coll_overlap_test coll_elastic_test
 ( cd "${tsan_dir}" && TSAN_OPTIONS=detect_deadlocks=0 \
-    ctest --output-on-failure -j "${jobs}" -L 'sim|sched' )
+    ctest --output-on-failure -j "${jobs}" -L 'sim|sched|coll' )
 
 echo "== CI passed =="

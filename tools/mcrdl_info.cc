@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/backends/backend.h"
+#include "src/coll/spec.h"
 #include "src/common/format.h"
 #include "src/net/cost.h"
 #include "src/sched/admission.h"
@@ -40,6 +41,25 @@ int main() {
                  p.stream_aware ? "yes" : "no"});
     }
     std::printf("%s", t.to_string().c_str());
+  }
+
+  std::printf("\nRegistered composite algorithms (DESIGN.md §15)\n\n");
+  {
+    TextTable t({"Pattern", "Description"});
+    for (const coll::CompositeInfo& info : coll::registered_composites()) {
+      t.add_row({info.pattern, info.description});
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::string arms;
+    for (const std::string& arm : coll::composite_arms({"nccl", "mv2-gdr"})) {
+      if (!arms.empty()) arms += ", ";
+      arms += arm;
+    }
+    std::printf(
+        "\nComposite strings are accepted anywhere a backend string is once\n"
+        "McrDlOptions::coll.enabled is set; coll.tuner_arms additionally offers\n"
+        "them as \"auto\" arms (e.g. with nccl + mv2-gdr loaded: %s).\n",
+        arms.c_str());
   }
 
   std::printf("\nBuilt-in system topologies\n\n");
