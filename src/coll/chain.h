@@ -40,6 +40,17 @@
 // (their in-flight sub-ops were cancelled by the quiesce drain and will
 // never call back); the runtime pokes the scheduler on each bump so blocked
 // drivers wake and observe this.
+//
+// Recovery granularity: chunked composites recover at *op* granularity, the
+// same contract flat ops give — after a loss the tensor is either entirely
+// the pre-loss full-world result (every chunk completed) or entirely the
+// shrunk-group replay (any chunk failed). Two mechanisms enforce it: every
+// chunk chain shares one whole-tensor restore (any failing chunk rewinds the
+// published slices of completed siblings, see set_restore) and one run-once
+// whole-tensor recover (the replay re-dispatches the full original payload,
+// never individual slices). Phases themselves operate on private scratch, so
+// a failed chain's started sub-ops — which the quiesce lets deliver after the
+// epoch bump — can never write the user payload behind that restore.
 #pragma once
 
 #include <atomic>
@@ -87,10 +98,12 @@ class ChainWork : public WorkHandle, public std::enable_shared_from_this<ChainWo
   // the parent pipeline frame whose recover stage is still on the stack.
   void set_recover(std::function<void()> fn);
   // Installs the input-restore closure run when the chain is failed for
-  // replay. Composites mutate member buffers phase by phase (the intra
-  // reduce lands in the leader's tensor before the composite is done), so a
-  // replay from phase one must start from the original payload — flat ops
-  // never need this because they publish nothing until fully complete.
+  // replay. Chain phases run on private scratch and publish into the user
+  // payload only through the success-path finalize, so a *single* chain never
+  // needs this; it exists for chunked composites, where sibling chunks that
+  // completed before a loss already published full-world slices that the
+  // whole-tensor replay would re-reduce. The closure rewinds the whole
+  // payload to its pre-launch bytes (shared by all chunks, idempotent).
   void set_restore(std::function<void()> fn);
 
  private:

@@ -1,7 +1,9 @@
 #include "src/coll/composite.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "src/common/status.h"
@@ -124,11 +126,23 @@ std::vector<ChainPhase> rsag_phases(const LaunchContext& ctx, const CompositeSpe
 std::shared_ptr<ChainWork> launch_chunk(const LaunchContext& ctx, const CompositeSpec& spec,
                                         int rank, const std::vector<int>& members,
                                         const net::NodePartition& part, Tensor slice,
-                                        ReduceOp rop, std::uint64_t epoch, bool async) {
+                                        ReduceOp rop, std::uint64_t epoch,
+                                        std::function<void()> restore,
+                                        std::function<void()> recover) {
   std::vector<ChainPhase> phases;
   std::function<void()> finalize;
   if (spec.algo == CompositeAlgo::Hier) {
-    phases = hier_phases(ctx, spec, rank, part, slice, rop, epoch);
+    // Phases run on a private working copy, never the caller's slice. A
+    // failed chain's *started* sub-ops still deliver after the epoch bump
+    // (the quiesce only cancels pending rendezvous), and an in-place chain
+    // would let those late deliveries clobber payload bytes behind the
+    // pristine restore. Success publishes once, in the finalize under the
+    // chain lock — the same contract as rsag's slice-back copy. The copies
+    // are data movement only (no virtual time), so timings are unchanged.
+    Tensor work = scratch_like(slice, slice.numel());
+    work.copy_from(slice);
+    phases = hier_phases(ctx, spec, rank, part, work, rop, epoch);
+    finalize = [slice, work]() mutable { slice.copy_from(work); };
   } else {
     phases = rsag_phases(ctx, spec, rank, members, slice, rop, epoch, &finalize);
   }
@@ -136,31 +150,8 @@ std::shared_ptr<ChainWork> launch_chunk(const LaunchContext& ctx, const Composit
   chain->op = OpType::AllReduce;
   chain->backend_name = spec.text;
   chain->posted_at = ctx.sched->now();
-  if (spec.algo == CompositeAlgo::Hier && slice.materialized()) {
-    // Hier mutates the payload in place phase by phase: a completed intra
-    // reduce leaves the node sum in the leader's buffer before the composite
-    // is done. If the chain is failed for elastic replay, the replay must
-    // start from the original contribution, not the partial — keep a pristine
-    // copy and restore it on failure. (Rsag only writes the payload in its
-    // success-path finalize, so it replays cleanly as-is.)
-    Tensor pristine = scratch_like(slice, slice.numel());
-    pristine.copy_from(slice);
-    chain->set_restore([slice, pristine]() mutable { slice.copy_from(pristine); });
-  }
-  if (async) {
-    // The parent pipeline frame returns before a failure can surface, so the
-    // chain carries its own replay: re-dispatch this slice's allreduce — with
-    // the same composite string — as a fresh synchronous top-level op whose
-    // recover stage parks, remaps and replays.
-    chain->set_recover([redispatch = ctx.redispatch, spec, rank, members, slice, rop] {
-      OpRequest req;
-      req.op = OpType::AllReduce;
-      req.backend = spec.text;
-      req.tensor = slice;
-      req.rop = rop;
-      redispatch(rank, members, std::move(req));
-    });
-  }
+  if (restore) chain->set_restore(std::move(restore));
+  if (recover) chain->set_recover(std::move(recover));
   return chain;
 }
 
@@ -200,14 +191,57 @@ Work launch(const LaunchContext& ctx, const CompositeSpec& spec, int rank,
     chain->posted_at = ctx.sched->now();
     return chain;
   }
+  const std::int64_t numel = tensor.numel();
   std::int64_t chunks = ctx.overlap->chunks();
   chunks = std::max<std::int64_t>(
-      1, std::min<std::int64_t>(chunks, std::max<std::int64_t>(1, tensor.numel())));
+      1, std::min<std::int64_t>(chunks, std::max<std::int64_t>(1, numel)));
+
+  // Elastic-replay closures — shared by every chunk chain so recovery stays
+  // op-granularity whatever the launch shape, exactly like a flat op: either
+  // the whole tensor keeps the pre-loss reduction or the whole tensor is
+  // replayed on the survivors. Per-chunk restores would be wrong under
+  // chunking: chunk chains that completed before the loss can no longer be
+  // failed (their restore already ran out in maybe_complete), yet their
+  // slices hold published full-world sums which a whole-tensor replay would
+  // re-reduce into survivors*old_sum. So any failing chunk restores the
+  // *whole* payload from one pristine copy, rewinding completed siblings
+  // too. Re-running the restore is idempotent (it re-copies the same
+  // original bytes), and it cannot itself be clobbered: both algorithms run
+  // their phases on private scratch, so the only writers of the payload are
+  // success-path finalizes (under the chain lock, before the loss) and this
+  // restore. Unchunked launches need no restore at all — a failed chain's
+  // finalize never ran, so the payload still holds the caller's bytes.
+  std::function<void()> restore;
+  Tensor payload = tensor;  // non-const handle onto the same storage
+  if (tensor.materialized() && chunks > 1) {
+    Tensor pristine = scratch_like(tensor, numel);
+    pristine.copy_from(tensor);
+    restore = [payload, pristine]() mutable { payload.copy_from(pristine); };
+  }
+  std::function<void()> recover;
+  if (req.async_op) {
+    // The parent pipeline frame returns before a failure can surface, so the
+    // chains carry their own replay: re-dispatch the whole tensor — with the
+    // same composite string — as a fresh synchronous top-level op whose
+    // recover stage parks, remaps and replays. The flag makes the replay
+    // fire exactly once when several chunk chains failed; the later chunks'
+    // wait() then just completes their handles against the replayed data.
+    auto replayed = std::make_shared<std::atomic<bool>>(false);
+    recover = [redispatch = ctx.redispatch, spec, rank, members, payload, rop = req.rop,
+               replayed] {
+      if (replayed->exchange(true)) return;
+      OpRequest r;
+      r.op = OpType::AllReduce;
+      r.backend = spec.text;
+      r.tensor = payload;
+      r.rop = rop;
+      redispatch(rank, members, std::move(r));
+    };
+  }
   if (chunks == 1) {
     return launch_chunk(ctx, spec, rank, members, part, tensor, req.rop, req.epoch,
-                        req.async_op);
+                        std::move(restore), std::move(recover));
   }
-  const std::int64_t numel = tensor.numel();
   const std::int64_t base = numel / chunks;
   const std::int64_t rem = numel % chunks;
   std::vector<std::shared_ptr<ChainWork>> parts;
@@ -216,7 +250,7 @@ Work launch(const LaunchContext& ctx, const CompositeSpec& spec, int rank,
     const std::int64_t size = base + (i < rem ? 1 : 0);
     if (size == 0) continue;
     parts.push_back(launch_chunk(ctx, spec, rank, members, part, tensor.view(offset, size),
-                                 req.rop, req.epoch, req.async_op));
+                                 req.rop, req.epoch, restore, recover));
     offset += size;
   }
   auto group_work = std::make_shared<ChainGroupWork>(std::move(parts));

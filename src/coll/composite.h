@@ -26,6 +26,13 @@
 // overlap enabled the payload is split into chunks — one chain each — whose
 // phases the OverlapScheduler interleaves; the returned ChainGroupWork
 // completes when every chunk has.
+//
+// Both algorithms run their phases on private scratch and publish into the
+// caller's tensor only in the success-path finalize, which makes elastic
+// recovery op-granularity even under chunking: any failing chunk rewinds
+// the whole payload via a shared pristine restore and (async) replays the
+// whole payload via a shared run-once recover — never individual slices.
+// See the recovery-granularity note in chain.h.
 #pragma once
 
 #include <functional>

@@ -68,9 +68,12 @@ CostModel::Terms CostModel::terms_for(const CommShape& shape, OpType op) const {
   // Subgroup-aware inter-node bandwidth. A communicator with one rank per
   // occupied node is the leader-subgroup shape: each member is its node's
   // sole NIC user, so a multi-rail transport registers against every HCA and
-  // stripes the full node injection bandwidth — the mechanism leader-based
-  // two-level algorithms rely on. Everyone else gets the per-GPU share,
-  // including the multi-process arbitration tax.
+  // stripes the full node injection bandwidth — the per-channel NIC binding
+  // NCCL-class runtimes use (PAPERS.md: "Demystifying NCCL") and the
+  // mechanism leader-based two-level algorithms rely on. Everyone else gets
+  // the per-GPU share, including the multi-process arbitration tax; like
+  // nic_sharing_eff itself this split is a modeling assumption, not pinned
+  // by the committed paper fits (see EXPERIMENTS.md, cost-model provenance).
   const double inter_gbps = (shape.ppn == 1 && shape.nodes > 1)
                                 ? cfg.nic_bandwidth_gbps
                                 : topo_->inter_node_bw_per_gpu(shape.ppn);

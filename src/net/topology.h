@@ -39,7 +39,13 @@ struct SystemConfig {
   double nic_bandwidth_gbps = 0.0;  // per-node injection bandwidth (shared by local GPUs)
   // Achieved fraction of the NIC share when more than one local rank drives
   // the node's HCAs concurrently (QP arbitration, PCIe root-complex
-  // contention). A rank that owns the NIC alone pays no such tax.
+  // contention — see PAPERS.md: "Demystifying NCCL"; Awan et al. on
+  // dense-GPU IB clusters). A rank that owns the NIC alone pays no such
+  // tax. The committed paper fits (Figure 2, Table II) are insensitive to
+  // this value; it is the modeling assumption that gives leader-based
+  // two-level algorithms their multi-rail advantage at >=2 nodes, so the
+  // BENCH_hier gate *exercises* it rather than evidences it — see the
+  // cost-model provenance note in EXPERIMENTS.md.
   double nic_sharing_eff = 0.8;
   double pcie_bandwidth_gbps = 0.0; // host staging path (D2H/H2D)
   double pcie_latency_us = 0.0;

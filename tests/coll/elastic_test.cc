@@ -31,20 +31,23 @@ void add_loss(fault::FaultPlan& plan, int rank, SimTime at) {
 }
 
 struct ElasticRun {
-  std::vector<double> finals;  // final tensor value per rank (0 = did not finish)
-  std::vector<int> died;       // int, not bool: same-instant actors write concurrently
+  std::vector<double> finals;   // final tensor value per rank (0 = did not finish)
+  std::vector<double> spreads;  // max-min over sampled elements (0 = tensor uniform)
+  std::vector<int> died;        // int, not bool: same-instant actors write concurrently
 };
 
 // `iters` composite allreduce-sum iterations, 400us apart, starting from
 // rank+1; dead ranks unwind via RankLostError or the loss predicate.
-ElasticRun run_elastic(McrDl& mcr, ClusterContext& cluster, int iters, bool async) {
+ElasticRun run_elastic(McrDl& mcr, ClusterContext& cluster, int iters, bool async,
+                       const char* algo = kAlgo, std::int64_t numel = 64) {
   ElasticRun out;
   const auto world = static_cast<std::size_t>(cluster.world_size());
   out.finals.assign(world, 0.0);
+  out.spreads.assign(world, 0.0);
   out.died.assign(world, 0);
   cluster.run_spmd([&](int rank) {
     Api api = mcr.on(rank);
-    Tensor t = Tensor::full({64}, DType::F32, static_cast<double>(rank + 1),
+    Tensor t = Tensor::full({numel}, DType::F32, static_cast<double>(rank + 1),
                             cluster.device(rank));
     for (int i = 0; i < iters; ++i) {
       if (cluster.faults().rank_lost(rank)) {
@@ -52,7 +55,7 @@ ElasticRun run_elastic(McrDl& mcr, ClusterContext& cluster, int iters, bool asyn
         return;
       }
       try {
-        Work w = api.all_reduce(kAlgo, t, ReduceOp::Sum, async);
+        Work w = api.all_reduce(algo, t, ReduceOp::Sum, async);
         if (async) w->wait();
       } catch (const RankLostError&) {
         out.died[static_cast<std::size_t>(rank)] = 1;
@@ -61,9 +64,46 @@ ElasticRun run_elastic(McrDl& mcr, ClusterContext& cluster, int iters, bool asyn
       cluster.scheduler().sleep_for(400.0);
     }
     api.synchronize();
+    // Inputs are per-rank uniform, so every correct sum-allreduce schedule
+    // leaves the tensor uniform. A recovery that replays at slice
+    // granularity instead of op granularity shows up right here: chunk
+    // slices published before the loss disagree with replayed ones (one
+    // element sampled per possible chunk, plus both ends).
+    double lo = t.get(0), hi = lo;
+    for (std::int64_t idx :
+         {numel / 8, 3 * numel / 8, 5 * numel / 8, 7 * numel / 8, numel - 1}) {
+      const double v = t.get(idx);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    out.spreads[static_cast<std::size_t>(rank)] = hi - lo;
     out.finals[static_cast<std::size_t>(rank)] = t.get(0);
   });
   return out;
+}
+
+// Virtual time one clean composite allreduce of `numel` elements takes on a
+// fresh cluster — used to pin a loss instant *inside* a composite without
+// hardcoding cost-model constants: the straggler lead-in then covers only
+// the tail of the op, so early chunk-chains complete before the loss and
+// late ones park mid-rendezvous.
+SimTime measure_composite(const char* algo, int nodes, std::int64_t numel) {
+  ClusterContext cluster(net::SystemConfig::lassen(nodes), sim::ExecutionConfig::serial());
+  McrDlOptions opts;
+  opts.coll.enabled = true;
+  opts.coll.overlap = true;
+  McrDl mcr(&cluster, opts);
+  mcr.init({"mv2-gdr"});
+  SimTime dur = 0.0;
+  cluster.run_spmd([&](int rank) {
+    Api api = mcr.on(rank);
+    Tensor t = Tensor::full({numel}, DType::F32, static_cast<double>(rank + 1),
+                            cluster.device(rank));
+    api.all_reduce(algo, t, ReduceOp::Sum);
+    api.synchronize();
+    if (rank == 0) dur = cluster.scheduler().now();
+  });
+  return dur;
 }
 
 // Survivors agree and their value is explainable as k full-world iterations
@@ -79,6 +119,8 @@ void check_survivor_value(const ElasticRun& run, int world, int iters) {
   for (int r : survivors) {
     EXPECT_DOUBLE_EQ(run.finals[static_cast<std::size_t>(r)], got)
         << "survivors diverged at rank " << r;
+    EXPECT_DOUBLE_EQ(run.spreads[static_cast<std::size_t>(r)], 0.0)
+        << "rank " << r << " tensor is not uniform: chunk slices saw different memberships";
   }
   const double m = static_cast<double>(world);
   const double w = static_cast<double>(survivors.size());
@@ -91,8 +133,15 @@ void check_survivor_value(const ElasticRun& run, int world, int iters) {
                : (m * (m + 1) / 2.0) * std::pow(m, k - 1) * std::pow(w, iters - k);
     matched = got == candidate;
   }
+  std::string dump;
+  for (int r = 0; r < world; ++r) {
+    dump += " rank" + std::to_string(r) + "=" +
+            std::to_string(run.finals[static_cast<std::size_t>(r)]) +
+            (run.died[static_cast<std::size_t>(r)] ? "(died)" : "") +
+            " spread=" + std::to_string(run.spreads[static_cast<std::size_t>(r)]);
+  }
   EXPECT_TRUE(matched) << "survivor value " << got
-                       << " is not a full-world/shrunk-world iteration split";
+                       << " is not a full-world/shrunk-world iteration split;" << dump;
 }
 
 class ElasticCollTest : public ::testing::TestWithParam<sim::ExecutionConfig> {
@@ -147,6 +196,72 @@ TEST_P(ElasticCollTest, ShrinkMidAsyncOverlappedCompositeSurvivorsAgree) {
   const ElasticRun run = run_elastic(*mcr_, *cluster_, /*iters=*/10, /*async=*/true);
   EXPECT_TRUE(run.died[1]);
   check_survivor_value(run, cluster_->world_size(), 10);
+  EXPECT_EQ(mcr_->recovery().stats().epochs, 1u);
+}
+
+// The sync x overlap cell of the matrix, with a payload big enough that the
+// loss instant falls between chunk-chain completions: chunks that finished
+// before the loss already published full-world sums into their slices (and
+// cannot be failed — their restore ran out on completion), while the parked
+// ones bounce for replay. The whole-tensor replay through the parent
+// pipeline's recover stage must start from pristine bytes for *every* slice
+// — per-chunk restores would let it re-reduce the completed slices into
+// survivors*old_sum.
+TEST_P(ElasticCollTest, ShrinkMidSyncOverlappedCompositeSurvivorsAgree) {
+  constexpr std::int64_t kNumel = 1 << 18;
+  const SimTime dur = measure_composite(kAlgo, /*nodes=*/2, kNumel);
+  McrDlOptions opts = elastic_opts(/*overlap=*/true);
+  // No straggler lead-in: a per-rank slowdown desynchronises the two nodes'
+  // closing broadcasts, making the composite complete on one node and fail
+  // on the other — a different (cross-rank) scenario. A bare loss instant
+  // keeps completion cross-rank atomic and lands between chunk completions.
+  opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(1, 0.6 * dur));
+  make(2, opts);
+  mcr_->init({"mv2-gdr"});
+
+  const ElasticRun run = run_elastic(*mcr_, *cluster_, /*iters=*/6, /*async=*/false,
+                                     kAlgo, kNumel);
+  EXPECT_TRUE(run.died[1]);
+  check_survivor_value(run, cluster_->world_size(), 6);
+  EXPECT_EQ(mcr_->recovery().stats().epochs, 1u);
+  EXPECT_GT(mcr_->recovery().stats().recovered_ops, 0u);
+}
+
+// Same straddled-loss shape, async: completed chunks keep their handles, the
+// failed ones flow through the shared recover closure — which must replay
+// the *whole* tensor exactly once, not each failed slice on the shrunk group
+// (that would leave one tensor mixing two memberships).
+TEST_P(ElasticCollTest, ShrinkMidAsyncOverlappedCompositeOpGranularityReplay) {
+  constexpr std::int64_t kNumel = 1 << 18;
+  const SimTime dur = measure_composite(kAlgo, /*nodes=*/2, kNumel);
+  McrDlOptions opts = elastic_opts(/*overlap=*/true);
+  opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(1, 0.6 * dur));
+  make(2, opts);
+  mcr_->init({"mv2-gdr"});
+
+  const ElasticRun run = run_elastic(*mcr_, *cluster_, /*iters=*/6, /*async=*/true,
+                                     kAlgo, kNumel);
+  EXPECT_TRUE(run.died[1]);
+  check_survivor_value(run, cluster_->world_size(), 6);
+  EXPECT_EQ(mcr_->recovery().stats().epochs, 1u);
+}
+
+// rsag publishes each chunk's reduced slice in its success-path finalize, so
+// chunked rsag needs the shared whole-tensor restore exactly like hier's
+// in-place phases do (unchunked rsag replays cleanly without one).
+TEST_P(ElasticCollTest, ShrinkMidOverlappedRsagSurvivorsAgree) {
+  constexpr const char* kRsag = "rsag:mv2-gdr";
+  constexpr std::int64_t kNumel = 1 << 18;
+  const SimTime dur = measure_composite(kRsag, /*nodes=*/2, kNumel);
+  McrDlOptions opts = elastic_opts(/*overlap=*/true);
+  opts.fault.plan.specs.push_back(fault::FaultSpec::lose_rank(1, 0.6 * dur));
+  make(2, opts);
+  mcr_->init({"mv2-gdr"});
+
+  const ElasticRun run = run_elastic(*mcr_, *cluster_, /*iters=*/6, /*async=*/false,
+                                     kRsag, kNumel);
+  EXPECT_TRUE(run.died[1]);
+  check_survivor_value(run, cluster_->world_size(), 6);
   EXPECT_EQ(mcr_->recovery().stats().epochs, 1u);
 }
 
